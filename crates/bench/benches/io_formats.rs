@@ -1,0 +1,35 @@
+//! Criterion bench: interchange-format throughput (Liberty parsing and
+//! clock tree text round-trips).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavemin_cells::{liberty, CellLibrary};
+use wavemin_clocktree::{io as tree_io, Benchmark};
+
+fn bench_liberty(c: &mut Criterion) {
+    let lib = CellLibrary::nangate45();
+    let text = liberty::write_library("nangate45", &lib);
+    let mut group = c.benchmark_group("liberty");
+    group.bench_function("write", |b| {
+        b.iter(|| liberty::write_library("nangate45", std::hint::black_box(&lib)));
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| liberty::parse_library(std::hint::black_box(&text)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_tree_io(c: &mut Criterion) {
+    let tree = Benchmark::s35932().synthesize(1);
+    let text = tree_io::write_tree(&tree);
+    let mut group = c.benchmark_group("tree_io_s35932");
+    group.bench_function("write", |b| {
+        b.iter(|| tree_io::write_tree(std::hint::black_box(&tree)));
+    });
+    group.bench_function("read", |b| {
+        b.iter(|| tree_io::read_tree(std::hint::black_box(&text)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_liberty, bench_tree_io);
+criterion_main!(benches);

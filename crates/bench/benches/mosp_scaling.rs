@@ -1,0 +1,74 @@
+//! Criterion bench: MOSP solver scaling with zone size and weight
+//! dimension — the complexity knobs of Warburton's ε-approximation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wavemin_mosp::{solve, MospGraph, VertexId};
+
+/// Builds a WaveMin-shaped layered graph: `rows` sinks × `cols` candidate
+/// cells with `dims`-dimensional weights.
+fn layered(rows: usize, cols: usize, dims: usize, seed: u64) -> (MospGraph, VertexId, VertexId) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = MospGraph::new(dims);
+    let src = g.add_vertex();
+    let mut prev = vec![src];
+    for _ in 0..rows {
+        let mut row = Vec::new();
+        for _ in 0..cols {
+            let v = g.add_vertex();
+            let w: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..100.0)).collect();
+            for &u in &prev {
+                g.add_arc(u, v, w.clone()).unwrap();
+            }
+            row.push(v);
+        }
+        prev = row;
+    }
+    let dest = g.add_vertex();
+    for &u in &prev {
+        g.add_arc(u, dest, vec![0.0; dims]).unwrap();
+    }
+    (g, src, dest)
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warburton_rows");
+    for rows in [2usize, 4, 8] {
+        let (g, s, t) = layered(rows, 4, 8, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &g, |b, g| {
+            b.iter(|| solve::warburton_capped(g, s, t, 0.01, Some(64)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warburton_dims");
+    for dims in [4usize, 32, 156] {
+        let (g, s, t) = layered(5, 4, dims, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &g, |b, g| {
+            b.iter(|| solve::warburton_capped(g, s, t, 0.01, Some(64)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_warburton(c: &mut Criterion) {
+    let (g, s, t) = layered(6, 4, 8, 3);
+    let mut group = c.benchmark_group("solver_kind");
+    group.bench_function("exact", |b| {
+        b.iter(|| solve::exact(&g, s, t, Some(64)).unwrap());
+    });
+    group.bench_function("warburton_e01", |b| {
+        b.iter(|| solve::warburton_capped(&g, s, t, 0.01, Some(64)).unwrap());
+    });
+    group.bench_function("warburton_e50", |b| {
+        b.iter(|| solve::warburton_capped(&g, s, t, 0.5, Some(64)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows, bench_dims, bench_exact_vs_warburton);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion bench: end-to-end optimizer runtimes per circuit — the
+//! execution-time columns of Table VI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wavemin::prelude::*;
+
+fn quick(sample_count: usize) -> WaveMinConfig {
+    let mut cfg = WaveMinConfig::default().with_sample_count(sample_count);
+    cfg.max_intervals = Some(8);
+    cfg
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let design = Design::from_benchmark(&Benchmark::s13207(), 1);
+    let mut group = c.benchmark_group("s13207");
+    group.sample_size(10);
+    group.bench_function("clkpeakmin", |b| {
+        let algo = ClkPeakMin::new(quick(158));
+        b.iter(|| algo.run(std::hint::black_box(&design)).unwrap());
+    });
+    group.bench_function("clkwavemin_s158", |b| {
+        let algo = ClkWaveMin::new(quick(158));
+        b.iter(|| algo.run(std::hint::black_box(&design)).unwrap());
+    });
+    group.bench_function("clkwavemin_s8", |b| {
+        let algo = ClkWaveMin::new(quick(8));
+        b.iter(|| algo.run(std::hint::black_box(&design)).unwrap());
+    });
+    group.bench_function("clkwavemin_fast", |b| {
+        let algo = ClkWaveMinFast::new(quick(158));
+        b.iter(|| algo.run(std::hint::black_box(&design)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let design = Design::from_benchmark(&Benchmark::s13207(), 1);
+    let cfg = WaveMinConfig::default();
+    let mut group = c.benchmark_group("preprocess");
+    group.bench_function("noise_table", |b| {
+        b.iter(|| NoiseTable::build(std::hint::black_box(&design), &cfg, 0).unwrap());
+    });
+    let table = NoiseTable::build(&design, &cfg, 0).unwrap();
+    group.bench_function("intervals", |b| {
+        b.iter(|| IntervalSet::generate(std::hint::black_box(&table), cfg.skew_bound, Some(48)));
+    });
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate");
+    group.sample_size(10);
+    for bench in [Benchmark::s13207(), Benchmark::s35932()] {
+        let design = Design::from_benchmark(&bench, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&bench.name),
+            &design,
+            |b, d| {
+                let eval = NoiseEvaluator::new(d);
+                b.iter(|| eval.evaluate(0).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for bench in [Benchmark::s15850(), Benchmark::s13207()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| bench.synthesize(std::hint::black_box(1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_preprocessing,
+    bench_evaluation,
+    bench_synthesis
+);
+criterion_main!(benches);

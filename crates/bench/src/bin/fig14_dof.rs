@@ -1,0 +1,64 @@
+//! Fig. 14 — relationship between an intersection's degree of freedom and
+//! the peak noise it achieves (on the paper's s35932, multi-mode). The
+//! negative correlation justifies pruning low-freedom intersections.
+//!
+//! Usage: `fig14_dof [seed] [--json out.json]`
+
+use serde::Serialize;
+use wavemin::prelude::*;
+use wavemin::report::{fmt, render_table};
+use wavemin_bench::ExperimentArgs;
+use wavemin_cells::units::Picoseconds;
+
+#[derive(Serialize)]
+struct Point2 {
+    degree_of_freedom: usize,
+    min_max_noise_ua: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let design = Design::from_benchmark_multimode(&Benchmark::s35932(), args.seed, 6, 2);
+    // Sweep the skew bound: tighter bounds produce lower-freedom
+    // intersections, spreading the scatter across the DoF axis (the
+    // beam alone would keep only near-maximal-DoF intersections).
+    let mut pairs: Vec<(usize, f64)> = Vec::new();
+    for kappa in [18.0, 22.0, 26.0, 30.0, 36.0, 44.0] {
+        let mut config = WaveMinConfig::default()
+            .with_sample_count(16)
+            .with_skew_bound(Picoseconds::new(kappa));
+        config.max_intervals = Some(24);
+        let algo = ClkWaveMinM::new(config).with_beam(16);
+        match algo.intersection_costs(&design) {
+            Ok(mut p) => pairs.append(&mut p),
+            Err(_) => continue,
+        }
+    }
+    assert!(!pairs.is_empty(), "no feasible intersections");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for &(dof, cost) in &pairs {
+        rows.push(vec![dof.to_string(), fmt(cost, 1)]);
+        records.push(Point2 {
+            degree_of_freedom: dof,
+            min_max_noise_ua: cost,
+        });
+    }
+    println!("Fig. 14 — degree of freedom vs achieved min-max noise (s35932)\n");
+    println!("{}", render_table(&["DoF", "min-max noise (uA)"], &rows));
+
+    // Pearson correlation: the paper observes a negative trend.
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|p| p.0 as f64).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov = pairs
+        .iter()
+        .map(|p| (p.0 as f64 - mx) * (p.1 - my))
+        .sum::<f64>();
+    let sx = pairs.iter().map(|p| (p.0 as f64 - mx).powi(2)).sum::<f64>().sqrt();
+    let sy = pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>().sqrt();
+    let r = if sx * sy > 0.0 { cov / (sx * sy) } else { 0.0 };
+    println!("Pearson correlation r = {r:.3} (paper shape: negative — more freedom, less noise)");
+    args.persist(&records);
+}

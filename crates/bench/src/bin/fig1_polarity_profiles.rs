@@ -1,0 +1,71 @@
+//! Fig. 1 — the idea behind polarity assignment: a buffer draws high
+//! `I_DD` at the rising clock edge while an inverter draws it at the
+//! falling edge. Prints a CSV of the four current waveforms.
+//!
+//! Usage: `fig1_polarity_profiles [seed] [--json out.json]`
+
+use serde::Serialize;
+use wavemin_bench::ExperimentArgs;
+use wavemin_cells::units::{Femtofarads, Picoseconds, Volts};
+use wavemin_cells::{CellLibrary, Characterizer};
+
+#[derive(Serialize)]
+struct Record {
+    cell: String,
+    peak_idd_rise: f64,
+    peak_iss_rise: f64,
+    peak_idd_fall: f64,
+    peak_iss_fall: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let lib = CellLibrary::nangate45();
+    let chr = Characterizer::default();
+    let load = Femtofarads::new(6.0);
+    let slew = Picoseconds::new(20.0);
+
+    let buf = chr.characterize(lib.get("BUF_X8").unwrap(), load, slew, Volts::new(1.1));
+    let inv = chr.characterize(lib.get("INV_X8").unwrap(), load, slew, Volts::new(1.1));
+
+    println!("time_ps,buf_idd_rise,buf_iss_fall,inv_idd_fall,inv_iss_rise");
+    for i in 0..=120 {
+        let t = Picoseconds::new(i as f64 * 0.5);
+        println!(
+            "{:.1},{:.1},{:.1},{:.1},{:.1}",
+            t.value(),
+            buf.idd_rise.sample(t).value(),
+            buf.iss_fall.sample(t).value(),
+            inv.idd_fall.sample(t).value(),
+            inv.iss_rise.sample(t).value(),
+        );
+    }
+
+    let records = vec![
+        Record {
+            cell: "BUF_X8".into(),
+            peak_idd_rise: buf.idd_rise.peak().value(),
+            peak_iss_rise: buf.iss_rise.peak().value(),
+            peak_idd_fall: buf.idd_fall.peak().value(),
+            peak_iss_fall: buf.iss_fall.peak().value(),
+        },
+        Record {
+            cell: "INV_X8".into(),
+            peak_idd_rise: inv.idd_rise.peak().value(),
+            peak_iss_rise: inv.iss_rise.peak().value(),
+            peak_idd_fall: inv.idd_fall.peak().value(),
+            peak_iss_fall: inv.iss_fall.peak().value(),
+        },
+    ];
+    eprintln!(
+        "BUF_X8: high IDD at rise ({:.0} µA) vs fall ({:.0} µA)",
+        buf.idd_rise.peak().value(),
+        buf.idd_fall.peak().value()
+    );
+    eprintln!(
+        "INV_X8: high IDD at fall ({:.0} µA) vs rise ({:.0} µA)",
+        inv.idd_fall.peak().value(),
+        inv.idd_rise.peak().value()
+    );
+    args.persist(&records);
+}

@@ -1,0 +1,81 @@
+//! Fig. 3 — adjustable delay inverters (ADIs) recover polarity freedom on
+//! ADB-embedded multi-mode trees: the ADB-only solution's peak noise vs
+//! the ADB+ADI solution's.
+//!
+//! Usage: `fig3_adi_gain [seed] [--json out.json]`
+
+use serde::Serialize;
+use wavemin::multimode::insert_adbs;
+use wavemin::prelude::*;
+use wavemin_bench::ExperimentArgs;
+use wavemin_cells::units::{Picoseconds, Volts};
+
+#[derive(Serialize)]
+struct Record {
+    adb_count: usize,
+    adi_count: usize,
+    adb_only_peak_ma: f64,
+    optimized_peak_ma: f64,
+    improvement_pct: f64,
+    skew_after_ps: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    // A design whose mode-induced arrival spread (~30 ps) exceeds the
+    // bound, forcing ADB insertion — the Fig. 3 situation.
+    let design = Design::from_benchmark_multimode_levels(
+        &Benchmark::s15850(),
+        args.seed,
+        4,
+        4,
+        Volts::new(0.9),
+        Volts::new(1.1),
+    );
+    let kappa = Picoseconds::new(20.0);
+    println!(
+        "initial worst-mode skew: {:.2} (bound {kappa})",
+        design.max_skew().expect("skew")
+    );
+
+    // ADB-embedding-only baseline (the [17] output, no polarity work).
+    let mut embedded = design.clone();
+    let plan = insert_adbs(&mut embedded, kappa).expect("ADB insertion");
+    let eval = NoiseEvaluator::new(&embedded);
+    let mut adb_only_peak = 0.0_f64;
+    for m in 0..embedded.mode_count() {
+        adb_only_peak = adb_only_peak.max(eval.evaluate(m).expect("eval").peak.value());
+    }
+    println!(
+        "ADB-embedded-only: {} ADBs, peak {:.3} mA, worst skew {:.2}",
+        plan.count(),
+        adb_only_peak,
+        embedded.max_skew().expect("skew")
+    );
+
+    // Full flow: polarity assignment with ADB→ADI swaps allowed.
+    let config = WaveMinConfig::default().with_skew_bound(kappa);
+    let outcome = ClkWaveMinM::new(config).run(&design).expect("ClkWaveMin-M");
+    println!(
+        "ClkWaveMin-M: {} ADBs + {} ADIs, peak {:.3} mA, worst skew {:.2}",
+        outcome.adb_count,
+        outcome.adi_count,
+        outcome.peak_after.value(),
+        outcome.skew_after
+    );
+    println!(
+        "peak noise reduction vs ADB-only: {:.2} %",
+        outcome.peak_improvement_pct()
+    );
+    println!("Fig. 3 shape: the ADB+ADI library never does worse than ADB-only,");
+    println!("and ADIs appear when flipping an ADB-driven subtree helps balance.");
+
+    args.persist(&Record {
+        adb_count: outcome.adb_count,
+        adi_count: outcome.adi_count,
+        adb_only_peak_ma: adb_only_peak,
+        optimized_peak_ma: outcome.peak_after.value(),
+        improvement_pct: outcome.peak_improvement_pct(),
+        skew_after_ps: outcome.skew_after.value(),
+    });
+}

@@ -1,0 +1,69 @@
+//! The skew-budget trade-off: how the achievable peak current falls as
+//! the designer loosens κ (an implicit curve behind the paper's fixed
+//! κ = 20 ps choice).
+//!
+//! Usage: `kappa_sweep [seed] [--json out.json]`
+
+use serde::Serialize;
+use wavemin::prelude::*;
+use wavemin::report::{fmt, render_table};
+use wavemin_bench::ExperimentArgs;
+use wavemin_cells::units::Picoseconds;
+
+#[derive(Serialize)]
+struct Row {
+    kappa_ps: f64,
+    wavemin_peak_ma: f64,
+    peakmin_peak_ma: f64,
+    skew_after_ps: f64,
+    intervals: usize,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let bench = Benchmark::s13207();
+    let design = Design::from_benchmark(&bench, args.seed);
+    println!("Skew budget sweep on {} (seed {})\n", bench.name, args.seed);
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for kappa in [5.0, 10.0, 15.0, 20.0, 30.0, 40.0] {
+        let config = WaveMinConfig::default().with_skew_bound(Picoseconds::new(kappa));
+        let wm = match ClkWaveMin::new(config.clone()).run(&design) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("κ={kappa}: {e}");
+                continue;
+            }
+        };
+        let pm = match ClkPeakMin::new(config).run(&design) {
+            Ok(o) => o,
+            Err(_) => wm.clone(),
+        };
+        rows.push(vec![
+            fmt(kappa, 0),
+            fmt(wm.peak_after.value(), 2),
+            fmt(pm.peak_after.value(), 2),
+            fmt(wm.skew_after.value(), 1),
+            wm.intervals_tried.to_string(),
+        ]);
+        records.push(Row {
+            kappa_ps: kappa,
+            wavemin_peak_ma: wm.peak_after.value(),
+            peakmin_peak_ma: pm.peak_after.value(),
+            skew_after_ps: wm.skew_after.value(),
+            intervals: wm.intervals_tried,
+        });
+        eprintln!("κ={kappa} done");
+    }
+    println!(
+        "{}",
+        render_table(
+            &["κ (ps)", "WaveMin peak", "PeakMin peak", "skew", "#intervals"],
+            &rows,
+        )
+    );
+    println!("Shape: a wider window admits more candidates (higher DoF) and a");
+    println!("lower achievable peak, at the price of clock skew.");
+    args.persist(&records);
+}

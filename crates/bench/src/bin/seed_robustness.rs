@@ -1,0 +1,84 @@
+//! Seed robustness of the Table V comparison: the paper evaluates one
+//! synthesized tree per circuit; our placements are synthetic, so this
+//! binary re-runs ClkPeakMin vs ClkWaveMin over several seeds and reports
+//! the distribution of the improvement — separating the real effect from
+//! placement luck.
+//!
+//! Usage: `seed_robustness [first_seed] [runs] [--json out.json]`
+
+use serde::Serialize;
+use wavemin::prelude::*;
+use wavemin::report::{fmt, render_table};
+use wavemin_bench::{mean, ExperimentArgs};
+
+#[derive(Serialize)]
+struct Row {
+    circuit: String,
+    seeds: Vec<u64>,
+    improvements_pct: Vec<f64>,
+    mean_pct: f64,
+    std_pct: f64,
+    wins: usize,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let runs: usize = args.rest.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let config = WaveMinConfig::default();
+    println!(
+        "Seed robustness of ClkWaveMin vs ClkPeakMin ({} seeds from {})\n",
+        runs, args.seed
+    );
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    // The three mid-size circuits keep the total runtime reasonable.
+    for bench in [Benchmark::s13207(), Benchmark::s38584(), Benchmark::ispd09f34()] {
+        let mut improvements = Vec::new();
+        let mut seeds = Vec::new();
+        for k in 0..runs as u64 {
+            let seed = args.seed + k;
+            let design = Design::from_benchmark(&bench, seed);
+            let pm = ClkPeakMin::new(config.clone()).run(&design).expect("peakmin");
+            let wm = ClkWaveMin::new(config.clone()).run(&design).expect("wavemin");
+            let imp = (pm.peak_after.value() - wm.peak_after.value())
+                / pm.peak_after.value()
+                * 100.0;
+            improvements.push(imp);
+            seeds.push(seed);
+            eprintln!("{} seed {seed}: {imp:+.2} %", bench.name);
+        }
+        let m = mean(&improvements);
+        let var = improvements.iter().map(|i| (i - m).powi(2)).sum::<f64>()
+            / improvements.len() as f64;
+        let wins = improvements.iter().filter(|&&i| i > 0.0).count();
+        rows.push(vec![
+            bench.name.clone(),
+            fmt(m, 2),
+            fmt(var.sqrt(), 2),
+            format!("{wins}/{runs}"),
+            improvements
+                .iter()
+                .map(|i| format!("{i:+.1}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+        records.push(Row {
+            circuit: bench.name.clone(),
+            seeds,
+            improvements_pct: improvements,
+            mean_pct: m,
+            std_pct: var.sqrt(),
+            wins,
+        });
+    }
+    println!(
+        "{}",
+        render_table(
+            &["circuit", "mean %", "std %", "wins", "per-seed %"],
+            &rows,
+        )
+    );
+    println!("(improvement of ClkWaveMin's evaluated peak over ClkPeakMin's)");
+    args.persist(&records);
+}

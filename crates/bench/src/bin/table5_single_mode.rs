@@ -1,0 +1,107 @@
+//! Table V — ClkPeakMin [27] vs ClkWaveMin on the seven benchmark
+//! circuits: peak current, VDD noise, Gnd noise and the improvements
+//! (κ = 20 ps, ε = 0.01, |S| = 158).
+//!
+//! Usage: `table5_single_mode [seed] [--json out.json]`
+
+use serde::Serialize;
+use wavemin::prelude::*;
+use wavemin::report::{fmt, pct, render_table};
+use wavemin_bench::{mean, ExperimentArgs};
+
+#[derive(Serialize)]
+struct Row {
+    circuit: String,
+    n: usize,
+    leaves: usize,
+    peakmin_vdd_mv: f64,
+    peakmin_gnd_mv: f64,
+    peakmin_peak_ma: f64,
+    wavemin_vdd_mv: f64,
+    wavemin_gnd_mv: f64,
+    wavemin_peak_ma: f64,
+    vdd_improvement_pct: f64,
+    gnd_improvement_pct: f64,
+    peak_improvement_pct: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let config = WaveMinConfig::default();
+    println!(
+        "Table V — ClkPeakMin vs ClkWaveMin (κ = {}, ε = 0.01, |S| = {}, seed {})\n",
+        config.skew_bound,
+        config.effective_sample_count(),
+        args.seed
+    );
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for bench in Benchmark::all() {
+        let design = Design::from_benchmark(&bench, args.seed);
+        let peakmin = ClkPeakMin::new(config.clone())
+            .run(&design)
+            .expect("ClkPeakMin");
+        let wavemin = ClkWaveMin::new(config.clone())
+            .run(&design)
+            .expect("ClkWaveMin");
+        let imp = |a: f64, b: f64| if a.abs() < 1e-12 { 0.0 } else { (a - b) / a * 100.0 };
+        let r = Row {
+            circuit: bench.name.clone(),
+            n: bench.total_nodes,
+            leaves: bench.leaf_count,
+            peakmin_vdd_mv: peakmin.vdd_noise_after.value(),
+            peakmin_gnd_mv: peakmin.gnd_noise_after.value(),
+            peakmin_peak_ma: peakmin.peak_after.value(),
+            wavemin_vdd_mv: wavemin.vdd_noise_after.value(),
+            wavemin_gnd_mv: wavemin.gnd_noise_after.value(),
+            wavemin_peak_ma: wavemin.peak_after.value(),
+            vdd_improvement_pct: imp(
+                peakmin.vdd_noise_after.value(),
+                wavemin.vdd_noise_after.value(),
+            ),
+            gnd_improvement_pct: imp(
+                peakmin.gnd_noise_after.value(),
+                wavemin.gnd_noise_after.value(),
+            ),
+            peak_improvement_pct: imp(
+                peakmin.peak_after.value(),
+                wavemin.peak_after.value(),
+            ),
+        };
+        rows.push(vec![
+            r.circuit.clone(),
+            r.n.to_string(),
+            r.leaves.to_string(),
+            fmt(r.peakmin_vdd_mv, 2),
+            fmt(r.peakmin_gnd_mv, 2),
+            fmt(r.peakmin_peak_ma, 2),
+            fmt(r.wavemin_vdd_mv, 2),
+            fmt(r.wavemin_gnd_mv, 2),
+            fmt(r.wavemin_peak_ma, 2),
+            pct(r.vdd_improvement_pct),
+            pct(r.gnd_improvement_pct),
+            pct(r.peak_improvement_pct),
+        ]);
+        eprintln!("{} done", bench.name);
+        records.push(r);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "circuit", "n", "|L|", "PM Vdd", "PM Gnd", "PM peak", "WM Vdd", "WM Gnd",
+                "WM peak", "dVdd %", "dGnd %", "dPeak %",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "averages: dVdd {:.2} %  dGnd {:.2} %  dPeak {:.2} %",
+        mean(&records.iter().map(|r| r.vdd_improvement_pct).collect::<Vec<_>>()),
+        mean(&records.iter().map(|r| r.gnd_improvement_pct).collect::<Vec<_>>()),
+        mean(&records.iter().map(|r| r.peak_improvement_pct).collect::<Vec<_>>()),
+    );
+    println!("(PM = ClkPeakMin [27], WM = ClkWaveMin; noise in mV, peak in mA)");
+    args.persist(&records);
+}

@@ -1,0 +1,130 @@
+//! Shared infrastructure for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the experiment index). Binaries print the table to
+//! stdout and optionally persist a machine-readable JSON record next to
+//! the repository's `EXPERIMENTS.md` provenance.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Common CLI arguments shared by the experiment binaries:
+/// `[seed] [--json <path>]` plus binary-specific extras read separately.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Placement/MC seed (default 42).
+    pub seed: u64,
+    /// Where to write the JSON record, if requested.
+    pub json: Option<PathBuf>,
+    /// Remaining positional arguments.
+    pub rest: Vec<String>,
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args()`.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut seed = 42u64;
+        let mut json = None;
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        let mut first_positional = true;
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                json = args.next().map(PathBuf::from);
+            } else if first_positional {
+                if let Ok(s) = a.parse() {
+                    seed = s;
+                } else {
+                    rest.push(a);
+                }
+                first_positional = false;
+            } else {
+                rest.push(a);
+            }
+        }
+        Self { seed, json, rest }
+    }
+
+    /// Writes the record as pretty JSON when `--json` was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O or serialization failure (experiment binaries want
+    /// loud failures).
+    pub fn persist<T: Serialize>(&self, record: &T) {
+        if let Some(path) = &self.json {
+            let body = serde_json::to_string_pretty(record).expect("serialize record");
+            std::fs::write(path, body).expect("write JSON record");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Geometric-mean helper for averaging ratios.
+#[must_use]
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geo_mean_handles_zeroes_gracefully() {
+        // Zero entries are floored, not panicked on.
+        let g = geo_mean(&[0.0, 4.0]);
+        assert!(g.is_finite() && g >= 0.0);
+    }
+
+    #[test]
+    fn persist_writes_json() {
+        let dir = std::env::temp_dir().join("wavemin_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("record.json");
+        let args = ExperimentArgs {
+            seed: 1,
+            json: Some(path.clone()),
+            rest: Vec::new(),
+        };
+        args.persist(&vec![1, 2, 3]);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains('1') && body.contains('3'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_without_path_is_a_noop() {
+        let args = ExperimentArgs {
+            seed: 1,
+            json: None,
+            rest: Vec::new(),
+        };
+        args.persist(&42u32); // must not panic or write anywhere
+    }
+}

@@ -1,0 +1,52 @@
+//! Cell library and analytic current-waveform characterization for the
+//! WaveMin reproduction.
+//!
+//! This crate is the *SPICE substitute* of the reproduction: the original
+//! paper characterized Nangate 45 nm buffers and inverters with HSPICE; we
+//! characterize an analytic CMOS model instead. The model is anchored to the
+//! operating points the paper publishes (output resistance, input
+//! capacitance, Table II delays and peak currents) and reproduces every
+//! qualitative relation the WaveMin optimizer exploits:
+//!
+//! * buffers draw their main supply current (I_DD) at the **rising** clock
+//!   edge, inverters at the **falling** edge (and symmetrically for I_SS);
+//! * peak current grows with drive strength, delay shrinks with it;
+//! * a lower supply voltage slows cells down and slightly lowers their peak
+//!   current;
+//! * a buffer is a chain of two unequally sized inverters, so its current
+//!   signature is a superposition of two offset pulses.
+//!
+//! # Example
+//!
+//! ```
+//! use wavemin_cells::{CellLibrary, Characterizer, units::*};
+//!
+//! let lib = CellLibrary::nangate45();
+//! let buf = lib.get("BUF_X2").expect("library cell");
+//! let chr = Characterizer::default();
+//! let profile = chr.characterize(buf, Femtofarads::new(6.0), Picoseconds::new(20.0), Volts::new(1.1));
+//! // A buffer charges the load from VDD at the rising edge...
+//! assert!(profile.idd_rise.peak() > profile.iss_rise.peak());
+//! // ...and discharges it to ground at the falling edge.
+//! assert!(profile.iss_fall.peak() > profile.idd_fall.peak());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod kind;
+pub mod liberty;
+pub mod library;
+pub mod lut;
+pub mod spec;
+pub mod supply;
+pub mod units;
+pub mod waveform;
+
+pub use characterize::{CellProfile, Characterizer};
+pub use kind::{CellKind, Polarity};
+pub use library::CellLibrary;
+pub use spec::CellSpec;
+pub use supply::SupplyModel;
+pub use units::{Femtofarads, MicroAmps, Microns, Ohms, Picoseconds, Volts};
+pub use waveform::Waveform;

@@ -1,0 +1,688 @@
+//! A Liberty-subset (`.lib`) reader and writer for cell libraries.
+//!
+//! Real polarity-assignment flows consume commercial libraries in the
+//! Liberty format; the open Rust ecosystem has no such parser, so this
+//! module provides one for the subset the WaveMin reproduction needs:
+//! nested `group (name) { ... }` blocks with `attribute : value;`
+//! statements. Cells map to [`CellSpec`]s through a small set of
+//! attributes (standard ones where they exist, `wavemin_`-prefixed ones
+//! for model parameters Liberty does not define).
+//!
+//! # Example
+//!
+//! ```
+//! use wavemin_cells::liberty;
+//!
+//! let lib_text = r#"
+//! library (demo) {
+//!   cell (BUF_X4) {
+//!     wavemin_kind : buffer;
+//!     drive_strength : 4;
+//!     cell_leakage_power : 0.0;
+//!     pin (A) { direction : input; capacitance : 0.001; }
+//!     pin (Z) { direction : output; function : "A"; }
+//!   }
+//! }
+//! "#;
+//! let lib = liberty::parse_library(lib_text)?;
+//! assert!(lib.get("BUF_X4").is_some());
+//! # Ok::<(), liberty::LibertyError>(())
+//! ```
+
+use crate::kind::CellKind;
+use crate::library::CellLibrary;
+use crate::spec::CellSpec;
+use crate::units::{Femtofarads, Ohms, Picoseconds};
+use std::fmt;
+
+/// Errors from Liberty parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibertyError {
+    /// The tokenizer met an unexpected character.
+    UnexpectedChar {
+        /// 1-based line of the offending character.
+        line: usize,
+        /// The character.
+        found: char,
+    },
+    /// The parser expected a different token.
+    UnexpectedToken {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// What the parser needed.
+        expected: &'static str,
+        /// What it found.
+        found: String,
+    },
+    /// The file ended inside a group.
+    UnexpectedEof,
+    /// The top-level group is not `library`.
+    NotALibrary(String),
+    /// A cell's attributes are inconsistent (e.g. unknown kind).
+    BadCell {
+        /// The cell name.
+        cell: String,
+        /// Explanation.
+        why: String,
+    },
+}
+
+impl fmt::Display for LibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibertyError::UnexpectedChar { line, found } => {
+                write!(f, "line {line}: unexpected character '{found}'")
+            }
+            LibertyError::UnexpectedToken {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: expected {expected}, found '{found}'"),
+            LibertyError::UnexpectedEof => write!(f, "unexpected end of file inside a group"),
+            LibertyError::NotALibrary(g) => {
+                write!(f, "top-level group must be 'library', found '{g}'")
+            }
+            LibertyError::BadCell { cell, why } => write!(f, "cell '{cell}': {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LibertyError {}
+
+/// A parsed Liberty group: `name (args) { statements }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Group keyword (e.g. `library`, `cell`, `pin`).
+    pub name: String,
+    /// Parenthesized arguments (e.g. the cell name).
+    pub args: Vec<String>,
+    /// `attribute : value;` statements, in order.
+    pub attributes: Vec<(String, String)>,
+    /// Nested groups, in order.
+    pub groups: Vec<Group>,
+}
+
+impl Group {
+    /// The first attribute with the given name.
+    #[must_use]
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A numeric attribute, if present and parseable.
+    #[must_use]
+    pub fn numeric(&self, name: &str) -> Option<f64> {
+        self.attribute(name).and_then(|v| v.parse().ok())
+    }
+
+    /// Nested groups with the given keyword.
+    pub fn children<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Group> + 'a {
+        self.groups.iter().filter(move |g| g.name == name)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Colon,
+    Semi,
+    Comma,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, LibertyError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        for c2 in chars.by_ref() {
+                            if c2 == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c2 == '/' {
+                                break;
+                            }
+                            prev = c2;
+                        }
+                    }
+                    Some('/') => {
+                        for c2 in chars.by_ref() {
+                            if c2 == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    _ => return Err(LibertyError::UnexpectedChar { line, found: '/' }),
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                for c2 in chars.by_ref() {
+                    if c2 == '"' {
+                        break;
+                    }
+                    if c2 == '\n' {
+                        line += 1;
+                    }
+                    s.push(c2);
+                }
+                tokens.push((Token::Ident(s), line));
+            }
+            '(' => {
+                chars.next();
+                tokens.push((Token::LParen, line));
+            }
+            ')' => {
+                chars.next();
+                tokens.push((Token::RParen, line));
+            }
+            '{' => {
+                chars.next();
+                tokens.push((Token::LBrace, line));
+            }
+            '}' => {
+                chars.next();
+                tokens.push((Token::RBrace, line));
+            }
+            ':' => {
+                chars.next();
+                tokens.push((Token::Colon, line));
+            }
+            ';' => {
+                chars.next();
+                tokens.push((Token::Semi, line));
+            }
+            ',' => {
+                chars.next();
+                tokens.push((Token::Comma, line));
+            }
+            c if c.is_ascii_alphanumeric() || "_.-+".contains(c) => {
+                let mut s = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || "_.-+".contains(c2) {
+                        s.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((Token::Ident(s), line));
+            }
+            other => return Err(LibertyError::UnexpectedChar { line, found: other }),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &'static str) -> Result<(), LibertyError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            Some(t) => Err(LibertyError::UnexpectedToken {
+                line,
+                expected: what,
+                found: format!("{t:?}"),
+            }),
+            None => Err(LibertyError::UnexpectedEof),
+        }
+    }
+
+    fn ident(&mut self, what: &'static str) -> Result<String, LibertyError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(LibertyError::UnexpectedToken {
+                line,
+                expected: what,
+                found: format!("{t:?}"),
+            }),
+            None => Err(LibertyError::UnexpectedEof),
+        }
+    }
+
+    /// Parses `name (args) { body }` with the keyword already consumed.
+    fn group_body(&mut self, name: String) -> Result<Group, LibertyError> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut args = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RParen) => {
+                    self.next();
+                    break;
+                }
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                Some(Token::Ident(_)) => {
+                    args.push(self.ident("argument")?);
+                }
+                _ => {
+                    let line = self.line();
+                    return Err(LibertyError::UnexpectedToken {
+                        line,
+                        expected: "group argument or ')'",
+                        found: format!("{:?}", self.peek()),
+                    });
+                }
+            }
+        }
+        self.expect(&Token::LBrace, "'{'")?;
+        let mut group = Group {
+            name,
+            args,
+            attributes: Vec::new(),
+            groups: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(Token::Ident(_)) => {
+                    let key = self.ident("attribute or group name")?;
+                    match self.peek() {
+                        Some(Token::Colon) => {
+                            self.next();
+                            let value = self.ident("attribute value")?;
+                            self.expect(&Token::Semi, "';'")?;
+                            group.attributes.push((key, value));
+                        }
+                        Some(Token::LParen) => {
+                            group.groups.push(self.group_body(key)?);
+                        }
+                        _ => {
+                            let line = self.line();
+                            return Err(LibertyError::UnexpectedToken {
+                                line,
+                                expected: "':' or '('",
+                                found: format!("{:?}", self.peek()),
+                            });
+                        }
+                    }
+                }
+                None => return Err(LibertyError::UnexpectedEof),
+                other => {
+                    let line = self.line();
+                    return Err(LibertyError::UnexpectedToken {
+                        line,
+                        expected: "statement or '}'",
+                        found: format!("{other:?}"),
+                    });
+                }
+            }
+        }
+        Ok(group)
+    }
+}
+
+/// Parses a Liberty document into its group tree.
+///
+/// # Errors
+///
+/// Returns a [`LibertyError`] describing the first syntax problem.
+pub fn parse_document(input: &str) -> Result<Group, LibertyError> {
+    let mut parser = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let name = parser.ident("top-level group keyword")?;
+    let group = parser.group_body(name)?;
+    Ok(group)
+}
+
+/// Parses a Liberty document into a [`CellLibrary`].
+///
+/// Cell attributes consumed (all optional except the name):
+///
+/// | attribute | meaning | default |
+/// |---|---|---|
+/// | `wavemin_kind` | `buffer` / `inverter` / `adb` / `adi` | inferred from the name |
+/// | `drive_strength` | the X factor | parsed from a `_X<k>` suffix, else 1 |
+/// | `wavemin_r_out` | output resistance (Ω) | kind/drive default |
+/// | input `pin` `capacitance` | input cap (**nF**, Liberty's unit: 1e-3 pF ⇒ value × 1000 = fF) | kind/drive default |
+/// | `wavemin_c_par` | output parasitic (fF) | kind/drive default |
+/// | `wavemin_t_intrinsic` | intrinsic delay (ps) | kind default |
+/// | `wavemin_crossover` | opposite-rail fraction | 0.10 |
+/// | `wavemin_delay_range` | adjustable range (ps) | 30 for ADB/ADI |
+/// | `wavemin_delay_steps` | adjustable steps | 12 for ADB/ADI |
+///
+/// # Errors
+///
+/// Syntax errors, a non-`library` top group, or inconsistent cells.
+pub fn parse_library(input: &str) -> Result<CellLibrary, LibertyError> {
+    let doc = parse_document(input)?;
+    if doc.name != "library" {
+        return Err(LibertyError::NotALibrary(doc.name));
+    }
+    let mut lib = CellLibrary::new();
+    for cell in doc.children("cell") {
+        lib.push(cell_from_group(cell)?);
+    }
+    Ok(lib)
+}
+
+fn cell_from_group(cell: &Group) -> Result<CellSpec, LibertyError> {
+    let name = cell
+        .args
+        .first()
+        .cloned()
+        .ok_or_else(|| LibertyError::BadCell {
+            cell: "<unnamed>".to_owned(),
+            why: "cell group has no name argument".to_owned(),
+        })?;
+    let kind = match cell.attribute("wavemin_kind") {
+        Some("buffer") => CellKind::Buffer,
+        Some("inverter") => CellKind::Inverter,
+        Some("adb") => CellKind::Adb,
+        Some("adi") => CellKind::Adi,
+        Some(other) => {
+            return Err(LibertyError::BadCell {
+                cell: name,
+                why: format!("unknown wavemin_kind '{other}'"),
+            })
+        }
+        None => infer_kind(&name).ok_or_else(|| LibertyError::BadCell {
+            cell: name.clone(),
+            why: "no wavemin_kind and the name prefix is not BUF/INV/ADB/ADI".to_owned(),
+        })?,
+    };
+    let drive = cell
+        .numeric("drive_strength")
+        .map(|d| d.max(1.0) as u32)
+        .or_else(|| infer_drive(&name))
+        .unwrap_or(1);
+
+    let mut builder = CellSpec::builder(name.clone(), kind, drive);
+    if let Some(r) = cell.numeric("wavemin_r_out") {
+        builder = builder.r_out(Ohms::new(r));
+    }
+    // Liberty expresses pin capacitance in the library's cap unit; the
+    // conventional `1pf`-scaled value maps 0.001 -> 1 fF.
+    if let Some(pin) = cell
+        .children("pin")
+        .find(|p| p.attribute("direction") == Some("input"))
+    {
+        if let Some(c) = pin.numeric("capacitance") {
+            builder = builder.c_in(Femtofarads::new(c * 1000.0));
+        }
+    }
+    if let Some(c) = cell.numeric("wavemin_c_par") {
+        builder = builder.c_par(Femtofarads::new(c));
+    }
+    if let Some(t) = cell.numeric("wavemin_t_intrinsic") {
+        builder = builder.t_intrinsic(Picoseconds::new(t));
+    }
+    if let Some(x) = cell.numeric("wavemin_crossover") {
+        builder = builder.crossover(x);
+    }
+    if kind.is_adjustable() {
+        let range = cell.numeric("wavemin_delay_range").unwrap_or(30.0);
+        let steps = cell.numeric("wavemin_delay_steps").unwrap_or(12.0) as u32;
+        builder = builder.adjustable(Picoseconds::new(range), steps.max(1));
+    }
+    Ok(builder.build())
+}
+
+fn infer_kind(name: &str) -> Option<CellKind> {
+    let upper = name.to_ascii_uppercase();
+    if upper.starts_with("BUF") || upper.starts_with("CLKBUF") {
+        Some(CellKind::Buffer)
+    } else if upper.starts_with("INV") || upper.starts_with("CLKINV") {
+        Some(CellKind::Inverter)
+    } else if upper.starts_with("ADB") {
+        Some(CellKind::Adb)
+    } else if upper.starts_with("ADI") {
+        Some(CellKind::Adi)
+    } else {
+        None
+    }
+}
+
+fn infer_drive(name: &str) -> Option<u32> {
+    name.rsplit_once("_X")
+        .or_else(|| name.rsplit_once("_x"))
+        .and_then(|(_, d)| d.parse().ok())
+}
+
+/// Serializes a [`CellLibrary`] as a Liberty document that
+/// [`parse_library`] reads back losslessly (for WaveMin's purposes).
+#[must_use]
+pub fn write_library(name: &str, lib: &CellLibrary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("library ({name}) {{\n"));
+    out.push_str("  /* written by wavemin-cells */\n");
+    out.push_str("  time_unit : 1ps;\n");
+    out.push_str("  capacitive_load_unit : 1pf;\n");
+    for cell in lib.iter() {
+        let kind = match cell.kind() {
+            CellKind::Buffer => "buffer",
+            CellKind::Inverter => "inverter",
+            CellKind::Adb => "adb",
+            CellKind::Adi => "adi",
+        };
+        out.push_str(&format!("  cell ({}) {{\n", cell.name()));
+        out.push_str(&format!("    wavemin_kind : {kind};\n"));
+        out.push_str(&format!("    drive_strength : {};\n", cell.drive()));
+        out.push_str(&format!(
+            "    wavemin_r_out : {};\n",
+            cell.r_out().value()
+        ));
+        out.push_str(&format!(
+            "    wavemin_c_par : {};\n",
+            cell.c_par().value()
+        ));
+        out.push_str(&format!(
+            "    wavemin_t_intrinsic : {};\n",
+            cell.t_intrinsic().value()
+        ));
+        out.push_str(&format!(
+            "    wavemin_crossover : {};\n",
+            cell.crossover()
+        ));
+        if cell.is_adjustable() {
+            out.push_str(&format!(
+                "    wavemin_delay_range : {};\n",
+                cell.delay_range().value()
+            ));
+            out.push_str(&format!(
+                "    wavemin_delay_steps : {};\n",
+                cell.delay_steps()
+            ));
+        }
+        out.push_str("    pin (A) {\n      direction : input;\n");
+        out.push_str(&format!(
+            "      capacitance : {};\n",
+            cell.c_in().value() / 1000.0
+        ));
+        out.push_str("    }\n");
+        let function = match cell.kind().polarity() {
+            crate::kind::Polarity::Positive => "A",
+            crate::kind::Polarity::Negative => "!A",
+        };
+        out.push_str(&format!(
+            "    pin (Z) {{\n      direction : output;\n      function : \"{function}\";\n    }}\n"
+        ));
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_handles_comments_and_strings() {
+        let doc = parse_document(
+            r#"
+            library (demo) { /* block
+                comment */
+                // line comment
+                date : "2011-06-05 12:00";
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.name, "library");
+        assert_eq!(doc.attribute("date"), Some("2011-06-05 12:00"));
+    }
+
+    #[test]
+    fn nested_groups_parse() {
+        let doc = parse_document(
+            "library (l) { cell (c1) { pin (A) { direction : input; } } cell (c2) { } }",
+        )
+        .unwrap();
+        assert_eq!(doc.children("cell").count(), 2);
+        let c1 = doc.children("cell").next().unwrap();
+        assert_eq!(c1.args, vec!["c1"]);
+        assert_eq!(c1.children("pin").count(), 1);
+    }
+
+    #[test]
+    fn multiple_group_args() {
+        let doc = parse_document("library (l) { lu_table_template (t, a, b) { } }").unwrap();
+        let t = doc.children("lu_table_template").next().unwrap();
+        assert_eq!(t.args, vec!["t", "a", "b"]);
+    }
+
+    #[test]
+    fn cells_map_to_specs() {
+        let lib = parse_library(
+            r#"
+            library (demo) {
+              cell (BUF_X4) {
+                wavemin_kind : buffer;
+                drive_strength : 4;
+                pin (A) { direction : input; capacitance : 0.001; }
+              }
+              cell (INV_X8) {
+                pin (A) { direction : input; capacitance : 0.0022; }
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let b = lib.get("BUF_X4").unwrap();
+        assert_eq!(b.kind(), CellKind::Buffer);
+        assert_eq!(b.drive(), 4);
+        assert!((b.c_in().value() - 1.0).abs() < 1e-9);
+        let i = lib.get("INV_X8").unwrap();
+        assert_eq!(i.kind(), CellKind::Inverter, "kind inferred from name");
+        assert_eq!(i.drive(), 8, "drive inferred from the _X suffix");
+        assert!((i.c_in().value() - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjustable_cells_get_ranges() {
+        let lib = parse_library(
+            r#"library (l) {
+                cell (ADB_X8) { wavemin_delay_range : 24.0; wavemin_delay_steps : 6; }
+                cell (ADI_X8) { }
+            }"#,
+        )
+        .unwrap();
+        let adb = lib.get("ADB_X8").unwrap();
+        assert_eq!(adb.delay_range(), Picoseconds::new(24.0));
+        assert_eq!(adb.delay_steps(), 6);
+        let adi = lib.get("ADI_X8").unwrap();
+        assert_eq!(adi.delay_range(), Picoseconds::new(30.0), "default range");
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_default_library() {
+        let lib = CellLibrary::nangate45();
+        let text = write_library("nangate45", &lib);
+        let back = parse_library(&text).unwrap();
+        assert_eq!(back.len(), lib.len());
+        for cell in lib.iter() {
+            let b = back.get(cell.name()).expect("cell survived");
+            assert_eq!(b.kind(), cell.kind(), "{}", cell.name());
+            assert_eq!(b.drive(), cell.drive());
+            assert!((b.r_out().value() - cell.r_out().value()).abs() < 1e-9);
+            assert!((b.c_in().value() - cell.c_in().value()).abs() < 1e-9);
+            assert!((b.c_par().value() - cell.c_par().value()).abs() < 1e-9);
+            assert!(
+                (b.t_intrinsic().value() - cell.t_intrinsic().value()).abs() < 1e-9
+            );
+            assert_eq!(b.delay_steps(), cell.delay_steps());
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_located() {
+        let err = parse_document("library (l) { cell (c) { direction input; } }").unwrap_err();
+        assert!(matches!(err, LibertyError::UnexpectedToken { .. }));
+        let err = parse_document("library (l) {").unwrap_err();
+        assert_eq!(err, LibertyError::UnexpectedEof);
+        let err = parse_library("module (l) { }").unwrap_err();
+        assert!(matches!(err, LibertyError::NotALibrary(_)));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let err = parse_library(
+            "library (l) { cell (NAND2_X1) { pin (A) { direction : input; } } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LibertyError::BadCell { .. }));
+        let err2 = parse_library("library (l) { cell (BUF_X1) { wavemin_kind : mux; } }")
+            .unwrap_err();
+        assert!(err2.to_string().contains("mux"));
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        let doc =
+            parse_document("library (l) { nom_temperature : -40.5; nom_voltage : 1.1; }")
+                .unwrap();
+        assert_eq!(doc.numeric("nom_temperature"), Some(-40.5));
+        assert_eq!(doc.numeric("nom_voltage"), Some(1.1));
+    }
+}

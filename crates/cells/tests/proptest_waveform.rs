@@ -1,0 +1,106 @@
+//! Property-based tests for the waveform algebra — the foundation every
+//! noise estimate rests on.
+
+use proptest::prelude::*;
+use wavemin_cells::units::{MicroAmps, Picoseconds};
+use wavemin_cells::Waveform;
+
+fn arb_triangle() -> impl Strategy<Value = Waveform> {
+    (0.0..500.0f64, 0.1..50.0f64, 0.1..50.0f64, 1.0..2000.0f64).prop_map(
+        |(start, rise, fall, peak)| {
+            Waveform::triangle(
+                Picoseconds::new(start),
+                Picoseconds::new(start + rise),
+                Picoseconds::new(start + rise + fall),
+                MicroAmps::new(peak),
+            )
+        },
+    )
+}
+
+fn arb_waveforms(n: usize) -> impl Strategy<Value = Vec<Waveform>> {
+    proptest::collection::vec(arb_triangle(), 1..n)
+}
+
+proptest! {
+    #[test]
+    fn peak_bounds_every_sample(w in arb_triangle(), t in -100.0..700.0f64) {
+        let s = w.sample(Picoseconds::new(t));
+        prop_assert!(s.value() <= w.peak().value() + 1e-9);
+        prop_assert!(s.value() >= 0.0);
+    }
+
+    #[test]
+    fn samples_vanish_outside_support(w in arb_triangle()) {
+        let (lo, hi) = w.support().unwrap();
+        prop_assert_eq!(w.sample(lo - Picoseconds::new(1.0)).value(), 0.0);
+        prop_assert_eq!(w.sample(hi + Picoseconds::new(1.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn shift_preserves_peak_and_charge(w in arb_triangle(), dt in -200.0..200.0f64) {
+        let s = w.shifted(Picoseconds::new(dt));
+        prop_assert!((s.peak().value() - w.peak().value()).abs() < 1e-9);
+        prop_assert!((s.charge_fc() - w.charge_fc()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_is_linear_in_peak_and_charge(w in arb_triangle(), k in 0.0..5.0f64) {
+        let s = w.scaled(k);
+        prop_assert!((s.peak().value() - k * w.peak().value()).abs() < 1e-6);
+        prop_assert!((s.charge_fc() - k * w.charge_fc()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn addition_is_commutative(a in arb_triangle(), b in arb_triangle(), t in 0.0..600.0f64) {
+        let ab = a.plus(&b);
+        let ba = b.plus(&a);
+        let tt = Picoseconds::new(t);
+        prop_assert!((ab.sample(tt).value() - ba.sample(tt).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_conserves_charge(a in arb_triangle(), b in arb_triangle()) {
+        let sum = a.plus(&b);
+        prop_assert!((sum.charge_fc() - (a.charge_fc() + b.charge_fc())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_peak_is_subadditive_and_dominates(ws in arb_waveforms(6)) {
+        let total = Waveform::sum(ws.iter());
+        let peak_sum: f64 = ws.iter().map(|w| w.peak().value()).sum();
+        let peak_max: f64 = ws.iter().map(|w| w.peak().value()).fold(0.0, f64::max);
+        // Triangle inequality both ways.
+        prop_assert!(total.peak().value() <= peak_sum + 1e-6);
+        // The peak of the sum cannot be less than max single contribution
+        // minus nothing — all values are non-negative.
+        prop_assert!(total.peak().value() >= peak_max - 1e-6);
+    }
+
+    #[test]
+    fn pooled_sum_matches_pairwise_fold(ws in arb_waveforms(5), t in 0.0..600.0f64) {
+        let pooled = Waveform::sum(ws.iter());
+        let folded = ws.iter().fold(Waveform::zero(), |acc, w| acc.plus(w));
+        let tt = Picoseconds::new(t);
+        prop_assert!((pooled.sample(tt).value() - folded.sample(tt).value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_in_window_bounds(w in arb_triangle(), a in 0.0..600.0f64, len in 0.0..200.0f64) {
+        let lo = Picoseconds::new(a);
+        let hi = Picoseconds::new(a + len);
+        let m = w.max_in_window(lo, hi).value();
+        prop_assert!(m <= w.peak().value() + 1e-9);
+        prop_assert!(m >= w.sample(lo).value() - 1e-9);
+        prop_assert!(m >= w.sample(hi).value() - 1e-9);
+    }
+
+    #[test]
+    fn resample_is_pointwise_sample(w in arb_triangle(), times in proptest::collection::vec(0.0..600.0f64, 1..20)) {
+        let ts: Vec<Picoseconds> = times.iter().map(|&t| Picoseconds::new(t)).collect();
+        let v = w.resample(&ts);
+        for (s, &t) in v.iter().zip(&ts) {
+            prop_assert_eq!(s.value(), w.sample(t).value());
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! DME-style zero-skew synthesis: balanced tapping points instead of
+//! centroid placement.
+//!
+//! The classic zero-skew clock tree construction (Tsay's exact merge /
+//! deferred-merge embedding) does not place a merge buffer at its
+//! children's centroid: it slides the tapping point along the route
+//! between the two subtrees so their Elmore delays match *by wire length*,
+//! and only snakes wire when sliding cannot balance them. This module
+//! implements that discipline on binary topologies:
+//!
+//! 1. **Topology** — nearest-neighbour pairing, bottom-up (a binary
+//!    restriction of the recursive geometric matching used by
+//!    [`crate::synthesis::Synthesizer`]).
+//! 2. **Tapping point** — at every merge, the buffer position along the
+//!    children's bounding route is solved (by bisection on the monotone
+//!    delay difference) so both child branches arrive simultaneously.
+//! 3. **Residue** — what sliding cannot absorb (asymmetric subtree
+//!    delays larger than the full route delay) is absorbed by the same
+//!    detour trims the baseline synthesizer uses — but far fewer of them.
+//!
+//! The result plugs into everything downstream exactly like the baseline
+//! synthesizer's output.
+
+use crate::geom::Point;
+use crate::timing::{SupplyAssignment, Timing, TimingError};
+use crate::tree::{ClockTree, NodeId};
+use crate::wire::WireModel;
+use wavemin_cells::units::{Femtofarads, Microns, Picoseconds, Volts};
+use wavemin_cells::{CellLibrary, Characterizer};
+
+/// Options for the DME-style synthesizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmeOptions {
+    /// Cell for every sink.
+    pub leaf_cell: String,
+    /// Cell for merge (internal) nodes.
+    pub merge_cell: String,
+    /// Cell for the root driver.
+    pub root_cell: String,
+    /// Supply at which the tree is balanced.
+    pub vdd: Volts,
+    /// Wire model.
+    pub wire: WireModel,
+}
+
+impl Default for DmeOptions {
+    fn default() -> Self {
+        Self {
+            leaf_cell: "BUF_X8".to_owned(),
+            merge_cell: "BUF_X16".to_owned(),
+            root_cell: "BUF_X32".to_owned(),
+            vdd: Volts::new(1.1),
+            wire: WireModel::default(),
+        }
+    }
+}
+
+/// DME-style synthesizer (see the module docs).
+#[derive(Debug)]
+pub struct DmeSynthesizer<'a> {
+    lib: &'a CellLibrary,
+    chr: &'a Characterizer,
+    options: DmeOptions,
+}
+
+/// A bottom-up merge candidate.
+#[derive(Debug, Clone)]
+struct SubTree {
+    /// Root location of the subtree (tapping point).
+    location: Point,
+    /// Index into the node arena being assembled (children recorded as
+    /// closures over the final materialization below).
+    payload: Payload,
+    /// Subtree insertion delay from its root buffer's input to its sinks.
+    delay: Picoseconds,
+}
+
+#[derive(Debug, Clone)]
+enum Payload {
+    Sink(Femtofarads),
+    Merge(Box<SubTree>, Box<SubTree>, Microns, Microns),
+}
+
+impl<'a> DmeSynthesizer<'a> {
+    /// Creates the synthesizer.
+    #[must_use]
+    pub fn new(lib: &'a CellLibrary, chr: &'a Characterizer, options: DmeOptions) -> Self {
+        Self { lib, chr, options }
+    }
+
+    /// Synthesizes a balanced tree over `(location, FF load)` sinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TimingError`] when a configured cell is missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sinks` is empty.
+    pub fn synthesize(
+        &self,
+        sinks: &[(Point, Femtofarads)],
+    ) -> Result<ClockTree, TimingError> {
+        assert!(!sinks.is_empty(), "cannot synthesize a tree with no sinks");
+
+        let mut front: Vec<SubTree> = sinks
+            .iter()
+            .map(|&(p, c)| SubTree {
+                location: p,
+                payload: Payload::Sink(c),
+                delay: self.leaf_delay(c),
+            })
+            .collect();
+
+        while front.len() > 1 {
+            front = self.merge_level(front)?;
+        }
+        let top = front.pop().expect("one subtree remains");
+
+        let mut tree = ClockTree::new(top.location, &self.options.root_cell);
+        let root = tree.root();
+        self.materialize(&mut tree, root, top, Microns::ZERO)?;
+
+        // Residual equalization (mostly zero after balanced merges).
+        self.trim_residue(&mut tree)?;
+        Ok(tree)
+    }
+
+    /// Pairs nearest neighbours and computes balanced tapping points.
+    fn merge_level(&self, mut items: Vec<SubTree>) -> Result<Vec<SubTree>, TimingError> {
+        items.sort_by(|a, b| {
+            (a.location.x.value(), a.location.y.value())
+                .partial_cmp(&(b.location.x.value(), b.location.y.value()))
+                .expect("finite coordinates")
+        });
+        let mut used = vec![false; items.len()];
+        let mut merged = Vec::new();
+        for i in 0..items.len() {
+            if used[i] {
+                continue;
+            }
+            used[i] = true;
+            let partner = (0..items.len()).filter(|&j| !used[j]).min_by(|&a, &b| {
+                items[i]
+                    .location
+                    .manhattan(items[a].location)
+                    .value()
+                    .total_cmp(&items[i].location.manhattan(items[b].location).value())
+            });
+            match partner {
+                Some(j) => {
+                    used[j] = true;
+                    merged.push(self.merge_pair(items[i].clone(), items[j].clone())?);
+                }
+                None => merged.push(items[i].clone()),
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Tsay-style balanced merge of two subtrees.
+    fn merge_pair(&self, a: SubTree, b: SubTree) -> Result<SubTree, TimingError> {
+        let route = a.location.manhattan(b.location).value().max(1.0);
+        // Find p in [0, 1] (fraction of the route from `a`) equalizing
+        // branch delays; branch delay is monotone in its wire length, so
+        // the difference is monotone in p and bisection converges.
+        let branch = |len_um: f64, sub: &SubTree| -> f64 {
+            let len = Microns::new(len_um);
+            self.options
+                .wire
+                .elmore_delay(len, self.merge_input_cap(sub))
+                .value()
+                + sub.delay.value()
+        };
+        let diff = |p: f64| branch(p * route, &a) - branch((1.0 - p) * route, &b);
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        let p = if diff(0.0) > 0.0 {
+            0.0 // `a` is slower even with zero wire: tap at `a`.
+        } else if diff(1.0) < 0.0 {
+            1.0 // `b` is slower even with zero wire: tap at `b`.
+        } else {
+            for _ in 0..48 {
+                let mid = 0.5 * (lo + hi);
+                if diff(mid) <= 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+
+        // Tapping point interpolated along the (L-shaped) route; the
+        // Manhattan length is what matters for delay.
+        let loc = Point::new(
+            a.location.x.value() + (b.location.x.value() - a.location.x.value()) * p,
+            a.location.y.value() + (b.location.y.value() - a.location.y.value()) * p,
+        );
+        let wire_a = Microns::new(p * route);
+        let wire_b = Microns::new((1.0 - p) * route);
+        let delay_a = branch(wire_a.value(), &a);
+        let delay_b = branch(wire_b.value(), &b);
+        let merged_delay = self.merge_delay(&a, &b, wire_a, wire_b)
+            + Picoseconds::new(delay_a.max(delay_b));
+        Ok(SubTree {
+            location: loc,
+            payload: Payload::Merge(Box::new(a), Box::new(b), wire_a, wire_b),
+            delay: merged_delay,
+        })
+    }
+
+    /// Input capacitance the merge buffer sees from a child subtree's root.
+    fn merge_input_cap(&self, sub: &SubTree) -> Femtofarads {
+        let cell = match sub.payload {
+            Payload::Sink(_) => &self.options.leaf_cell,
+            Payload::Merge(..) => &self.options.merge_cell,
+        };
+        self.lib
+            .get(cell)
+            .map_or(Femtofarads::new(2.0), wavemin_cells::CellSpec::c_in)
+    }
+
+    /// The merge buffer's own delay under its two-branch load.
+    fn merge_delay(
+        &self,
+        a: &SubTree,
+        b: &SubTree,
+        wire_a: Microns,
+        wire_b: Microns,
+    ) -> Picoseconds {
+        let Some(cell) = self.lib.get(&self.options.merge_cell) else {
+            return Picoseconds::ZERO;
+        };
+        let load = self.options.wire.capacitance(wire_a)
+            + self.options.wire.capacitance(wire_b)
+            + self.merge_input_cap(a)
+            + self.merge_input_cap(b);
+        let (t, _) = self.chr.timing(
+            cell,
+            load,
+            Picoseconds::new(20.0),
+            self.options.vdd,
+            wavemin_cells::characterize::ClockEdge::Rise,
+        );
+        t
+    }
+
+    fn leaf_delay(&self, cap: Femtofarads) -> Picoseconds {
+        let Some(cell) = self.lib.get(&self.options.leaf_cell) else {
+            return Picoseconds::ZERO;
+        };
+        let (t, _) = self.chr.timing(
+            cell,
+            cap,
+            Picoseconds::new(20.0),
+            self.options.vdd,
+            wavemin_cells::characterize::ClockEdge::Rise,
+        );
+        t
+    }
+
+    fn materialize(
+        &self,
+        tree: &mut ClockTree,
+        parent: NodeId,
+        sub: SubTree,
+        wire: Microns,
+    ) -> Result<(), TimingError> {
+        match sub.payload {
+            Payload::Sink(cap) => {
+                tree.add_leaf(parent, sub.location, &self.options.leaf_cell, wire, cap);
+                Ok(())
+            }
+            Payload::Merge(a, b, wire_a, wire_b) => {
+                let id =
+                    tree.add_internal(parent, sub.location, &self.options.merge_cell, wire);
+                self.materialize(tree, id, *a, wire_a)?;
+                self.materialize(tree, id, *b, wire_b)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Absorbs residual skew (model mismatch between the merge-time lumped
+    /// estimate and the full analysis) with detour trims.
+    fn trim_residue(&self, tree: &mut ClockTree) -> Result<(), TimingError> {
+        let supply = SupplyAssignment::Uniform(self.options.vdd);
+        for _ in 0..3 {
+            let timing =
+                Timing::analyze(tree, self.lib, self.chr, self.options.wire, &supply, None)?;
+            if timing.skew(tree).value() <= 0.05 {
+                break;
+            }
+            let leaves = tree.leaves();
+            let max = leaves
+                .iter()
+                .map(|id| timing.output_arrival[id.0].value())
+                .fold(f64::NEG_INFINITY, f64::max);
+            for id in leaves {
+                let deficit = max - timing.output_arrival[id.0].value();
+                if deficit > 1e-6 {
+                    tree.node_mut(id).delay_trim += Picoseconds::new(deficit);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total residual trim the construction needed (µm-equivalent quality
+    /// metric: lower means the tapping points did more of the balancing).
+    #[must_use]
+    pub fn total_trim(tree: &ClockTree) -> Picoseconds {
+        tree.iter().map(|(_, n)| n.delay_trim).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::{SynthesisOptions, Synthesizer};
+
+    fn sinks(n: usize, side: f64) -> Vec<(Point, Femtofarads)> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 * 137.50776405) % side;
+                let y = (i as f64 * 78.33612287) % side;
+                (Point::new(x, y), Femtofarads::new(4.0 + (i % 5) as f64))
+            })
+            .collect()
+    }
+
+    fn context() -> (CellLibrary, Characterizer) {
+        (CellLibrary::nangate45(), Characterizer::default())
+    }
+
+    #[test]
+    fn dme_produces_valid_balanced_trees() {
+        let (lib, chr) = context();
+        let dme = DmeSynthesizer::new(&lib, &chr, DmeOptions::default());
+        let tree = dme.synthesize(&sinks(24, 250.0)).unwrap();
+        assert_eq!(tree.validate(|c| lib.get(c).is_some()), Ok(()));
+        assert_eq!(tree.leaves().len(), 24);
+        let supply = SupplyAssignment::Uniform(Volts::new(1.1));
+        let timing =
+            Timing::analyze(&tree, &lib, &chr, WireModel::default(), &supply, None).unwrap();
+        assert!(timing.skew(&tree).value() < 1.0, "skew {}", timing.skew(&tree));
+    }
+
+    #[test]
+    fn dme_needs_less_trim_than_centroid_placement() {
+        let (lib, chr) = context();
+        let input = sinks(32, 300.0);
+        let dme_tree = DmeSynthesizer::new(&lib, &chr, DmeOptions::default())
+            .synthesize(&input)
+            .unwrap();
+        let opts = SynthesisOptions {
+            leaf_cell: "BUF_X8".to_owned(),
+            arity: 2,
+            ..SynthesisOptions::default()
+        };
+        let centroid_tree = Synthesizer::new(&lib, &chr, opts).synthesize(&input).unwrap();
+        let dme_trim = DmeSynthesizer::total_trim(&dme_tree).value();
+        let centroid_trim = DmeSynthesizer::total_trim(&centroid_tree).value();
+        assert!(
+            dme_trim < centroid_trim,
+            "DME trim {dme_trim} ps should undercut centroid trim {centroid_trim} ps"
+        );
+    }
+
+    #[test]
+    fn binary_fanout_everywhere() {
+        let (lib, chr) = context();
+        let dme = DmeSynthesizer::new(&lib, &chr, DmeOptions::default());
+        let tree = dme.synthesize(&sinks(17, 200.0)).unwrap();
+        for (_, node) in tree.iter() {
+            assert!(node.children().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn single_sink_works() {
+        let (lib, chr) = context();
+        let dme = DmeSynthesizer::new(&lib, &chr, DmeOptions::default());
+        let tree = dme
+            .synthesize(&[(Point::new(5.0, 5.0), Femtofarads::new(4.0))])
+            .unwrap();
+        assert_eq!(tree.leaves().len(), 1);
+    }
+
+    #[test]
+    fn tapping_points_sit_between_children() {
+        let (lib, chr) = context();
+        let dme = DmeSynthesizer::new(&lib, &chr, DmeOptions::default());
+        let tree = dme.synthesize(&sinks(8, 150.0)).unwrap();
+        for id in tree.non_leaves() {
+            let node = tree.node(id);
+            if node.children().len() == 2 {
+                let a = tree.node(node.children()[0]).location;
+                let b = tree.node(node.children()[1]).location;
+                let lo_x = a.x.min(b.x).value() - 1e-6;
+                let hi_x = a.x.max(b.x).value() + 1e-6;
+                assert!(node.location.x.value() >= lo_x && node.location.x.value() <= hi_x);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no sinks")]
+    fn empty_input_panics() {
+        let (lib, chr) = context();
+        let dme = DmeSynthesizer::new(&lib, &chr, DmeOptions::default());
+        let _ = dme.synthesize(&[]);
+    }
+}

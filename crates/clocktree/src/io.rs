@@ -1,0 +1,322 @@
+//! A plain-text interchange format for buffered clock trees.
+//!
+//! Commercial flows exchange clock trees through DEF/Verilog; for the
+//! reproduction a minimal line-oriented format suffices and keeps designs
+//! diffable and versionable. One node per line, arena order:
+//!
+//! ```text
+//! # wavemin clock tree v1
+//! node <id> <parent|-> <source|internal|leaf> <cell> <x_um> <y_um> <wire_um> <sink_cap_ff> <trim_ps>
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use wavemin_clocktree::{io, Benchmark};
+//!
+//! let mut tree = Benchmark::s15850().synthesize(1);
+//! tree.canonicalize(); // fanout order is not serialized
+//! let text = io::write_tree(&tree);
+//! let back = io::read_tree(&text)?;
+//! assert_eq!(tree, back);
+//! # Ok::<(), io::TreeIoError>(())
+//! ```
+
+use crate::geom::Point;
+use crate::tree::{ClockTree, NodeKind};
+use std::fmt;
+use wavemin_cells::units::{Femtofarads, Microns, Picoseconds};
+
+/// Errors from reading the tree format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeIoError {
+    /// A line does not have the expected field count.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+        /// Raw value.
+        value: String,
+    },
+    /// Node ids must be consecutive starting at zero.
+    BadNodeOrder {
+        /// 1-based line number.
+        line: usize,
+        /// The id found.
+        found: usize,
+        /// The id expected.
+        expected: usize,
+    },
+    /// The first node must be the parentless source.
+    BadRoot,
+    /// A parent reference points at a missing node.
+    BadParent {
+        /// 1-based line number.
+        line: usize,
+        /// The offending parent id.
+        parent: usize,
+    },
+    /// The reassembled tree failed structural validation.
+    BadStructure(crate::tree::TreeError),
+    /// The document contains no nodes.
+    Empty,
+}
+
+impl fmt::Display for TreeIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeIoError::BadFieldCount { line, found } => {
+                write!(f, "line {line}: expected 10 fields, found {found}")
+            }
+            TreeIoError::BadField { line, field, value } => {
+                write!(f, "line {line}: cannot parse {field} from '{value}'")
+            }
+            TreeIoError::BadNodeOrder {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: node id {found}, expected {expected}"),
+            TreeIoError::BadRoot => {
+                write!(f, "the first node must be a parentless source")
+            }
+            TreeIoError::BadParent { line, parent } => {
+                write!(f, "line {line}: parent {parent} does not exist")
+            }
+            TreeIoError::BadStructure(e) => write!(f, "invalid tree structure: {e}"),
+            TreeIoError::Empty => write!(f, "no node lines found"),
+        }
+    }
+}
+
+impl std::error::Error for TreeIoError {}
+
+/// Serializes a tree (lossless for [`read_tree`] up to fanout order,
+/// which carries no meaning — compare via [`ClockTree::canonicalize`]).
+#[must_use]
+pub fn write_tree(tree: &ClockTree) -> String {
+    let mut out = String::from("# wavemin clock tree v1\n");
+    out.push_str("# node <id> <parent|-> <kind> <cell> <x_um> <y_um> <wire_um> <sink_cap_ff> <trim_ps>\n");
+    for (id, node) in tree.iter() {
+        let parent = node
+            .parent()
+            .map_or_else(|| "-".to_owned(), |p| p.0.to_string());
+        let kind = match node.kind {
+            NodeKind::Source => "source",
+            NodeKind::Internal => "internal",
+            NodeKind::Leaf => "leaf",
+        };
+        out.push_str(&format!(
+            "node {} {} {} {} {} {} {} {} {}\n",
+            id.0,
+            parent,
+            kind,
+            node.cell,
+            node.location.x.value(),
+            node.location.y.value(),
+            node.wire_to_parent.value(),
+            node.sink_cap.value(),
+            node.delay_trim.value(),
+        ));
+    }
+    out
+}
+
+/// Parses a tree written by [`write_tree`].
+///
+/// # Errors
+///
+/// Returns a [`TreeIoError`] locating the first problem.
+pub fn read_tree(input: &str) -> Result<ClockTree, TreeIoError> {
+    // Two passes: collect records first (parents may reference nodes that
+    // appear *later* in arena order — repeater insertion does this), then
+    // reassemble and validate.
+    let mut records: Vec<crate::tree::NodeRecord> = Vec::new();
+    let mut lines_of: Vec<usize> = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 10 || fields[0] != "node" {
+            return Err(TreeIoError::BadFieldCount {
+                line,
+                found: fields.len(),
+            });
+        }
+        let id: usize = parse(fields[1], line, "id")?;
+        if id != records.len() {
+            return Err(TreeIoError::BadNodeOrder {
+                line,
+                found: id,
+                expected: records.len(),
+            });
+        }
+        let parent: Option<usize> = if fields[2] == "-" {
+            None
+        } else {
+            Some(parse(fields[2], line, "parent")?)
+        };
+        if records.is_empty() && parent.is_some() {
+            return Err(TreeIoError::BadRoot);
+        }
+        if !records.is_empty() && parent.is_none() {
+            return Err(TreeIoError::BadRoot);
+        }
+        let kind = match fields[3] {
+            "source" => NodeKind::Source,
+            "internal" => NodeKind::Internal,
+            "leaf" => NodeKind::Leaf,
+            other => {
+                return Err(TreeIoError::BadField {
+                    line,
+                    field: "kind",
+                    value: other.to_owned(),
+                })
+            }
+        };
+        if records.is_empty() && kind != NodeKind::Source {
+            return Err(TreeIoError::BadRoot);
+        }
+        if !records.is_empty() && kind == NodeKind::Source {
+            return Err(TreeIoError::BadRoot);
+        }
+        let x: f64 = parse(fields[5], line, "x")?;
+        let y: f64 = parse(fields[6], line, "y")?;
+        let wire: f64 = parse(fields[7], line, "wire")?;
+        let cap: f64 = parse(fields[8], line, "sink_cap")?;
+        let trim: f64 = parse(fields[9], line, "trim")?;
+        records.push(crate::tree::NodeRecord {
+            parent,
+            location: Point::new(x, y),
+            kind,
+            cell: fields[4].to_owned(),
+            wire_to_parent: Microns::new(wire),
+            sink_cap: Femtofarads::new(cap),
+            delay_trim: Picoseconds::new(trim),
+        });
+        lines_of.push(line);
+    }
+    if records.is_empty() {
+        return Err(TreeIoError::Empty);
+    }
+    // Locate dangling references to give a useful error before assembly.
+    let n = records.len();
+    for (i, r) in records.iter().enumerate() {
+        if let Some(p) = r.parent {
+            if p >= n {
+                return Err(TreeIoError::BadParent {
+                    line: lines_of[i],
+                    parent: p,
+                });
+            }
+        }
+    }
+    ClockTree::from_records(records).map_err(TreeIoError::BadStructure)
+}
+
+fn parse<T: std::str::FromStr>(
+    raw: &str,
+    line: usize,
+    field: &'static str,
+) -> Result<T, TreeIoError> {
+    raw.parse().map_err(|_| TreeIoError::BadField {
+        line,
+        field,
+        value: raw.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        // s35932 exercises repeater insertion, whose arena order is not
+        // topological (parents can follow children) and whose fanout
+        // order is non-ascending (hence the canonicalization).
+        for bench in [Benchmark::s15850(), Benchmark::s13207(), Benchmark::s35932()] {
+            let mut tree = bench.synthesize(5);
+            tree.canonicalize();
+            let text = write_tree(&tree);
+            let back = read_tree(&text).unwrap();
+            assert_eq!(tree, back, "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let mut tree = Benchmark::s15850().synthesize(5);
+        tree.canonicalize();
+        let mut text = String::from("\n# leading comment\n\n");
+        text.push_str(&write_tree(&tree));
+        text.push_str("\n# trailing\n");
+        assert_eq!(read_tree(&text).unwrap(), tree);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert_eq!(read_tree("").unwrap_err(), TreeIoError::Empty);
+        assert!(matches!(
+            read_tree("node 0 -\n").unwrap_err(),
+            TreeIoError::BadFieldCount { line: 1, .. }
+        ));
+        assert!(matches!(
+            read_tree("node 5 - source BUF_X8 0 0 0 0 0").unwrap_err(),
+            TreeIoError::BadNodeOrder { found: 5, .. }
+        ));
+        assert!(matches!(
+            read_tree("node 0 - leaf BUF_X8 0 0 0 0 0").unwrap_err(),
+            TreeIoError::BadRoot
+        ));
+        let two_roots = "node 0 - source B 0 0 0 0 0\nnode 1 - source B 0 0 0 0 0";
+        assert!(matches!(read_tree(two_roots).unwrap_err(), TreeIoError::BadRoot));
+        let fwd = "node 0 - source B 0 0 0 0 0\nnode 1 7 leaf B 0 0 0 0 0";
+        assert!(matches!(
+            read_tree(fwd).unwrap_err(),
+            TreeIoError::BadParent { parent: 7, .. }
+        ));
+        let cycle = "node 0 - source B 0 0 0 0 0\nnode 1 2 internal B 0 0 0 0 0\nnode 2 1 leaf B 0 0 0 0 0";
+        assert!(matches!(
+            read_tree(cycle).unwrap_err(),
+            TreeIoError::BadStructure(_)
+        ));
+        let bad_num = "node 0 - source B 0 zero 0 0 0";
+        assert!(matches!(
+            read_tree(bad_num).unwrap_err(),
+            TreeIoError::BadField { field: "y", .. }
+        ));
+    }
+
+    #[test]
+    fn read_tree_validates_structurally() {
+        let tree = Benchmark::s15850().synthesize(9);
+        let back = read_tree(&write_tree(&tree)).unwrap();
+        assert_eq!(back.validate(|_| true), Ok(()));
+        assert_eq!(back.leaves().len(), tree.leaves().len());
+    }
+
+    #[test]
+    fn trims_survive_roundtrip() {
+        let tree = Benchmark::s13207().synthesize(2);
+        let has_trim = tree
+            .iter()
+            .any(|(_, n)| n.delay_trim.value() > 0.0);
+        assert!(has_trim, "balanced trees carry trims");
+        let back = read_tree(&write_tree(&tree)).unwrap();
+        for (id, node) in tree.iter() {
+            assert_eq!(back.node(id).delay_trim, node.delay_trim);
+        }
+    }
+}

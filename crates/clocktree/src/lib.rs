@@ -1,0 +1,67 @@
+//! Clock tree substrate for the WaveMin reproduction.
+//!
+//! The paper evaluates on buffered clock trees synthesized by Synopsys IC
+//! Compiler from ISCAS'89 / ISPD'09 netlists. This crate replaces that
+//! proprietary flow with a from-scratch substrate:
+//!
+//! * an arena-based [`ClockTree`] data structure ([`tree`]);
+//! * Elmore-delay timing analysis with per-edge (rise/fall) delays and
+//!   polarity-aware edge propagation ([`timing`]);
+//! * a clock tree synthesizer (recursive geometric matching, balanced
+//!   buffering, wire-snaking skew equalization) ([`synthesis`]);
+//! * synthetic benchmark circuits whose node counts match Table V of the
+//!   paper exactly ([`benchmarks`]);
+//! * square-grid zone partitioning for localized optimization ([`zones`]);
+//! * voltage islands and power modes ([`modes`]);
+//! * Gaussian process-variation sampling for Monte-Carlo studies
+//!   ([`variation`]).
+//!
+//! # Example
+//!
+//! ```
+//! use wavemin_clocktree::prelude::*;
+//! use wavemin_cells::{CellLibrary, Characterizer, units::Volts};
+//!
+//! let bench = Benchmark::s15850();
+//! let tree = bench.synthesize(42);
+//! let lib = CellLibrary::nangate45();
+//! let chr = Characterizer::default();
+//! let timing = Timing::analyze(&tree, &lib, &chr, WireModel::default(),
+//!                              &SupplyAssignment::Uniform(Volts::new(1.1)), None)
+//!     .expect("timing analysis");
+//! // The synthesizer balances the tree to a small skew.
+//! assert!(timing.skew(&tree).value() < 10.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod buffering;
+pub mod dme;
+pub mod geom;
+pub mod io;
+pub mod modes;
+pub mod power_io;
+pub mod stats;
+pub mod svg;
+pub mod synthesis;
+pub mod timing;
+pub mod tree;
+pub mod variation;
+pub mod wire;
+pub mod zones;
+
+/// Convenient re-exports of the main types.
+pub mod prelude {
+    pub use crate::benchmarks::Benchmark;
+    pub use crate::geom::Point;
+    pub use crate::modes::{PowerDesign, PowerDomain, PowerMode};
+    pub use crate::synthesis::{SynthesisOptions, Synthesizer};
+    pub use crate::timing::{SupplyAssignment, Timing, TimingError};
+    pub use crate::tree::{ClockTree, Node, NodeId, NodeKind, TreeError};
+    pub use crate::variation::{Variation, VariationModel};
+    pub use crate::wire::WireModel;
+    pub use crate::zones::{Zone, ZoneGrid};
+}
+
+pub use prelude::*;

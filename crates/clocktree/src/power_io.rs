@@ -1,0 +1,273 @@
+//! A plain-text power-intent format (a UPF-flavoured miniature).
+//!
+//! Captures what multi-mode optimization needs: the voltage islands and
+//! the per-mode supply of each island.
+//!
+//! ```text
+//! # wavemin power intent v1
+//! default 1.1
+//! domain A1 0 0 100 200
+//! domain A2 100 0 200 200
+//! mode M1 1.1 1.1
+//! mode M2 1.1 0.9
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use wavemin_clocktree::{power_io, PowerDesign};
+//! use wavemin_cells::units::Microns;
+//!
+//! let design = PowerDesign::random(Microns::new(200.0), 4, 2, 7);
+//! let text = power_io::write_power(&design);
+//! let back = power_io::read_power(&text)?;
+//! assert_eq!(design, back);
+//! # Ok::<(), power_io::PowerIoError>(())
+//! ```
+
+use crate::geom::{Point, Rect};
+use crate::modes::{PowerDesign, PowerDomain, PowerMode};
+use std::fmt;
+use wavemin_cells::units::Volts;
+
+/// Errors from reading the power-intent format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerIoError {
+    /// A line's keyword is unknown.
+    UnknownKeyword {
+        /// 1-based line number.
+        line: usize,
+        /// The keyword found.
+        keyword: String,
+    },
+    /// A line has the wrong number of fields.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Raw value.
+        value: String,
+    },
+    /// A mode's supply count differs from the domain count.
+    ModeArity {
+        /// 1-based line number.
+        line: usize,
+        /// Supplies listed.
+        found: usize,
+        /// Domains defined.
+        domains: usize,
+    },
+    /// No `mode` lines were found.
+    NoModes,
+}
+
+impl fmt::Display for PowerIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerIoError::UnknownKeyword { line, keyword } => {
+                write!(f, "line {line}: unknown keyword '{keyword}'")
+            }
+            PowerIoError::BadFieldCount { line, found } => {
+                write!(f, "line {line}: unexpected field count {found}")
+            }
+            PowerIoError::BadNumber { line, value } => {
+                write!(f, "line {line}: cannot parse number '{value}'")
+            }
+            PowerIoError::ModeArity {
+                line,
+                found,
+                domains,
+            } => write!(
+                f,
+                "line {line}: mode lists {found} supplies but {domains} domains are defined"
+            ),
+            PowerIoError::NoModes => write!(f, "power intent defines no modes"),
+        }
+    }
+}
+
+impl std::error::Error for PowerIoError {}
+
+/// Serializes a power design (lossless for [`read_power`]).
+#[must_use]
+pub fn write_power(design: &PowerDesign) -> String {
+    let mut out = String::from("# wavemin power intent v1\n");
+    // The default supply is recoverable from any uniform design; emit it
+    // from the vdd at an unreachable point outside all domains.
+    out.push_str(&format!(
+        "default {}\n",
+        design.vdd_at(Point::new(-1e18, -1e18), 0).value()
+    ));
+    for d in design.domains() {
+        out.push_str(&format!(
+            "domain {} {} {} {} {}\n",
+            d.name,
+            d.region.min.x.value(),
+            d.region.min.y.value(),
+            d.region.max.x.value(),
+            d.region.max.y.value(),
+        ));
+    }
+    for m in design.modes() {
+        out.push_str(&format!("mode {}", m.name));
+        for v in &m.vdd {
+            out.push_str(&format!(" {}", v.value()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a power design written by [`write_power`].
+///
+/// # Errors
+///
+/// Returns a [`PowerIoError`] locating the first problem.
+pub fn read_power(input: &str) -> Result<PowerDesign, PowerIoError> {
+    let mut default_vdd = Volts::new(1.1);
+    let mut domains: Vec<PowerDomain> = Vec::new();
+    let mut modes: Vec<PowerMode> = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        let num = |raw: &str| -> Result<f64, PowerIoError> {
+            raw.parse().map_err(|_| PowerIoError::BadNumber {
+                line,
+                value: raw.to_owned(),
+            })
+        };
+        match fields[0] {
+            "default" => {
+                if fields.len() != 2 {
+                    return Err(PowerIoError::BadFieldCount {
+                        line,
+                        found: fields.len(),
+                    });
+                }
+                default_vdd = Volts::new(num(fields[1])?);
+            }
+            "domain" => {
+                if fields.len() != 6 {
+                    return Err(PowerIoError::BadFieldCount {
+                        line,
+                        found: fields.len(),
+                    });
+                }
+                domains.push(PowerDomain {
+                    name: fields[1].to_owned(),
+                    region: Rect::new(
+                        Point::new(num(fields[2])?, num(fields[3])?),
+                        Point::new(num(fields[4])?, num(fields[5])?),
+                    ),
+                });
+            }
+            "mode" => {
+                if fields.len() < 2 {
+                    return Err(PowerIoError::BadFieldCount {
+                        line,
+                        found: fields.len(),
+                    });
+                }
+                let vdd: Result<Vec<Volts>, _> = fields[2..]
+                    .iter()
+                    .map(|f| num(f).map(Volts::new))
+                    .collect();
+                let vdd = vdd?;
+                if vdd.len() != domains.len() {
+                    return Err(PowerIoError::ModeArity {
+                        line,
+                        found: vdd.len(),
+                        domains: domains.len(),
+                    });
+                }
+                modes.push(PowerMode {
+                    name: fields[1].to_owned(),
+                    vdd,
+                });
+            }
+            other => {
+                return Err(PowerIoError::UnknownKeyword {
+                    line,
+                    keyword: other.to_owned(),
+                })
+            }
+        }
+    }
+    if modes.is_empty() {
+        return Err(PowerIoError::NoModes);
+    }
+    Ok(PowerDesign::new(domains, modes, default_vdd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavemin_cells::units::Microns;
+
+    #[test]
+    fn roundtrip_random_design() {
+        for seed in [1, 7, 42] {
+            let design = PowerDesign::random(Microns::new(250.0), 5, 4, seed);
+            let text = write_power(&design);
+            let back = read_power(&text).unwrap();
+            assert_eq!(design, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_uniform_design() {
+        let design = PowerDesign::uniform(Volts::new(1.1));
+        let back = read_power(&write_power(&design)).unwrap();
+        assert_eq!(design, back);
+    }
+
+    #[test]
+    fn parses_the_doc_example() {
+        let text = "# c\ndefault 1.1\ndomain A1 0 0 100 200\ndomain A2 100 0 200 200\n\
+                    mode M1 1.1 1.1\nmode M2 1.1 0.9\n";
+        let d = read_power(text).unwrap();
+        assert_eq!(d.domains().len(), 2);
+        assert_eq!(d.mode_count(), 2);
+        assert_eq!(d.vdd_at(Point::new(150.0, 50.0), 1), Volts::new(0.9));
+        assert_eq!(d.vdd_at(Point::new(50.0, 50.0), 1), Volts::new(1.1));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(matches!(
+            read_power("flux A1\n").unwrap_err(),
+            PowerIoError::UnknownKeyword { line: 1, .. }
+        ));
+        assert!(matches!(
+            read_power("domain A1 0 0 100\nmode M1\n").unwrap_err(),
+            PowerIoError::BadFieldCount { line: 1, .. }
+        ));
+        assert!(matches!(
+            read_power("domain A1 0 0 x 200\n").unwrap_err(),
+            PowerIoError::BadNumber { .. }
+        ));
+        assert!(matches!(
+            read_power("domain A1 0 0 1 1\nmode M1 1.1 0.9\n").unwrap_err(),
+            PowerIoError::ModeArity { found: 2, domains: 1, .. }
+        ));
+        assert_eq!(read_power("default 1.0\n").unwrap_err(), PowerIoError::NoModes);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hello\nmode M1\n\n";
+        let d = read_power(text).unwrap();
+        assert_eq!(d.mode_count(), 1);
+        assert!(d.domains().is_empty());
+    }
+}

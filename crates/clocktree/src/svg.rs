@@ -1,0 +1,215 @@
+//! SVG rendering of clock trees.
+//!
+//! Renders a placed tree as a standalone SVG document: L-shaped routes,
+//! node markers colored by role and polarity (buffers vs inverters — the
+//! picture that makes a polarity assignment legible at a glance), and an
+//! optional legend. Pure string generation, no graphics dependencies.
+
+use crate::tree::{ClockTree, NodeKind};
+use serde::{Deserialize, Serialize};
+use wavemin_cells::{CellLibrary, Polarity};
+
+/// Rendering options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvgOptions {
+    /// Pixels per micron.
+    pub scale: f64,
+    /// Canvas margin in pixels.
+    pub margin: f64,
+    /// Node marker radius in pixels.
+    pub node_radius: f64,
+    /// Draw the role/polarity legend.
+    pub legend: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            scale: 2.0,
+            margin: 24.0,
+            node_radius: 4.0,
+            legend: true,
+        }
+    }
+}
+
+/// Colors: positive-polarity leaves, negative-polarity leaves, internals,
+/// the source, wires.
+const POSITIVE: &str = "#2563eb";
+const NEGATIVE: &str = "#dc2626";
+const INTERNAL: &str = "#6b7280";
+const SOURCE: &str = "#059669";
+const WIRE: &str = "#9ca3af";
+
+/// Renders the tree as a standalone SVG document.
+///
+/// Leaf markers are colored by the polarity their cell has in `lib`
+/// (unknown cells fall back to the internal color).
+#[must_use]
+pub fn render(tree: &ClockTree, lib: &CellLibrary, options: &SvgOptions) -> String {
+    let (min_x, min_y, max_x, max_y) = bounds(tree);
+    let scale = options.scale;
+    let margin = options.margin;
+    let width = (max_x - min_x) * scale + 2.0 * margin;
+    let height = (max_y - min_y) * scale + 2.0 * margin + if options.legend { 28.0 } else { 0.0 };
+    let px = |x: f64| (x - min_x) * scale + margin;
+    // SVG's y axis grows downward; flip so the die reads naturally.
+    let py = |y: f64| (max_y - y) * scale + margin;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\">\n"
+    ));
+    svg.push_str("  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+
+    // Wires first (under the markers): L-shaped horizontal-then-vertical.
+    for (_, node) in tree.iter() {
+        let Some(parent) = node.parent() else { continue };
+        let p = tree.node(parent).location;
+        let c = node.location;
+        svg.push_str(&format!(
+            "  <path d=\"M {:.1} {:.1} H {:.1} V {:.1}\" stroke=\"{WIRE}\" \
+             stroke-width=\"1\" fill=\"none\"/>\n",
+            px(p.x.value()),
+            py(p.y.value()),
+            px(c.x.value()),
+            py(c.y.value()),
+        ));
+    }
+
+    // Markers.
+    for (_, node) in tree.iter() {
+        let (color, r) = match node.kind {
+            NodeKind::Source => (SOURCE, options.node_radius * 1.6),
+            NodeKind::Internal => (INTERNAL, options.node_radius),
+            NodeKind::Leaf => {
+                let color = lib
+                    .get(&node.cell)
+                    .map_or(INTERNAL, |c| match c.polarity() {
+                        Polarity::Positive => POSITIVE,
+                        Polarity::Negative => NEGATIVE,
+                    });
+                (color, options.node_radius)
+            }
+        };
+        svg.push_str(&format!(
+            "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r:.1}\" fill=\"{color}\">\
+             <title>{}</title></circle>\n",
+            px(node.location.x.value()),
+            py(node.location.y.value()),
+            node.cell,
+        ));
+    }
+
+    if options.legend {
+        let y = height - 10.0;
+        let mut x = margin;
+        for (color, label) in [
+            (SOURCE, "source"),
+            (INTERNAL, "internal"),
+            (POSITIVE, "leaf +"),
+            (NEGATIVE, "leaf -"),
+        ] {
+            svg.push_str(&format!(
+                "  <circle cx=\"{x:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"{color}\"/>\n\
+                 \x20 <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" \
+                 font-family=\"sans-serif\" fill=\"#111\">{label}</text>\n",
+                y - 4.0,
+                x + 8.0,
+                y,
+            ));
+            x += 70.0;
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn bounds(tree: &ClockTree) -> (f64, f64, f64, f64) {
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for (_, node) in tree.iter() {
+        min_x = min_x.min(node.location.x.value());
+        min_y = min_y.min(node.location.y.value());
+        max_x = max_x.max(node.location.x.value());
+        max_y = max_y.max(node.location.y.value());
+    }
+    if !min_x.is_finite() {
+        (0.0, 0.0, 1.0, 1.0)
+    } else {
+        (min_x, min_y, max_x.max(min_x + 1.0), max_y.max(min_y + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+
+    fn rendered() -> (ClockTree, String) {
+        let tree = Benchmark::s15850().synthesize(1);
+        let lib = CellLibrary::nangate45();
+        let svg = render(&tree, &lib, &SvgOptions::default());
+        (tree, svg)
+    }
+
+    #[test]
+    fn produces_wellformed_svg_skeleton() {
+        let (_, svg) = rendered();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("xmlns=\"http://www.w3.org/2000/svg\""));
+    }
+
+    #[test]
+    fn draws_every_node_and_wire() {
+        let (tree, svg) = rendered();
+        let circles = svg.matches("<circle").count();
+        let legend_circles = 4;
+        assert_eq!(circles, tree.len() + legend_circles);
+        let paths = svg.matches("<path").count();
+        assert_eq!(paths, tree.len() - 1, "one wire per non-root node");
+    }
+
+    #[test]
+    fn polarity_colors_follow_cells() {
+        let mut tree = Benchmark::s15850().synthesize(1);
+        let lib = CellLibrary::nangate45();
+        let before = render(&tree, &lib, &SvgOptions::default());
+        assert!(
+            !before.contains(&NEGATIVE_MARKER()),
+            "all-buffer tree has no red leaves"
+        );
+        let leaf = tree.leaves()[0];
+        tree.set_cell(leaf, "INV_X8");
+        let after = render(&tree, &lib, &SvgOptions::default());
+        assert!(after.contains(&NEGATIVE_MARKER()));
+    }
+
+    #[allow(non_snake_case)]
+    fn NEGATIVE_MARKER() -> String {
+        format!("fill=\"{NEGATIVE}\"><title>INV")
+    }
+
+    #[test]
+    fn legend_is_optional() {
+        let tree = Benchmark::s15850().synthesize(1);
+        let lib = CellLibrary::nangate45();
+        let options = SvgOptions {
+            legend: false,
+            ..SvgOptions::default()
+        };
+        let svg = render(&tree, &lib, &options);
+        assert!(!svg.contains("<text"));
+        assert_eq!(svg.matches("<circle").count(), tree.len());
+    }
+
+    #[test]
+    fn titles_carry_cell_names() {
+        let (_, svg) = rendered();
+        assert!(svg.contains("<title>BUF_X8</title>"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Clock tree synthesis: the IC-Compiler substitute.
+//!
+//! Builds a buffered, near-zero-skew clock tree from sink placements:
+//!
+//! 1. **Topology** — bottom-up recursive geometric matching: sinks are
+//!    greedily clustered with their nearest neighbours into groups of at
+//!    most `arity`; each group's driver is placed at its centroid; repeat
+//!    until one root remains.
+//! 2. **Buffering** — internal levels get progressively stronger buffers.
+//! 3. **Skew equalization** — iterative wire snaking: leaf wires of early
+//!    branches are lengthened until all sink arrivals match the slowest
+//!    (the practical stand-in for bounded-skew DME merging).
+
+use crate::geom::Point;
+use crate::timing::{SupplyAssignment, Timing, TimingError};
+use crate::tree::{ClockTree, NodeId};
+use crate::wire::WireModel;
+use serde::{Deserialize, Serialize};
+use wavemin_cells::units::{Femtofarads, Microns, Picoseconds, Volts};
+use wavemin_cells::{CellLibrary, Characterizer};
+
+/// Options controlling synthesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisOptions {
+    /// Cell assigned to every sink (leaf buffering element).
+    pub leaf_cell: String,
+    /// Cells for internal levels, nearest-to-leaves first; the last entry
+    /// also drives the root.
+    pub level_cells: Vec<String>,
+    /// Maximum cluster size when grouping nodes bottom-up.
+    pub arity: usize,
+    /// Supply at which the tree is balanced.
+    pub vdd: Volts,
+    /// Wire model used for balancing.
+    pub wire: WireModel,
+    /// Snaking iterations for skew equalization.
+    pub balance_iterations: usize,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        Self {
+            leaf_cell: "BUF_X4".to_owned(),
+            level_cells: vec![
+                "BUF_X8".to_owned(),
+                "BUF_X16".to_owned(),
+                "BUF_X32".to_owned(),
+            ],
+            arity: 4,
+            vdd: Volts::new(1.1),
+            wire: WireModel::default(),
+            balance_iterations: 16,
+        }
+    }
+}
+
+/// Clock tree synthesizer (see the module docs).
+#[derive(Debug)]
+pub struct Synthesizer<'a> {
+    lib: &'a CellLibrary,
+    chr: &'a Characterizer,
+    options: SynthesisOptions,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Creates a synthesizer over a cell library.
+    #[must_use]
+    pub fn new(lib: &'a CellLibrary, chr: &'a Characterizer, options: SynthesisOptions) -> Self {
+        Self { lib, chr, options }
+    }
+
+    /// The options in use.
+    #[must_use]
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// Synthesizes a balanced buffered tree over `(location, FF load)`
+    /// sinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TimingError`] if a configured cell name is missing from
+    /// the library (surfaces during the balancing timing passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks` is empty.
+    pub fn synthesize(
+        &self,
+        sinks: &[(Point, Femtofarads)],
+    ) -> Result<ClockTree, TimingError> {
+        assert!(!sinks.is_empty(), "cannot synthesize a tree with no sinks");
+
+        // Bottom-up clustering.
+        let mut clusters: Vec<(Point, Cluster)> = sinks
+            .iter()
+            .map(|&(p, c)| (p, Cluster::Sink(p, c)))
+            .collect();
+        let mut level = 0usize;
+        while clusters.len() > 1 {
+            clusters = self.cluster_level(clusters, level);
+            level += 1;
+        }
+        let (root_loc, top) = clusters.pop().expect("one cluster remains");
+
+        // Materialize the arena.
+        let root_cell = self
+            .options
+            .level_cells
+            .last()
+            .cloned()
+            .unwrap_or_else(|| self.options.leaf_cell.clone());
+        let mut tree = ClockTree::new(root_loc, root_cell);
+        let root = tree.root();
+        match top {
+            Cluster::Sink(p, c) => {
+                // Degenerate single-sink design: hang the sink off the root.
+                tree.add_leaf(root, p, &self.options.leaf_cell, Microns::ZERO, c);
+            }
+            Cluster::Group { children, .. } => {
+                for child in children {
+                    self.materialize(&mut tree, root, child);
+                }
+            }
+        }
+
+        self.equalize_skew(&mut tree)?;
+        Ok(tree)
+    }
+
+    /// Groups one level of clusters into parents of at most `arity`.
+    fn cluster_level(
+        &self,
+        mut items: Vec<(Point, Cluster)>,
+        level: usize,
+    ) -> Vec<(Point, Cluster)> {
+        // Deterministic sweep order: lexicographic by (x, y).
+        items.sort_by(|a, b| {
+            (a.0.x.value(), a.0.y.value())
+                .partial_cmp(&(b.0.x.value(), b.0.y.value()))
+                .expect("finite coordinates")
+        });
+        let mut used = vec![false; items.len()];
+        let mut parents = Vec::new();
+        for i in 0..items.len() {
+            if used[i] {
+                continue;
+            }
+            used[i] = true;
+            let mut members = vec![i];
+            while members.len() < self.options.arity {
+                // Nearest unused neighbour of the cluster centroid.
+                let centroid = Point::centroid(members.iter().map(|&m| &items[m].0));
+                let next = (0..items.len())
+                    .filter(|&j| !used[j])
+                    .min_by(|&a, &b| {
+                        centroid
+                            .manhattan(items[a].0)
+                            .value()
+                            .total_cmp(&centroid.manhattan(items[b].0).value())
+                    });
+                match next {
+                    Some(j) => {
+                        used[j] = true;
+                        members.push(j);
+                    }
+                    None => break,
+                }
+            }
+            let centroid = Point::centroid(members.iter().map(|&m| &items[m].0));
+            let children: Vec<Cluster> = members
+                .iter()
+                .map(|&m| items[m].1.clone())
+                .collect();
+            parents.push((
+                centroid,
+                Cluster::Group {
+                    location: centroid,
+                    level,
+                    children,
+                },
+            ));
+        }
+        parents
+    }
+
+    /// Recursively adds a cluster under `parent`.
+    fn materialize(&self, tree: &mut ClockTree, parent: NodeId, cluster: Cluster) {
+        let parent_loc = tree.node(parent).location;
+        match cluster {
+            Cluster::Sink(p, cap) => {
+                let wire = parent_loc.manhattan(p);
+                tree.add_leaf(parent, p, &self.options.leaf_cell, wire, cap);
+            }
+            Cluster::Group {
+                location,
+                level,
+                children,
+            } => {
+                let cell = self
+                    .options
+                    .level_cells
+                    .get(level.min(self.options.level_cells.len().saturating_sub(1)))
+                    .cloned()
+                    .unwrap_or_else(|| self.options.leaf_cell.clone());
+                let wire = parent_loc.manhattan(location);
+                let id = tree.add_internal(parent, location, cell, wire);
+                for c in children {
+                    self.materialize(tree, id, c);
+                }
+            }
+        }
+    }
+
+    /// Skew equalization by routing-detour delay trims.
+    ///
+    /// Every sink's arrival deficit against the slowest sink is absorbed by
+    /// that sink's [`crate::tree::Node::delay_trim`] — a shielded snaking
+    /// route on its input net that adds pure delay without loading the
+    /// parent. Because trims have no electrical feedback, a couple of
+    /// passes converge exactly.
+    ///
+    /// Public so callers that modify a synthesized tree (e.g. inserting
+    /// chain repeaters) can re-equalize it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-analysis failures.
+    pub fn equalize_skew(&self, tree: &mut ClockTree) -> Result<(), TimingError> {
+        let supply = SupplyAssignment::Uniform(self.options.vdd);
+        for _ in 0..self.options.balance_iterations.max(2) {
+            let timing =
+                Timing::analyze(tree, self.lib, self.chr, self.options.wire, &supply, None)?;
+            if timing.skew(tree).value() <= 0.05 {
+                break;
+            }
+            let leaves = tree.leaves();
+            let max = leaves
+                .iter()
+                .map(|id| timing.output_arrival[id.0].value())
+                .fold(f64::NEG_INFINITY, f64::max);
+            for id in leaves {
+                let deficit = max - timing.output_arrival[id.0].value();
+                if deficit > 1e-6 {
+                    tree.node_mut(id).delay_trim += Picoseconds::new(deficit);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The skew the synthesized tree achieves at the balancing supply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-analysis failures.
+    pub fn measure_skew(&self, tree: &ClockTree) -> Result<Picoseconds, TimingError> {
+        let supply = SupplyAssignment::Uniform(self.options.vdd);
+        let timing = Timing::analyze(tree, self.lib, self.chr, self.options.wire, &supply, None)?;
+        Ok(timing.skew(tree))
+    }
+}
+
+/// A cluster in the bottom-up topology construction.
+#[derive(Debug, Clone)]
+enum Cluster {
+    Sink(Point, Femtofarads),
+    Group {
+        location: Point,
+        level: usize,
+        children: Vec<Cluster>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sinks(n: usize, side: f64) -> Vec<(Point, Femtofarads)> {
+        // Deterministic quasi-random placement.
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 * 137.50776405) % side;
+                let y = (i as f64 * 78.33612287) % side;
+                (Point::new(x, y), Femtofarads::new(4.0 + (i % 5) as f64))
+            })
+            .collect()
+    }
+
+    fn synth() -> (CellLibrary, Characterizer) {
+        (CellLibrary::nangate45(), Characterizer::default())
+    }
+
+    #[test]
+    fn synthesizes_valid_tree() {
+        let (lib, chr) = synth();
+        let s = Synthesizer::new(&lib, &chr, SynthesisOptions::default());
+        let tree = s.synthesize(&sinks(20, 200.0)).unwrap();
+        assert_eq!(tree.validate(|c| lib.get(c).is_some()), Ok(()));
+        assert_eq!(tree.leaves().len(), 20);
+    }
+
+    #[test]
+    fn achieves_near_zero_skew() {
+        let (lib, chr) = synth();
+        let s = Synthesizer::new(&lib, &chr, SynthesisOptions::default());
+        let tree = s.synthesize(&sinks(30, 300.0)).unwrap();
+        let skew = s.measure_skew(&tree).unwrap();
+        // The paper's trees are <10 ps zero-skew trees.
+        assert!(skew.value() < 10.0, "skew {skew} too large");
+    }
+
+    #[test]
+    fn single_sink_design() {
+        let (lib, chr) = synth();
+        let s = Synthesizer::new(&lib, &chr, SynthesisOptions::default());
+        let tree = s
+            .synthesize(&[(Point::new(10.0, 10.0), Femtofarads::new(5.0))])
+            .unwrap();
+        assert_eq!(tree.leaves().len(), 1);
+        assert_eq!(tree.validate(|_| true), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no sinks")]
+    fn empty_sinks_panics() {
+        let (lib, chr) = synth();
+        let s = Synthesizer::new(&lib, &chr, SynthesisOptions::default());
+        let _ = s.synthesize(&[]);
+    }
+
+    #[test]
+    fn arity_bounds_fanout() {
+        let (lib, chr) = synth();
+        let opts = SynthesisOptions {
+            arity: 3,
+            ..SynthesisOptions::default()
+        };
+        let s = Synthesizer::new(&lib, &chr, opts);
+        let tree = s.synthesize(&sinks(27, 250.0)).unwrap();
+        for (_, node) in tree.iter() {
+            assert!(node.children().len() <= 3, "fanout exceeds arity");
+        }
+    }
+
+    #[test]
+    fn higher_arity_means_fewer_internals() {
+        let (lib, chr) = synth();
+        let small = SynthesisOptions {
+            arity: 2,
+            ..SynthesisOptions::default()
+        };
+        let large = SynthesisOptions {
+            arity: 8,
+            ..SynthesisOptions::default()
+        };
+        let t_small = Synthesizer::new(&lib, &chr, small)
+            .synthesize(&sinks(32, 250.0))
+            .unwrap();
+        let t_large = Synthesizer::new(&lib, &chr, large)
+            .synthesize(&sinks(32, 250.0))
+            .unwrap();
+        assert!(t_large.non_leaves().len() < t_small.non_leaves().len());
+    }
+
+    #[test]
+    fn leaves_keep_sink_caps() {
+        let (lib, chr) = synth();
+        let s = Synthesizer::new(&lib, &chr, SynthesisOptions::default());
+        let input = sinks(10, 100.0);
+        let tree = s.synthesize(&input).unwrap();
+        let mut caps: Vec<f64> = tree
+            .leaves()
+            .iter()
+            .map(|&id| tree.node(id).sink_cap.value())
+            .collect();
+        caps.sort_by(f64::total_cmp);
+        let mut expect: Vec<f64> = input.iter().map(|(_, c)| c.value()).collect();
+        expect.sort_by(f64::total_cmp);
+        assert_eq!(caps, expect);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let (lib, chr) = synth();
+        let s = Synthesizer::new(&lib, &chr, SynthesisOptions::default());
+        let a = s.synthesize(&sinks(15, 150.0)).unwrap();
+        let b = s.synthesize(&sinks(15, 150.0)).unwrap();
+        assert_eq!(a, b);
+    }
+}

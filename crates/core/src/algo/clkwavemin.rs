@@ -1,0 +1,330 @@
+//! ClkWaveMin: the MOSP-based approximation algorithm (Section V).
+
+use crate::algo::{run_interval_framework, Outcome, ZoneProblem, ZoneSolution, ZoneSolver};
+use crate::config::{SolverKind, WaveMinConfig};
+use crate::design::Design;
+use crate::error::WaveMinError;
+use crate::intervals::FeasibleInterval;
+use crate::noise_table::NoiseTable;
+use wavemin_cells::units::Picoseconds;
+use wavemin_mosp::{solve, MospGraph, VertexId};
+
+/// The paper's main algorithm: per zone and feasible interval, convert the
+/// assignment subproblem to a multi-objective shortest path instance
+/// (Algorithm 1) and solve it with Warburton's ε-approximation; the
+/// min–max Pareto path is the zone's assignment.
+///
+/// # Example
+///
+/// ```
+/// use wavemin::prelude::*;
+///
+/// let design = Design::from_benchmark(&Benchmark::s15850(), 7);
+/// let outcome = ClkWaveMin::new(WaveMinConfig::default()).run(&design)?;
+/// assert!(outcome.peak_after.value() <= outcome.peak_before.value() + 1e-9);
+/// # Ok::<(), WaveMinError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClkWaveMin {
+    config: WaveMinConfig,
+}
+
+impl ClkWaveMin {
+    /// Creates the optimizer with the given configuration.
+    #[must_use]
+    pub fn new(config: WaveMinConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &WaveMinConfig {
+        &self.config
+    }
+
+    /// Optimizes a single-power-mode design.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveMinError::NoFeasibleInterval`] when no assignment can satisfy
+    /// the skew bound; timing/characterization errors otherwise.
+    pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
+        run_interval_framework(design, &self.config, &MospZoneSolver { config: &self.config })
+    }
+}
+
+/// The MOSP-based inner solver shared by ClkWaveMin and ClkWaveMin-M.
+pub(crate) struct MospZoneSolver<'a> {
+    pub(crate) config: &'a WaveMinConfig,
+}
+
+impl ZoneSolver for MospZoneSolver<'_> {
+    fn solve_zone(
+        &self,
+        table: &NoiseTable,
+        zone: &ZoneProblem,
+        interval: &FeasibleInterval,
+        extra: &crate::noise_table::EventWaveforms,
+    ) -> Result<ZoneSolution, WaveMinError> {
+        let mut background = zone.background.clone();
+        zone.plan.accumulate_into(&mut background, extra);
+        solve_zone_mosp(
+            self.config,
+            zone.sinks.len(),
+            |local, option| {
+                let si = zone.sinks[local];
+                let o = &table.sinks[si].options[option];
+                o.delay_code_for(interval.t_lo, interval.t_hi)
+                    .map(|code| (code, zone.option_vector(table, local, option, code)))
+            },
+            &interval.allowed_for(&zone.sinks),
+            &background,
+        )
+    }
+}
+
+impl FeasibleInterval {
+    /// The allowed-option lists of the given sinks (indices into the full
+    /// sink list).
+    pub(crate) fn allowed_for(&self, sinks: &[usize]) -> Vec<Vec<usize>> {
+        sinks.iter().map(|&si| self.allowed[si].clone()).collect()
+    }
+}
+
+/// Builds the MOSP graph of Algorithm 1 and solves it.
+///
+/// * `rows` — number of sinks in the zone;
+/// * `option_data(local, option)` — the delay-code payload and sampled
+///   noise vector of an option, or `None` when it cannot fit the interval;
+/// * `allowed[local]` — candidate option indices per sink;
+/// * `background` — the non-leaf noise vector carried by the arcs into
+///   `dest` (Observation 1).
+///
+/// Generic over the payload `C` so the multi-mode flow can carry one delay
+/// code per power mode.
+pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
+    config: &WaveMinConfig,
+    rows: usize,
+    mut option_data: impl FnMut(usize, usize) -> Option<(C, Vec<f64>)>,
+    allowed: &[Vec<usize>],
+    background: &[f64],
+) -> Result<(Vec<(usize, C)>, f64), WaveMinError> {
+    if rows == 0 {
+        return Ok((Vec::new(), background.iter().copied().fold(0.0, f64::max)));
+    }
+    let dims = background.len();
+    let mut graph = MospGraph::new(dims);
+    let src = graph.add_vertex();
+    // Registry: vertex -> (row, option index, payload).
+    let mut registry: Vec<(usize, usize, C)> = vec![(usize::MAX, usize::MAX, C::default())];
+    let mut prev_row: Vec<VertexId> = vec![src];
+    let mut row_vectors: Vec<(VertexId, Vec<f64>)> = Vec::new();
+
+    for (local, opts) in allowed.iter().enumerate().take(rows) {
+        let mut this_row = Vec::new();
+        row_vectors.clear();
+        for &opt in opts {
+            let Some((code, vector)) = option_data(local, opt) else {
+                continue;
+            };
+            let v = graph.add_vertex();
+            registry.push((local, opt, code));
+            row_vectors.push((v, vector));
+            this_row.push(v);
+        }
+        if this_row.is_empty() {
+            return Err(WaveMinError::NoFeasibleInterval);
+        }
+        for &(v, ref vector) in &row_vectors {
+            for &u in &prev_row {
+                graph.add_arc(u, v, vector.clone())?;
+            }
+        }
+        prev_row = this_row;
+    }
+
+    let dest = graph.add_vertex();
+    registry.push((usize::MAX, usize::MAX, C::default()));
+    for &u in &prev_row {
+        graph.add_arc(u, dest, background.to_vec())?;
+    }
+
+    let set = match config.solver {
+        SolverKind::Warburton { epsilon } => {
+            solve::warburton_capped(&graph, src, dest, epsilon, Some(config.label_cap))?
+        }
+        SolverKind::Exact { max_labels } => solve::exact(&graph, src, dest, max_labels)?,
+    };
+    let best = set.min_max().ok_or(WaveMinError::NoFeasibleInterval)?;
+    let mut choices: Vec<(usize, C)> = vec![(usize::MAX, C::default()); rows];
+    for v in &best.vertices {
+        let (row, opt, ref code) = registry[v.0];
+        if row != usize::MAX {
+            choices[row] = (opt, code.clone());
+        }
+    }
+    debug_assert!(choices.iter().all(|(o, _)| *o != usize::MAX));
+    Ok((choices, best.max_component()))
+}
+
+/// Single-mode wrapper around [`solve_zone_mosp_generic`].
+pub(crate) fn solve_zone_mosp(
+    config: &WaveMinConfig,
+    rows: usize,
+    option_data: impl FnMut(usize, usize) -> Option<(Picoseconds, Vec<f64>)>,
+    allowed: &[Vec<usize>],
+    background: &[f64],
+) -> Result<ZoneSolution, WaveMinError> {
+    let (choices, cost) =
+        solve_zone_mosp_generic(config, rows, option_data, allowed, background)?;
+    Ok(ZoneSolution { choices, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn small_design() -> Design {
+        Design::from_benchmark(&Benchmark::s15850(), 7)
+    }
+
+    #[test]
+    fn run_reduces_or_keeps_peak() {
+        let d = small_design();
+        let out = ClkWaveMin::new(WaveMinConfig::default()).run(&d).unwrap();
+        assert!(out.peak_after.value() <= out.peak_before.value() + 1e-9);
+        assert!(out.intervals_tried > 0);
+    }
+
+    #[test]
+    fn assignment_mixes_polarities() {
+        // s13207's zones hold ~4 sinks each, enough for a genuine split
+        // (tiny 1-sink zones may legitimately all flip).
+        let d = Design::from_benchmark(&Benchmark::s13207(), 1);
+        let mut cfg = WaveMinConfig::default().with_sample_count(32);
+        cfg.max_intervals = Some(6);
+        let out = ClkWaveMin::new(cfg).run(&d).unwrap();
+        let (pos, neg) = out.assignment.polarity_counts(&d);
+        assert_eq!(pos + neg, d.leaves().len());
+        assert!(neg > 0, "some sinks should become inverters");
+        assert!(pos > 0, "not everything should flip");
+    }
+
+    #[test]
+    fn skew_bound_is_respected() {
+        let d = small_design();
+        let cfg = WaveMinConfig::default();
+        let out = ClkWaveMin::new(cfg.clone()).run(&d).unwrap();
+        assert!(
+            out.skew_after.value() <= cfg.skew_bound.value() * 1.05 + 1e-9,
+            "skew {} exceeds bound {}",
+            out.skew_after,
+            cfg.skew_bound
+        );
+    }
+
+    #[test]
+    fn infeasible_skew_bound_errors() {
+        // One sink pushed 50 ps late: no sub-ps window can cover all.
+        let mut d = small_design();
+        let victim = d.leaves()[0];
+        d.tree.node_mut(victim).delay_trim += Picoseconds::new(50.0);
+        let cfg = WaveMinConfig::default().with_skew_bound(Picoseconds::new(0.5));
+        assert_eq!(
+            ClkWaveMin::new(cfg).run(&d).unwrap_err(),
+            WaveMinError::NoFeasibleInterval
+        );
+    }
+
+    #[test]
+    fn exact_solver_agrees_with_warburton_on_small_design() {
+        let d = small_design();
+        let mut cfg_w = WaveMinConfig::default().with_sample_count(8);
+        cfg_w.solver = SolverKind::Warburton { epsilon: 0.01 };
+        let mut cfg_e = cfg_w.clone();
+        cfg_e.solver = SolverKind::Exact { max_labels: None };
+        let out_w = ClkWaveMin::new(cfg_w).run(&d).unwrap();
+        let out_e = ClkWaveMin::new(cfg_e).run(&d).unwrap();
+        // ε = 0.01: the approximation must be within ~1 % of exact.
+        let ratio = out_w.estimated_cost / out_e.estimated_cost;
+        assert!(
+            (0.98..=1.02).contains(&ratio),
+            "warburton {} vs exact {}",
+            out_w.estimated_cost,
+            out_e.estimated_cost
+        );
+    }
+
+    #[test]
+    fn more_samples_never_hurt_much() {
+        // Table VI shape: peak with |S| = 158 <= peak with |S| = 4 (small
+        // slack for evaluation noise).
+        let d = small_design();
+        let coarse = ClkWaveMin::new(WaveMinConfig::default().with_sample_count(4))
+            .run(&d)
+            .unwrap();
+        let fine = ClkWaveMin::new(WaveMinConfig::default().with_sample_count(158))
+            .run(&d)
+            .unwrap();
+        assert!(
+            fine.peak_after.value() <= coarse.peak_after.value() * 1.05,
+            "fine {} vs coarse {}",
+            fine.peak_after,
+            coarse.peak_after
+        );
+    }
+
+    #[test]
+    fn zone_mosp_solver_picks_min_max() {
+        // Two sinks, two options each: buffer-ish (10, 0) and
+        // inverter-ish (0, 10) per sample slot. Min-max splits them.
+        let cfg = WaveMinConfig::default();
+        let vectors = [
+            vec![vec![10.0, 0.0], vec![0.0, 10.0]],
+            vec![vec![10.0, 0.0], vec![0.0, 10.0]],
+        ];
+        let allowed = vec![vec![0, 1], vec![0, 1]];
+        let sol = solve_zone_mosp(
+            &cfg,
+            2,
+            |l, o| Some((Picoseconds::ZERO, vectors[l][o].clone())),
+            &allowed,
+            &[0.0, 0.0],
+        )
+        .unwrap();
+        assert_eq!(sol.cost, 10.0);
+        let (a, b) = (sol.choices[0].0, sol.choices[1].0);
+        assert_ne!(a, b, "the two sinks must take opposite polarities");
+    }
+
+    #[test]
+    fn zone_mosp_respects_background() {
+        // Background loads dimension 0, so both sinks should pick option 1.
+        let cfg = WaveMinConfig::default();
+        let vectors = [
+            vec![vec![5.0, 0.0], vec![0.0, 5.0]],
+            vec![vec![5.0, 0.0], vec![0.0, 5.0]],
+        ];
+        let allowed = vec![vec![0, 1], vec![0, 1]];
+        let sol = solve_zone_mosp(
+            &cfg,
+            2,
+            |l, o| Some((Picoseconds::ZERO, vectors[l][o].clone())),
+            &allowed,
+            &[20.0, 0.0],
+        )
+        .unwrap();
+        assert_eq!(sol.choices[0].0, 1);
+        assert_eq!(sol.choices[1].0, 1);
+        assert_eq!(sol.cost, 20.0);
+    }
+
+    #[test]
+    fn empty_zone_costs_background_peak() {
+        let cfg = WaveMinConfig::default();
+        let sol = solve_zone_mosp(&cfg, 0, |_, _| None, &[], &[3.0, 7.0]).unwrap();
+        assert_eq!(sol.cost, 7.0);
+        assert!(sol.choices.is_empty());
+    }
+}

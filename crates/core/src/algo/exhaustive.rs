@@ -1,0 +1,180 @@
+//! Global brute-force reference: enumerate *every* assignment of a tiny
+//! design, evaluate each with the exact fine-grained evaluator, and keep
+//! the true optimum under the skew bound.
+//!
+//! Exponential in the sink count — usable up to roughly ten sinks — but it
+//! is the ground truth the heuristics are validated against (WaveMin is
+//! NP-complete; any polynomial algorithm can only approximate this).
+
+use crate::algo::{finish_outcome, Outcome};
+use crate::assignment::Assignment;
+use crate::config::WaveMinConfig;
+use crate::design::Design;
+use crate::error::WaveMinError;
+use crate::eval::NoiseEvaluator;
+
+/// Exhaustive global optimizer (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSearch {
+    config: WaveMinConfig,
+    /// Refuse to enumerate beyond this many assignments.
+    budget: u64,
+}
+
+impl ExhaustiveSearch {
+    /// Creates the reference optimizer with a default budget of 2¹⁶
+    /// assignments.
+    #[must_use]
+    pub fn new(config: WaveMinConfig) -> Self {
+        Self {
+            config,
+            budget: 1 << 16,
+        }
+    }
+
+    /// Overrides the enumeration budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget.max(1);
+        self
+    }
+
+    /// Enumerates every assignment; returns the evaluated optimum.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveMinError::InvalidConfig`] when the search space exceeds the
+    /// budget; [`WaveMinError::NoFeasibleInterval`] when nothing satisfies
+    /// the skew bound; evaluation errors otherwise.
+    pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
+        let start = std::time::Instant::now();
+        let leaves = design.leaves();
+        let options = &self.config.assignment_cells;
+        let k = options.len() as u64;
+        let total = (k as f64).powi(leaves.len() as i32);
+        if !(total <= self.budget as f64) {
+            return Err(WaveMinError::InvalidConfig(
+                "search space exceeds the exhaustive budget",
+            ));
+        }
+
+        let mut best: Option<(f64, Assignment)> = None;
+        let mut working = design.clone();
+        let mut counters = vec![0usize; leaves.len()];
+        loop {
+            // Apply the current combination.
+            for (leaf, &c) in leaves.iter().zip(&counters) {
+                working.tree.set_cell(*leaf, options[c].clone());
+            }
+            let eval = NoiseEvaluator::new(&working);
+            let report = eval.evaluate(0)?;
+            if report.skew.value() <= self.config.skew_bound.value() + 1e-9 {
+                let peak = report.peak.value();
+                if best.as_ref().is_none_or(|(b, _)| peak < *b) {
+                    let mut assignment = Assignment::new();
+                    for (leaf, &c) in leaves.iter().zip(&counters) {
+                        assignment.set(*leaf, options[c].clone());
+                    }
+                    best = Some((peak, assignment));
+                }
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == counters.len() {
+                    // Wrapped: enumeration complete.
+                    let (_, assignment) =
+                        best.ok_or(WaveMinError::NoFeasibleInterval)?;
+                    let runtime = start.elapsed();
+                    let mut optimum = design.clone();
+                    assignment.apply_to(&mut optimum);
+                    return finish_outcome(
+                        design,
+                        &optimum,
+                        assignment,
+                        f64::NAN,
+                        0,
+                        runtime,
+                    );
+                }
+                counters[i] += 1;
+                if counters[i] < options.len() {
+                    break;
+                }
+                counters[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use wavemin_cells::units::{Femtofarads, Microns, Picoseconds, Volts};
+
+    /// A 6-sink design small enough for 4^6 = 4096 evaluations.
+    fn tiny_design() -> Design {
+        let mut tree = ClockTree::new(Point::new(0.0, 0.0), "BUF_X16");
+        let a = tree.add_internal(tree.root(), Point::new(30.0, 10.0), "BUF_X8", Microns::new(40.0));
+        let b = tree.add_internal(tree.root(), Point::new(30.0, -10.0), "BUF_X8", Microns::new(40.0));
+        for i in 0..3 {
+            tree.add_leaf(a, Point::new(60.0, 5.0 * i as f64), "BUF_X8", Microns::new(30.0 + 5.0 * i as f64), Femtofarads::new(4.0 + i as f64));
+            tree.add_leaf(b, Point::new(60.0, -5.0 * i as f64), "BUF_X8", Microns::new(30.0 + 5.0 * i as f64), Femtofarads::new(4.0 + i as f64));
+        }
+        Design::new(tree, CellLibrary::nangate45(), PowerDesign::uniform(Volts::new(1.1)))
+    }
+
+    fn cfg() -> WaveMinConfig {
+        let mut cfg = WaveMinConfig::default()
+            .with_sample_count(16)
+            .with_skew_bound(Picoseconds::new(25.0));
+        cfg.max_intervals = Some(8);
+        cfg
+    }
+
+    #[test]
+    fn finds_a_feasible_optimum() {
+        let d = tiny_design();
+        let out = ExhaustiveSearch::new(cfg()).run(&d).unwrap();
+        assert!(out.skew_after.value() <= 25.0 + 1e-9);
+        assert!(out.peak_after <= out.peak_before);
+    }
+
+    #[test]
+    fn heuristics_stay_close_to_the_true_optimum() {
+        // The headline validation: ClkWaveMin lands within 20 % of the
+        // exhaustively verified global optimum on a toy instance.
+        let d = tiny_design();
+        let optimum = ExhaustiveSearch::new(cfg()).run(&d).unwrap();
+        let wave = ClkWaveMin::new(cfg()).run(&d).unwrap();
+        let ratio = wave.peak_after.value() / optimum.peak_after.value();
+        assert!(
+            ratio >= 1.0 - 1e-9,
+            "nothing beats the exhaustive optimum ({ratio})"
+        );
+        assert!(
+            ratio <= 1.2,
+            "ClkWaveMin {} too far from optimum {}",
+            wave.peak_after,
+            optimum.peak_after
+        );
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 1); // 4^19 states
+        let err = ExhaustiveSearch::new(cfg()).run(&d).unwrap_err();
+        assert!(matches!(err, WaveMinError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn impossible_bound_reports_no_solution() {
+        let mut d = tiny_design();
+        let victim = d.leaves()[0];
+        d.tree.node_mut(victim).delay_trim += Picoseconds::new(500.0);
+        let err = ExhaustiveSearch::new(cfg()).run(&d).unwrap_err();
+        assert_eq!(err, WaveMinError::NoFeasibleInterval);
+    }
+}

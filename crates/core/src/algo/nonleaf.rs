@@ -1,0 +1,215 @@
+//! Non-leaf polarity assignment — the extension direction of Lu & Taskin
+//! [28], cited by the paper as reducing peak noise a further ~5 % by
+//! letting *internal* buffering elements flip polarity too (at some skew
+//! expense).
+//!
+//! The optimizer runs the regular leaf-level ClkWaveMin first, then walks
+//! the internal nodes greedily: flipping an internal buffer to the
+//! same-drive inverter inverts its whole subtree's effective polarity and
+//! shifts its arrivals slightly; a flip is kept when the fine-grained
+//! evaluated peak improves and the exact skew stays within the (possibly
+//! relaxed) bound.
+
+use crate::algo::{finish_outcome, ClkWaveMin, Outcome};
+use crate::assignment::Assignment;
+use crate::config::WaveMinConfig;
+use crate::design::Design;
+use crate::error::WaveMinError;
+use crate::eval::NoiseEvaluator;
+use wavemin_cells::units::MilliAmps;
+use wavemin_cells::CellKind;
+
+/// Leaf ClkWaveMin plus greedy non-leaf polarity flips.
+///
+/// # Example
+///
+/// ```
+/// use wavemin::prelude::*;
+/// use wavemin::algo::NonLeafPolarity;
+///
+/// let design = Design::from_benchmark(&Benchmark::s15850(), 7);
+/// let mut cfg = WaveMinConfig::default().with_sample_count(16);
+/// cfg.max_intervals = Some(4);
+/// let out = NonLeafPolarity::new(cfg, 1.5).run(&design)?;
+/// assert!(out.peak_after.value() <= out.peak_before.value() + 1e-9);
+/// # Ok::<(), WaveMinError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonLeafPolarity {
+    config: WaveMinConfig,
+    /// Skew relaxation factor: internal flips may stretch the skew up to
+    /// `skew_bound × relax` (the [28] trade-off; 1.0 = no relaxation).
+    relax: f64,
+}
+
+impl NonLeafPolarity {
+    /// Creates the optimizer; `relax >= 1.0` scales the skew bound the
+    /// internal flips are allowed to use.
+    #[must_use]
+    pub fn new(config: WaveMinConfig, relax: f64) -> Self {
+        Self {
+            config,
+            relax: relax.max(1.0),
+        }
+    }
+
+    /// Runs leaf-level ClkWaveMin, then the greedy non-leaf pass.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ClkWaveMin::run`].
+    pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
+        let start = std::time::Instant::now();
+        let leaf_outcome = ClkWaveMin::new(self.config.clone()).run(design)?;
+        let mut working = design.clone();
+        leaf_outcome.assignment.apply_to(&mut working);
+
+        let skew_limit = self.config.skew_bound.value() * self.relax;
+        let mut best_peak = worst_mode_peak(&working)?;
+        let mut assignment = leaf_outcome.assignment.clone();
+        let mut flips = 0usize;
+
+        // Deepest internals first: their subtrees are smallest, so early
+        // flips perturb the least while the big top-level flips are judged
+        // against an already-improved baseline.
+        let mut internals: Vec<_> = working
+            .tree
+            .non_leaves()
+            .into_iter()
+            .filter(|&id| id != working.tree.root())
+            .collect();
+        internals.sort_by_key(|&id| std::cmp::Reverse(depth(&working, id)));
+
+        for node in internals {
+            let cell_name = working.tree.node(node).cell.clone();
+            let Some(spec) = working.lib.get(&cell_name) else {
+                continue;
+            };
+            let flipped = match spec.kind() {
+                CellKind::Buffer => format!("INV_X{}", spec.drive()),
+                CellKind::Inverter => format!("BUF_X{}", spec.drive()),
+                // Adjustable internals must keep their delay tuning role.
+                CellKind::Adb | CellKind::Adi => continue,
+            };
+            if working.lib.get(&flipped).is_none() {
+                continue;
+            }
+            working.tree.set_cell(node, &flipped);
+            let skew = working.max_skew()?;
+            let peak = if skew.value() <= skew_limit + 1e-9 {
+                worst_mode_peak(&working)?
+            } else {
+                MilliAmps::new(f64::INFINITY)
+            };
+            if peak < best_peak {
+                best_peak = peak;
+                assignment.set(node, flipped);
+                flips += 1;
+            } else {
+                // Revert.
+                working.tree.set_cell(node, &cell_name);
+            }
+        }
+        let runtime = start.elapsed();
+        let _ = flips;
+
+        finish_outcome(
+            design,
+            &working,
+            assignment,
+            leaf_outcome.estimated_cost,
+            leaf_outcome.intervals_tried,
+            runtime,
+        )
+    }
+
+    /// Number of internal nodes whose polarity differs from the original
+    /// design after `assignment` (a convenience for reporting).
+    #[must_use]
+    pub fn internal_flip_count(design: &Design, assignment: &Assignment) -> usize {
+        let leaves: std::collections::BTreeSet<_> =
+            design.tree.leaves().into_iter().collect();
+        assignment
+            .cells
+            .keys()
+            .filter(|n| !leaves.contains(n))
+            .count()
+    }
+}
+
+fn worst_mode_peak(design: &Design) -> Result<MilliAmps, WaveMinError> {
+    let eval = NoiseEvaluator::new(design);
+    let mut worst = MilliAmps::ZERO;
+    for m in 0..design.mode_count() {
+        worst = worst.max(eval.evaluate(m)?.peak);
+    }
+    Ok(worst)
+}
+
+fn depth(design: &Design, node: wavemin_clocktree::NodeId) -> usize {
+    let mut d = 0;
+    let mut cur = node;
+    while let Some(p) = design.tree.node(cur).parent() {
+        d += 1;
+        cur = p;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn quick_config() -> WaveMinConfig {
+        let mut cfg = WaveMinConfig::default().with_sample_count(16);
+        cfg.max_intervals = Some(4);
+        cfg
+    }
+
+    #[test]
+    fn never_worse_than_leaf_only() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 7);
+        let leaf = ClkWaveMin::new(quick_config()).run(&d).unwrap();
+        let ext = NonLeafPolarity::new(quick_config(), 1.5).run(&d).unwrap();
+        assert!(
+            ext.peak_after.value() <= leaf.peak_after.value() + 1e-9,
+            "extension {} vs leaf-only {}",
+            ext.peak_after,
+            leaf.peak_after
+        );
+    }
+
+    #[test]
+    fn respects_relaxed_skew_limit() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 7);
+        let cfg = quick_config();
+        let relax = 1.5;
+        let out = NonLeafPolarity::new(cfg.clone(), relax).run(&d).unwrap();
+        assert!(
+            out.skew_after.value() <= cfg.skew_bound.value() * relax + 1e-9,
+            "skew {}",
+            out.skew_after
+        );
+    }
+
+    #[test]
+    fn no_relaxation_means_paper_bound() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 7);
+        let cfg = quick_config();
+        let out = NonLeafPolarity::new(cfg.clone(), 0.5).run(&d).unwrap();
+        // relax clamps to >= 1.0
+        assert!(out.skew_after.value() <= cfg.skew_bound.value() + 1e-9);
+    }
+
+    #[test]
+    fn flipped_internals_appear_in_assignment() {
+        let d = Design::from_benchmark(&Benchmark::s13207(), 3);
+        let out = NonLeafPolarity::new(quick_config(), 2.0).run(&d).unwrap();
+        // Any non-leaf entries must reference real library cells.
+        for (node, cell) in &out.assignment.cells {
+            assert!(d.lib.get(cell).is_some());
+            let _ = node;
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! `wavemin` — command-line driver for the WaveMin flow.
+//!
+//! ```text
+//! wavemin synthesize --benchmark s13207 --seed 42 -o tree.clk
+//! wavemin optimize   -i tree.clk --algorithm wavemin --kappa 20 -o opt.clk
+//! wavemin evaluate   -i opt.clk
+//! wavemin svg        -i opt.clk -o opt.svg
+//! wavemin liberty    -o nangate45.lib
+//! ```
+//!
+//! Trees use the text format of [`wavemin_clocktree::io`]; libraries use
+//! the Liberty subset of [`wavemin_cells::liberty`].
+
+use std::process::ExitCode;
+use wavemin::prelude::*;
+use wavemin_cells::liberty;
+use wavemin_cells::units::{Microns, Picoseconds, Volts};
+use wavemin_clocktree::io as tree_io;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Err("no command given".into());
+    };
+    let flags = Flags::parse(&args[1..]);
+    match command.as_str() {
+        "synthesize" => synthesize(&flags),
+        "optimize" => optimize(&flags),
+        "evaluate" => evaluate(&flags),
+        "svg" => svg(&flags),
+        "liberty" => liberty_dump(&flags),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown command '{other}'"))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "wavemin — clock buffer polarity assignment (WaveMin reproduction)
+
+USAGE:
+  wavemin synthesize --benchmark <name|all> [--seed N] [-o tree.clk]
+  wavemin optimize   -i tree.clk [--algorithm wavemin|fast|peakmin|nieh|samanta|multimode]
+                     [--kappa PS] [--samples N] [--lib file.lib]
+                     [--power intent.pw] [-o out.clk]
+  wavemin evaluate   -i tree.clk [--lib file.lib]
+  wavemin svg        -i tree.clk [--lib file.lib] [-o out.svg]
+  wavemin liberty    [-o out.lib]
+
+Benchmarks: s13207 s15850 s35932 s38417 s38584 ispd09f31 ispd09f34"
+    );
+}
+
+struct Flags {
+    entries: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut entries = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                let value = iter
+                    .peek()
+                    .filter(|v| !v.starts_with('-'))
+                    .map(|v| (*v).clone())
+                    .unwrap_or_default();
+                if !value.is_empty() {
+                    iter.next();
+                }
+                entries.push((key.to_owned(), value));
+            }
+        }
+        Self { entries }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn numeric(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+}
+
+fn benchmark_by_name(name: &str) -> Result<Benchmark, String> {
+    Benchmark::all()
+        .into_iter()
+        .find(|b| b.name == name)
+        .ok_or_else(|| format!("unknown benchmark '{name}'"))
+}
+
+fn load_library(flags: &Flags) -> Result<CellLibrary, String> {
+    match flags.get("lib") {
+        None => Ok(CellLibrary::nangate45()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            liberty::parse_library(&text).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn load_design(flags: &Flags) -> Result<Design, String> {
+    let input = flags.get("i").ok_or("missing -i <tree.clk>")?;
+    let text =
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let tree = tree_io::read_tree(&text).map_err(|e| format!("{input}: {e}"))?;
+    let lib = load_library(flags)?;
+    tree.validate(|c| lib.get(c).is_some())
+        .map_err(|e| format!("{input}: {e}"))?;
+    let power = match flags.get("power") {
+        None => PowerDesign::uniform(Volts::new(1.1)),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            wavemin_clocktree::power_io::read_power(&text)
+                .map_err(|e| format!("{path}: {e}"))?
+        }
+    };
+    Ok(Design::new(tree, lib, power))
+}
+
+fn write_out(flags: &Flags, default_msg: &str, content: &str) -> Result<(), String> {
+    match flags.get("o") {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            eprintln!("{default_msg}");
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn synthesize(flags: &Flags) -> Result<(), String> {
+    let name = flags.get("benchmark").ok_or("missing --benchmark")?;
+    let seed = flags.numeric("seed")?.unwrap_or(42.0) as u64;
+    let bench = benchmark_by_name(name)?;
+    let design = Design::from_benchmark(&bench, seed);
+    eprintln!(
+        "synthesized {}: {} nodes, {} sinks, skew {:.3}",
+        bench.name,
+        design.tree.len(),
+        design.leaves().len(),
+        design.skew(0).map_err(|e| e.to_string())?
+    );
+    write_out(flags, "(no -o given, dumping to stdout)", &tree_io::write_tree(&design.tree))
+}
+
+fn optimize(flags: &Flags) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let mut config = WaveMinConfig::default();
+    if let Some(k) = flags.numeric("kappa")? {
+        config.skew_bound = Picoseconds::new(k);
+    }
+    if let Some(s) = flags.numeric("samples")? {
+        config.sample_count = s as usize;
+    }
+    let algorithm = flags.get("algorithm").unwrap_or("wavemin");
+    let outcome = match algorithm {
+        "wavemin" => ClkWaveMin::new(config).run(&design),
+        "fast" => ClkWaveMinFast::new(config).run(&design),
+        "peakmin" => ClkPeakMin::new(config).run(&design),
+        "nieh" => NiehOppositePhase::new().run(&design),
+        "samanta" => SamantaBalanced::new(Microns::new(50.0)).run(&design),
+        "multimode" => ClkWaveMinM::new(config).run(&design),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "{algorithm}: peak {:.3} -> {:.3} ({:+.2} %), Vdd noise {:.3} -> {:.3}, skew {:.2} -> {:.2}",
+        outcome.peak_before,
+        outcome.peak_after,
+        -outcome.peak_improvement_pct(),
+        outcome.vdd_noise_before,
+        outcome.vdd_noise_after,
+        outcome.skew_before,
+        outcome.skew_after,
+    );
+    let (pos, neg) = outcome.assignment.polarity_counts(&design);
+    eprintln!("assignment: {pos} buffers / {neg} inverters over {} sinks", pos + neg);
+
+    let mut optimized = design.clone();
+    outcome.assignment.apply_to(&mut optimized);
+    if outcome.adb_count + outcome.adi_count > 0 {
+        eprintln!(
+            "note: {} ADBs / {} ADIs carry per-mode delay codes that the .clk              format does not persist",
+            outcome.adb_count, outcome.adi_count
+        );
+    }
+    write_out(
+        flags,
+        "(no -o given, dumping optimized tree to stdout)",
+        &tree_io::write_tree(&optimized.tree),
+    )
+}
+
+fn evaluate(flags: &Flags) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let report = NoiseEvaluator::new(&design)
+        .evaluate(0)
+        .map_err(|e| e.to_string())?;
+    println!("peak current : {:.3}", report.peak);
+    println!(
+        "peak rail    : {:?} at {:?} edge, t = {:.2}",
+        report.peak_rail, report.peak_event, report.peak_time
+    );
+    println!("VDD noise    : {:.3}", report.vdd_noise);
+    println!("Gnd noise    : {:.3}", report.gnd_noise);
+    println!("clock skew   : {:.2}", report.skew);
+    Ok(())
+}
+
+fn svg(flags: &Flags) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let rendered = wavemin_clocktree::svg::render(
+        &design.tree,
+        &design.lib,
+        &wavemin_clocktree::svg::SvgOptions::default(),
+    );
+    write_out(flags, "(no -o given, dumping SVG to stdout)", &rendered)
+}
+
+fn liberty_dump(flags: &Flags) -> Result<(), String> {
+    let lib = CellLibrary::nangate45();
+    write_out(
+        flags,
+        "(no -o given, dumping library to stdout)",
+        &liberty::write_library("nangate45_wavemin", &lib),
+    )
+}

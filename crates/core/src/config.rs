@@ -1,0 +1,161 @@
+//! Optimization configuration.
+
+use serde::{Deserialize, Serialize};
+use wavemin_cells::units::{Microns, Picoseconds};
+
+/// How the fixed non-leaf buffers' noise enters each zone's objective
+/// (Observation 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackgroundMode {
+    /// Non-leaf elements placed in or near the zone (noise is local).
+    LocalZone,
+    /// The whole tree's non-leaf background in every zone.
+    Global,
+    /// Ignore non-leaf noise (the prior-work behaviour WaveMin fixes).
+    None,
+}
+
+/// Which solver runs inside each zone × interval subproblem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Warburton's ε-approximate MOSP solve (the paper's ClkWaveMin).
+    Warburton {
+        /// Approximation parameter (the paper uses 0.01).
+        epsilon: f64,
+    },
+    /// Exact Pareto enumeration with an optional per-vertex label cap.
+    Exact {
+        /// Per-vertex frontier cap (`None` = unbounded).
+        max_labels: Option<usize>,
+    },
+}
+
+impl Default for SolverKind {
+    fn default() -> Self {
+        SolverKind::Warburton { epsilon: 0.01 }
+    }
+}
+
+/// Configuration of a WaveMin run (Problem 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaveMinConfig {
+    /// Clock skew bound κ.
+    pub skew_bound: Picoseconds,
+    /// Total number of time sampling points |S| (split over 2 rails × 2
+    /// clock-edge events; values below 4 are rounded up to 4).
+    pub sample_count: usize,
+    /// Candidate cells `B ∪ I` every sink may be assigned to.
+    pub assignment_cells: Vec<String>,
+    /// Zone pitch for the local-noise partition.
+    pub zone_pitch: Microns,
+    /// Input slew used during profiling (Section IV-B: slightly sharper
+    /// than the observed average for an upper bound).
+    pub profiling_slew: Picoseconds,
+    /// The per-subproblem solver.
+    pub solver: SolverKind,
+    /// Safety cap on Pareto labels per vertex inside the Warburton solve
+    /// (the scaled grid usually collapses labels long before this).
+    pub label_cap: usize,
+    /// Keep at most this many feasible intervals (best degree-of-freedom
+    /// first); `None` = all.
+    pub max_intervals: Option<usize>,
+    /// Non-leaf background treatment (Observation 1).
+    pub background: BackgroundMode,
+    /// Fraction of κ used as the optimization window; the remainder is
+    /// headroom for the sibling-load feedback Observation 4 ignores.
+    pub window_margin: f64,
+    /// Characterize sink candidates through per-cell lookup tables with
+    /// linear interpolation (the paper's Section IV-B scheme) instead of
+    /// calling the analytic model per (sink, cell) pair. Faster for large
+    /// designs, at a small interpolation error.
+    pub lut_characterization: bool,
+}
+
+impl Default for WaveMinConfig {
+    /// The paper's experimental setup: κ = 20 ps, |S| = 158, ε = 0.01,
+    /// 50 µm zones, candidates {BUF_X8, BUF_X16, INV_X8, INV_X16}.
+    fn default() -> Self {
+        Self {
+            skew_bound: Picoseconds::new(20.0),
+            sample_count: 158,
+            assignment_cells: vec![
+                "BUF_X8".to_owned(),
+                "BUF_X16".to_owned(),
+                "INV_X8".to_owned(),
+                "INV_X16".to_owned(),
+            ],
+            zone_pitch: Microns::new(50.0),
+            profiling_slew: Picoseconds::new(20.0),
+            solver: SolverKind::default(),
+            label_cap: 64,
+            max_intervals: Some(48),
+            background: BackgroundMode::Global,
+            window_margin: 0.8,
+            lut_characterization: false,
+        }
+    }
+}
+
+impl WaveMinConfig {
+    /// Number of sample times per (rail, event) pair: `max(1, |S|/4)`.
+    #[must_use]
+    pub fn samples_per_slot(&self) -> usize {
+        (self.sample_count / 4).max(1)
+    }
+
+    /// The effective |S| after rounding (always a multiple of 4).
+    #[must_use]
+    pub fn effective_sample_count(&self) -> usize {
+        self.samples_per_slot() * 4
+    }
+
+    /// Returns the config with a different skew bound.
+    #[must_use]
+    pub fn with_skew_bound(mut self, kappa: Picoseconds) -> Self {
+        self.skew_bound = kappa;
+        self
+    }
+
+    /// Returns the config with a different sample count.
+    #[must_use]
+    pub fn with_sample_count(mut self, s: usize) -> Self {
+        self.sample_count = s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = WaveMinConfig::default();
+        assert_eq!(c.skew_bound, Picoseconds::new(20.0));
+        assert_eq!(c.sample_count, 158);
+        assert_eq!(c.assignment_cells.len(), 4);
+        assert_eq!(c.zone_pitch, Microns::new(50.0));
+        assert!(matches!(c.solver, SolverKind::Warburton { epsilon } if epsilon == 0.01));
+    }
+
+    #[test]
+    fn sample_slot_arithmetic() {
+        let c = WaveMinConfig::default().with_sample_count(158);
+        assert_eq!(c.samples_per_slot(), 39);
+        assert_eq!(c.effective_sample_count(), 156);
+        let tiny = WaveMinConfig::default().with_sample_count(4);
+        assert_eq!(tiny.samples_per_slot(), 1);
+        assert_eq!(tiny.effective_sample_count(), 4);
+        let sub = WaveMinConfig::default().with_sample_count(1);
+        assert_eq!(sub.effective_sample_count(), 4, "rounded up to one per slot");
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = WaveMinConfig::default()
+            .with_skew_bound(Picoseconds::new(90.0))
+            .with_sample_count(8);
+        assert_eq!(c.skew_bound, Picoseconds::new(90.0));
+        assert_eq!(c.sample_count, 8);
+    }
+}

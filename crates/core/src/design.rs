@@ -1,0 +1,242 @@
+//! The design under optimization: tree + libraries + power intent.
+
+use crate::error::WaveMinError;
+use serde::{Deserialize, Serialize};
+use wavemin_cells::units::Picoseconds;
+use wavemin_cells::units::Volts;
+use wavemin_cells::{CellLibrary, Characterizer};
+use wavemin_clocktree::prelude::*;
+use wavemin_clocktree::timing::TimingAdjust;
+
+/// Everything a WaveMin optimization consumes: the synthesized clock tree,
+/// the cell library and characterizer, the wire model, the power intent
+/// (domains + modes) and the per-mode adjustable-delay settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Design {
+    /// The buffered clock tree.
+    pub tree: ClockTree,
+    /// The cell library (must contain every cell the tree references).
+    pub lib: CellLibrary,
+    /// The analytic characterizer (SPICE substitute).
+    pub chr: Characterizer,
+    /// Interconnect parasitics.
+    pub wire: WireModel,
+    /// Voltage islands and power modes.
+    pub power: PowerDesign,
+    /// Per-mode timing adjustments (ADB/ADI delay codes), indexed by mode.
+    pub mode_adjust: Vec<TimingAdjust>,
+}
+
+impl Design {
+    /// Wraps an existing tree with default models and the given power
+    /// intent.
+    #[must_use]
+    pub fn new(tree: ClockTree, lib: CellLibrary, power: PowerDesign) -> Self {
+        let modes = power.mode_count();
+        Self {
+            tree,
+            lib,
+            chr: Characterizer::default(),
+            wire: WireModel::default(),
+            power,
+            mode_adjust: vec![TimingAdjust::identity(); modes],
+        }
+    }
+
+    /// Synthesizes a single-power-mode design from a benchmark circuit.
+    ///
+    /// Leaves are buffered with `BUF_X8` so that the paper's candidate set
+    /// `{BUF_X8, BUF_X16, INV_X8, INV_X16}` includes the initial cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails (the default library covers all cells).
+    #[must_use]
+    pub fn from_benchmark(bench: &Benchmark, seed: u64) -> Self {
+        let lib = CellLibrary::nangate45();
+        let chr = Characterizer::default();
+        let mut b = bench.clone();
+        let tree = Self::synthesize_x8(&mut b, &lib, &chr, seed);
+        let mut d = Self::new(tree, lib, PowerDesign::uniform(Volts::new(1.1)));
+        d.chr = chr;
+        d
+    }
+
+    /// Synthesizes a multi-power-mode design: the die is split into
+    /// `n_domains` voltage islands driven by `n_modes` power modes at
+    /// 0.9 V / 1.1 V (Section VII-E setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails or `n_domains`/`n_modes` is zero.
+    #[must_use]
+    pub fn from_benchmark_multimode(
+        bench: &Benchmark,
+        seed: u64,
+        n_domains: usize,
+        n_modes: usize,
+    ) -> Self {
+        Self::from_benchmark_multimode_levels(
+            bench,
+            seed,
+            n_domains,
+            n_modes,
+            Volts::new(0.9),
+            Volts::new(1.1),
+        )
+    }
+
+    /// [`Self::from_benchmark_multimode`] with explicit low/high supply
+    /// levels for the voltage islands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails or `n_domains`/`n_modes` is zero.
+    #[must_use]
+    pub fn from_benchmark_multimode_levels(
+        bench: &Benchmark,
+        seed: u64,
+        n_domains: usize,
+        n_modes: usize,
+        low: Volts,
+        high: Volts,
+    ) -> Self {
+        let lib = CellLibrary::nangate45();
+        let chr = Characterizer::default();
+        let mut b = bench.clone();
+        let tree = Self::synthesize_x8(&mut b, &lib, &chr, seed);
+        let power = PowerDesign::random_with_levels(
+            wavemin_cells::units::Microns::new(bench.die_side_um as f64),
+            n_domains,
+            n_modes,
+            seed,
+            low,
+            high,
+        );
+        let mut d = Self::new(tree, lib, power);
+        d.chr = chr;
+        d
+    }
+
+    fn synthesize_x8(
+        bench: &mut Benchmark,
+        lib: &CellLibrary,
+        chr: &Characterizer,
+        seed: u64,
+    ) -> ClockTree {
+        let options = SynthesisOptions {
+            leaf_cell: "BUF_X8".to_owned(),
+            arity: bench.arity,
+            ..SynthesisOptions::default()
+        };
+        bench
+            .synthesize_with_options(lib, chr, seed, options)
+            .expect("default library covers synthesis cells")
+    }
+
+    /// Number of power modes.
+    #[must_use]
+    pub fn mode_count(&self) -> usize {
+        self.power.mode_count()
+    }
+
+    /// Timing analysis in one power mode (applies that mode's ADB codes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-analysis failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is out of range.
+    pub fn timing(&self, mode: usize) -> Result<Timing, WaveMinError> {
+        let supply = self.power.supply_for(&self.tree, mode);
+        Ok(Timing::analyze(
+            &self.tree,
+            &self.lib,
+            &self.chr,
+            self.wire,
+            &supply,
+            Some(&self.mode_adjust[mode]),
+        )?)
+    }
+
+    /// Clock skew in one power mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-analysis failures.
+    pub fn skew(&self, mode: usize) -> Result<Picoseconds, WaveMinError> {
+        Ok(self.timing(mode)?.skew(&self.tree))
+    }
+
+    /// The worst clock skew over all power modes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-analysis failures.
+    pub fn max_skew(&self) -> Result<Picoseconds, WaveMinError> {
+        let mut worst = Picoseconds::ZERO;
+        for m in 0..self.mode_count() {
+            worst = worst.max(self.skew(m)?);
+        }
+        Ok(worst)
+    }
+
+    /// The sink set `L` (arena order).
+    #[must_use]
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.tree.leaves()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_benchmark_counts_match() {
+        let bench = Benchmark::s15850();
+        let d = Design::from_benchmark(&bench, 1);
+        assert_eq!(d.tree.len(), bench.total_nodes);
+        assert_eq!(d.leaves().len(), bench.leaf_count);
+        assert_eq!(d.mode_count(), 1);
+    }
+
+    #[test]
+    fn single_mode_design_is_balanced() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 1);
+        let skew = d.skew(0).unwrap();
+        assert!(skew.value() < 10.0, "skew {skew}");
+    }
+
+    #[test]
+    fn leaves_start_as_buf_x8() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 1);
+        for id in d.leaves() {
+            assert_eq!(d.tree.node(id).cell, "BUF_X8");
+        }
+    }
+
+    #[test]
+    fn multimode_design_has_modes_and_violations() {
+        let d = Design::from_benchmark_multimode(&Benchmark::s15850(), 3, 4, 4);
+        assert_eq!(d.mode_count(), 4);
+        // Mode 0 is all-high: tight skew. Other modes are mixed-voltage
+        // and generally skewed.
+        assert!(d.skew(0).unwrap().value() < 10.0);
+        assert!(d.max_skew().unwrap() >= d.skew(0).unwrap());
+    }
+
+    #[test]
+    fn mode_adjust_is_per_mode() {
+        let mut d = Design::from_benchmark_multimode(&Benchmark::s15850(), 3, 4, 2);
+        let leaf = d.leaves()[0];
+        d.mode_adjust[1].set_extra_delay(leaf, Picoseconds::new(15.0));
+        let t0 = d.timing(0).unwrap();
+        let t1 = d.timing(1).unwrap();
+        // Mode 1's arrival at that leaf includes the extra delay.
+        let base_gap = t1.output_arrival[leaf.0] - t0.output_arrival[leaf.0];
+        assert!(base_gap.value() >= 15.0 - 1e-9);
+    }
+}

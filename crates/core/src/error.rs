@@ -1,0 +1,88 @@
+//! The crate-wide error type.
+
+use std::fmt;
+use wavemin_clocktree::prelude::TimingError;
+use wavemin_mosp::MospError;
+
+/// Errors surfaced by WaveMin optimizations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveMinError {
+    /// Timing analysis of the clock tree failed.
+    Timing(TimingError),
+    /// The MOSP solver failed.
+    Mosp(MospError),
+    /// No feasible time interval exists: no assignment can satisfy the
+    /// skew bound (single mode), or no feasible interval intersection
+    /// exists across modes.
+    NoFeasibleInterval,
+    /// ADB insertion could not resolve the multi-mode skew violations
+    /// within the adjustable delay range.
+    AdbInsertionFailed(String),
+    /// A required cell (e.g. a same-drive ADB/ADI) is missing from the
+    /// library.
+    MissingCell(String),
+    /// A configuration value is out of range.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for WaveMinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveMinError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+            WaveMinError::Mosp(e) => write!(f, "MOSP solve failed: {e}"),
+            WaveMinError::NoFeasibleInterval => {
+                write!(f, "no feasible time interval satisfies the skew bound")
+            }
+            WaveMinError::AdbInsertionFailed(why) => {
+                write!(f, "ADB insertion failed: {why}")
+            }
+            WaveMinError::MissingCell(c) => write!(f, "cell '{c}' missing from library"),
+            WaveMinError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveMinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WaveMinError::Timing(e) => Some(e),
+            WaveMinError::Mosp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TimingError> for WaveMinError {
+    fn from(e: TimingError) -> Self {
+        WaveMinError::Timing(e)
+    }
+}
+
+impl From<MospError> for WaveMinError {
+    fn from(e: MospError) -> Self {
+        WaveMinError::Mosp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(WaveMinError::NoFeasibleInterval.to_string().contains("skew"));
+        assert!(WaveMinError::MissingCell("ADB_X8".into())
+            .to_string()
+            .contains("ADB_X8"));
+        let e = WaveMinError::from(MospError::Cyclic);
+        assert!(e.to_string().contains("MOSP"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error;
+        let e = WaveMinError::from(MospError::NoPath);
+        assert!(e.source().is_some());
+        assert!(WaveMinError::NoFeasibleInterval.source().is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! Monte-Carlo process-variation study (Section VII-D).
+//!
+//! Wire widths/lengths, cell widths and threshold voltages are randomized
+//! as Gaussians with σ/µ = 5 %; 1000 instances per circuit are analyzed
+//! for skew-bound yield and for the spread (normalized standard deviation
+//! σ̂/µ̂) of the peak current and VDD/Gnd noises.
+
+use crate::design::Design;
+use crate::error::WaveMinError;
+use crate::eval::NoiseEvaluator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use wavemin_cells::units::Picoseconds;
+use wavemin_clocktree::variation::VariationModel;
+
+/// Summary statistics of one observed quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spread {
+    /// Observed mean µ̂.
+    pub mean: f64,
+    /// Observed standard deviation σ̂.
+    pub std_dev: f64,
+}
+
+impl Spread {
+    fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        Self {
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// The paper's normalized deviation σ̂/µ̂.
+    #[must_use]
+    pub fn normalized(&self) -> f64 {
+        if self.mean.abs() < 1e-12 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Results of a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloStats {
+    /// Number of instances analyzed.
+    pub runs: usize,
+    /// Fraction of instances whose skew stayed within the bound.
+    pub skew_yield: f64,
+    /// Peak-current spread (mA).
+    pub peak: Spread,
+    /// VDD-noise spread (mV).
+    pub vdd_noise: Spread,
+    /// Ground-noise spread (mV).
+    pub gnd_noise: Spread,
+}
+
+/// The Monte-Carlo driver.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// The variation magnitudes (default: σ/µ = 5 % everywhere).
+    pub model: VariationModel,
+    /// Instances to analyze (the paper uses 1000).
+    pub runs: usize,
+    /// The skew bound checked for yield.
+    pub kappa: Picoseconds,
+}
+
+impl MonteCarlo {
+    /// The paper's setup: 1000 instances, σ/µ = 5 %, κ = 100 ps.
+    #[must_use]
+    pub fn paper_setup() -> Self {
+        Self {
+            model: VariationModel::default(),
+            runs: 1000,
+            kappa: Picoseconds::new(100.0),
+        }
+    }
+
+    /// Creates a driver with explicit parameters.
+    #[must_use]
+    pub fn new(model: VariationModel, runs: usize, kappa: Picoseconds) -> Self {
+        Self {
+            model,
+            runs,
+            kappa,
+        }
+    }
+
+    /// Runs the study on the design's current state (mode 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn run(&self, design: &Design, seed: u64) -> Result<MonteCarloStats, WaveMinError> {
+        // Sample all variations up front (sequentially, so the result is
+        // independent of the worker count), then evaluate in parallel.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = self.model;
+        let variations: Vec<_> = (0..self.runs)
+            .map(|_| model.sample(&design.tree, &mut rng))
+            .collect();
+
+        let workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(self.runs.max(1));
+        let chunk = self.runs.div_ceil(workers.max(1)).max(1);
+        let reports: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = variations
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let eval = NoiseEvaluator::new(design);
+                        slice
+                            .iter()
+                            .map(|v| eval.evaluate_with_variation(0, v))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
+
+        let mut peaks = Vec::with_capacity(self.runs);
+        let mut vdds = Vec::with_capacity(self.runs);
+        let mut gnds = Vec::with_capacity(self.runs);
+        let mut pass = 0usize;
+        for report in reports {
+            if report.skew.value() <= self.kappa.value() + 1e-9 {
+                pass += 1;
+            }
+            peaks.push(report.peak.value());
+            vdds.push(report.vdd_noise.value());
+            gnds.push(report.gnd_noise.value());
+        }
+        Ok(MonteCarloStats {
+            runs: self.runs,
+            skew_yield: if self.runs == 0 {
+                0.0
+            } else {
+                pass as f64 / self.runs as f64
+            },
+            peak: Spread::from_samples(&peaks),
+            vdd_noise: Spread::from_samples(&vdds),
+            gnd_noise: Spread::from_samples(&gnds),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn spread_statistics() {
+        let s = Spread::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s.normalized() - s.std_dev / 2.0).abs() < 1e-12);
+        assert_eq!(Spread::from_samples(&[]).mean, 0.0);
+    }
+
+    #[test]
+    fn small_variation_gives_high_yield() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 1);
+        let mc = MonteCarlo::new(
+            VariationModel::default(),
+            40,
+            Picoseconds::new(100.0),
+        );
+        let stats = mc.run(&d, 11).unwrap();
+        assert_eq!(stats.runs, 40);
+        // A balanced tree with κ = 100 ps survives 5 % variation easily.
+        assert!(stats.skew_yield > 0.9, "yield {}", stats.skew_yield);
+        // Normalized spread should be on the order of the 5 % sigma.
+        let norm = stats.peak.normalized();
+        assert!((0.005..0.2).contains(&norm), "σ̂/µ̂ {norm}");
+    }
+
+    #[test]
+    fn tight_bound_lowers_yield() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 1);
+        let loose = MonteCarlo::new(VariationModel::default(), 30, Picoseconds::new(100.0))
+            .run(&d, 3)
+            .unwrap();
+        let tight = MonteCarlo::new(VariationModel::default(), 30, Picoseconds::new(3.0))
+            .run(&d, 3)
+            .unwrap();
+        assert!(tight.skew_yield <= loose.skew_yield);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 1);
+        let mc = MonteCarlo::new(VariationModel::default(), 10, Picoseconds::new(50.0));
+        assert_eq!(mc.run(&d, 9).unwrap(), mc.run(&d, 9).unwrap());
+    }
+}

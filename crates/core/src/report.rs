@@ -1,0 +1,106 @@
+//! Plain-text table formatting shared by the benchmark binaries.
+
+/// Renders an aligned plain-text table: a header row, a separator, then
+/// the data rows. Columns are right-aligned except the first.
+///
+/// # Example
+///
+/// ```
+/// use wavemin::report::render_table;
+///
+/// let s = render_table(
+///     &["ckt", "peak (mA)"],
+///     &[vec!["s15850".into(), "3.01".into()]],
+/// );
+/// assert!(s.contains("s15850"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    fn push_row(out: &mut String, widths: &[usize], cells: &[String]) {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map_or("", String::as_str);
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        out.push('\n');
+    }
+    let mut out = String::new();
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    push_row(&mut out, &widths, &header_cells);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        push_row(&mut out, &widths, row);
+    }
+    out
+}
+
+/// Formats a float with the given number of decimals.
+#[must_use]
+pub fn fmt(value: f64, decimals: usize) -> String {
+    if value.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{value:.decimals$}")
+    }
+}
+
+/// Formats a signed percentage (one decimal).
+#[must_use]
+pub fn pct(value: f64) -> String {
+    if value.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{value:+.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = render_table(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("22.5"));
+    }
+
+    #[test]
+    fn fmt_and_pct() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(f64::NAN, 2), "-");
+        assert_eq!(pct(12.345), "+12.35");
+        assert_eq!(pct(-3.0), "-3.00");
+        assert_eq!(pct(f64::NAN), "-");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let s = render_table(&["a", "b", "c"], &[vec!["x".into()]]);
+        assert!(s.lines().count() == 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the core optimization machinery.
+
+use proptest::prelude::*;
+use wavemin::noise_table::{EventWaveforms, SinkOption};
+use wavemin::prelude::*;
+use wavemin::sampling::SamplePlan;
+use wavemin_cells::units::{MicroAmps, Picoseconds};
+use wavemin_cells::{CellKind, Waveform};
+
+fn arb_option() -> impl Strategy<Value = SinkOption> {
+    (50.0..200.0f64, prop::bool::ANY, 0u32..3).prop_map(|(arrival, adjustable, steps_sel)| {
+        let (range, steps) = if adjustable {
+            (30.0, [4u32, 8, 12][steps_sel as usize])
+        } else {
+            (0.0, 0)
+        };
+        SinkOption {
+            cell: if adjustable { "ADB_X8" } else { "BUF_X8" }.to_owned(),
+            kind: if adjustable {
+                CellKind::Adb
+            } else {
+                CellKind::Buffer
+            },
+            delay: Picoseconds::new(20.0),
+            arrival: Picoseconds::new(arrival),
+            waves: EventWaveforms::zero(),
+            adjust_range: Picoseconds::new(range),
+            adjust_steps: steps,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn delay_codes_always_land_inside_the_window(
+        opt in arb_option(),
+        lo in 40.0..250.0f64,
+        width in 1.0..60.0f64,
+    ) {
+        let lo_t = Picoseconds::new(lo);
+        let hi_t = Picoseconds::new(lo + width);
+        if let Some(code) = opt.delay_code_for(lo_t, hi_t) {
+            let adjusted = opt.arrival + code;
+            prop_assert!(adjusted.value() >= lo_t.value() - 1e-6);
+            prop_assert!(adjusted.value() <= hi_t.value() + 1e-6);
+            prop_assert!(code.value() >= 0.0);
+            prop_assert!(code.value() <= opt.adjust_range.value() + 1e-9);
+            // Codes sit on the quantization grid.
+            if opt.adjust_steps > 0 {
+                let step = opt.adjust_range.value() / opt.adjust_steps as f64;
+                let frac = (code.value() / step).fract();
+                prop_assert!(!(1e-6..=1.0 - 1e-6).contains(&frac));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_windows_return_none(opt in arb_option(), gap in 1.0..100.0f64) {
+        // A window entirely before the arrival can never be reached
+        // (adjustable delay only adds).
+        let hi = opt.arrival - Picoseconds::new(gap);
+        let lo = hi - Picoseconds::new(5.0);
+        prop_assert!(opt.delay_code_for(lo, hi).is_none());
+        // A window beyond arrival + range is unreachable too.
+        let lo2 = opt.arrival + opt.adjust_range + Picoseconds::new(gap);
+        let hi2 = lo2 + Picoseconds::new(5.0);
+        prop_assert!(opt.delay_code_for(lo2, hi2).is_none());
+    }
+
+    #[test]
+    fn sample_plan_vector_is_monotone_in_waveform(
+        k in 1usize..20,
+        peak in 1.0..1000.0f64,
+        scale in 0.0..1.0f64,
+    ) {
+        let tri = Waveform::triangle(
+            Picoseconds::new(10.0),
+            Picoseconds::new(20.0),
+            Picoseconds::new(40.0),
+            MicroAmps::new(peak),
+        );
+        let big = EventWaveforms { vdd_rise: tri.clone(), ..EventWaveforms::zero() };
+        let small = EventWaveforms { vdd_rise: tri.scaled(scale), ..EventWaveforms::zero() };
+        let plan = SamplePlan::over_window(0.0, 50.0, k);
+        let vb = plan.vector_of(&big);
+        let vs = plan.vector_of(&small);
+        prop_assert_eq!(vb.len(), 4 * k);
+        for (b, s) in vb.iter().zip(&vs) {
+            prop_assert!(s <= b);
+        }
+    }
+
+    #[test]
+    fn event_waveform_sum_matches_pairwise(
+        peaks in proptest::collection::vec(1.0..500.0f64, 1..6),
+        t in 0.0..100.0f64,
+    ) {
+        let items: Vec<EventWaveforms> = peaks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| EventWaveforms {
+                gnd_fall: Waveform::triangle(
+                    Picoseconds::new(i as f64 * 7.0),
+                    Picoseconds::new(i as f64 * 7.0 + 5.0),
+                    Picoseconds::new(i as f64 * 7.0 + 15.0),
+                    MicroAmps::new(p),
+                ),
+                ..EventWaveforms::zero()
+            })
+            .collect();
+        let pooled = EventWaveforms::sum(items.iter());
+        let folded = items
+            .iter()
+            .fold(EventWaveforms::zero(), |acc, w| acc.plus(w));
+        let tt = Picoseconds::new(t);
+        prop_assert!(
+            (pooled.gnd_fall.sample(tt).value() - folded.gnd_fall.sample(tt).value()).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn assignment_apply_is_idempotent(seed in 0u64..50) {
+        let mut d = Design::from_benchmark(&Benchmark::s15850(), seed);
+        let leaves = d.leaves();
+        let mut a = Assignment::new();
+        a.set(leaves[0], "INV_X16");
+        a.set(leaves[1], "BUF_X16");
+        a.apply_to(&mut d);
+        let once = d.tree.clone();
+        a.apply_to(&mut d);
+        prop_assert_eq!(once, d.tree);
+    }
+}

@@ -1,0 +1,302 @@
+//! The weighted directed graph underlying the MOSP problem.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a vertex within a [`MospGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub usize);
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Errors raised while building or solving a MOSP instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MospError {
+    /// An arc weight's dimension does not match the graph's.
+    DimensionMismatch {
+        /// The graph's weight dimension `r`.
+        expected: usize,
+        /// The offending weight's length.
+        got: usize,
+    },
+    /// An arc endpoint is out of range.
+    InvalidVertex(VertexId),
+    /// The graph contains a directed cycle (solvers require a DAG).
+    Cyclic,
+    /// No path exists from source to destination.
+    NoPath,
+    /// An arc weight is negative or non-finite.
+    InvalidWeight(f64),
+    /// A solver parameter is out of range (e.g. `ε <= 0`).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for MospError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MospError::DimensionMismatch { expected, got } => {
+                write!(f, "arc weight has {got} dimensions, graph expects {expected}")
+            }
+            MospError::InvalidVertex(v) => write!(f, "vertex {v} does not exist"),
+            MospError::Cyclic => write!(f, "graph contains a directed cycle"),
+            MospError::NoPath => write!(f, "no path from source to destination"),
+            MospError::InvalidWeight(w) => {
+                write!(f, "arc weights must be finite and non-negative, got {w}")
+            }
+            MospError::InvalidParameter(p) => write!(f, "invalid solver parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for MospError {}
+
+/// A directed graph with `r`-dimensional non-negative arc weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MospGraph {
+    dim: usize,
+    /// Outgoing adjacency: `(target, weight)` per source vertex.
+    adjacency: Vec<Vec<(VertexId, Vec<f64>)>>,
+}
+
+impl MospGraph {
+    /// Creates an empty graph with weight dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "weight dimension must be positive");
+        Self {
+            dim,
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// The arc-weight dimension `r`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of arcs.
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.adjacency.push(Vec::new());
+        VertexId(self.adjacency.len() - 1)
+    }
+
+    /// Adds `n` vertices, returning their ids.
+    pub fn add_vertices(&mut self, n: usize) -> Vec<VertexId> {
+        (0..n).map(|_| self.add_vertex()).collect()
+    }
+
+    /// Adds a weighted arc `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MospError::DimensionMismatch`] for a wrong-sized weight,
+    /// [`MospError::InvalidVertex`] for out-of-range endpoints and
+    /// [`MospError::InvalidWeight`] for negative / non-finite components.
+    pub fn add_arc(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        weight: Vec<f64>,
+    ) -> Result<(), MospError> {
+        if weight.len() != self.dim {
+            return Err(MospError::DimensionMismatch {
+                expected: self.dim,
+                got: weight.len(),
+            });
+        }
+        if from.0 >= self.adjacency.len() {
+            return Err(MospError::InvalidVertex(from));
+        }
+        if to.0 >= self.adjacency.len() {
+            return Err(MospError::InvalidVertex(to));
+        }
+        if let Some(&w) = weight.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(MospError::InvalidWeight(w));
+        }
+        self.adjacency[from.0].push((to, weight));
+        Ok(())
+    }
+
+    /// The outgoing arcs of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn out_arcs(&self, v: VertexId) -> &[(VertexId, Vec<f64>)] {
+        &self.adjacency[v.0]
+    }
+
+    /// Topological order of all vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MospError::Cyclic`] when the graph is not a DAG.
+    pub fn topological_order(&self) -> Result<Vec<VertexId>, MospError> {
+        let n = self.adjacency.len();
+        let mut indegree = vec![0usize; n];
+        for arcs in &self.adjacency {
+            for (to, _) in arcs {
+                indegree[to.0] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(VertexId(v));
+            for (to, _) in &self.adjacency[v] {
+                indegree[to.0] -= 1;
+                if indegree[to.0] == 0 {
+                    queue.push(to.0);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(MospError::Cyclic)
+        }
+    }
+
+    /// Per-dimension upper bound on any simple-path cost: the longest-path
+    /// value per dimension over the DAG (used by Warburton scaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MospError::Cyclic`] when the graph is not a DAG.
+    pub fn path_upper_bounds(&self, source: VertexId) -> Result<Vec<f64>, MospError> {
+        let order = self.topological_order()?;
+        let n = self.adjacency.len();
+        let mut best = vec![vec![f64::NEG_INFINITY; self.dim]; n];
+        best[source.0] = vec![0.0; self.dim];
+        for v in order {
+            if best[v.0][0] == f64::NEG_INFINITY {
+                continue;
+            }
+            for (to, w) in &self.adjacency[v.0] {
+                for k in 0..self.dim {
+                    let cand = best[v.0][k] + w[k];
+                    if cand > best[to.0][k] {
+                        best[to.0][k] = cand;
+                    }
+                }
+            }
+        }
+        let mut ub = vec![0.0; self.dim];
+        for row in best.iter().take(n) {
+            for (k, u) in ub.iter_mut().enumerate() {
+                if row[k].is_finite() && row[k] > *u {
+                    *u = row[k];
+                }
+            }
+        }
+        Ok(ub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_count() {
+        let mut g = MospGraph::new(3);
+        let vs = g.add_vertices(3);
+        g.add_arc(vs[0], vs[1], vec![1.0, 2.0, 3.0]).unwrap();
+        g.add_arc(vs[1], vs[2], vec![0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.dim(), 3);
+        assert_eq!(g.out_arcs(vs[0]).len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_arcs() {
+        let mut g = MospGraph::new(2);
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        assert!(matches!(
+            g.add_arc(a, b, vec![1.0]),
+            Err(MospError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            g.add_arc(a, VertexId(99), vec![1.0, 1.0]),
+            Err(MospError::InvalidVertex(_))
+        ));
+        assert!(matches!(
+            g.add_arc(a, b, vec![-1.0, 1.0]),
+            Err(MospError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            g.add_arc(a, b, vec![f64::NAN, 1.0]),
+            Err(MospError::InvalidWeight(_))
+        ));
+    }
+
+    #[test]
+    fn topological_order_of_chain() {
+        let mut g = MospGraph::new(1);
+        let vs = g.add_vertices(4);
+        for w in vs.windows(2) {
+            g.add_arc(w[0], w[1], vec![1.0]).unwrap();
+        }
+        let order = g.topological_order().unwrap();
+        let pos: Vec<usize> = vs.iter().map(|v| order.iter().position(|o| o == v).unwrap()).collect();
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = MospGraph::new(1);
+        let vs = g.add_vertices(2);
+        g.add_arc(vs[0], vs[1], vec![1.0]).unwrap();
+        g.add_arc(vs[1], vs[0], vec![1.0]).unwrap();
+        assert_eq!(g.topological_order(), Err(MospError::Cyclic));
+        assert_eq!(g.path_upper_bounds(vs[0]), Err(MospError::Cyclic));
+    }
+
+    #[test]
+    fn upper_bounds_take_longest_path() {
+        let mut g = MospGraph::new(2);
+        let vs = g.add_vertices(3);
+        g.add_arc(vs[0], vs[1], vec![5.0, 1.0]).unwrap();
+        g.add_arc(vs[0], vs[1], vec![1.0, 5.0]).unwrap();
+        g.add_arc(vs[1], vs[2], vec![2.0, 2.0]).unwrap();
+        let ub = g.path_upper_bounds(vs[0]).unwrap();
+        assert_eq!(ub, vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = MospError::DimensionMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains('4'));
+        assert!(MospError::Cyclic.to_string().contains("cycle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = MospGraph::new(0);
+    }
+}

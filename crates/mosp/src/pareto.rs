@@ -1,0 +1,209 @@
+//! Pareto path sets and dominance.
+
+use crate::graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// `true` when `a` dominates `b`: componentwise `a <= b` with at least one
+/// strict inequality.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "dominance requires equal dimensions");
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Inserts `cost` into a mutable Pareto frontier of `(cost, payload)` pairs,
+/// dropping dominated entries. Returns `false` (and leaves the frontier
+/// unchanged) when `cost` is itself dominated or duplicated.
+pub fn insert_nondominated<T>(frontier: &mut Vec<(Vec<f64>, T)>, cost: Vec<f64>, payload: T) -> bool {
+    for (c, _) in frontier.iter() {
+        if dominates(c, &cost) || c == &cost {
+            return false;
+        }
+    }
+    frontier.retain(|(c, _)| !dominates(&cost, c));
+    frontier.push((cost, payload));
+    true
+}
+
+/// One Pareto-optimal source→destination path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPath {
+    /// Componentwise sum of the arc weights along the path.
+    pub cost: Vec<f64>,
+    /// The vertices visited, source first.
+    pub vertices: Vec<VertexId>,
+}
+
+impl ParetoPath {
+    /// The maximum cost component — the min–max objective value of this
+    /// path.
+    #[must_use]
+    pub fn max_component(&self) -> f64 {
+        self.cost.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// The set of (approximately) Pareto-optimal paths returned by a solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoSet {
+    paths: Vec<ParetoPath>,
+    /// `true` when the solver truncated the label sets (the frontier may
+    /// be incomplete).
+    truncated: bool,
+}
+
+impl ParetoSet {
+    /// Wraps solver output.
+    #[must_use]
+    pub fn new(paths: Vec<ParetoPath>, truncated: bool) -> Self {
+        Self { paths, truncated }
+    }
+
+    /// The Pareto paths found.
+    #[must_use]
+    pub fn paths(&self) -> &[ParetoPath] {
+        &self.paths
+    }
+
+    /// `true` when the solver hit its label cap and may have lost paths.
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The path minimizing the worst cost component (the paper's final
+    /// selection among Pareto optima), or `None` for an empty set.
+    #[must_use]
+    pub fn min_max(&self) -> Option<&ParetoPath> {
+        self.paths
+            .iter()
+            .min_by(|a, b| a.max_component().total_cmp(&b.max_component()))
+    }
+
+    /// The path minimizing the worst *weighted* cost component; useful when
+    /// dimensions carry different rails or power modes that should be
+    /// prioritized unevenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` length differs from the cost dimension.
+    #[must_use]
+    pub fn min_max_weighted(&self, weights: &[f64]) -> Option<&ParetoPath> {
+        self.paths.iter().min_by(|a, b| {
+            let wa = weighted_max(&a.cost, weights);
+            let wb = weighted_max(&b.cost, weights);
+            wa.total_cmp(&wb)
+        })
+    }
+}
+
+fn weighted_max(cost: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(cost.len(), weights.len(), "weight vector dimension mismatch");
+    cost.iter()
+        .zip(weights)
+        .map(|(c, w)| c * w)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[2.0, 2.0]), "equal does not dominate");
+        assert!(!dominates(&[3.0, 1.0], &[1.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn dominance_dimension_mismatch_panics() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn frontier_insertion_drops_dominated() {
+        let mut f: Vec<(Vec<f64>, ())> = Vec::new();
+        assert!(insert_nondominated(&mut f, vec![2.0, 2.0], ()));
+        assert!(!insert_nondominated(&mut f, vec![3.0, 3.0], ()), "dominated");
+        assert!(!insert_nondominated(&mut f, vec![2.0, 2.0], ()), "duplicate");
+        assert!(insert_nondominated(&mut f, vec![1.0, 3.0], ()), "incomparable");
+        assert!(insert_nondominated(&mut f, vec![1.0, 1.0], ()), "dominates all");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].0, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn min_max_selection() {
+        let set = ParetoSet::new(
+            vec![
+                ParetoPath {
+                    cost: vec![10.0, 1.0],
+                    vertices: vec![],
+                },
+                ParetoPath {
+                    cost: vec![6.0, 6.0],
+                    vertices: vec![],
+                },
+                ParetoPath {
+                    cost: vec![1.0, 9.0],
+                    vertices: vec![],
+                },
+            ],
+            false,
+        );
+        assert_eq!(set.min_max().unwrap().cost, vec![6.0, 6.0]);
+    }
+
+    #[test]
+    fn weighted_min_max_changes_winner() {
+        let set = ParetoSet::new(
+            vec![
+                ParetoPath {
+                    cost: vec![10.0, 1.0],
+                    vertices: vec![],
+                },
+                ParetoPath {
+                    cost: vec![6.0, 6.0],
+                    vertices: vec![],
+                },
+            ],
+            false,
+        );
+        // Heavily discount dimension 0: the (10, 1) path wins.
+        let w = set.min_max_weighted(&[0.1, 1.0]).unwrap();
+        assert_eq!(w.cost, vec![10.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_set_has_no_min_max() {
+        let set = ParetoSet::new(vec![], false);
+        assert!(set.min_max().is_none());
+        assert!(!set.is_truncated());
+    }
+
+    #[test]
+    fn max_component() {
+        let p = ParetoPath {
+            cost: vec![3.0, 7.0, 5.0],
+            vertices: vec![],
+        };
+        assert_eq!(p.max_component(), 7.0);
+    }
+}

@@ -1,0 +1,511 @@
+//! The MOSP solvers: exact Pareto enumeration and Warburton's
+//! ε-approximation.
+
+use crate::graph::{MospError, MospGraph, VertexId};
+use crate::pareto::{dominates, ParetoPath, ParetoSet};
+
+/// A label in the dynamic program: an accumulated cost plus the
+/// predecessor (vertex, label-index) used to reconstruct the path.
+#[derive(Debug, Clone)]
+struct Label {
+    cost: Vec<f64>,
+    /// Scaled cost used for dominance in the ε-approximate solver
+    /// (empty in the exact solver, where `cost` itself is compared).
+    scaled: Vec<i64>,
+    pred: Option<(usize, usize)>,
+}
+
+/// Exact Pareto enumeration over the DAG.
+///
+/// Labels are propagated in topological order; at each vertex only
+/// nondominated labels survive. Worst-case exponential (the frontier can
+/// be exponential), so `max_labels` optionally caps the per-vertex frontier
+/// — when the cap triggers, labels with the smallest maximum component are
+/// kept (biased toward the min–max selection) and the result is marked
+/// [`ParetoSet::is_truncated`].
+///
+/// # Errors
+///
+/// Returns [`MospError::Cyclic`] for non-DAG inputs and
+/// [`MospError::NoPath`] when `dest` is unreachable from `source`.
+pub fn exact(
+    graph: &MospGraph,
+    source: VertexId,
+    dest: VertexId,
+    max_labels: Option<usize>,
+) -> Result<ParetoSet, MospError> {
+    run(graph, source, dest, max_labels, None)
+}
+
+/// Warburton's fully polynomial ε-approximation.
+///
+/// Per dimension `k`, costs are compared on a grid of `δ_k = ε·UB_k / n`
+/// (with `UB_k` the longest-path bound and `n` the vertex count), which
+/// bounds the per-vertex label count by `∏_k (n/ε)` and guarantees every
+/// Pareto point is matched within a `(1+ε)` factor per dimension.
+///
+/// # Errors
+///
+/// Returns [`MospError::InvalidParameter`] for `ε <= 0`, plus the same
+/// errors as [`exact`].
+pub fn warburton(
+    graph: &MospGraph,
+    source: VertexId,
+    dest: VertexId,
+    epsilon: f64,
+) -> Result<ParetoSet, MospError> {
+    warburton_capped(graph, source, dest, epsilon, None)
+}
+
+/// [`warburton`] with an additional per-vertex label cap as a safety net
+/// for very high weight dimensions (where even the scaled label space can
+/// be large). When the cap triggers, labels with the smallest maximum
+/// component survive and the result is marked truncated.
+///
+/// # Errors
+///
+/// Same as [`warburton`].
+pub fn warburton_capped(
+    graph: &MospGraph,
+    source: VertexId,
+    dest: VertexId,
+    epsilon: f64,
+    max_labels: Option<usize>,
+) -> Result<ParetoSet, MospError> {
+    if epsilon <= 0.0 || epsilon.is_nan() || !epsilon.is_finite() {
+        return Err(MospError::InvalidParameter("epsilon must be positive"));
+    }
+    let ub = graph.path_upper_bounds(source)?;
+    let n = graph.vertex_count().max(1) as f64;
+    let deltas: Vec<f64> = ub
+        .iter()
+        .map(|&u| {
+            let d = epsilon * u / n;
+            if d > 0.0 {
+                d
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    run(graph, source, dest, max_labels, Some(&deltas))
+}
+
+/// Shared label-correcting DP. `deltas` switches scaled-dominance mode.
+fn run(
+    graph: &MospGraph,
+    source: VertexId,
+    dest: VertexId,
+    max_labels: Option<usize>,
+    deltas: Option<&[f64]>,
+) -> Result<ParetoSet, MospError> {
+    let order = graph.topological_order()?;
+    let n = graph.vertex_count();
+    if source.0 >= n {
+        return Err(MospError::InvalidVertex(source));
+    }
+    if dest.0 >= n {
+        return Err(MospError::InvalidVertex(dest));
+    }
+    let dim = graph.dim();
+
+    // Arena of labels per vertex (append-only, so predecessor indices stay
+    // valid) plus the indices of the currently nondominated ones.
+    let mut arena: Vec<Vec<Label>> = vec![Vec::new(); n];
+    let mut active: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut truncated = false;
+
+    let scale = |cost: &[f64]| -> Vec<i64> {
+        match deltas {
+            Some(ds) => cost
+                .iter()
+                .zip(ds)
+                .map(|(c, d)| (c / d).floor() as i64)
+                .collect(),
+            None => Vec::new(),
+        }
+    };
+
+    arena[source.0].push(Label {
+        cost: vec![0.0; dim],
+        scaled: scale(&vec![0.0; dim]),
+        pred: None,
+    });
+    active[source.0].push(0);
+
+    for v in order {
+        // Apply the per-vertex cap before expanding.
+        if let Some(cap) = max_labels {
+            if active[v.0].len() > cap {
+                let slot = &mut active[v.0];
+                slot.sort_by(|&a, &b| {
+                    let ma = max_of(&arena[v.0][a].cost);
+                    let mb = max_of(&arena[v.0][b].cost);
+                    ma.total_cmp(&mb)
+                });
+                slot.truncate(cap);
+                truncated = true;
+            }
+        }
+        if active[v.0].is_empty() {
+            continue;
+        }
+        for (to, w) in graph.out_arcs(v) {
+            for idx in active[v.0].clone() {
+                let mut cost = arena[v.0][idx].cost.clone();
+                for (c, wk) in cost.iter_mut().zip(w) {
+                    *c += wk;
+                }
+                let scaled = scale(&cost);
+                if push_label(
+                    &mut arena[to.0],
+                    &mut active[to.0],
+                    Label {
+                        cost,
+                        scaled,
+                        pred: Some((v.0, idx)),
+                    },
+                    deltas.is_some(),
+                ) {
+                    // inserted
+                }
+            }
+        }
+    }
+
+    if active[dest.0].is_empty() {
+        if source == dest {
+            return Ok(ParetoSet::new(
+                vec![ParetoPath {
+                    cost: vec![0.0; dim],
+                    vertices: vec![source],
+                }],
+                false,
+            ));
+        }
+        return Err(MospError::NoPath);
+    }
+
+    let mut paths: Vec<ParetoPath> = active[dest.0]
+        .iter()
+        .map(|&idx| ParetoPath {
+            cost: arena[dest.0][idx].cost.clone(),
+            vertices: reconstruct(&arena, dest.0, idx),
+        })
+        .collect();
+    // Final exact-dominance sweep (the ε-solver's scaled dominance can let
+    // exactly-dominated paths coexist).
+    let mut keep = vec![true; paths.len()];
+    for i in 0..paths.len() {
+        for j in 0..paths.len() {
+            if i != j && keep[i] && keep[j] && dominates(&paths[i].cost, &paths[j].cost) {
+                keep[j] = false;
+            }
+        }
+    }
+    let mut it = keep.iter();
+    paths.retain(|_| *it.next().expect("keep mask aligned"));
+    Ok(ParetoSet::new(paths, truncated))
+}
+
+/// Inserts a label unless dominated; prunes dominated incumbents.
+/// Comparison uses scaled costs in ε mode, true costs otherwise.
+fn push_label(arena: &mut Vec<Label>, active: &mut Vec<usize>, label: Label, scaled: bool) -> bool {
+    fn cmp_vec(l: &Label) -> &[f64] {
+        &l.cost
+    }
+    if scaled {
+        for &i in active.iter() {
+            let inc = &arena[i];
+            if scaled_leq(&inc.scaled, &label.scaled) {
+                return false;
+            }
+        }
+        active.retain(|&i| !scaled_leq(&label.scaled, &arena[i].scaled));
+    } else {
+        for &i in active.iter() {
+            let inc = cmp_vec(&arena[i]);
+            if dominates(inc, &label.cost) || inc == label.cost.as_slice() {
+                return false;
+            }
+        }
+        active.retain(|&i| !dominates(&label.cost, cmp_vec(&arena[i])));
+    }
+    arena.push(label);
+    active.push(arena.len() - 1);
+    true
+}
+
+/// `a` weakly dominates `b` on the scaled grid (componentwise `<=`).
+fn scaled_leq(a: &[i64], b: &[i64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+fn max_of(cost: &[f64]) -> f64 {
+    cost.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn reconstruct(arena: &[Vec<Label>], vertex: usize, label: usize) -> Vec<VertexId> {
+    let mut rev = vec![VertexId(vertex)];
+    let mut cur = &arena[vertex][label];
+    while let Some((pv, pl)) = cur.pred {
+        rev.push(VertexId(pv));
+        cur = &arena[pv][pl];
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force path enumeration for validation.
+    fn all_paths(
+        g: &MospGraph,
+        from: VertexId,
+        to: VertexId,
+    ) -> Vec<(Vec<f64>, Vec<VertexId>)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(from, vec![0.0; g.dim()], vec![from])];
+        while let Some((v, cost, path)) = stack.pop() {
+            if v == to {
+                out.push((cost.clone(), path.clone()));
+                if v == from && g.out_arcs(v).is_empty() {
+                    continue;
+                }
+            }
+            for (next, w) in g.out_arcs(v) {
+                let mut c = cost.clone();
+                for (a, b) in c.iter_mut().zip(w) {
+                    *a += b;
+                }
+                let mut p = path.clone();
+                p.push(*next);
+                stack.push((*next, c, p));
+            }
+        }
+        out
+    }
+
+    fn diamond() -> (MospGraph, VertexId, VertexId) {
+        // src -> {a, b} -> dest, asymmetric weights.
+        let mut g = MospGraph::new(2);
+        let vs = g.add_vertices(4);
+        g.add_arc(vs[0], vs[1], vec![1.0, 8.0]).unwrap();
+        g.add_arc(vs[0], vs[2], vec![8.0, 1.0]).unwrap();
+        g.add_arc(vs[1], vs[3], vec![1.0, 1.0]).unwrap();
+        g.add_arc(vs[2], vs[3], vec![1.0, 1.0]).unwrap();
+        (g, vs[0], vs[3])
+    }
+
+    #[test]
+    fn exact_finds_both_pareto_paths() {
+        let (g, s, t) = diamond();
+        let set = exact(&g, s, t, None).unwrap();
+        assert_eq!(set.paths().len(), 2);
+        assert!(!set.is_truncated());
+        let mm = set.min_max().unwrap();
+        assert_eq!(mm.max_component(), 9.0);
+        assert_eq!(mm.vertices.len(), 3);
+    }
+
+    #[test]
+    fn exact_drops_dominated_paths() {
+        let mut g = MospGraph::new(2);
+        let vs = g.add_vertices(2);
+        g.add_arc(vs[0], vs[1], vec![1.0, 1.0]).unwrap();
+        g.add_arc(vs[0], vs[1], vec![2.0, 2.0]).unwrap();
+        g.add_arc(vs[0], vs[1], vec![0.5, 3.0]).unwrap();
+        let set = exact(&g, vs[0], vs[1], None).unwrap();
+        assert_eq!(set.paths().len(), 2, "the (2,2) arc is dominated");
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_layered_graph() {
+        // A 3-layer, 3-column layered graph like the WaveMin conversion.
+        let mut g = MospGraph::new(3);
+        let src = g.add_vertex();
+        let l1 = g.add_vertices(3);
+        let l2 = g.add_vertices(3);
+        let dest = g.add_vertex();
+        let w = |a: f64, b: f64, c: f64| vec![a, b, c];
+        for (i, &v) in l1.iter().enumerate() {
+            g.add_arc(src, v, w(i as f64, 2.0 - i as f64, 1.0)).unwrap();
+        }
+        for &u in &l1 {
+            for (j, &v) in l2.iter().enumerate() {
+                g.add_arc(u, v, w(1.0 + j as f64, 3.0 - j as f64, j as f64))
+                    .unwrap();
+            }
+        }
+        for &u in &l2 {
+            g.add_arc(u, dest, w(0.5, 0.5, 0.5)).unwrap();
+        }
+        let set = exact(&g, src, dest, None).unwrap();
+        // Every returned path must be nondominated against brute force,
+        // and every brute-force nondominated cost must appear.
+        let brute = all_paths(&g, src, dest);
+        for p in set.paths() {
+            assert!(
+                !brute.iter().any(|(c, _)| dominates(c, &p.cost)),
+                "solver returned dominated path {:?}",
+                p.cost
+            );
+        }
+        for (c, _) in &brute {
+            if !brute.iter().any(|(c2, _)| dominates(c2, c)) {
+                assert!(
+                    set.paths().iter().any(|p| p.cost == *c),
+                    "missing nondominated cost {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_reconstruction_is_consistent() {
+        let (g, s, t) = diamond();
+        let set = exact(&g, s, t, None).unwrap();
+        for p in set.paths() {
+            assert_eq!(p.vertices.first(), Some(&s));
+            assert_eq!(p.vertices.last(), Some(&t));
+            // Re-sum the arc weights along the reconstructed path.
+            let mut cost = vec![0.0; g.dim()];
+            for w2 in p.vertices.windows(2) {
+                let (u, v) = (w2[0], w2[1]);
+                let arc = g
+                    .out_arcs(u)
+                    .iter()
+                    .find(|(to, _)| *to == v)
+                    .expect("arc exists");
+                for (a, b) in cost.iter_mut().zip(&arc.1) {
+                    *a += b;
+                }
+            }
+            assert_eq!(&cost, &p.cost);
+        }
+    }
+
+    #[test]
+    fn label_cap_truncates_but_still_answers() {
+        let mut g = MospGraph::new(2);
+        let mut prev = g.add_vertex();
+        let src = prev;
+        // 8 diamond stages: up to 2^8 Pareto paths.
+        for _ in 0..8 {
+            let a = g.add_vertex();
+            let b = g.add_vertex();
+            let join = g.add_vertex();
+            g.add_arc(prev, a, vec![1.0, 0.0]).unwrap();
+            g.add_arc(prev, b, vec![0.0, 1.0]).unwrap();
+            g.add_arc(a, join, vec![0.0, 0.0]).unwrap();
+            g.add_arc(b, join, vec![0.0, 0.0]).unwrap();
+            prev = join;
+        }
+        let capped = exact(&g, src, prev, Some(4)).unwrap();
+        assert!(capped.is_truncated());
+        // The min-max optimum splits 4/4.
+        let mm = capped.min_max().unwrap().max_component();
+        assert!(mm <= 6.0, "cap kept a good min-max path, got {mm}");
+        let full = exact(&g, src, prev, None).unwrap();
+        assert_eq!(full.min_max().unwrap().max_component(), 4.0);
+    }
+
+    #[test]
+    fn warburton_approximates_within_bound() {
+        let (g, s, t) = diamond();
+        for eps in [0.01, 0.1, 0.5] {
+            let approx = warburton(&g, s, t, eps).unwrap();
+            let exact_set = exact(&g, s, t, None).unwrap();
+            let opt = exact_set.min_max().unwrap().max_component();
+            let got = approx.min_max().unwrap().max_component();
+            assert!(
+                got <= opt * (1.0 + eps) + 1e-9,
+                "eps={eps}: got {got}, opt {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn warburton_collapses_near_equal_labels() {
+        // Many near-identical parallel routes: the ε grid should merge them.
+        let mut g = MospGraph::new(2);
+        let mut prev = g.add_vertex();
+        let src = prev;
+        for i in 0..6 {
+            let a = g.add_vertex();
+            let b = g.add_vertex();
+            let join = g.add_vertex();
+            let jitter = 1e-4 * i as f64;
+            g.add_arc(prev, a, vec![1.0 + jitter, 1.0]).unwrap();
+            g.add_arc(prev, b, vec![1.0, 1.0 + jitter]).unwrap();
+            g.add_arc(a, join, vec![0.0, 0.0]).unwrap();
+            g.add_arc(b, join, vec![0.0, 0.0]).unwrap();
+            prev = join;
+        }
+        let approx = warburton(&g, src, prev, 0.2).unwrap();
+        assert!(
+            approx.paths().len() <= 8,
+            "grid should collapse near-ties, got {}",
+            approx.paths().len()
+        );
+    }
+
+    #[test]
+    fn warburton_rejects_bad_epsilon() {
+        let (g, s, t) = diamond();
+        assert!(matches!(
+            warburton(&g, s, t, 0.0),
+            Err(MospError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            warburton(&g, s, t, -1.0),
+            Err(MospError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            warburton(&g, s, t, f64::NAN),
+            Err(MospError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn unreachable_dest_errors() {
+        let mut g = MospGraph::new(1);
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        assert_eq!(exact(&g, a, b, None), Err(MospError::NoPath));
+    }
+
+    #[test]
+    fn source_equals_dest() {
+        let mut g = MospGraph::new(2);
+        let a = g.add_vertex();
+        let set = exact(&g, a, a, None).unwrap();
+        assert_eq!(set.paths().len(), 1);
+        assert_eq!(set.paths()[0].cost, vec![0.0, 0.0]);
+        assert_eq!(set.paths()[0].vertices, vec![a]);
+    }
+
+    #[test]
+    fn zero_weight_graph() {
+        let mut g = MospGraph::new(2);
+        let vs = g.add_vertices(3);
+        g.add_arc(vs[0], vs[1], vec![0.0, 0.0]).unwrap();
+        g.add_arc(vs[1], vs[2], vec![0.0, 0.0]).unwrap();
+        let set = warburton(&g, vs[0], vs[2], 0.1).unwrap();
+        assert_eq!(set.paths().len(), 1);
+        assert_eq!(set.paths()[0].cost, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn high_dimension_weights() {
+        // r = 8 like a multi-mode WaveMin instance.
+        let mut g = MospGraph::new(8);
+        let vs = g.add_vertices(3);
+        g.add_arc(vs[0], vs[1], vec![1.0; 8]).unwrap();
+        g.add_arc(vs[1], vs[2], vec![2.0; 8]).unwrap();
+        let set = exact(&g, vs[0], vs[2], None).unwrap();
+        assert_eq!(set.paths()[0].cost, vec![3.0; 8]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Resistive power-grid mesh and IR-drop solve.
+
+use serde::{Deserialize, Serialize};
+use wavemin_cells::units::{MicroAmps, Microns, Millivolts, Ohms};
+
+/// Where the ideal supply connections (pads) sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PadPlacement {
+    /// Every border node is a pad (a flip-chip-like ring; the default).
+    Ring,
+    /// Only the four corner nodes are pads (wire-bond-like; the worst
+    /// case for center drops).
+    Corners,
+}
+
+/// Mesh construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridOptions {
+    /// Grid pitch (stripe spacing).
+    pub pitch: Microns,
+    /// Resistance of one mesh segment between adjacent grid nodes.
+    pub segment_r: Ohms,
+    /// Gauss–Seidel convergence threshold (volts-equivalent in µV).
+    pub tolerance_uv: f64,
+    /// Iteration cap for the relaxation solve.
+    pub max_iterations: usize,
+    /// Supply pad placement.
+    pub pads: PadPlacement,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        Self {
+            pitch: Microns::new(50.0),
+            segment_r: Ohms::new(0.5),
+            tolerance_uv: 0.05,
+            max_iterations: 20_000,
+            pads: PadPlacement::Ring,
+        }
+    }
+}
+
+/// A rectangular resistive mesh with supply pads along the die border.
+///
+/// The VDD and ground grids are symmetric, so one mesh serves both rails:
+/// inject the rail's instantaneous currents and read the worst drop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerGrid {
+    nx: usize,
+    ny: usize,
+    options: GridOptions,
+    /// Border pad mask (true = ideal supply connection).
+    pads: Vec<bool>,
+}
+
+impl PowerGrid {
+    /// Builds a mesh covering a square die of the given side, with pads on
+    /// every border node (a typical flip-chip-like ring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die side or pitch is not positive.
+    #[must_use]
+    pub fn over_die(die_side: Microns, options: GridOptions) -> Self {
+        assert!(die_side.value() > 0.0, "die side must be positive");
+        assert!(options.pitch.value() > 0.0, "grid pitch must be positive");
+        let cells = (die_side.value() / options.pitch.value()).ceil() as usize;
+        let nx = cells + 1;
+        let ny = cells + 1;
+        let mut pads = vec![false; nx * ny];
+        match options.pads {
+            PadPlacement::Ring => {
+                for x in 0..nx {
+                    pads[x] = true; // bottom row
+                    pads[(ny - 1) * nx + x] = true; // top row
+                }
+                for y in 0..ny {
+                    pads[y * nx] = true; // left column
+                    pads[y * nx + nx - 1] = true; // right column
+                }
+            }
+            PadPlacement::Corners => {
+                pads[0] = true;
+                pads[nx - 1] = true;
+                pads[(ny - 1) * nx] = true;
+                pads[(ny - 1) * nx + nx - 1] = true;
+            }
+        }
+        Self {
+            nx,
+            ny,
+            options,
+            pads,
+        }
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    #[must_use]
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of grid nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Index of the grid node nearest a die location (µm coordinates).
+    #[must_use]
+    pub fn nearest_node(&self, x_um: f64, y_um: f64) -> usize {
+        let pitch = self.options.pitch.value();
+        let gx = ((x_um / pitch).round().max(0.0) as usize).min(self.nx - 1);
+        let gy = ((y_um / pitch).round().max(0.0) as usize).min(self.ny - 1);
+        gy * self.nx + gx
+    }
+
+    /// Solves the IR drop for point current injections and returns the
+    /// worst drop on the grid.
+    ///
+    /// Each injection is `((x_um, y_um), current)`: the instantaneous
+    /// current a buffer draws from this rail at the analyzed time sample.
+    /// Negative or non-finite currents are clamped to zero.
+    #[must_use]
+    pub fn ir_drop(&self, injections: &[((f64, f64), MicroAmps)]) -> Millivolts {
+        let drops = self.solve(injections);
+        let worst_uv = drops.iter().copied().fold(0.0_f64, f64::max);
+        Millivolts::new(worst_uv / 1000.0)
+    }
+
+    /// Worst drop for a *series* of injection snapshots (e.g. the sampled
+    /// instants of a clock edge): one IR solve per snapshot, returning the
+    /// drop waterfall.
+    #[must_use]
+    pub fn ir_drop_series(
+        &self,
+        snapshots: &[Vec<((f64, f64), MicroAmps)>],
+    ) -> Vec<Millivolts> {
+        snapshots.iter().map(|s| self.ir_drop(s)).collect()
+    }
+
+    /// Full nodal solve: the voltage drop (µV) at every grid node.
+    ///
+    /// Gauss–Seidel on the mesh Laplacian with Dirichlet (zero-drop) pads:
+    /// `d_i = (Σ_neighbors d_j + R · I_i) / degree_i`, with `R·I` in
+    /// `Ω · µA = µV`.
+    #[must_use]
+    pub fn solve(&self, injections: &[((f64, f64), MicroAmps)]) -> Vec<f64> {
+        let n = self.node_count();
+        let mut current = vec![0.0_f64; n];
+        for &((x, y), i) in injections {
+            let v = i.value();
+            if v.is_finite() && v > 0.0 {
+                current[self.nearest_node(x, y)] += v;
+            }
+        }
+        let r = self.options.segment_r.value();
+        let mut drop = vec![0.0_f64; n];
+        for _ in 0..self.options.max_iterations {
+            let mut delta = 0.0_f64;
+            for idx in 0..n {
+                if self.pads[idx] {
+                    continue;
+                }
+                let (x, y) = (idx % self.nx, idx / self.nx);
+                let mut sum = 0.0;
+                let mut deg = 0.0;
+                if x > 0 {
+                    sum += drop[idx - 1];
+                    deg += 1.0;
+                }
+                if x + 1 < self.nx {
+                    sum += drop[idx + 1];
+                    deg += 1.0;
+                }
+                if y > 0 {
+                    sum += drop[idx - self.nx];
+                    deg += 1.0;
+                }
+                if y + 1 < self.ny {
+                    sum += drop[idx + self.nx];
+                    deg += 1.0;
+                }
+                let new = (sum + r * current[idx]) / deg;
+                delta = delta.max((new - drop[idx]).abs());
+                drop[idx] = new;
+            }
+            if delta < self.options.tolerance_uv {
+                break;
+            }
+        }
+        drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> PowerGrid {
+        PowerGrid::over_die(Microns::new(200.0), GridOptions::default())
+    }
+
+    #[test]
+    fn construction_covers_die() {
+        let g = grid();
+        let (nx, ny) = g.dimensions();
+        assert_eq!((nx, ny), (5, 5)); // 200/50 = 4 cells -> 5 nodes
+        assert_eq!(g.node_count(), 25);
+    }
+
+    #[test]
+    fn nearest_node_snaps_and_clamps() {
+        let g = grid();
+        assert_eq!(g.nearest_node(0.0, 0.0), 0);
+        assert_eq!(g.nearest_node(49.0, 0.0), 1);
+        assert_eq!(g.nearest_node(1e9, 1e9), g.node_count() - 1);
+    }
+
+    #[test]
+    fn no_current_no_drop() {
+        let g = grid();
+        assert_eq!(g.ir_drop(&[]).value(), 0.0);
+    }
+
+    #[test]
+    fn center_injection_produces_positive_drop() {
+        let g = grid();
+        let noise = g.ir_drop(&[((100.0, 100.0), MicroAmps::new(10_000.0))]);
+        assert!(noise.value() > 0.0);
+        // 10 mA across a 0.5 Ω mesh: drop should be order-of-mV.
+        assert!(noise.value() < 20.0, "drop {noise} implausibly large");
+    }
+
+    #[test]
+    fn drop_scales_linearly_with_current() {
+        let g = grid();
+        let one = g.ir_drop(&[((100.0, 100.0), MicroAmps::new(1000.0))]);
+        let two = g.ir_drop(&[((100.0, 100.0), MicroAmps::new(2000.0))]);
+        assert!((two.value() - 2.0 * one.value()).abs() < 0.02 * two.value());
+    }
+
+    #[test]
+    fn border_injection_is_absorbed_by_pads() {
+        let g = grid();
+        let center = g.ir_drop(&[((100.0, 100.0), MicroAmps::new(5000.0))]);
+        let border = g.ir_drop(&[((0.0, 100.0), MicroAmps::new(5000.0))]);
+        assert!(border.value() < center.value());
+    }
+
+    #[test]
+    fn superposition_of_separated_injections() {
+        let g = PowerGrid::over_die(Microns::new(400.0), GridOptions::default());
+        let a = g.solve(&[((100.0, 100.0), MicroAmps::new(3000.0))]);
+        let b = g.solve(&[((300.0, 300.0), MicroAmps::new(3000.0))]);
+        let both = g.solve(&[
+            ((100.0, 100.0), MicroAmps::new(3000.0)),
+            ((300.0, 300.0), MicroAmps::new(3000.0)),
+        ]);
+        // Linear network: solutions superpose.
+        for i in 0..g.node_count() {
+            assert!((both[i] - (a[i] + b[i])).abs() < 1.0, "node {i}");
+        }
+    }
+
+    #[test]
+    fn negative_and_nan_currents_ignored() {
+        let g = grid();
+        let clean = g.ir_drop(&[((100.0, 100.0), MicroAmps::new(1000.0))]);
+        let dirty = g.ir_drop(&[
+            ((100.0, 100.0), MicroAmps::new(1000.0)),
+            ((120.0, 100.0), MicroAmps::new(-500.0)),
+            ((80.0, 100.0), MicroAmps::new(f64::NAN)),
+        ]);
+        assert_eq!(clean, dirty);
+    }
+
+    #[test]
+    fn pad_nodes_stay_at_zero() {
+        let g = grid();
+        let drops = g.solve(&[((100.0, 100.0), MicroAmps::new(8000.0))]);
+        let (nx, ny) = g.dimensions();
+        for x in 0..nx {
+            assert_eq!(drops[x], 0.0);
+            assert_eq!(drops[(ny - 1) * nx + x], 0.0);
+        }
+    }
+
+    #[test]
+    fn corner_pads_are_worse_than_ring() {
+        let ring = PowerGrid::over_die(Microns::new(200.0), GridOptions::default());
+        let corners = PowerGrid::over_die(
+            Microns::new(200.0),
+            GridOptions {
+                pads: PadPlacement::Corners,
+                ..GridOptions::default()
+            },
+        );
+        let inj = [((100.0, 100.0), MicroAmps::new(5000.0))];
+        assert!(corners.ir_drop(&inj).value() > ring.ir_drop(&inj).value());
+    }
+
+    #[test]
+    fn series_matches_per_snapshot_solves() {
+        let g = PowerGrid::over_die(Microns::new(200.0), GridOptions::default());
+        let snaps = vec![
+            vec![((100.0, 100.0), MicroAmps::new(1000.0))],
+            vec![((50.0, 50.0), MicroAmps::new(2000.0))],
+            vec![],
+        ];
+        let series = g.ir_drop_series(&snaps);
+        assert_eq!(series.len(), 3);
+        for (s, snap) in series.iter().zip(&snaps) {
+            assert_eq!(*s, g.ir_drop(snap));
+        }
+        assert_eq!(series[2].value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "die side must be positive")]
+    fn zero_die_rejected() {
+        let _ = PowerGrid::over_die(Microns::ZERO, GridOptions::default());
+    }
+}

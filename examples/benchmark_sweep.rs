@@ -1,0 +1,57 @@
+//! Sweep all seven benchmark circuits with every algorithm — a compact
+//! version of the paper's Table V comparison plus the extra baselines.
+//!
+//! Run with `cargo run --release --example benchmark_sweep`.
+//! Pass a seed as the first argument to vary the placements.
+
+use wavemin::prelude::*;
+use wavemin::report::{fmt, render_table};
+
+fn main() -> Result<(), WaveMinError> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("seed {seed}\n");
+
+    let config = WaveMinConfig::default();
+    let mut rows = Vec::new();
+    for bench in Benchmark::all() {
+        let design = Design::from_benchmark(&bench, seed);
+        let nieh = NiehOppositePhase::new().run(&design)?;
+        let samanta =
+            SamantaBalanced::new(wavemin_cells::units::Microns::new(50.0)).run(&design)?;
+        let peakmin = ClkPeakMin::new(config.clone()).run(&design)?;
+        let wavemin = ClkWaveMin::new(config.clone()).run(&design)?;
+        let fast = ClkWaveMinFast::new(config.clone()).run(&design)?;
+        rows.push(vec![
+            bench.name.clone(),
+            fmt(wavemin.peak_before.value(), 2),
+            fmt(nieh.peak_after.value(), 2),
+            fmt(samanta.peak_after.value(), 2),
+            fmt(peakmin.peak_after.value(), 2),
+            fmt(wavemin.peak_after.value(), 2),
+            fmt(fast.peak_after.value(), 2),
+            fmt(wavemin.skew_after.value(), 1),
+        ]);
+        eprintln!("{} done", bench.name);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "circuit",
+                "initial (mA)",
+                "Nieh [22]",
+                "Samanta [23]",
+                "ClkPeakMin [27]",
+                "ClkWaveMin",
+                "ClkWaveMin-f",
+                "skew (ps)",
+            ],
+            &rows,
+        )
+    );
+    println!("(peak current in mA; skew of the ClkWaveMin result)");
+    Ok(())
+}

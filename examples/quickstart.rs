@@ -1,0 +1,54 @@
+//! Quickstart: optimize a small clock tree's buffer polarities.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use wavemin::prelude::*;
+
+fn main() -> Result<(), WaveMinError> {
+    // 1. Get a design: a synthesized, balanced clock tree plus libraries.
+    //    `s15850` is the smallest benchmark of the paper (22 buffering
+    //    elements, 19 sinks).
+    let design = Design::from_benchmark(&Benchmark::s15850(), 42);
+    println!(
+        "design: {} nodes, {} sinks, initial skew {:.2}",
+        design.tree.len(),
+        design.leaves().len(),
+        design.skew(0)?
+    );
+
+    // 2. Configure: the paper's setup is κ = 20 ps, |S| = 158 sampling
+    //    points, candidates {BUF_X8, BUF_X16, INV_X8, INV_X16}.
+    let config = WaveMinConfig::default();
+
+    // 3. Run ClkWaveMin (MOSP + Warburton ε-approximation).
+    let outcome = ClkWaveMin::new(config).run(&design)?;
+
+    // 4. Inspect the result.
+    let (pos, neg) = outcome.assignment.polarity_counts(&design);
+    println!("assignment: {pos} positive (buffers), {neg} negative (inverters)");
+    println!(
+        "peak current: {:.2} -> {:.2}  ({:.1} % lower)",
+        outcome.peak_before,
+        outcome.peak_after,
+        outcome.peak_improvement_pct()
+    );
+    println!(
+        "VDD noise:    {:.2} -> {:.2}",
+        outcome.vdd_noise_before, outcome.vdd_noise_after
+    );
+    println!(
+        "Gnd noise:    {:.2} -> {:.2}",
+        outcome.gnd_noise_before, outcome.gnd_noise_after
+    );
+    println!(
+        "clock skew:   {:.2} -> {:.2} (bound 20 ps)",
+        outcome.skew_before, outcome.skew_after
+    );
+
+    // 5. Apply the assignment to the design if you want to keep it.
+    let mut optimized = design.clone();
+    outcome.assignment.apply_to(&mut optimized);
+    assert!(optimized.skew(0)?.value() <= 20.0 + 1e-9);
+    println!("applied; final skew {:.2}", optimized.skew(0)?);
+    Ok(())
+}

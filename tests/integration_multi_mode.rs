@@ -1,0 +1,110 @@
+//! End-to-end multiple-power-mode integration tests: voltage islands,
+//! interval intersections, ADB insertion and the ClkWaveMin-M flow.
+
+use wavemin::prelude::*;
+use wavemin_cells::units::{Picoseconds, Volts};
+
+fn multimode_design() -> Design {
+    Design::from_benchmark_multimode_levels(
+        &Benchmark::s15850(),
+        3,
+        4,
+        4,
+        Volts::new(0.9),
+        Volts::new(1.1),
+    )
+}
+
+fn quick_config(kappa: f64) -> WaveMinConfig {
+    let mut cfg = WaveMinConfig::default()
+        .with_sample_count(16)
+        .with_skew_bound(Picoseconds::new(kappa));
+    cfg.max_intervals = Some(8);
+    cfg
+}
+
+#[test]
+fn loose_bound_needs_no_adbs() {
+    let d = multimode_design();
+    let out = ClkWaveMinM::new(quick_config(110.0)).run(&d).unwrap();
+    assert_eq!(out.adb_count, 0);
+    assert!(out.skew_after.value() <= 110.0 + 1e-9);
+    assert!(out.peak_after <= out.peak_before);
+}
+
+#[test]
+fn tight_bound_inserts_adbs_and_meets_every_mode() {
+    let d = multimode_design();
+    let kappa = 20.0;
+    assert!(d.max_skew().unwrap().value() > kappa, "must start violated");
+    let out = ClkWaveMinM::new(quick_config(kappa)).run(&d).unwrap();
+    assert!(out.adb_count > 0);
+    assert!(
+        out.skew_after.value() <= kappa + 1e-9,
+        "worst-mode skew {} vs {kappa}",
+        out.skew_after
+    );
+}
+
+#[test]
+fn adb_insertion_standalone_repairs_skew() {
+    let mut d = multimode_design();
+    let kappa = Picoseconds::new(20.0);
+    let plan = wavemin::multimode::insert_adbs(&mut d, kappa).unwrap();
+    assert!(plan.count() > 0);
+    for m in 0..d.mode_count() {
+        assert!(
+            d.skew(m).unwrap().value() <= kappa.value() + 1e-6,
+            "mode {m} skew {}",
+            d.skew(m).unwrap()
+        );
+    }
+    // The tree now contains exactly the planned ADBs.
+    let adb_cells = d
+        .tree
+        .iter()
+        .filter(|(_, n)| n.cell.starts_with("ADB_"))
+        .count();
+    assert_eq!(adb_cells, plan.count());
+}
+
+#[test]
+fn multimode_outcome_counts_adis_correctly() {
+    let d = multimode_design();
+    let out = ClkWaveMinM::new(quick_config(20.0)).run(&d).unwrap();
+    // ADIs only ever appear at leaves that were ADBs.
+    assert!(out.adi_count <= out.adb_count + out.adi_count);
+    // Re-derive the counts from the assignment for consistency.
+    let adi_in_assignment = out
+        .assignment
+        .cells
+        .values()
+        .filter(|c| c.starts_with("ADI_"))
+        .count();
+    assert_eq!(adi_in_assignment, out.adi_count);
+}
+
+#[test]
+fn mode_zero_reference_stays_tight() {
+    // Mode 1 (all-high) of the random power intent is the reference mode:
+    // the optimized design must be near-zero-skew there too.
+    let d = multimode_design();
+    let out = ClkWaveMinM::new(quick_config(20.0)).run(&d).unwrap();
+    // Reconstruct the optimized design (insertion happened inside the
+    // flow, so start from the outcome's skew figures instead).
+    assert!(out.skew_after.value() <= 20.0 + 1e-9);
+}
+
+#[test]
+fn impossible_multimode_bound_fails_cleanly() {
+    let d = Design::from_benchmark_multimode_levels(
+        &Benchmark::s15850(),
+        3,
+        4,
+        4,
+        Volts::new(0.6),
+        Volts::new(1.1),
+    );
+    let err = ClkWaveMinM::new(quick_config(0.5)).run(&d).unwrap_err();
+    assert!(matches!(err, WaveMinError::AdbInsertionFailed(_)));
+}

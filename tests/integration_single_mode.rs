@@ -1,0 +1,135 @@
+//! End-to-end single-power-mode integration tests: synthesis → timing →
+//! preprocessing → optimization → evaluation, across all crates.
+
+use wavemin::prelude::*;
+use wavemin_cells::units::Picoseconds;
+
+fn design() -> Design {
+    Design::from_benchmark(&Benchmark::s13207(), 17)
+}
+
+fn quick_config() -> WaveMinConfig {
+    let mut cfg = WaveMinConfig::default().with_sample_count(32);
+    cfg.max_intervals = Some(8);
+    cfg
+}
+
+#[test]
+fn full_pipeline_reduces_peak_and_noise() {
+    let d = design();
+    let out = ClkWaveMin::new(quick_config()).run(&d).expect("optimize");
+    assert!(out.peak_after < out.peak_before);
+    assert!(out.vdd_noise_after <= out.vdd_noise_before);
+    assert!(out.skew_after.value() <= 20.0 + 1e-9);
+}
+
+#[test]
+fn wavemin_beats_or_matches_every_baseline() {
+    let d = design();
+    let cfg = quick_config();
+    let wave = ClkWaveMin::new(cfg.clone()).run(&d).unwrap();
+    let peakmin = ClkPeakMin::new(cfg.clone()).run(&d).unwrap();
+    let nieh = NiehOppositePhase::new().run(&d).unwrap();
+    // Table V shape: fine-grained WaveMin should not lose to the coarse
+    // baselines (small tolerance for evaluation noise).
+    assert!(
+        wave.peak_after.value() <= peakmin.peak_after.value() * 1.05,
+        "wavemin {} vs peakmin {}",
+        wave.peak_after,
+        peakmin.peak_after
+    );
+    assert!(
+        wave.peak_after.value() <= nieh.peak_after.value() * 1.05,
+        "wavemin {} vs nieh {}",
+        wave.peak_after,
+        nieh.peak_after
+    );
+}
+
+#[test]
+fn optimized_design_remains_structurally_valid() {
+    let d = design();
+    let out = ClkWaveMin::new(quick_config()).run(&d).unwrap();
+    let mut optimized = d.clone();
+    out.assignment.apply_to(&mut optimized);
+    assert_eq!(
+        optimized
+            .tree
+            .validate(|c| optimized.lib.get(c).is_some()),
+        Ok(())
+    );
+    // Only leaves were touched.
+    for id in optimized.tree.non_leaves() {
+        assert_eq!(optimized.tree.node(id).cell, d.tree.node(id).cell);
+    }
+}
+
+#[test]
+fn assignment_only_uses_configured_candidates() {
+    let d = design();
+    let cfg = quick_config();
+    let out = ClkWaveMin::new(cfg.clone()).run(&d).unwrap();
+    for cell in out.assignment.cells.values() {
+        assert!(
+            cfg.assignment_cells.contains(cell),
+            "unexpected cell {cell}"
+        );
+    }
+}
+
+#[test]
+fn outcome_is_deterministic() {
+    let d = design();
+    let a = ClkWaveMin::new(quick_config()).run(&d).unwrap();
+    let b = ClkWaveMin::new(quick_config()).run(&d).unwrap();
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.peak_after, b.peak_after);
+}
+
+#[test]
+fn fast_variant_tracks_full_algorithm() {
+    let d = design();
+    let cfg = quick_config();
+    let full = ClkWaveMin::new(cfg.clone()).run(&d).unwrap();
+    let fast = ClkWaveMinFast::new(cfg).run(&d).unwrap();
+    let ratio = fast.peak_after.value() / full.peak_after.value();
+    assert!(ratio < 1.25, "greedy drifted too far: ratio {ratio}");
+    assert!(fast.skew_after.value() <= 20.0 + 1e-9);
+}
+
+#[test]
+fn skew_bound_sweep_trades_freedom_for_noise() {
+    // A wider κ can only help (more feasible candidates).
+    let d = design();
+    let tight = ClkWaveMin::new(quick_config().with_skew_bound(Picoseconds::new(8.0)))
+        .run(&d)
+        .unwrap();
+    let wide = ClkWaveMin::new(quick_config().with_skew_bound(Picoseconds::new(40.0)))
+        .run(&d)
+        .unwrap();
+    assert!(
+        wide.peak_after.value() <= tight.peak_after.value() * 1.1,
+        "wide {} vs tight {}",
+        wide.peak_after,
+        tight.peak_after
+    );
+    assert!(tight.skew_after.value() <= 8.0 + 1e-9);
+    assert!(wide.skew_after.value() <= 40.0 + 1e-9);
+}
+
+#[test]
+fn monte_carlo_on_optimized_design() {
+    let d = design();
+    let out = ClkWaveMin::new(quick_config()).run(&d).unwrap();
+    let mut optimized = d.clone();
+    out.assignment.apply_to(&mut optimized);
+    let stats = MonteCarlo::new(
+        wavemin_clocktree::variation::VariationModel::default(),
+        25,
+        Picoseconds::new(100.0),
+    )
+    .run(&optimized, 5)
+    .unwrap();
+    assert!(stats.skew_yield > 0.8, "yield {}", stats.skew_yield);
+    assert!(stats.peak.normalized() < 0.25);
+}
