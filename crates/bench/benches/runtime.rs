@@ -52,14 +52,10 @@ fn bench_evaluation(c: &mut Criterion) {
     group.sample_size(10);
     for bench in [Benchmark::s13207(), Benchmark::s35932()] {
         let design = Design::from_benchmark(&bench, 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&bench.name),
-            &design,
-            |b, d| {
-                let eval = NoiseEvaluator::new(d);
-                b.iter(|| eval.evaluate(0).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(&bench.name), &design, |b, d| {
+            let eval = NoiseEvaluator::new(d);
+            b.iter(|| eval.evaluate(0).unwrap());
+        });
     }
     group.finish();
 }

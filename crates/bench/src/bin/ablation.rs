@@ -47,7 +47,10 @@ fn main() {
         });
     };
 
-    run("baseline (global bg, warburton, 50um)", WaveMinConfig::default());
+    run(
+        "baseline (global bg, warburton, 50um)",
+        WaveMinConfig::default(),
+    );
 
     run(
         "background: local-zone",
@@ -66,7 +69,9 @@ fn main() {
     run(
         "solver: exact pareto (cap 64)",
         WaveMinConfig {
-            solver: SolverKind::Exact { max_labels: Some(64) },
+            solver: SolverKind::Exact {
+                max_labels: Some(64),
+            },
             ..WaveMinConfig::default()
         },
     );
@@ -108,7 +113,10 @@ fn main() {
 
     println!(
         "{}",
-        render_table(&["variant", "peak (mA)", "skew (ps)", "runtime (ms)"], &rows)
+        render_table(
+            &["variant", "peak (mA)", "skew (ps)", "runtime (ms)"],
+            &rows
+        )
     );
     println!("Expected shapes: larger zones help (more sinks optimized jointly, the");
     println!("paper's saturation caveat applies); dropping the margin risks skew");

@@ -60,7 +60,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["circuit", "relax", "leaf-only (mA)", "with flips", "#flips", "skew (ps)"],
+            &[
+                "circuit",
+                "relax",
+                "leaf-only (mA)",
+                "with flips",
+                "#flips",
+                "skew (ps)"
+            ],
             &rows,
         )
     );
@@ -94,7 +101,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["circuit", "static peak (mA)", "dynamic peak", "gain %", "#XOR cells"],
+            &[
+                "circuit",
+                "static peak (mA)",
+                "dynamic peak",
+                "gain %",
+                "#XOR cells"
+            ],
             &rows,
         )
     );
@@ -137,8 +150,12 @@ fn main() {
         "{}",
         render_table(
             &[
-                "circuit", "nominal peak", "nominal yield %", "aware peak",
-                "aware yield %", "guard (ps)",
+                "circuit",
+                "nominal peak",
+                "nominal yield %",
+                "aware peak",
+                "aware yield %",
+                "guard (ps)",
             ],
             &rows,
         )

@@ -56,7 +56,11 @@ fn main() {
         .iter()
         .map(|p| (p.0 as f64 - mx) * (p.1 - my))
         .sum::<f64>();
-    let sx = pairs.iter().map(|p| (p.0 as f64 - mx).powi(2)).sum::<f64>().sqrt();
+    let sx = pairs
+        .iter()
+        .map(|p| (p.0 as f64 - mx).powi(2))
+        .sum::<f64>()
+        .sqrt();
     let sy = pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>().sqrt();
     let r = if sx * sy > 0.0 { cov / (sx * sy) } else { 0.0 };
     println!("Pearson correlation r = {r:.3} (paper shape: negative — more freedom, less noise)");

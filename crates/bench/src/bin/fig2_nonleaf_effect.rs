@@ -26,12 +26,46 @@ fn build_tree() -> ClockTree {
     // different wire lengths so the leaves switch at different times
     // (Observation 2).
     let mut tree = ClockTree::new(Point::new(0.0, 0.0), "BUF_X8");
-    let a = tree.add_internal(tree.root(), Point::new(40.0, 20.0), "BUF_X8", Microns::new(60.0));
-    let b = tree.add_internal(tree.root(), Point::new(40.0, -20.0), "BUF_X8", Microns::new(90.0));
-    tree.add_leaf(a, Point::new(80.0, 30.0), "BUF_X8", Microns::new(50.0), Femtofarads::new(5.0));
-    tree.add_leaf(a, Point::new(80.0, 10.0), "BUF_X8", Microns::new(110.0), Femtofarads::new(7.0));
-    tree.add_leaf(b, Point::new(80.0, -10.0), "BUF_X8", Microns::new(70.0), Femtofarads::new(4.0));
-    tree.add_leaf(b, Point::new(80.0, -30.0), "BUF_X8", Microns::new(140.0), Femtofarads::new(8.0));
+    let a = tree.add_internal(
+        tree.root(),
+        Point::new(40.0, 20.0),
+        "BUF_X8",
+        Microns::new(60.0),
+    );
+    let b = tree.add_internal(
+        tree.root(),
+        Point::new(40.0, -20.0),
+        "BUF_X8",
+        Microns::new(90.0),
+    );
+    tree.add_leaf(
+        a,
+        Point::new(80.0, 30.0),
+        "BUF_X8",
+        Microns::new(50.0),
+        Femtofarads::new(5.0),
+    );
+    tree.add_leaf(
+        a,
+        Point::new(80.0, 10.0),
+        "BUF_X8",
+        Microns::new(110.0),
+        Femtofarads::new(7.0),
+    );
+    tree.add_leaf(
+        b,
+        Point::new(80.0, -10.0),
+        "BUF_X8",
+        Microns::new(70.0),
+        Femtofarads::new(4.0),
+    );
+    tree.add_leaf(
+        b,
+        Point::new(80.0, -30.0),
+        "BUF_X8",
+        Microns::new(140.0),
+        Femtofarads::new(8.0),
+    );
     tree
 }
 
@@ -58,9 +92,8 @@ fn main() {
         }
         let design = Design::new(tree, lib.clone(), PowerDesign::uniform(Volts::new(1.1)));
         let (per_node, total) = NoiseEvaluator::new(&design).waveforms(0).expect("eval");
-        let leaf_total = wavemin::noise_table::EventWaveforms::sum(
-            leaves.iter().map(|l| &per_node[l.0]),
-        );
+        let leaf_total =
+            wavemin::noise_table::EventWaveforms::sum(leaves.iter().map(|l| &per_node[l.0]));
         let leaf_peak = leaf_total.peak().value();
         let total_peak = total.peak().value();
         if leaf_peak < best_leaf_only.0 {
@@ -69,11 +102,7 @@ fn main() {
         if total_peak < best_total.0 {
             best_total = (total_peak, mask as usize);
         }
-        rows.push(vec![
-            label.clone(),
-            fmt(leaf_peak, 1),
-            fmt(total_peak, 1),
-        ]);
+        rows.push(vec![label.clone(), fmt(leaf_peak, 1), fmt(total_peak, 1)]);
         records.push(Row {
             assignment: label,
             leaf_only_peak_ua: leaf_peak,
@@ -84,7 +113,10 @@ fn main() {
     println!("Fig. 2 — leaf-only vs total peak for all 16 assignments\n");
     println!(
         "{}",
-        render_table(&["assignment", "leaf-only peak (uA)", "total peak (uA)"], &rows)
+        render_table(
+            &["assignment", "leaf-only peak (uA)", "total peak (uA)"],
+            &rows
+        )
     );
     let fmt_mask = |m: usize| {
         (0..4)

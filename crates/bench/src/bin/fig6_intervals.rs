@@ -35,7 +35,11 @@ fn main() {
             Femtofarads::new(4.0 + i as f64),
         );
     }
-    let design = Design::new(tree, CellLibrary::nangate45(), PowerDesign::uniform(Volts::new(1.1)));
+    let design = Design::new(
+        tree,
+        CellLibrary::nangate45(),
+        PowerDesign::uniform(Volts::new(1.1)),
+    );
     let config = WaveMinConfig::default();
     let table = NoiseTable::build(&design, &config, 0).expect("noise table");
 
@@ -125,15 +129,18 @@ fn main() {
         wavemin_cells::units::Volts::new(0.9),
         wavemin_cells::units::Volts::new(1.1),
     );
-    let mut mm_cfg = WaveMinConfig::default()
-        .with_skew_bound(wavemin_cells::units::Picoseconds::new(30.0));
+    let mut mm_cfg =
+        WaveMinConfig::default().with_skew_bound(wavemin_cells::units::Picoseconds::new(30.0));
     mm_cfg.window_margin = 1.0;
     let tables: Vec<NoiseTable> = (0..2)
         .map(|m| NoiseTable::build(&mm, &mm_cfg, m).expect("table"))
         .collect();
     match wavemin::multimode::IntersectionSet::generate(&mm, &mm_cfg, &tables, 6) {
         Ok(set) => {
-            println!("{} feasible intersections (beam 6); per-sink feasibility of the best:\n", set.len());
+            println!(
+                "{} feasible intersections (beam 6); per-sink feasibility of the best:\n",
+                set.len()
+            );
             let best = &set.intersections()[0];
             let mut frows = Vec::new();
             for (si, allowed) in best.allowed.iter().enumerate().take(6) {
@@ -145,7 +152,11 @@ fn main() {
                         format!(
                             "{}:{}",
                             o.cell,
-                            if allowed.contains(&oi) { "fsbl" } else { "infsbl" }
+                            if allowed.contains(&oi) {
+                                "fsbl"
+                            } else {
+                                "infsbl"
+                            }
                         )
                     })
                     .collect();

@@ -59,7 +59,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["κ (ps)", "WaveMin peak", "PeakMin peak", "skew", "#intervals"],
+            &[
+                "κ (ps)",
+                "WaveMin peak",
+                "PeakMin peak",
+                "skew",
+                "#intervals"
+            ],
             &rows,
         )
     );

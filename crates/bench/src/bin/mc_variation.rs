@@ -87,7 +87,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["circuit", "optimizer", "yield %", "σ̂/µ̂ peak", "σ̂/µ̂ Vdd", "σ̂/µ̂ Gnd"],
+            &[
+                "circuit",
+                "optimizer",
+                "yield %",
+                "σ̂/µ̂ peak",
+                "σ̂/µ̂ Vdd",
+                "σ̂/µ̂ Gnd"
+            ],
             &rows,
         )
     );

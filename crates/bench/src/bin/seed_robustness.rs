@@ -33,24 +33,31 @@ fn main() {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     // The three mid-size circuits keep the total runtime reasonable.
-    for bench in [Benchmark::s13207(), Benchmark::s38584(), Benchmark::ispd09f34()] {
+    for bench in [
+        Benchmark::s13207(),
+        Benchmark::s38584(),
+        Benchmark::ispd09f34(),
+    ] {
         let mut improvements = Vec::new();
         let mut seeds = Vec::new();
         for k in 0..runs as u64 {
             let seed = args.seed + k;
             let design = Design::from_benchmark(&bench, seed);
-            let pm = ClkPeakMin::new(config.clone()).run(&design).expect("peakmin");
-            let wm = ClkWaveMin::new(config.clone()).run(&design).expect("wavemin");
-            let imp = (pm.peak_after.value() - wm.peak_after.value())
-                / pm.peak_after.value()
-                * 100.0;
+            let pm = ClkPeakMin::new(config.clone())
+                .run(&design)
+                .expect("peakmin");
+            let wm = ClkWaveMin::new(config.clone())
+                .run(&design)
+                .expect("wavemin");
+            let imp =
+                (pm.peak_after.value() - wm.peak_after.value()) / pm.peak_after.value() * 100.0;
             improvements.push(imp);
             seeds.push(seed);
             eprintln!("{} seed {seed}: {imp:+.2} %", bench.name);
         }
         let m = mean(&improvements);
-        let var = improvements.iter().map(|i| (i - m).powi(2)).sum::<f64>()
-            / improvements.len() as f64;
+        let var =
+            improvements.iter().map(|i| (i - m).powi(2)).sum::<f64>() / improvements.len() as f64;
         let wins = improvements.iter().filter(|&&i| i > 0.0).count();
         rows.push(vec![
             bench.name.clone(),
@@ -74,10 +81,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["circuit", "mean %", "std %", "wins", "per-seed %"],
-            &rows,
-        )
+        render_table(&["circuit", "mean %", "std %", "wins", "per-seed %"], &rows,)
     );
     println!("(improvement of ClkWaveMin's evaluated peak over ClkPeakMin's)");
     args.persist(&records);

@@ -41,7 +41,11 @@ fn main() {
         let mut tree = ClockTree::new(Point::new(0.0, 0.0), "BUF_X16");
         let mut leaves = Vec::new();
         for i in 0..16 {
-            let cell = if i > 0 && i <= invs { "INV_X8" } else { "BUF_X4" };
+            let cell = if i > 0 && i <= invs {
+                "INV_X8"
+            } else {
+                "BUF_X4"
+            };
             leaves.push(tree.add_leaf(
                 tree.root(),
                 Point::new(10.0 + i as f64, 10.0),
@@ -73,9 +77,8 @@ fn main() {
         // X8 inverters' rising-rail draw at the falling edge shows up.
         let design = Design::new(tree, lib.clone(), PowerDesign::uniform(Volts::new(1.1)));
         let (per_node, _) = NoiseEvaluator::new(&design).waveforms(0).expect("eval");
-        let total = wavemin::noise_table::EventWaveforms::sum(
-            leaves.iter().map(|l| &per_node[l.0]),
-        );
+        let total =
+            wavemin::noise_table::EventWaveforms::sum(leaves.iter().map(|l| &per_node[l.0]));
 
         rows.push(vec![
             invs.to_string(),
@@ -102,10 +105,7 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &[
-                "#Invs", "#Bufs", "Td rise", "Td fall", "IDD peak", "ISS peak", "slew r",
-                "slew f",
-            ],
+            &["#Invs", "#Bufs", "Td rise", "Td fall", "IDD peak", "ISS peak", "slew r", "slew f",],
             &rows,
         )
     );

@@ -55,7 +55,10 @@ fn main() {
     println!("Table II/III — library characterization (load 6 fF, slew 20 ps)\n");
     println!(
         "{}",
-        render_table(&["cell", "VDD (V)", "T_D (ps)", "P+ (uA)", "P- (uA)"], &rows)
+        render_table(
+            &["cell", "VDD (V)", "T_D (ps)", "P+ (uA)", "P- (uA)"],
+            &rows
+        )
     );
     println!("Paper shape checks:");
     println!("  * inverters faster than same-size buffers;");

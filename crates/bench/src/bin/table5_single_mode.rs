@@ -45,7 +45,13 @@ fn main() {
         let wavemin = ClkWaveMin::new(config.clone())
             .run(&design)
             .expect("ClkWaveMin");
-        let imp = |a: f64, b: f64| if a.abs() < 1e-12 { 0.0 } else { (a - b) / a * 100.0 };
+        let imp = |a: f64, b: f64| {
+            if a.abs() < 1e-12 {
+                0.0
+            } else {
+                (a - b) / a * 100.0
+            }
+        };
         let r = Row {
             circuit: bench.name.clone(),
             n: bench.total_nodes,
@@ -64,10 +70,7 @@ fn main() {
                 peakmin.gnd_noise_after.value(),
                 wavemin.gnd_noise_after.value(),
             ),
-            peak_improvement_pct: imp(
-                peakmin.peak_after.value(),
-                wavemin.peak_after.value(),
-            ),
+            peak_improvement_pct: imp(peakmin.peak_after.value(), wavemin.peak_after.value()),
         };
         rows.push(vec![
             r.circuit.clone(),
@@ -98,9 +101,24 @@ fn main() {
     );
     println!(
         "averages: dVdd {:.2} %  dGnd {:.2} %  dPeak {:.2} %",
-        mean(&records.iter().map(|r| r.vdd_improvement_pct).collect::<Vec<_>>()),
-        mean(&records.iter().map(|r| r.gnd_improvement_pct).collect::<Vec<_>>()),
-        mean(&records.iter().map(|r| r.peak_improvement_pct).collect::<Vec<_>>()),
+        mean(
+            &records
+                .iter()
+                .map(|r| r.vdd_improvement_pct)
+                .collect::<Vec<_>>()
+        ),
+        mean(
+            &records
+                .iter()
+                .map(|r| r.gnd_improvement_pct)
+                .collect::<Vec<_>>()
+        ),
+        mean(
+            &records
+                .iter()
+                .map(|r| r.peak_improvement_pct)
+                .collect::<Vec<_>>()
+        ),
     );
     println!("(PM = ClkPeakMin [27], WM = ClkWaveMin; noise in mV, peak in mA)");
     args.persist(&records);

@@ -85,8 +85,17 @@ fn main() {
         "{}",
         render_table(
             &[
-                "circuit", "PM peak", "PM ms", "S4 peak", "S4 ms", "S8 peak", "S8 ms",
-                "S158 peak", "S158 ms", "fast peak", "fast ms",
+                "circuit",
+                "PM peak",
+                "PM ms",
+                "S4 peak",
+                "S4 ms",
+                "S8 peak",
+                "S8 ms",
+                "S158 peak",
+                "S158 ms",
+                "fast peak",
+                "fast ms",
             ],
             &rows,
         )

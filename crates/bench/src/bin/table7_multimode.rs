@@ -46,8 +46,7 @@ fn main() {
         let domains = (4 + bench.leaf_count / 60).min(10);
         let design = Design::from_benchmark_multimode(&bench, args.seed, domains, 4);
         for kappa in [12.0, 20.0, 28.0] {
-            let config = WaveMinConfig::default()
-                .with_skew_bound(Picoseconds::new(kappa));
+            let config = WaveMinConfig::default().with_skew_bound(Picoseconds::new(kappa));
             let outcome = match ClkWaveMinM::new(config).run(&design) {
                 Ok(o) => o,
                 Err(e) => {
@@ -91,8 +90,18 @@ fn main() {
         "{}",
         render_table(
             &[
-                "circuit", "κ", "base peak", "base Vdd", "base Gnd", "#ADB", "#ADI",
-                "opt peak", "opt Vdd", "opt Gnd", "dPeak %", "skew",
+                "circuit",
+                "κ",
+                "base peak",
+                "base Vdd",
+                "base Gnd",
+                "#ADB",
+                "#ADI",
+                "opt peak",
+                "opt Vdd",
+                "opt Gnd",
+                "dPeak %",
+                "skew",
             ],
             &rows,
         )

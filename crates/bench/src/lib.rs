@@ -54,6 +54,9 @@ impl ExperimentArgs {
     ///
     /// Panics on I/O or serialization failure (experiment binaries want
     /// loud failures).
+    // The panic is this helper's documented contract: experiment runs must
+    // not silently lose their results.
+    #[allow(clippy::expect_used)]
     pub fn persist<T: Serialize>(&self, record: &T) {
         if let Some(path) = &self.json {
             let body = serde_json::to_string_pretty(record).expect("serialize record");

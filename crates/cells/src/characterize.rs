@@ -278,8 +278,7 @@ impl Characterizer {
             // Stage load: the next stage's gate cap (plus the capacitor bank
             // for adjustable cells), or the external load at the last stage.
             let c_next = if idx + 1 < n {
-                let mut c =
-                    self.c_stage_per_drive * drives[idx + 1] as f64;
+                let mut c = self.c_stage_per_drive * drives[idx + 1] as f64;
                 if cell.kind().is_adjustable() && idx == 0 {
                     c += self.c_bank;
                 }
@@ -297,25 +296,18 @@ impl Characterizer {
             } else {
                 1.0
             };
-            let t_stage = (cell.t_intrinsic() / n as f64
-                + 0.69 * rc * edge_mult)
-                * d_factor
-                + slew * 0.1;
+            let t_stage =
+                (cell.t_intrinsic() / n as f64 + 0.69 * rc * edge_mult) * d_factor + slew * 0.1;
             // PERI-style slew propagation: the stage's own RC dominates but
             // a sharper input edge still sharpens the output.
             let intrinsic_slew = (2.2 * rc * edge_mult) * d_factor;
-            let stage_slew = Picoseconds::new(
-                intrinsic_slew
-                    .value()
-                    .hypot(0.45 * slew.value()),
-            );
+            let stage_slew = Picoseconds::new(intrinsic_slew.value().hypot(0.45 * slew.value()));
 
             // Pulse on the rail this stage switches against.
             let q_ref = c_total.value() * self.supply.v_ref().value(); // fC at V_ref
-            let width_ref = self.width_factor.mul_add(
-                0.69 * rc.value(),
-                self.slew_fraction * slew.value(),
-            );
+            let width_ref = self
+                .width_factor
+                .mul_add(0.69 * rc.value(), self.slew_fraction * slew.value());
             // Current flows for at least the input transition time.
             let width_ref = width_ref.max(slew.value()).max(1.0);
             // Triangle area = Q: I_pk = 2Q/w, with µA·ps = 1e-3 fC.
@@ -605,8 +597,18 @@ mod tests {
     fn enormous_load_saturates_peak_but_not_charge() {
         let lib = CellLibrary::nangate45();
         let cell = lib.get("BUF_X4").unwrap();
-        let small = chr().characterize(cell, Femtofarads::new(10.0), Picoseconds::new(20.0), Volts::new(1.1));
-        let big = chr().characterize(cell, Femtofarads::new(500.0), Picoseconds::new(20.0), Volts::new(1.1));
+        let small = chr().characterize(
+            cell,
+            Femtofarads::new(10.0),
+            Picoseconds::new(20.0),
+            Volts::new(1.1),
+        );
+        let big = chr().characterize(
+            cell,
+            Femtofarads::new(500.0),
+            Picoseconds::new(20.0),
+            Volts::new(1.1),
+        );
         // Saturation clamp: the peak stops growing...
         assert!(big.p_plus().value() <= small.p_plus().value() * 1.6);
         // ...but the switched charge keeps tracking the load.
@@ -622,8 +624,19 @@ mod tests {
     fn timing_fast_path_matches_full_characterization() {
         let lib = CellLibrary::nangate45();
         let cell = lib.get("BUF_X8").unwrap();
-        let full = chr().characterize(cell, Femtofarads::new(6.0), Picoseconds::new(25.0), Volts::new(1.1));
-        let (t, s) = chr().timing(cell, Femtofarads::new(6.0), Picoseconds::new(25.0), Volts::new(1.1), ClockEdge::Rise);
+        let full = chr().characterize(
+            cell,
+            Femtofarads::new(6.0),
+            Picoseconds::new(25.0),
+            Volts::new(1.1),
+        );
+        let (t, s) = chr().timing(
+            cell,
+            Femtofarads::new(6.0),
+            Picoseconds::new(25.0),
+            Volts::new(1.1),
+            ClockEdge::Rise,
+        );
         assert_eq!(t, full.t_d_rise);
         assert_eq!(s, full.slew_rise);
     }

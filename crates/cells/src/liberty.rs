@@ -508,22 +508,13 @@ pub fn write_library(name: &str, lib: &CellLibrary) -> String {
         out.push_str(&format!("  cell ({}) {{\n", cell.name()));
         out.push_str(&format!("    wavemin_kind : {kind};\n"));
         out.push_str(&format!("    drive_strength : {};\n", cell.drive()));
-        out.push_str(&format!(
-            "    wavemin_r_out : {};\n",
-            cell.r_out().value()
-        ));
-        out.push_str(&format!(
-            "    wavemin_c_par : {};\n",
-            cell.c_par().value()
-        ));
+        out.push_str(&format!("    wavemin_r_out : {};\n", cell.r_out().value()));
+        out.push_str(&format!("    wavemin_c_par : {};\n", cell.c_par().value()));
         out.push_str(&format!(
             "    wavemin_t_intrinsic : {};\n",
             cell.t_intrinsic().value()
         ));
-        out.push_str(&format!(
-            "    wavemin_crossover : {};\n",
-            cell.crossover()
-        ));
+        out.push_str(&format!("    wavemin_crossover : {};\n", cell.crossover()));
         if cell.is_adjustable() {
             out.push_str(&format!(
                 "    wavemin_delay_range : {};\n",
@@ -648,9 +639,7 @@ mod tests {
             assert!((b.r_out().value() - cell.r_out().value()).abs() < 1e-9);
             assert!((b.c_in().value() - cell.c_in().value()).abs() < 1e-9);
             assert!((b.c_par().value() - cell.c_par().value()).abs() < 1e-9);
-            assert!(
-                (b.t_intrinsic().value() - cell.t_intrinsic().value()).abs() < 1e-9
-            );
+            assert!((b.t_intrinsic().value() - cell.t_intrinsic().value()).abs() < 1e-9);
             assert_eq!(b.delay_steps(), cell.delay_steps());
         }
     }
@@ -667,21 +656,19 @@ mod tests {
 
     #[test]
     fn unknown_kind_is_rejected() {
-        let err = parse_library(
-            "library (l) { cell (NAND2_X1) { pin (A) { direction : input; } } }",
-        )
-        .unwrap_err();
+        let err =
+            parse_library("library (l) { cell (NAND2_X1) { pin (A) { direction : input; } } }")
+                .unwrap_err();
         assert!(matches!(err, LibertyError::BadCell { .. }));
-        let err2 = parse_library("library (l) { cell (BUF_X1) { wavemin_kind : mux; } }")
-            .unwrap_err();
+        let err2 =
+            parse_library("library (l) { cell (BUF_X1) { wavemin_kind : mux; } }").unwrap_err();
         assert!(err2.to_string().contains("mux"));
     }
 
     #[test]
     fn negative_and_float_numbers() {
         let doc =
-            parse_document("library (l) { nom_temperature : -40.5; nom_voltage : 1.1; }")
-                .unwrap();
+            parse_document("library (l) { nom_temperature : -40.5; nom_voltage : 1.1; }").unwrap();
         assert_eq!(doc.numeric("nom_temperature"), Some(-40.5));
         assert_eq!(doc.numeric("nom_voltage"), Some(1.1));
     }

@@ -114,9 +114,7 @@ impl CellLibrary {
     pub fn nangate45() -> Self {
         let mut lib = Self::new();
         for drive in [1u32, 2, 4, 8, 16, 32] {
-            lib.push(
-                CellSpec::builder(format!("BUF_X{drive}"), CellKind::Buffer, drive).build(),
-            );
+            lib.push(CellSpec::builder(format!("BUF_X{drive}"), CellKind::Buffer, drive).build());
         }
         for drive in [1u32, 2, 4, 8, 16, 32] {
             lib.push(
@@ -207,10 +205,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let lib: CellLibrary = CellLibrary::nangate45()
-            .buffers()
-            .cloned()
-            .collect();
+        let lib: CellLibrary = CellLibrary::nangate45().buffers().cloned().collect();
         assert_eq!(lib.len(), 6);
         assert!(lib.get("BUF_X4").is_some());
     }

@@ -121,9 +121,7 @@ impl Waveform {
     #[must_use]
     pub fn support(&self) -> Option<(Picoseconds, Picoseconds)> {
         match (self.points.first(), self.points.last()) {
-            (Some(&(a, _)), Some(&(b, _))) => {
-                Some((Picoseconds::new(a), Picoseconds::new(b)))
-            }
+            (Some(&(a, _)), Some(&(b, _))) => Some((Picoseconds::new(a), Picoseconds::new(b))),
             _ => None,
         }
     }
@@ -141,9 +139,7 @@ impl Waveform {
             return MicroAmps::ZERO;
         }
         // Binary search for the segment containing t.
-        let idx = self
-            .points
-            .partition_point(|&(pt, _)| pt <= t);
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
         if idx == 0 {
             return MicroAmps::new(self.points[0].1);
         }
@@ -162,12 +158,7 @@ impl Waveform {
     /// The global maximum of the waveform (zero for the zero waveform).
     #[must_use]
     pub fn peak(&self) -> MicroAmps {
-        MicroAmps::new(
-            self.points
-                .iter()
-                .map(|&(_, i)| i)
-                .fold(0.0_f64, f64::max),
-        )
+        MicroAmps::new(self.points.iter().map(|&(_, i)| i).fold(0.0_f64, f64::max))
     }
 
     /// The time at which [`Self::peak`] is attained, or `None` for the zero
@@ -413,11 +404,8 @@ mod tests {
 
     #[test]
     fn from_points_sorts_and_dedups() {
-        let w = Waveform::from_points([
-            (ps(10.0), ua(5.0)),
-            (ps(0.0), ua(0.0)),
-            (ps(10.0), ua(7.0)),
-        ]);
+        let w =
+            Waveform::from_points([(ps(10.0), ua(5.0)), (ps(0.0), ua(0.0)), (ps(10.0), ua(7.0))]);
         assert_eq!(w.len(), 2);
         assert_eq!(w.sample(ps(10.0)), ua(7.0));
     }

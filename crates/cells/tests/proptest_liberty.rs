@@ -1,0 +1,55 @@
+//! Adversarial-input property tests for the Liberty parser: whatever the
+//! bytes, `parse_library` must return `Ok`/`Err` — never panic.
+
+use proptest::prelude::*;
+use wavemin_cells::liberty;
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255u8, 0..512usize)
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in arb_bytes()) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = liberty::parse_library(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_corrupted_library(
+        cut in 0.0..1.0f64,
+        pos in 0.0..1.0f64,
+        byte in 0u8..=255u8,
+    ) {
+        // Start from a well-formed library and corrupt it: truncate at an
+        // arbitrary point and overwrite one byte. This keeps the input
+        // close enough to valid Liberty to reach the deeper parser paths.
+        let clean = liberty::write_library("corrupt_me", &wavemin_cells::CellLibrary::nangate45());
+        let mut bytes = clean.into_bytes();
+        bytes.truncate((cut * bytes.len() as f64) as usize);
+        if !bytes.is_empty() {
+            let idx = ((pos * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            bytes[idx] = byte;
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = liberty::parse_library(&text);
+    }
+
+    #[test]
+    fn roundtrip_after_corruption_still_roundtrips(
+        pos in 0.0..1.0f64,
+        byte in 0u8..=255u8,
+    ) {
+        // If the corrupted text still parses, re-serializing and re-parsing
+        // it must also succeed (the parser only accepts what it can emit).
+        let clean = liberty::write_library("rt", &wavemin_cells::CellLibrary::nangate45());
+        let mut bytes = clean.into_bytes();
+        let idx = ((pos * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[idx] = byte;
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(lib) = liberty::parse_library(&text) {
+            let again = liberty::write_library("rt", &lib);
+            prop_assert!(liberty::parse_library(&again).is_ok());
+        }
+    }
+}

@@ -155,6 +155,9 @@ impl Benchmark {
     ///
     /// Panics if synthesis fails (the default library always contains the
     /// configured cells).
+    // Convenience wrapper whose panic is the documented contract; the
+    // fallible form is `synthesize_with`.
+    #[allow(clippy::expect_used)]
     #[must_use]
     pub fn synthesize(&self, seed: u64) -> ClockTree {
         let lib = CellLibrary::nangate45();
@@ -201,16 +204,14 @@ impl Benchmark {
         // Pad with chain repeaters on the longest wires until n matches.
         let had_repeaters = tree.len() < self.total_nodes;
         while tree.len() < self.total_nodes {
-            let longest = tree
-                .ids()
-                .filter(|&id| id != tree.root())
-                .max_by(|&a, &b| {
-                    tree.node(a)
-                        .wire_to_parent
-                        .value()
-                        .total_cmp(&tree.node(b).wire_to_parent.value())
-                })
-                .expect("non-root nodes exist");
+            let longest = tree.ids().filter(|&id| id != tree.root()).max_by(|&a, &b| {
+                tree.node(a)
+                    .wire_to_parent
+                    .value()
+                    .total_cmp(&tree.node(b).wire_to_parent.value())
+            });
+            // A root-only tree has no wire to split; stop padding.
+            let Some(longest) = longest else { break };
             tree.insert_repeater(longest, "BUF_X16");
         }
         if had_repeaters {
@@ -245,10 +246,9 @@ fn cluster_internal_count(leaves: usize, arity: usize) -> usize {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100000001b3)
-        })
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 #[cfg(test)]
@@ -274,7 +274,11 @@ mod tests {
     #[test]
     fn synthesized_counts_match_spec() {
         // The two smallest plus the repeater-heavy f34 keep this test fast.
-        for bench in [Benchmark::s15850(), Benchmark::s13207(), Benchmark::ispd09f34()] {
+        for bench in [
+            Benchmark::s15850(),
+            Benchmark::s13207(),
+            Benchmark::ispd09f34(),
+        ] {
             let tree = bench.synthesize(7);
             assert_eq!(tree.len(), bench.total_nodes, "{} n", bench.name);
             assert_eq!(tree.leaves().len(), bench.leaf_count, "{} |L|", bench.name);
@@ -296,8 +300,8 @@ mod tests {
             Benchmark::s15850().sinks(1).len()
         );
         let a = Benchmark::ispd09f31().sinks(1);
-        let b = Benchmark::with_counts("other", 328, 111, Benchmark::ispd09f31().die_side_um)
-            .sinks(1);
+        let b =
+            Benchmark::with_counts("other", 328, 111, Benchmark::ispd09f31().die_side_um).sinks(1);
         assert_ne!(a, b, "name participates in the seed");
     }
 

@@ -174,8 +174,7 @@ mod tests {
             .collect();
         let mut tree = synth.synthesize(&sinks).unwrap();
         let before = tree.clone();
-        let report =
-            repair_slews(&mut tree, &lib, &chr, &SlewRepairOptions::default()).unwrap();
+        let report = repair_slews(&mut tree, &lib, &chr, &SlewRepairOptions::default()).unwrap();
         assert_eq!(report.repeaters_added, 0);
         assert!(report.met);
         assert_eq!(tree, before);

@@ -92,16 +92,12 @@ impl<'a> DmeSynthesizer<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a [`TimingError`] when a configured cell is missing.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `sinks` is empty.
-    pub fn synthesize(
-        &self,
-        sinks: &[(Point, Femtofarads)],
-    ) -> Result<ClockTree, TimingError> {
-        assert!(!sinks.is_empty(), "cannot synthesize a tree with no sinks");
+    /// Returns a [`TimingError`] when a configured cell is missing, or a
+    /// structural error when `sinks` is empty.
+    pub fn synthesize(&self, sinks: &[(Point, Femtofarads)]) -> Result<ClockTree, TimingError> {
+        if sinks.is_empty() {
+            return Err(TimingError::Structure(crate::tree::TreeError::Empty));
+        }
 
         let mut front: Vec<SubTree> = sinks
             .iter()
@@ -115,7 +111,9 @@ impl<'a> DmeSynthesizer<'a> {
         while front.len() > 1 {
             front = self.merge_level(front)?;
         }
-        let top = front.pop().expect("one subtree remains");
+        let Some(top) = front.pop() else {
+            return Err(TimingError::Structure(crate::tree::TreeError::Empty));
+        };
 
         let mut tree = ClockTree::new(top.location, &self.options.root_cell);
         let root = tree.root();
@@ -129,9 +127,11 @@ impl<'a> DmeSynthesizer<'a> {
     /// Pairs nearest neighbours and computes balanced tapping points.
     fn merge_level(&self, mut items: Vec<SubTree>) -> Result<Vec<SubTree>, TimingError> {
         items.sort_by(|a, b| {
-            (a.location.x.value(), a.location.y.value())
-                .partial_cmp(&(b.location.x.value(), b.location.y.value()))
-                .expect("finite coordinates")
+            a.location
+                .x
+                .value()
+                .total_cmp(&b.location.x.value())
+                .then(a.location.y.value().total_cmp(&b.location.y.value()))
         });
         let mut used = vec![false; items.len()];
         let mut merged = Vec::new();
@@ -200,8 +200,8 @@ impl<'a> DmeSynthesizer<'a> {
         let wire_b = Microns::new((1.0 - p) * route);
         let delay_a = branch(wire_a.value(), &a);
         let delay_b = branch(wire_b.value(), &b);
-        let merged_delay = self.merge_delay(&a, &b, wire_a, wire_b)
-            + Picoseconds::new(delay_a.max(delay_b));
+        let merged_delay =
+            self.merge_delay(&a, &b, wire_a, wire_b) + Picoseconds::new(delay_a.max(delay_b));
         Ok(SubTree {
             location: loc,
             payload: Payload::Merge(Box::new(a), Box::new(b), wire_a, wire_b),
@@ -272,8 +272,7 @@ impl<'a> DmeSynthesizer<'a> {
                 Ok(())
             }
             Payload::Merge(a, b, wire_a, wire_b) => {
-                let id =
-                    tree.add_internal(parent, sub.location, &self.options.merge_cell, wire);
+                let id = tree.add_internal(parent, sub.location, &self.options.merge_cell, wire);
                 self.materialize(tree, id, *a, wire_a)?;
                 self.materialize(tree, id, *b, wire_b)?;
                 Ok(())
@@ -343,7 +342,11 @@ mod tests {
         let supply = SupplyAssignment::Uniform(Volts::new(1.1));
         let timing =
             Timing::analyze(&tree, &lib, &chr, WireModel::default(), &supply, None).unwrap();
-        assert!(timing.skew(&tree).value() < 1.0, "skew {}", timing.skew(&tree));
+        assert!(
+            timing.skew(&tree).value() < 1.0,
+            "skew {}",
+            timing.skew(&tree)
+        );
     }
 
     #[test]
@@ -358,7 +361,9 @@ mod tests {
             arity: 2,
             ..SynthesisOptions::default()
         };
-        let centroid_tree = Synthesizer::new(&lib, &chr, opts).synthesize(&input).unwrap();
+        let centroid_tree = Synthesizer::new(&lib, &chr, opts)
+            .synthesize(&input)
+            .unwrap();
         let dme_trim = DmeSynthesizer::total_trim(&dme_tree).value();
         let centroid_trim = DmeSynthesizer::total_trim(&centroid_tree).value();
         assert!(
@@ -405,10 +410,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no sinks")]
-    fn empty_input_panics() {
+    fn empty_input_is_a_typed_error() {
         let (lib, chr) = context();
         let dme = DmeSynthesizer::new(&lib, &chr, DmeOptions::default());
-        let _ = dme.synthesize(&[]);
+        assert_eq!(
+            dme.synthesize(&[]),
+            Err(TimingError::Structure(crate::tree::TreeError::Empty))
+        );
     }
 }

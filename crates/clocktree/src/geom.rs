@@ -38,11 +38,7 @@ impl Point {
     /// Euclidean distance (used only for clustering heuristics).
     #[must_use]
     pub fn euclidean(&self, other: Point) -> Microns {
-        Microns::new(
-            (self.x - other.x)
-                .value()
-                .hypot((self.y - other.y).value()),
-        )
+        Microns::new((self.x - other.x).value().hypot((self.y - other.y).value()))
     }
 
     /// The midpoint of two points.
@@ -194,7 +190,11 @@ mod tests {
 
     #[test]
     fn bounding_box_covers_points() {
-        let pts = [Point::new(3.0, 7.0), Point::new(-1.0, 2.0), Point::new(5.0, 4.0)];
+        let pts = [
+            Point::new(3.0, 7.0),
+            Point::new(-1.0, 2.0),
+            Point::new(5.0, 4.0),
+        ];
         let r = Rect::bounding(&pts);
         for p in &pts {
             assert!(r.contains(*p));

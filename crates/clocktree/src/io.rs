@@ -103,7 +103,9 @@ impl std::error::Error for TreeIoError {}
 #[must_use]
 pub fn write_tree(tree: &ClockTree) -> String {
     let mut out = String::from("# wavemin clock tree v1\n");
-    out.push_str("# node <id> <parent|-> <kind> <cell> <x_um> <y_um> <wire_um> <sink_cap_ff> <trim_ps>\n");
+    out.push_str(
+        "# node <id> <parent|-> <kind> <cell> <x_um> <y_um> <wire_um> <sink_cap_ff> <trim_ps>\n",
+    );
     for (id, node) in tree.iter() {
         let parent = node
             .parent()
@@ -246,7 +248,11 @@ mod tests {
         // s35932 exercises repeater insertion, whose arena order is not
         // topological (parents can follow children) and whose fanout
         // order is non-ascending (hence the canonicalization).
-        for bench in [Benchmark::s15850(), Benchmark::s13207(), Benchmark::s35932()] {
+        for bench in [
+            Benchmark::s15850(),
+            Benchmark::s13207(),
+            Benchmark::s35932(),
+        ] {
             let mut tree = bench.synthesize(5);
             tree.canonicalize();
             let text = write_tree(&tree);
@@ -281,13 +287,17 @@ mod tests {
             TreeIoError::BadRoot
         ));
         let two_roots = "node 0 - source B 0 0 0 0 0\nnode 1 - source B 0 0 0 0 0";
-        assert!(matches!(read_tree(two_roots).unwrap_err(), TreeIoError::BadRoot));
+        assert!(matches!(
+            read_tree(two_roots).unwrap_err(),
+            TreeIoError::BadRoot
+        ));
         let fwd = "node 0 - source B 0 0 0 0 0\nnode 1 7 leaf B 0 0 0 0 0";
         assert!(matches!(
             read_tree(fwd).unwrap_err(),
             TreeIoError::BadParent { parent: 7, .. }
         ));
-        let cycle = "node 0 - source B 0 0 0 0 0\nnode 1 2 internal B 0 0 0 0 0\nnode 2 1 leaf B 0 0 0 0 0";
+        let cycle =
+            "node 0 - source B 0 0 0 0 0\nnode 1 2 internal B 0 0 0 0 0\nnode 2 1 leaf B 0 0 0 0 0";
         assert!(matches!(
             read_tree(cycle).unwrap_err(),
             TreeIoError::BadStructure(_)
@@ -310,9 +320,7 @@ mod tests {
     #[test]
     fn trims_survive_roundtrip() {
         let tree = Benchmark::s13207().synthesize(2);
-        let has_trim = tree
-            .iter()
-            .any(|(_, n)| n.delay_trim.value() > 0.0);
+        let has_trim = tree.iter().any(|(_, n)| n.delay_trim.value() > 0.0);
         assert!(has_trim, "balanced trees carry trims");
         let back = read_tree(&write_tree(&tree)).unwrap();
         for (id, node) in tree.iter() {

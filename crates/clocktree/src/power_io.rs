@@ -178,10 +178,8 @@ pub fn read_power(input: &str) -> Result<PowerDesign, PowerIoError> {
                         found: fields.len(),
                     });
                 }
-                let vdd: Result<Vec<Volts>, _> = fields[2..]
-                    .iter()
-                    .map(|f| num(f).map(Volts::new))
-                    .collect();
+                let vdd: Result<Vec<Volts>, _> =
+                    fields[2..].iter().map(|f| num(f).map(Volts::new)).collect();
                 let vdd = vdd?;
                 if vdd.len() != domains.len() {
                     return Err(PowerIoError::ModeArity {
@@ -258,9 +256,16 @@ mod tests {
         ));
         assert!(matches!(
             read_power("domain A1 0 0 1 1\nmode M1 1.1 0.9\n").unwrap_err(),
-            PowerIoError::ModeArity { found: 2, domains: 1, .. }
+            PowerIoError::ModeArity {
+                found: 2,
+                domains: 1,
+                ..
+            }
         ));
-        assert_eq!(read_power("default 1.0\n").unwrap_err(), PowerIoError::NoModes);
+        assert_eq!(
+            read_power("default 1.0\n").unwrap_err(),
+            PowerIoError::NoModes
+        );
     }
 
     #[test]

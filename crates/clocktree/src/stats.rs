@@ -88,11 +88,7 @@ impl TreeStats {
         if nodes == 0 {
             return 0.0;
         }
-        let total: usize = self
-            .fanout_histogram
-            .iter()
-            .map(|(f, c)| f * c)
-            .sum();
+        let total: usize = self.fanout_histogram.iter().map(|(f, c)| f * c).sum();
         total as f64 / nodes as f64
     }
 }

@@ -65,7 +65,9 @@ pub fn render(tree: &ClockTree, lib: &CellLibrary, options: &SvgOptions) -> Stri
 
     // Wires first (under the markers): L-shaped horizontal-then-vertical.
     for (_, node) in tree.iter() {
-        let Some(parent) = node.parent() else { continue };
+        let Some(parent) = node.parent() else {
+            continue;
+        };
         let p = tree.node(parent).location;
         let c = node.location;
         svg.push_str(&format!(

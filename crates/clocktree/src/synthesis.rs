@@ -81,16 +81,12 @@ impl<'a> Synthesizer<'a> {
     /// # Errors
     ///
     /// Returns a [`TimingError`] if a configured cell name is missing from
-    /// the library (surfaces during the balancing timing passes).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sinks` is empty.
-    pub fn synthesize(
-        &self,
-        sinks: &[(Point, Femtofarads)],
-    ) -> Result<ClockTree, TimingError> {
-        assert!(!sinks.is_empty(), "cannot synthesize a tree with no sinks");
+    /// the library (surfaces during the balancing timing passes), or a
+    /// structural error when `sinks` is empty.
+    pub fn synthesize(&self, sinks: &[(Point, Femtofarads)]) -> Result<ClockTree, TimingError> {
+        if sinks.is_empty() {
+            return Err(TimingError::Structure(crate::tree::TreeError::Empty));
+        }
 
         // Bottom-up clustering.
         let mut clusters: Vec<(Point, Cluster)> = sinks
@@ -102,7 +98,9 @@ impl<'a> Synthesizer<'a> {
             clusters = self.cluster_level(clusters, level);
             level += 1;
         }
-        let (root_loc, top) = clusters.pop().expect("one cluster remains");
+        let Some((root_loc, top)) = clusters.pop() else {
+            return Err(TimingError::Structure(crate::tree::TreeError::Empty));
+        };
 
         // Materialize the arena.
         let root_cell = self
@@ -137,9 +135,10 @@ impl<'a> Synthesizer<'a> {
     ) -> Vec<(Point, Cluster)> {
         // Deterministic sweep order: lexicographic by (x, y).
         items.sort_by(|a, b| {
-            (a.0.x.value(), a.0.y.value())
-                .partial_cmp(&(b.0.x.value(), b.0.y.value()))
-                .expect("finite coordinates")
+            a.0.x
+                .value()
+                .total_cmp(&b.0.x.value())
+                .then(a.0.y.value().total_cmp(&b.0.y.value()))
         });
         let mut used = vec![false; items.len()];
         let mut parents = Vec::new();
@@ -152,14 +151,12 @@ impl<'a> Synthesizer<'a> {
             while members.len() < self.options.arity {
                 // Nearest unused neighbour of the cluster centroid.
                 let centroid = Point::centroid(members.iter().map(|&m| &items[m].0));
-                let next = (0..items.len())
-                    .filter(|&j| !used[j])
-                    .min_by(|&a, &b| {
-                        centroid
-                            .manhattan(items[a].0)
-                            .value()
-                            .total_cmp(&centroid.manhattan(items[b].0).value())
-                    });
+                let next = (0..items.len()).filter(|&j| !used[j]).min_by(|&a, &b| {
+                    centroid
+                        .manhattan(items[a].0)
+                        .value()
+                        .total_cmp(&centroid.manhattan(items[b].0).value())
+                });
                 match next {
                     Some(j) => {
                         used[j] = true;
@@ -169,10 +166,7 @@ impl<'a> Synthesizer<'a> {
                 }
             }
             let centroid = Point::centroid(members.iter().map(|&m| &items[m].0));
-            let children: Vec<Cluster> = members
-                .iter()
-                .map(|&m| items[m].1.clone())
-                .collect();
+            let children: Vec<Cluster> = members.iter().map(|&m| items[m].1.clone()).collect();
             parents.push((
                 centroid,
                 Cluster::Group {
@@ -323,11 +317,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no sinks")]
-    fn empty_sinks_panics() {
+    fn empty_sinks_is_a_typed_error() {
         let (lib, chr) = synth();
         let s = Synthesizer::new(&lib, &chr, SynthesisOptions::default());
-        let _ = s.synthesize(&[]);
+        assert_eq!(
+            s.synthesize(&[]),
+            Err(TimingError::Structure(crate::tree::TreeError::Empty))
+        );
     }
 
     #[test]

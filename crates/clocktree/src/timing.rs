@@ -68,7 +68,10 @@ impl TimingAdjust {
     }
 
     fn extra(&self, id: NodeId) -> Picoseconds {
-        self.extra_delay.get(id.0).copied().unwrap_or(Picoseconds::ZERO)
+        self.extra_delay
+            .get(id.0)
+            .copied()
+            .unwrap_or(Picoseconds::ZERO)
     }
 
     fn r_mult(&self, id: NodeId) -> f64 {
@@ -190,15 +193,9 @@ impl Timing {
                 .get(&node.cell)
                 .ok_or_else(|| TimingError::UnknownCell(id, node.cell.clone()))?;
             let vdd = supply.at(id);
-            let (t_d, slew_out) = chr.timing(
-                cell,
-                load[id.0],
-                input_slew[id.0],
-                vdd,
-                input_edge[id.0],
-            );
-            output_arrival[id.0] =
-                input_arrival[id.0] + t_d * adj.delay_mult(id) + adj.extra(id);
+            let (t_d, slew_out) =
+                chr.timing(cell, load[id.0], input_slew[id.0], vdd, input_edge[id.0]);
+            output_arrival[id.0] = input_arrival[id.0] + t_d * adj.delay_mult(id) + adj.extra(id);
             let out_edge = match cell.polarity() {
                 Polarity::Positive => input_edge[id.0],
                 Polarity::Negative => match input_edge[id.0] {
@@ -218,10 +215,8 @@ impl Timing {
                 let c = wire.capacitance(len) * c_mult;
                 let wire_delay = 0.69 * (r * (c / 2.0 + ccell.c_in()));
                 let wire_slew = 2.2 * (r * (c / 2.0 + ccell.c_in()));
-                input_arrival[child.0] =
-                    output_arrival[id.0] + wire_delay + cn.delay_trim;
-                input_slew[child.0] =
-                    Picoseconds::new(slew_out.value().hypot(wire_slew.value()));
+                input_arrival[child.0] = output_arrival[id.0] + wire_delay + cn.delay_trim;
+                input_slew[child.0] = Picoseconds::new(slew_out.value().hypot(wire_slew.value()));
                 input_edge[child.0] = out_edge;
             }
         }
@@ -271,9 +266,26 @@ mod tests {
 
     fn setup() -> (ClockTree, CellLibrary, Characterizer) {
         let mut t = ClockTree::new(Point::new(0.0, 0.0), "BUF_X32");
-        let a = t.add_internal(t.root(), Point::new(50.0, 0.0), "BUF_X16", Microns::new(50.0));
-        t.add_leaf(a, Point::new(100.0, 0.0), "BUF_X4", Microns::new(60.0), Femtofarads::new(4.0));
-        t.add_leaf(a, Point::new(100.0, 10.0), "BUF_X4", Microns::new(60.0), Femtofarads::new(4.0));
+        let a = t.add_internal(
+            t.root(),
+            Point::new(50.0, 0.0),
+            "BUF_X16",
+            Microns::new(50.0),
+        );
+        t.add_leaf(
+            a,
+            Point::new(100.0, 0.0),
+            "BUF_X4",
+            Microns::new(60.0),
+            Femtofarads::new(4.0),
+        );
+        t.add_leaf(
+            a,
+            Point::new(100.0, 10.0),
+            "BUF_X4",
+            Microns::new(60.0),
+            Femtofarads::new(4.0),
+        );
         (t, CellLibrary::nangate45(), Characterizer::default())
     }
 
@@ -288,7 +300,10 @@ mod tests {
             Timing::analyze(&t, &lib, &chr, WireModel::default(), &uniform(), None).unwrap();
         for (id, node) in t.iter() {
             if let Some(p) = node.parent() {
-                assert!(timing.input_arrival[id.0] > timing.output_arrival[p.0] - Picoseconds::new(1e-9));
+                assert!(
+                    timing.input_arrival[id.0]
+                        > timing.output_arrival[p.0] - Picoseconds::new(1e-9)
+                );
             }
             assert!(timing.output_arrival[id.0] > timing.input_arrival[id.0]);
         }
@@ -368,15 +383,8 @@ mod tests {
         let mut adj = TimingAdjust::identity();
         let leaf = t.leaves()[1];
         adj.set_extra_delay(leaf, Picoseconds::new(12.0));
-        let timing = Timing::analyze(
-            &t,
-            &lib,
-            &chr,
-            WireModel::default(),
-            &uniform(),
-            Some(&adj),
-        )
-        .unwrap();
+        let timing =
+            Timing::analyze(&t, &lib, &chr, WireModel::default(), &uniform(), Some(&adj)).unwrap();
         assert!((timing.skew(&t).value() - 12.0).abs() < 1e-9);
     }
 
@@ -385,17 +393,9 @@ mod tests {
         let (t, lib, chr) = setup();
         let mut adj = TimingAdjust::identity();
         adj.cell_delay_mult = vec![1.1; t.len()];
-        let base =
-            Timing::analyze(&t, &lib, &chr, WireModel::default(), &uniform(), None).unwrap();
-        let slow = Timing::analyze(
-            &t,
-            &lib,
-            &chr,
-            WireModel::default(),
-            &uniform(),
-            Some(&adj),
-        )
-        .unwrap();
+        let base = Timing::analyze(&t, &lib, &chr, WireModel::default(), &uniform(), None).unwrap();
+        let slow =
+            Timing::analyze(&t, &lib, &chr, WireModel::default(), &uniform(), Some(&adj)).unwrap();
         let leaf = t.leaves()[0];
         assert!(slow.output_arrival[leaf.0] > base.output_arrival[leaf.0]);
     }
@@ -405,8 +405,8 @@ mod tests {
         let (mut t, lib, chr) = setup();
         let leaf = t.leaves()[0];
         t.set_cell(leaf, "MISSING_X1");
-        let err = Timing::analyze(&t, &lib, &chr, WireModel::default(), &uniform(), None)
-            .unwrap_err();
+        let err =
+            Timing::analyze(&t, &lib, &chr, WireModel::default(), &uniform(), None).unwrap_err();
         assert!(matches!(err, TimingError::UnknownCell(_, _)));
         assert!(err.to_string().contains("MISSING_X1"));
     }

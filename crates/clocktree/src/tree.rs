@@ -233,7 +233,14 @@ impl ClockTree {
         cell: impl Into<String>,
         wire: Microns,
     ) -> NodeId {
-        self.add(parent, location, NodeKind::Internal, cell, wire, Femtofarads::ZERO)
+        self.add(
+            parent,
+            location,
+            NodeKind::Internal,
+            cell,
+            wire,
+            Femtofarads::ZERO,
+        )
     }
 
     /// Adds a leaf buffering element (sink) under `parent`.
@@ -283,6 +290,14 @@ impl ClockTree {
     ///
     /// Used by the synthesizer to model deep buffer chains (the ISPD'09
     /// benchmarks have more internal nodes than leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root (there is no wire above it to split)
+    /// or if the arena's parent/child links are inconsistent.
+    // Precondition violations, not recoverable states: a caller passing
+    // the root or a corrupted arena is a bug on its side.
+    #[allow(clippy::expect_used)]
     pub fn insert_repeater(&mut self, node: NodeId, cell: impl Into<String>) -> NodeId {
         let parent = self.nodes[node.0]
             .parent
@@ -412,8 +427,7 @@ impl ClockTree {
         }
         let reached = self.topological_order().len();
         if reached != self.nodes.len() {
-            let seen: std::collections::HashSet<_> =
-                self.topological_order().into_iter().collect();
+            let seen: std::collections::HashSet<_> = self.topological_order().into_iter().collect();
             let missing = self
                 .ids()
                 .find(|id| !seen.contains(id))
@@ -430,9 +444,26 @@ mod tests {
 
     fn sample_tree() -> ClockTree {
         let mut t = ClockTree::new(Point::new(0.0, 0.0), "BUF_X16");
-        let a = t.add_internal(t.root(), Point::new(10.0, 0.0), "BUF_X8", Microns::new(10.0));
-        t.add_leaf(a, Point::new(20.0, 0.0), "BUF_X4", Microns::new(10.0), Femtofarads::new(4.0));
-        t.add_leaf(a, Point::new(20.0, 5.0), "BUF_X4", Microns::new(15.0), Femtofarads::new(4.0));
+        let a = t.add_internal(
+            t.root(),
+            Point::new(10.0, 0.0),
+            "BUF_X8",
+            Microns::new(10.0),
+        );
+        t.add_leaf(
+            a,
+            Point::new(20.0, 0.0),
+            "BUF_X4",
+            Microns::new(10.0),
+            Femtofarads::new(4.0),
+        );
+        t.add_leaf(
+            a,
+            Point::new(20.0, 5.0),
+            "BUF_X4",
+            Microns::new(15.0),
+            Femtofarads::new(4.0),
+        );
         t
     }
 

@@ -106,8 +106,7 @@ mod tests {
         assert!(all.iter().all(|&m| (0.5..=1.5).contains(&m)));
         let mean: f64 = all.iter().sum::<f64>() / all.len() as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
-        let var: f64 =
-            all.iter().map(|m| (m - 1.0).powi(2)).sum::<f64>() / all.len() as f64;
+        let var: f64 = all.iter().map(|m| (m - 1.0).powi(2)).sum::<f64>() / all.len() as f64;
         let sigma = var.sqrt();
         assert!((sigma - 0.05).abs() < 0.01, "sigma {sigma}");
     }

@@ -6,11 +6,7 @@ use wavemin_cells::{CellLibrary, Characterizer};
 use wavemin_clocktree::prelude::*;
 
 fn arb_sinks() -> impl Strategy<Value = Vec<(Point, Femtofarads)>> {
-    proptest::collection::vec(
-        (0.0..250.0f64, 0.0..250.0f64, 3.0..9.0f64),
-        2..24,
-    )
-    .prop_map(|v| {
+    proptest::collection::vec((0.0..250.0f64, 0.0..250.0f64, 3.0..9.0f64), 2..24).prop_map(|v| {
         v.into_iter()
             .map(|(x, y, c)| (Point::new(x, y), Femtofarads::new(c)))
             .collect()

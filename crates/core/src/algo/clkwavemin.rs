@@ -1,13 +1,17 @@
 //! ClkWaveMin: the MOSP-based approximation algorithm (Section V).
 
-use crate::algo::{run_interval_framework, Outcome, ZoneProblem, ZoneSolution, ZoneSolver};
+use crate::algo::{
+    run_interval_framework, Degradation, DegradationStep, Outcome, ZoneProblem, ZoneSolution,
+    ZoneSolver,
+};
 use crate::config::{SolverKind, WaveMinConfig};
 use crate::design::Design;
 use crate::error::WaveMinError;
 use crate::intervals::FeasibleInterval;
 use crate::noise_table::NoiseTable;
+use std::cell::RefCell;
 use wavemin_cells::units::Picoseconds;
-use wavemin_mosp::{solve, MospGraph, VertexId};
+use wavemin_mosp::{solve, Budget, Exhaustion, MospGraph, ParetoSet, VertexId};
 
 /// The paper's main algorithm: per zone and feasible interval, convert the
 /// assignment subproblem to a multi-objective shortest path instance
@@ -44,21 +48,224 @@ impl ClkWaveMin {
 
     /// Optimizes a single-power-mode design.
     ///
+    /// When the config carries a time budget, pathological solves descend
+    /// the degradation ladder instead of running unbounded; the applied
+    /// relaxations land in [`Outcome::degradation`].
+    ///
     /// # Errors
     ///
     /// [`WaveMinError::NoFeasibleInterval`] when no assignment can satisfy
     /// the skew bound; timing/characterization errors otherwise.
     pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
-        run_interval_framework(design, &self.config, &MospZoneSolver { config: &self.config })
+        self.config.validate()?;
+        design.validate()?;
+        let solver = MospZoneSolver::new(&self.config, self.config.budget());
+        let mut out = run_interval_framework(design, &self.config, &solver)?;
+        out.degradation = solver.ladder.degradation();
+        Ok(out)
+    }
+}
+
+/// The resource-governed degradation ladder shared by every MOSP zone
+/// solve of one optimization run:
+///
+/// 1. the configured solver (exact enumeration or Warburton ε);
+/// 2. Warburton with escalating ε (exact runs are demoted here first);
+/// 3. Warburton with a large ε *and* a tightened per-vertex label cap;
+/// 4. greedy single-label completion (always terminates, still a valid
+///    assignment).
+///
+/// The ladder descends one rung every time a solve exhausts the shared
+/// [`Budget`]; once the wall-clock deadline itself has passed it jumps
+/// straight to the greedy rung. Every transition is recorded as a
+/// [`DegradationStep`] for the final [`Degradation`] report.
+pub(crate) struct MospLadder {
+    budget: Budget,
+    rungs: Vec<Rung>,
+    state: RefCell<LadderState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rung {
+    solver: SolverKind,
+    label_cap: usize,
+}
+
+#[derive(Debug)]
+struct LadderState {
+    rung: usize,
+    steps: Vec<DegradationStep>,
+    exhausted_solves: usize,
+    total_solves: usize,
+}
+
+impl MospLadder {
+    pub(crate) fn new(config: &WaveMinConfig, budget: Budget) -> Self {
+        let cap = config.label_cap.max(1);
+        let base_eps = match config.solver {
+            SolverKind::Warburton { epsilon } => epsilon,
+            SolverKind::Exact { .. } => 0.01,
+        };
+        let mut rungs = vec![Rung {
+            solver: config.solver,
+            label_cap: cap,
+        }];
+        if matches!(config.solver, SolverKind::Exact { .. }) {
+            rungs.push(Rung {
+                solver: SolverKind::Warburton { epsilon: base_eps },
+                label_cap: cap,
+            });
+        }
+        rungs.push(Rung {
+            solver: SolverKind::Warburton {
+                epsilon: (base_eps * 5.0).min(0.5),
+            },
+            label_cap: cap,
+        });
+        rungs.push(Rung {
+            solver: SolverKind::Warburton {
+                epsilon: (base_eps * 25.0).min(0.5),
+            },
+            label_cap: (cap / 4).max(4).min(cap),
+        });
+        rungs.push(Rung {
+            solver: SolverKind::Exact {
+                max_labels: Some(1),
+            },
+            label_cap: 1,
+        });
+        Self {
+            budget,
+            rungs,
+            state: RefCell::new(LadderState {
+                rung: 0,
+                steps: Vec::new(),
+                exhausted_solves: 0,
+                total_solves: 0,
+            }),
+        }
+    }
+
+    /// A ladder that never descends (no limits set).
+    pub(crate) fn unbudgeted(config: &WaveMinConfig) -> Self {
+        Self::new(config, Budget::unlimited())
+    }
+
+    /// Solves one prepared MOSP instance at the current rung, descending
+    /// the ladder when the budget runs out mid-solve.
+    pub(crate) fn solve(
+        &self,
+        graph: &MospGraph,
+        src: VertexId,
+        dest: VertexId,
+    ) -> Result<ParetoSet, WaveMinError> {
+        if self.budget.deadline_expired() {
+            self.jump_to_greedy(Exhaustion::DeadlineExpired);
+        }
+        let rung = {
+            let st = self.state.borrow();
+            self.rungs[st.rung]
+        };
+        let set = match rung.solver {
+            SolverKind::Warburton { epsilon } => solve::warburton_budgeted(
+                graph,
+                src,
+                dest,
+                epsilon,
+                Some(rung.label_cap),
+                &self.budget,
+            )?,
+            SolverKind::Exact { max_labels } => {
+                let cap = Some(max_labels.map_or(rung.label_cap, |m| m.min(rung.label_cap)));
+                solve::exact_budgeted(graph, src, dest, cap, &self.budget)?
+            }
+        };
+        let mut st = self.state.borrow_mut();
+        st.total_solves += 1;
+        if let Some(reason) = set.exhaustion() {
+            st.exhausted_solves += 1;
+            drop(st);
+            self.descend(reason);
+        }
+        Ok(set)
+    }
+
+    /// Moves one rung down and records what changed.
+    fn descend(&self, reason: Exhaustion) {
+        let mut st = self.state.borrow_mut();
+        if st.rung + 1 >= self.rungs.len() {
+            return;
+        }
+        let from = self.rungs[st.rung];
+        let to = self.rungs[st.rung + 1];
+        st.rung += 1;
+        match (from.solver, to.solver) {
+            (_, SolverKind::Exact { .. }) => {
+                st.steps.push(DegradationStep::GreedyFallback { reason });
+            }
+            (SolverKind::Exact { .. }, SolverKind::Warburton { epsilon }) => {
+                st.steps
+                    .push(DegradationStep::ExactToApproximate { epsilon, reason });
+            }
+            (SolverKind::Warburton { epsilon: a }, SolverKind::Warburton { epsilon: b }) => {
+                if b > a {
+                    st.steps.push(DegradationStep::EpsilonRaised {
+                        from: a,
+                        to: b,
+                        reason,
+                    });
+                }
+                if to.label_cap < from.label_cap {
+                    st.steps.push(DegradationStep::LabelCapTightened {
+                        from: from.label_cap,
+                        to: to.label_cap,
+                        reason,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drops straight to the last (greedy) rung.
+    fn jump_to_greedy(&self, reason: Exhaustion) {
+        let mut st = self.state.borrow_mut();
+        let last = self.rungs.len() - 1;
+        if st.rung < last {
+            st.rung = last;
+            st.steps.push(DegradationStep::GreedyFallback { reason });
+        }
+    }
+
+    /// The machine-readable record of everything that was relaxed, or
+    /// `None` for a full-fidelity run.
+    pub(crate) fn degradation(&self) -> Option<Degradation> {
+        let st = self.state.borrow();
+        if st.steps.is_empty() && st.exhausted_solves == 0 {
+            None
+        } else {
+            Some(Degradation {
+                steps: st.steps.clone(),
+                exhausted_solves: st.exhausted_solves,
+                total_solves: st.total_solves,
+            })
+        }
     }
 }
 
 /// The MOSP-based inner solver shared by ClkWaveMin and ClkWaveMin-M.
-pub(crate) struct MospZoneSolver<'a> {
-    pub(crate) config: &'a WaveMinConfig,
+pub(crate) struct MospZoneSolver {
+    pub(crate) ladder: MospLadder,
 }
 
-impl ZoneSolver for MospZoneSolver<'_> {
+impl MospZoneSolver {
+    pub(crate) fn new(config: &WaveMinConfig, budget: Budget) -> Self {
+        Self {
+            ladder: MospLadder::new(config, budget),
+        }
+    }
+}
+
+impl ZoneSolver for MospZoneSolver {
     fn solve_zone(
         &self,
         table: &NoiseTable,
@@ -69,7 +276,7 @@ impl ZoneSolver for MospZoneSolver<'_> {
         let mut background = zone.background.clone();
         zone.plan.accumulate_into(&mut background, extra);
         solve_zone_mosp(
-            self.config,
+            &self.ladder,
             zone.sinks.len(),
             |local, option| {
                 let si = zone.sinks[local];
@@ -103,7 +310,7 @@ impl FeasibleInterval {
 /// Generic over the payload `C` so the multi-mode flow can carry one delay
 /// code per power mode.
 pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
-    config: &WaveMinConfig,
+    ladder: &MospLadder,
     rows: usize,
     mut option_data: impl FnMut(usize, usize) -> Option<(C, Vec<f64>)>,
     allowed: &[Vec<usize>],
@@ -149,12 +356,7 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
         graph.add_arc(u, dest, background.to_vec())?;
     }
 
-    let set = match config.solver {
-        SolverKind::Warburton { epsilon } => {
-            solve::warburton_capped(&graph, src, dest, epsilon, Some(config.label_cap))?
-        }
-        SolverKind::Exact { max_labels } => solve::exact(&graph, src, dest, max_labels)?,
-    };
+    let set = ladder.solve(&graph, src, dest)?;
     let best = set.min_max().ok_or(WaveMinError::NoFeasibleInterval)?;
     let mut choices: Vec<(usize, C)> = vec![(usize::MAX, C::default()); rows];
     for v in &best.vertices {
@@ -169,14 +371,13 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
 
 /// Single-mode wrapper around [`solve_zone_mosp_generic`].
 pub(crate) fn solve_zone_mosp(
-    config: &WaveMinConfig,
+    ladder: &MospLadder,
     rows: usize,
     option_data: impl FnMut(usize, usize) -> Option<(Picoseconds, Vec<f64>)>,
     allowed: &[Vec<usize>],
     background: &[f64],
 ) -> Result<ZoneSolution, WaveMinError> {
-    let (choices, cost) =
-        solve_zone_mosp_generic(config, rows, option_data, allowed, background)?;
+    let (choices, cost) = solve_zone_mosp_generic(ladder, rows, option_data, allowed, background)?;
     Ok(ZoneSolution { choices, cost })
 }
 
@@ -286,7 +487,7 @@ mod tests {
         ];
         let allowed = vec![vec![0, 1], vec![0, 1]];
         let sol = solve_zone_mosp(
-            &cfg,
+            &MospLadder::unbudgeted(&cfg),
             2,
             |l, o| Some((Picoseconds::ZERO, vectors[l][o].clone())),
             &allowed,
@@ -308,7 +509,7 @@ mod tests {
         ];
         let allowed = vec![vec![0, 1], vec![0, 1]];
         let sol = solve_zone_mosp(
-            &cfg,
+            &MospLadder::unbudgeted(&cfg),
             2,
             |l, o| Some((Picoseconds::ZERO, vectors[l][o].clone())),
             &allowed,
@@ -323,7 +524,14 @@ mod tests {
     #[test]
     fn empty_zone_costs_background_peak() {
         let cfg = WaveMinConfig::default();
-        let sol = solve_zone_mosp(&cfg, 0, |_, _| None, &[], &[3.0, 7.0]).unwrap();
+        let sol = solve_zone_mosp(
+            &MospLadder::unbudgeted(&cfg),
+            0,
+            |_, _| None,
+            &[],
+            &[3.0, 7.0],
+        )
+        .unwrap();
         assert_eq!(sol.cost, 7.0);
         assert!(sol.choices.is_empty());
     }

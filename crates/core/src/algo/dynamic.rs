@@ -82,8 +82,7 @@ impl DynamicPolarity {
         // mode and let each mode pick its best. By the minimax inequality
         // the resulting per-mode maximum can never exceed the best static
         // assignment's worst-mode peak.
-        let assignments: Vec<&Assignment> =
-            per_mode.iter().map(|o| &o.assignment).collect();
+        let assignments: Vec<&Assignment> = per_mode.iter().map(|o| &o.assignment).collect();
         let mut matrix = vec![vec![0.0_f64; modes]; assignments.len()];
         for (j, a) in assignments.iter().enumerate() {
             let peaks = per_mode_peaks(design, a)?;
@@ -96,10 +95,7 @@ impl DynamicPolarity {
                 wa.total_cmp(&wb)
             })
             .unwrap_or(0);
-        let static_peak_ma = matrix[static_best]
-            .iter()
-            .copied()
-            .fold(0.0_f64, f64::max);
+        let static_peak_ma = matrix[static_best].iter().copied().fold(0.0_f64, f64::max);
         // Per-mode argmin; near-ties resolve to the static winner so XOR
         // cells are only spent where they actually buy noise.
         let chosen: Vec<usize> = (0..modes)

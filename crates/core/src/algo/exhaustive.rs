@@ -52,7 +52,7 @@ impl ExhaustiveSearch {
         let options = &self.config.assignment_cells;
         let k = options.len() as u64;
         let total = (k as f64).powi(leaves.len() as i32);
-        if !(total <= self.budget as f64) {
+        if !total.is_finite() || total > self.budget as f64 {
             return Err(WaveMinError::InvalidConfig(
                 "search space exceeds the exhaustive budget",
             ));
@@ -83,19 +83,11 @@ impl ExhaustiveSearch {
             loop {
                 if i == counters.len() {
                     // Wrapped: enumeration complete.
-                    let (_, assignment) =
-                        best.ok_or(WaveMinError::NoFeasibleInterval)?;
+                    let (_, assignment) = best.ok_or(WaveMinError::NoFeasibleInterval)?;
                     let runtime = start.elapsed();
                     let mut optimum = design.clone();
                     assignment.apply_to(&mut optimum);
-                    return finish_outcome(
-                        design,
-                        &optimum,
-                        assignment,
-                        f64::NAN,
-                        0,
-                        runtime,
-                    );
+                    return finish_outcome(design, &optimum, assignment, f64::NAN, 0, runtime);
                 }
                 counters[i] += 1;
                 if counters[i] < options.len() {
@@ -117,13 +109,39 @@ mod tests {
     /// A 6-sink design small enough for 4^6 = 4096 evaluations.
     fn tiny_design() -> Design {
         let mut tree = ClockTree::new(Point::new(0.0, 0.0), "BUF_X16");
-        let a = tree.add_internal(tree.root(), Point::new(30.0, 10.0), "BUF_X8", Microns::new(40.0));
-        let b = tree.add_internal(tree.root(), Point::new(30.0, -10.0), "BUF_X8", Microns::new(40.0));
+        let a = tree.add_internal(
+            tree.root(),
+            Point::new(30.0, 10.0),
+            "BUF_X8",
+            Microns::new(40.0),
+        );
+        let b = tree.add_internal(
+            tree.root(),
+            Point::new(30.0, -10.0),
+            "BUF_X8",
+            Microns::new(40.0),
+        );
         for i in 0..3 {
-            tree.add_leaf(a, Point::new(60.0, 5.0 * i as f64), "BUF_X8", Microns::new(30.0 + 5.0 * i as f64), Femtofarads::new(4.0 + i as f64));
-            tree.add_leaf(b, Point::new(60.0, -5.0 * i as f64), "BUF_X8", Microns::new(30.0 + 5.0 * i as f64), Femtofarads::new(4.0 + i as f64));
+            tree.add_leaf(
+                a,
+                Point::new(60.0, 5.0 * i as f64),
+                "BUF_X8",
+                Microns::new(30.0 + 5.0 * i as f64),
+                Femtofarads::new(4.0 + i as f64),
+            );
+            tree.add_leaf(
+                b,
+                Point::new(60.0, -5.0 * i as f64),
+                "BUF_X8",
+                Microns::new(30.0 + 5.0 * i as f64),
+                Femtofarads::new(4.0 + i as f64),
+            );
         }
-        Design::new(tree, CellLibrary::nangate45(), PowerDesign::uniform(Volts::new(1.1)))
+        Design::new(
+            tree,
+            CellLibrary::nangate45(),
+            PowerDesign::uniform(Volts::new(1.1)),
+        )
     }
 
     fn cfg() -> WaveMinConfig {

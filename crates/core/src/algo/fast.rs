@@ -101,7 +101,11 @@ impl ZoneSolver for GreedyZoneSolver {
                     }
                 }
             }
-            let (row, ci, _) = best.expect("non-empty candidate rows");
+            // Every row kept at least one candidate above, so a missing
+            // best means the zone is genuinely unsolvable.
+            let Some((row, ci, _)) = best else {
+                return Err(WaveMinError::NoFeasibleInterval);
+            };
             let (opt, code, ref vector) = candidates[row][ci];
             for (s, v) in sum.iter_mut().zip(vector) {
                 *s += v;
@@ -127,7 +131,8 @@ fn greedy_vs_mosp_zone_cost(
     use crate::algo::clkwavemin::MospZoneSolver;
     let zero = crate::noise_table::EventWaveforms::zero();
     let greedy = GreedyZoneSolver.solve_zone(table, zone, interval, &zero)?;
-    let mosp = MospZoneSolver { config }.solve_zone(table, zone, interval, &zero)?;
+    let mosp = MospZoneSolver::new(config, wavemin_mosp::Budget::unlimited())
+        .solve_zone(table, zone, interval, &zero)?;
     Ok((greedy.cost, mosp.cost))
 }
 
@@ -144,7 +149,9 @@ mod tests {
     #[test]
     fn fast_reduces_or_keeps_peak() {
         let d = small_design();
-        let out = ClkWaveMinFast::new(WaveMinConfig::default()).run(&d).unwrap();
+        let out = ClkWaveMinFast::new(WaveMinConfig::default())
+            .run(&d)
+            .unwrap();
         assert!(out.peak_after.value() <= out.peak_before.value() + 1e-9);
     }
 

@@ -46,6 +46,91 @@ use std::time::Duration;
 use wavemin_cells::units::{MilliAmps, Millivolts, Picoseconds};
 use wavemin_cells::CellKind;
 use wavemin_clocktree::ZoneGrid;
+use wavemin_mosp::Exhaustion;
+
+/// One relaxation the optimizer applied while descending the degradation
+/// ladder (exact → ε-approximate → tightly capped → greedy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DegradationStep {
+    /// Exact Pareto enumeration was abandoned for Warburton's
+    /// ε-approximation.
+    ExactToApproximate {
+        /// The ε the approximation continued with.
+        epsilon: f64,
+        /// Which resource ran out.
+        reason: Exhaustion,
+    },
+    /// The Warburton approximation parameter was escalated.
+    EpsilonRaised {
+        /// ε before the escalation.
+        from: f64,
+        /// ε after the escalation.
+        to: f64,
+        /// Which resource ran out.
+        reason: Exhaustion,
+    },
+    /// The per-vertex Pareto label cap was tightened.
+    LabelCapTightened {
+        /// Cap before tightening.
+        from: usize,
+        /// Cap after tightening.
+        to: usize,
+        /// Which resource ran out.
+        reason: Exhaustion,
+    },
+    /// Remaining zone solves fell back to the greedy single-label
+    /// completion (still a valid assignment, no optimality claim).
+    GreedyFallback {
+        /// Which resource ran out.
+        reason: Exhaustion,
+    },
+}
+
+impl std::fmt::Display for DegradationStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ExactToApproximate { epsilon, reason } => {
+                write!(f, "exact -> eps-approximate (eps = {epsilon}): {reason}")
+            }
+            Self::EpsilonRaised { from, to, reason } => {
+                write!(f, "eps raised {from} -> {to}: {reason}")
+            }
+            Self::LabelCapTightened { from, to, reason } => {
+                write!(f, "label cap tightened {from} -> {to}: {reason}")
+            }
+            Self::GreedyFallback { reason } => {
+                write!(f, "greedy fallback: {reason}")
+            }
+        }
+    }
+}
+
+/// A machine-readable account of everything the optimizer relaxed to fit
+/// its resource budget. Absent from an [`Outcome`] when the run completed
+/// at full fidelity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// The relaxations, in the order they were applied.
+    pub steps: Vec<DegradationStep>,
+    /// Zone solves whose Pareto frontier was truncated mid-solve.
+    pub exhausted_solves: usize,
+    /// Total zone solves attempted during the run.
+    pub total_solves: usize,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "degraded ({}/{} zone solves exhausted)",
+            self.exhausted_solves, self.total_solves
+        )?;
+        for step in &self.steps {
+            write!(f, "; {step}")?;
+        }
+        Ok(())
+    }
+}
 
 /// The result of running an optimization algorithm on a design.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -79,6 +164,9 @@ pub struct Outcome {
     pub adi_count: usize,
     /// Wall-clock optimization time (excludes evaluation).
     pub runtime: Duration,
+    /// What was relaxed to fit the resource budget (`None` = the run
+    /// completed at full fidelity).
+    pub degradation: Option<Degradation>,
 }
 
 impl Outcome {
@@ -349,6 +437,7 @@ pub(crate) fn finish_outcome(
         adb_count: count_kind(after, CellKind::Adb),
         adi_count: count_kind(after, CellKind::Adi),
         runtime,
+        degradation: None,
     };
     for mode in 0..before.mode_count() {
         let rb = eval_before.evaluate(mode)?;
@@ -404,6 +493,7 @@ mod tests {
             adb_count: 0,
             adi_count: 0,
             runtime: Duration::ZERO,
+            degradation: None,
         };
         assert!((o.peak_improvement_pct() - 20.0).abs() < 1e-9);
         assert!((o.vdd_improvement_pct() - 20.0).abs() < 1e-9);

@@ -111,9 +111,7 @@ mod tests {
         let neg = after
             .leaves()
             .iter()
-            .filter(|&&l| {
-                timing.input_edge[l.0] == wavemin_cells::characterize::ClockEdge::Fall
-            })
+            .filter(|&&l| timing.input_edge[l.0] == wavemin_cells::characterize::ClockEdge::Fall)
             .count();
         let total = after.leaves().len();
         let frac = neg as f64 / total as f64;

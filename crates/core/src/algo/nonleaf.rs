@@ -127,8 +127,7 @@ impl NonLeafPolarity {
     /// design after `assignment` (a convenience for reporting).
     #[must_use]
     pub fn internal_flip_count(design: &Design, assignment: &Assignment) -> usize {
-        let leaves: std::collections::BTreeSet<_> =
-            design.tree.leaves().into_iter().collect();
+        let leaves: std::collections::BTreeSet<_> = design.tree.leaves().into_iter().collect();
         assignment
             .cells
             .keys()

@@ -53,9 +53,9 @@ impl SamantaBalanced {
             sinks.sort_by(|&a, &b| {
                 let pa = design.tree.node(a).location;
                 let pb = design.tree.node(b).location;
-                (pa.x.value(), pa.y.value())
-                    .partial_cmp(&(pb.x.value(), pb.y.value()))
-                    .expect("finite coordinates")
+                pa.x.value()
+                    .total_cmp(&pb.x.value())
+                    .then(pa.y.value().total_cmp(&pb.y.value()))
             });
             for (i, &sink) in sinks.iter().enumerate() {
                 if i % 2 == 1 {

@@ -236,14 +236,9 @@ mod tests {
     #[test]
     fn achieves_high_yield_with_guard_band() {
         let d = Design::from_benchmark(&Benchmark::s15850(), 3);
-        let out = YieldAwareWaveMin::new(
-            quick_config(20.0),
-            VariationModel::default(),
-            0.97,
-            60,
-        )
-        .run(&d, 4)
-        .unwrap();
+        let out = YieldAwareWaveMin::new(quick_config(20.0), VariationModel::default(), 0.97, 60)
+            .run(&d, 4)
+            .unwrap();
         assert!(
             out.achieved_yield >= 0.9,
             "yield {} below expectation (guard {})",

@@ -125,10 +125,7 @@ mod tests {
         a.set(leaf, "ADB_X8");
         a.set_delay_code(0, leaf, Picoseconds::new(7.5));
         a.apply_to(&mut d);
-        assert_eq!(
-            d.mode_adjust[0].extra_delay[leaf.0],
-            Picoseconds::new(7.5)
-        );
+        assert_eq!(d.mode_adjust[0].extra_delay[leaf.0], Picoseconds::new(7.5));
     }
 
     #[test]

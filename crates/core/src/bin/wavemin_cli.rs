@@ -3,6 +3,7 @@
 //! ```text
 //! wavemin synthesize --benchmark s13207 --seed 42 -o tree.clk
 //! wavemin optimize   -i tree.clk --algorithm wavemin --kappa 20 -o opt.clk
+//! wavemin validate   -i tree.clk
 //! wavemin evaluate   -i opt.clk
 //! wavemin svg        -i opt.clk -o opt.svg
 //! wavemin liberty    -o nangate45.lib
@@ -10,43 +11,155 @@
 //!
 //! Trees use the text format of [`wavemin_clocktree::io`]; libraries use
 //! the Liberty subset of [`wavemin_cells::liberty`].
+//!
+//! Exit codes: `0` success, `1` runtime error, `2` usage error, `3` the
+//! input failed validation, `4` no feasible assignment exists, `5` the
+//! run degraded under `--strict`.
 
 use std::process::ExitCode;
 use wavemin::prelude::*;
+use wavemin::report::degradation_summary;
 use wavemin_cells::liberty;
 use wavemin_cells::units::{Microns, Picoseconds, Volts};
 use wavemin_clocktree::io as tree_io;
+
+/// Exit code for unexpected runtime failures (I/O, solver internals).
+const EXIT_RUNTIME: u8 = 1;
+/// Exit code for malformed command lines.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for inputs rejected by upfront validation.
+const EXIT_INVALID_INPUT: u8 = 3;
+/// Exit code when no assignment can satisfy the skew bound.
+const EXIT_INFEASIBLE: u8 = 4;
+/// Exit code when `--strict` forbids the degradation that occurred.
+const EXIT_DEGRADED: u8 = 5;
+
+/// An error carrying the process exit code it maps to.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn invalid(message: impl Into<String>) -> Self {
+        Self {
+            code: EXIT_INVALID_INPUT,
+            message: message.into(),
+        }
+    }
+
+    fn degraded(message: impl Into<String>) -> Self {
+        Self {
+            code: EXIT_DEGRADED,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self {
+            code: EXIT_RUNTIME,
+            message,
+        }
+    }
+}
+
+impl From<&WaveMinError> for CliError {
+    fn from(e: &WaveMinError) -> Self {
+        let code = match e {
+            WaveMinError::InvalidConfig(_)
+            | WaveMinError::InvalidTree(_)
+            | WaveMinError::NonFiniteInput(_)
+            | WaveMinError::NegativeInput(_)
+            | WaveMinError::EmptySinks
+            | WaveMinError::DuplicateSinks(_)
+            | WaveMinError::MissingCell(_) => EXIT_INVALID_INPUT,
+            WaveMinError::NoFeasibleInterval => EXIT_INFEASIBLE,
+            _ => EXIT_RUNTIME,
+        };
+        Self {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<WaveMinError> for CliError {
+    fn from(e: WaveMinError) -> Self {
+        Self::from(&e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         print_usage();
-        return Err("no command given".into());
+        return Err(CliError::usage("no command given"));
     };
     let flags = Flags::parse(&args[1..]);
     match command.as_str() {
-        "synthesize" => synthesize(&flags),
-        "optimize" => optimize(&flags),
-        "evaluate" => evaluate(&flags),
-        "svg" => svg(&flags),
-        "liberty" => liberty_dump(&flags),
+        "synthesize" => {
+            flags.reject_unknown("synthesize", &["benchmark", "seed", "o"])?;
+            synthesize(&flags)
+        }
+        "optimize" => {
+            flags.reject_unknown(
+                "optimize",
+                &[
+                    "i",
+                    "algorithm",
+                    "kappa",
+                    "samples",
+                    "lib",
+                    "power",
+                    "time-budget-ms",
+                    "strict",
+                    "o",
+                ],
+            )?;
+            optimize(&flags)
+        }
+        "validate" => {
+            flags.reject_unknown("validate", &["i", "lib", "power", "kappa", "samples"])?;
+            validate(&flags)
+        }
+        "evaluate" => {
+            flags.reject_unknown("evaluate", &["i", "lib"])?;
+            evaluate(&flags)
+        }
+        "svg" => {
+            flags.reject_unknown("svg", &["i", "lib", "o"])?;
+            svg(&flags)
+        }
+        "liberty" => {
+            flags.reject_unknown("liberty", &["o"])?;
+            liberty_dump(&flags)
+        }
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
         }
         other => {
             print_usage();
-            Err(format!("unknown command '{other}'"))
+            Err(CliError::usage(format!("unknown command '{other}'")))
         }
     }
 }
@@ -59,10 +172,22 @@ USAGE:
   wavemin synthesize --benchmark <name|all> [--seed N] [-o tree.clk]
   wavemin optimize   -i tree.clk [--algorithm wavemin|fast|peakmin|nieh|samanta|multimode]
                      [--kappa PS] [--samples N] [--lib file.lib]
-                     [--power intent.pw] [-o out.clk]
+                     [--power intent.pw] [--time-budget-ms N] [--strict]
+                     [-o out.clk]
+  wavemin validate   -i tree.clk [--lib file.lib] [--power intent.pw]
+                     [--kappa PS] [--samples N]
   wavemin evaluate   -i tree.clk [--lib file.lib]
   wavemin svg        -i tree.clk [--lib file.lib] [-o out.svg]
   wavemin liberty    [-o out.lib]
+
+FLAGS:
+  --time-budget-ms N  wall-clock cap; the solver degrades gracefully and
+                      reports what was relaxed instead of running unbounded
+  --strict            fail (exit 5) if the run had to degrade at all
+
+EXIT CODES:
+  0 success   1 runtime error   2 usage error
+  3 input failed validation   4 infeasible   5 degraded under --strict
 
 Benchmarks: s13207 s15850 s35932 s38417 s38584 ispd09f31 ispd09f34"
     );
@@ -99,56 +224,75 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn numeric(&self, key: &str) -> Result<Option<f64>, String> {
+    /// `true` when a boolean flag like `--strict` was passed.
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Rejects flags the subcommand does not understand, so a typo like
+    /// `--sTrict` fails loudly instead of silently changing semantics.
+    fn reject_unknown(&self, command: &str, allowed: &[&str]) -> Result<(), CliError> {
+        for (key, _) in &self.entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(CliError::usage(format!(
+                    "unknown flag '--{key}' for '{command}'"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn numeric(&self, key: &str) -> Result<Option<f64>, CliError> {
         match self.get(key) {
             None => Ok(None),
             Some(v) => v
                 .parse()
                 .map(Some)
-                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+                .map_err(|_| CliError::usage(format!("--{key} expects a number, got '{v}'"))),
         }
     }
 }
 
-fn benchmark_by_name(name: &str) -> Result<Benchmark, String> {
+fn benchmark_by_name(name: &str) -> Result<Benchmark, CliError> {
     Benchmark::all()
         .into_iter()
         .find(|b| b.name == name)
-        .ok_or_else(|| format!("unknown benchmark '{name}'"))
+        .ok_or_else(|| CliError::usage(format!("unknown benchmark '{name}'")))
 }
 
-fn load_library(flags: &Flags) -> Result<CellLibrary, String> {
+fn load_library(flags: &Flags) -> Result<CellLibrary, CliError> {
     match flags.get("lib") {
         None => Ok(CellLibrary::nangate45()),
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
-            liberty::parse_library(&text).map_err(|e| format!("{path}: {e}"))
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            liberty::parse_library(&text).map_err(|e| CliError::invalid(format!("{path}: {e}")))
         }
     }
 }
 
-fn load_design(flags: &Flags) -> Result<Design, String> {
-    let input = flags.get("i").ok_or("missing -i <tree.clk>")?;
-    let text =
-        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
-    let tree = tree_io::read_tree(&text).map_err(|e| format!("{input}: {e}"))?;
+fn load_design(flags: &Flags) -> Result<Design, CliError> {
+    let input = flags
+        .get("i")
+        .ok_or_else(|| CliError::usage("missing -i <tree.clk>"))?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let tree = tree_io::read_tree(&text).map_err(|e| CliError::invalid(format!("{input}: {e}")))?;
     let lib = load_library(flags)?;
     tree.validate(|c| lib.get(c).is_some())
-        .map_err(|e| format!("{input}: {e}"))?;
+        .map_err(|e| CliError::invalid(format!("{input}: {e}")))?;
     let power = match flags.get("power") {
         None => PowerDesign::uniform(Volts::new(1.1)),
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             wavemin_clocktree::power_io::read_power(&text)
-                .map_err(|e| format!("{path}: {e}"))?
+                .map_err(|e| CliError::invalid(format!("{path}: {e}")))?
         }
     };
     Ok(Design::new(tree, lib, power))
 }
 
-fn write_out(flags: &Flags, default_msg: &str, content: &str) -> Result<(), String> {
+fn write_out(flags: &Flags, default_msg: &str, content: &str) -> Result<(), CliError> {
     match flags.get("o") {
         Some(path) => {
             std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -163,8 +307,10 @@ fn write_out(flags: &Flags, default_msg: &str, content: &str) -> Result<(), Stri
     }
 }
 
-fn synthesize(flags: &Flags) -> Result<(), String> {
-    let name = flags.get("benchmark").ok_or("missing --benchmark")?;
+fn synthesize(flags: &Flags) -> Result<(), CliError> {
+    let name = flags
+        .get("benchmark")
+        .ok_or_else(|| CliError::usage("missing --benchmark"))?;
     let seed = flags.numeric("seed")?.unwrap_or(42.0) as u64;
     let bench = benchmark_by_name(name)?;
     let design = Design::from_benchmark(&bench, seed);
@@ -175,11 +321,14 @@ fn synthesize(flags: &Flags) -> Result<(), String> {
         design.leaves().len(),
         design.skew(0).map_err(|e| e.to_string())?
     );
-    write_out(flags, "(no -o given, dumping to stdout)", &tree_io::write_tree(&design.tree))
+    write_out(
+        flags,
+        "(no -o given, dumping to stdout)",
+        &tree_io::write_tree(&design.tree),
+    )
 }
 
-fn optimize(flags: &Flags) -> Result<(), String> {
-    let design = load_design(flags)?;
+fn build_config(flags: &Flags) -> Result<WaveMinConfig, CliError> {
     let mut config = WaveMinConfig::default();
     if let Some(k) = flags.numeric("kappa")? {
         config.skew_bound = Picoseconds::new(k);
@@ -187,6 +336,21 @@ fn optimize(flags: &Flags) -> Result<(), String> {
     if let Some(s) = flags.numeric("samples")? {
         config.sample_count = s as usize;
     }
+    if let Some(ms) = flags.numeric("time-budget-ms")? {
+        if ms < 0.0 {
+            return Err(CliError::usage(
+                "--time-budget-ms expects a nonnegative count",
+            ));
+        }
+        config.time_budget_ms = Some(ms as u64);
+    }
+    config.validate().map_err(|e| CliError::from(&e))?;
+    Ok(config)
+}
+
+fn optimize(flags: &Flags) -> Result<(), CliError> {
+    let design = load_design(flags)?;
+    let config = build_config(flags)?;
     let algorithm = flags.get("algorithm").unwrap_or("wavemin");
     let outcome = match algorithm {
         "wavemin" => ClkWaveMin::new(config).run(&design),
@@ -195,10 +359,19 @@ fn optimize(flags: &Flags) -> Result<(), String> {
         "nieh" => NiehOppositePhase::new().run(&design),
         "samanta" => SamantaBalanced::new(Microns::new(50.0)).run(&design),
         "multimode" => ClkWaveMinM::new(config).run(&design),
-        other => return Err(format!("unknown algorithm '{other}'")),
+        other => return Err(CliError::usage(format!("unknown algorithm '{other}'"))),
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::from(&e))?;
 
+    if let Some(d) = &outcome.degradation {
+        eprint!("{}", degradation_summary(Some(d)));
+        if flags.has("strict") {
+            return Err(CliError::degraded(format!(
+                "--strict: the run relaxed {} of {} zone solves to stay within budget",
+                d.exhausted_solves, d.total_solves
+            )));
+        }
+    }
     eprintln!(
         "{algorithm}: peak {:.3} -> {:.3} ({:+.2} %), Vdd noise {:.3} -> {:.3}, skew {:.2} -> {:.2}",
         outcome.peak_before,
@@ -210,7 +383,10 @@ fn optimize(flags: &Flags) -> Result<(), String> {
         outcome.skew_after,
     );
     let (pos, neg) = outcome.assignment.polarity_counts(&design);
-    eprintln!("assignment: {pos} buffers / {neg} inverters over {} sinks", pos + neg);
+    eprintln!(
+        "assignment: {pos} buffers / {neg} inverters over {} sinks",
+        pos + neg
+    );
 
     let mut optimized = design.clone();
     outcome.assignment.apply_to(&mut optimized);
@@ -227,11 +403,24 @@ fn optimize(flags: &Flags) -> Result<(), String> {
     )
 }
 
-fn evaluate(flags: &Flags) -> Result<(), String> {
+fn validate(flags: &Flags) -> Result<(), CliError> {
+    build_config(flags)?;
+    let design = load_design(flags)?;
+    design.validate().map_err(|e| CliError::from(&e))?;
+    println!(
+        "ok: {} nodes, {} sinks, {} power mode(s); configuration and design are valid",
+        design.tree.len(),
+        design.leaves().len(),
+        design.mode_count()
+    );
+    Ok(())
+}
+
+fn evaluate(flags: &Flags) -> Result<(), CliError> {
     let design = load_design(flags)?;
     let report = NoiseEvaluator::new(&design)
         .evaluate(0)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::from(&e))?;
     println!("peak current : {:.3}", report.peak);
     println!(
         "peak rail    : {:?} at {:?} edge, t = {:.2}",
@@ -243,7 +432,7 @@ fn evaluate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn svg(flags: &Flags) -> Result<(), String> {
+fn svg(flags: &Flags) -> Result<(), CliError> {
     let design = load_design(flags)?;
     let rendered = wavemin_clocktree::svg::render(
         &design.tree,
@@ -253,7 +442,7 @@ fn svg(flags: &Flags) -> Result<(), String> {
     write_out(flags, "(no -o given, dumping SVG to stdout)", &rendered)
 }
 
-fn liberty_dump(flags: &Flags) -> Result<(), String> {
+fn liberty_dump(flags: &Flags) -> Result<(), CliError> {
     let lib = CellLibrary::nangate45();
     write_out(
         flags,

@@ -1,7 +1,10 @@
 //! Optimization configuration.
 
+use crate::error::WaveMinError;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 use wavemin_cells::units::{Microns, Picoseconds};
+use wavemin_mosp::Budget;
 
 /// How the fixed non-leaf buffers' noise enters each zone's objective
 /// (Observation 1).
@@ -69,6 +72,12 @@ pub struct WaveMinConfig {
     /// calling the analytic model per (sink, cell) pair. Faster for large
     /// designs, at a small interpolation error.
     pub lut_characterization: bool,
+    /// Wall-clock budget for one optimization run in milliseconds
+    /// (`None` = unbounded). When the budget runs out mid-solve the zone
+    /// solvers descend the degradation ladder (exact → ε-approximate →
+    /// capped → greedy) instead of running unbounded; the relaxations are
+    /// reported in [`crate::algo::Outcome::degradation`].
+    pub time_budget_ms: Option<u64>,
 }
 
 impl Default for WaveMinConfig {
@@ -92,6 +101,7 @@ impl Default for WaveMinConfig {
             background: BackgroundMode::Global,
             window_margin: 0.8,
             lut_characterization: false,
+            time_budget_ms: None,
         }
     }
 }
@@ -122,6 +132,84 @@ impl WaveMinConfig {
         self.sample_count = s;
         self
     }
+
+    /// Returns the config with a different zone solver.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Returns the config with a wall-clock budget (milliseconds).
+    #[must_use]
+    pub fn with_time_budget_ms(mut self, ms: u64) -> Self {
+        self.time_budget_ms = Some(ms);
+        self
+    }
+
+    /// A fresh [`Budget`] for one run: the deadline starts counting now.
+    #[must_use]
+    pub fn budget(&self) -> Budget {
+        match self.time_budget_ms {
+            Some(ms) => Budget::with_time_limit(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        }
+    }
+
+    /// Rejects configurations no optimization can meaningfully run with.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveMinError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), WaveMinError> {
+        if !self.skew_bound.value().is_finite() || self.skew_bound.value() <= 0.0 {
+            return Err(WaveMinError::InvalidConfig(
+                "skew_bound must be positive and finite",
+            ));
+        }
+        if self.sample_count == 0 {
+            return Err(WaveMinError::InvalidConfig(
+                "sample_count must be nonzero (the noise objective needs samples)",
+            ));
+        }
+        if self.assignment_cells.is_empty() {
+            return Err(WaveMinError::InvalidConfig(
+                "assignment_cells must name at least one candidate cell",
+            ));
+        }
+        if !self.zone_pitch.value().is_finite() || self.zone_pitch.value() <= 0.0 {
+            return Err(WaveMinError::InvalidConfig(
+                "zone_pitch must be positive and finite",
+            ));
+        }
+        if !self.profiling_slew.value().is_finite() || self.profiling_slew.value() <= 0.0 {
+            return Err(WaveMinError::InvalidConfig(
+                "profiling_slew must be positive and finite",
+            ));
+        }
+        if let SolverKind::Warburton { epsilon } = self.solver {
+            if !epsilon.is_finite() || epsilon <= 0.0 {
+                return Err(WaveMinError::InvalidConfig(
+                    "Warburton epsilon must be positive and finite",
+                ));
+            }
+        }
+        if self.label_cap == 0 {
+            return Err(WaveMinError::InvalidConfig("label_cap must be at least 1"));
+        }
+        if self.max_intervals == Some(0) {
+            return Err(WaveMinError::InvalidConfig(
+                "max_intervals of 0 keeps no interval; use None for unbounded",
+            ));
+        }
+        if !self.window_margin.is_finite() || self.window_margin <= 0.0 || self.window_margin > 1.0
+        {
+            return Err(WaveMinError::InvalidConfig(
+                "window_margin must lie in (0, 1]",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +235,11 @@ mod tests {
         assert_eq!(tiny.samples_per_slot(), 1);
         assert_eq!(tiny.effective_sample_count(), 4);
         let sub = WaveMinConfig::default().with_sample_count(1);
-        assert_eq!(sub.effective_sample_count(), 4, "rounded up to one per slot");
+        assert_eq!(
+            sub.effective_sample_count(),
+            4,
+            "rounded up to one per slot"
+        );
     }
 
     #[test]
@@ -157,5 +249,88 @@ mod tests {
             .with_sample_count(8);
         assert_eq!(c.skew_bound, Picoseconds::new(90.0));
         assert_eq!(c.sample_count, 8);
+    }
+
+    #[test]
+    fn default_config_validates_and_is_unbudgeted() {
+        let c = WaveMinConfig::default();
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.budget(), Budget::unlimited());
+        let b = c.with_time_budget_ms(50).budget();
+        assert!(b.remaining().expect("deadline set") <= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let cases: Vec<(WaveMinConfig, &str)> = vec![
+            (
+                WaveMinConfig::default().with_skew_bound(Picoseconds::new(-1.0)),
+                "skew_bound",
+            ),
+            (
+                WaveMinConfig::default().with_skew_bound(Picoseconds::new(f64::NAN)),
+                "skew_bound",
+            ),
+            (
+                WaveMinConfig::default().with_sample_count(0),
+                "sample_count",
+            ),
+            (
+                WaveMinConfig {
+                    assignment_cells: vec![],
+                    ..WaveMinConfig::default()
+                },
+                "assignment_cells",
+            ),
+            (
+                WaveMinConfig {
+                    zone_pitch: Microns::new(0.0),
+                    ..WaveMinConfig::default()
+                },
+                "zone_pitch",
+            ),
+            (
+                WaveMinConfig {
+                    profiling_slew: Picoseconds::new(f64::INFINITY),
+                    ..WaveMinConfig::default()
+                },
+                "profiling_slew",
+            ),
+            (
+                WaveMinConfig {
+                    solver: SolverKind::Warburton { epsilon: 0.0 },
+                    ..WaveMinConfig::default()
+                },
+                "epsilon",
+            ),
+            (
+                WaveMinConfig {
+                    label_cap: 0,
+                    ..WaveMinConfig::default()
+                },
+                "label_cap",
+            ),
+            (
+                WaveMinConfig {
+                    max_intervals: Some(0),
+                    ..WaveMinConfig::default()
+                },
+                "max_intervals",
+            ),
+            (
+                WaveMinConfig {
+                    window_margin: 1.5,
+                    ..WaveMinConfig::default()
+                },
+                "window_margin",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err(needle);
+            assert!(
+                err.to_string().contains(needle),
+                "error '{err}' should mention {needle}"
+            );
+        }
     }
 }

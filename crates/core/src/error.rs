@@ -2,6 +2,7 @@
 
 use std::fmt;
 use wavemin_clocktree::prelude::TimingError;
+use wavemin_clocktree::tree::TreeError;
 use wavemin_mosp::MospError;
 
 /// Errors surfaced by WaveMin optimizations.
@@ -23,6 +24,20 @@ pub enum WaveMinError {
     MissingCell(String),
     /// A configuration value is out of range.
     InvalidConfig(&'static str),
+    /// Upfront validation found the clock tree structurally broken
+    /// (orphan nodes, broken links, disconnected subtrees, unknown cells).
+    InvalidTree(TreeError),
+    /// Upfront validation found a NaN or infinite numeric input; the
+    /// message names the offending field and node.
+    NonFiniteInput(String),
+    /// Upfront validation found a physically negative quantity (cap,
+    /// wirelength, voltage...); the message names the field and node.
+    NegativeInput(String),
+    /// The design has no sinks to assign.
+    EmptySinks,
+    /// Two sinks are exact duplicates (same location and load), which the
+    /// zone partition and skew analysis cannot distinguish.
+    DuplicateSinks(String),
 }
 
 impl fmt::Display for WaveMinError {
@@ -38,6 +53,19 @@ impl fmt::Display for WaveMinError {
             }
             WaveMinError::MissingCell(c) => write!(f, "cell '{c}' missing from library"),
             WaveMinError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            WaveMinError::InvalidTree(e) => write!(f, "invalid clock tree: {e}"),
+            WaveMinError::NonFiniteInput(what) => {
+                write!(f, "non-finite input: {what}")
+            }
+            WaveMinError::NegativeInput(what) => {
+                write!(f, "negative input: {what}")
+            }
+            WaveMinError::EmptySinks => {
+                write!(f, "the design has no sinks: nothing to assign")
+            }
+            WaveMinError::DuplicateSinks(what) => {
+                write!(f, "duplicate sinks: {what}")
+            }
         }
     }
 }
@@ -47,8 +75,15 @@ impl std::error::Error for WaveMinError {
         match self {
             WaveMinError::Timing(e) => Some(e),
             WaveMinError::Mosp(e) => Some(e),
+            WaveMinError::InvalidTree(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<TreeError> for WaveMinError {
+    fn from(e: TreeError) -> Self {
+        WaveMinError::InvalidTree(e)
     }
 }
 
@@ -70,7 +105,9 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(WaveMinError::NoFeasibleInterval.to_string().contains("skew"));
+        assert!(WaveMinError::NoFeasibleInterval
+            .to_string()
+            .contains("skew"));
         assert!(WaveMinError::MissingCell("ADB_X8".into())
             .to_string()
             .contains("ADB_X8"));

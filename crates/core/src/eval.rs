@@ -320,10 +320,7 @@ mod tests {
         let (per_node, total) = NoiseEvaluator::new(&d).waveforms(0).unwrap();
         assert_eq!(per_node.len(), d.tree.len());
         let t = total.vdd_rise.peak_time().unwrap();
-        let manual: f64 = per_node
-            .iter()
-            .map(|w| w.vdd_rise.sample(t).value())
-            .sum();
+        let manual: f64 = per_node.iter().map(|w| w.vdd_rise.sample(t).value()).sum();
         assert!((manual - total.vdd_rise.sample(t).value()).abs() < 1e-6);
     }
 

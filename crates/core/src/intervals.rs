@@ -48,11 +48,7 @@ impl IntervalSet {
     /// allowed sets coincide are deduplicated; the result is sorted by
     /// decreasing degree of freedom and truncated to `max_intervals`.
     #[must_use]
-    pub fn generate(
-        table: &NoiseTable,
-        kappa: Picoseconds,
-        max_intervals: Option<usize>,
-    ) -> Self {
+    pub fn generate(table: &NoiseTable, kappa: Picoseconds, max_intervals: Option<usize>) -> Self {
         let mut endpoints: Vec<f64> = Vec::new();
         for sink in &table.sinks {
             for opt in &sink.options {
@@ -86,7 +82,11 @@ impl IntervalSet {
             if intervals.iter().any(|iv| iv.allowed == allowed) {
                 continue;
             }
-            intervals.push(FeasibleInterval { t_hi, t_lo, allowed });
+            intervals.push(FeasibleInterval {
+                t_hi,
+                t_lo,
+                allowed,
+            });
         }
 
         intervals.sort_by_key(|iv| std::cmp::Reverse(iv.degree_of_freedom()));
@@ -161,7 +161,10 @@ mod tests {
         let t = table();
         let wide = IntervalSet::generate(&t, Picoseconds::new(50.0), None);
         let tight = IntervalSet::generate(&t, Picoseconds::new(8.0), None);
-        let dof_wide = wide.intervals().first().map_or(0, FeasibleInterval::degree_of_freedom);
+        let dof_wide = wide
+            .intervals()
+            .first()
+            .map_or(0, FeasibleInterval::degree_of_freedom);
         let dof_tight = tight
             .intervals()
             .first()

@@ -57,9 +57,10 @@ pub mod sampling;
 
 /// Convenient re-exports of the main types.
 pub mod prelude {
+    pub use crate::algo::Outcome;
     pub use crate::algo::{
-        ClkPeakMin, ClkWaveMin, ClkWaveMinFast, DynamicOutcome, DynamicPolarity,
-        ExhaustiveSearch, NiehOppositePhase, NonLeafPolarity, SamantaBalanced,
+        ClkPeakMin, ClkWaveMin, ClkWaveMinFast, Degradation, DegradationStep, DynamicOutcome,
+        DynamicPolarity, ExhaustiveSearch, NiehOppositePhase, NonLeafPolarity, SamantaBalanced,
         YieldAwareWaveMin, YieldOutcome,
     };
     pub use crate::assignment::Assignment;
@@ -72,9 +73,9 @@ pub mod prelude {
     pub use crate::multimode::{AdbPlan, ClkWaveMinM};
     pub use crate::noise_table::{EventWaveforms, NoiseTable};
     pub use crate::sampling::SamplePlan;
-    pub use crate::algo::Outcome;
     pub use wavemin_cells::{CellKind, CellLibrary, Characterizer, Polarity};
     pub use wavemin_clocktree::prelude::*;
+    pub use wavemin_mosp::{Budget, Exhaustion};
 }
 
 pub use prelude::*;

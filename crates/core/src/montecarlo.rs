@@ -13,6 +13,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wavemin_cells::units::Picoseconds;
 use wavemin_clocktree::variation::VariationModel;
+use wavemin_mosp::Budget;
 
 /// Summary statistics of one observed quantity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,8 +55,12 @@ impl Spread {
 /// Results of a Monte-Carlo run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MonteCarloStats {
-    /// Number of instances analyzed.
+    /// Number of instances actually analyzed (smaller than the requested
+    /// count when the deadline expired mid-study).
     pub runs: usize,
+    /// `true` when the study stopped early because its time budget ran
+    /// out; the statistics then cover only the completed instances.
+    pub deadline_hit: bool,
     /// Fraction of instances whose skew stayed within the bound.
     pub skew_yield: f64,
     /// Peak-current spread (mA).
@@ -75,6 +80,9 @@ pub struct MonteCarlo {
     pub runs: usize,
     /// The skew bound checked for yield.
     pub kappa: Picoseconds,
+    /// Optional resource budget; when its deadline expires the study
+    /// returns partial statistics instead of running to completion.
+    pub budget: Budget,
 }
 
 impl MonteCarlo {
@@ -85,6 +93,7 @@ impl MonteCarlo {
             model: VariationModel::default(),
             runs: 1000,
             kappa: Picoseconds::new(100.0),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -95,7 +104,17 @@ impl MonteCarlo {
             model,
             runs,
             kappa,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Bounds the study by a resource budget (deadline-checked between
+    /// instances; on expiry the partial statistics are returned with
+    /// [`MonteCarloStats::deadline_hit`] set).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Runs the study on the design's current state (mode 0).
@@ -116,31 +135,40 @@ impl MonteCarlo {
             .map_or(1, std::num::NonZeroUsize::get)
             .min(self.runs.max(1));
         let chunk = self.runs.div_ceil(workers.max(1)).max(1);
+        let budget = self.budget;
         let reports: Vec<_> = std::thread::scope(|scope| {
             let handles: Vec<_> = variations
                 .chunks(chunk)
                 .map(|slice| {
                     scope.spawn(move || {
                         let eval = NoiseEvaluator::new(design);
-                        slice
-                            .iter()
-                            .map(|v| eval.evaluate_with_variation(0, v))
-                            .collect::<Result<Vec<_>, _>>()
+                        let mut done = Vec::with_capacity(slice.len());
+                        for v in slice {
+                            // Deadline checks sit between instances so a
+                            // partial study is always a prefix of whole
+                            // evaluations, never a half-computed one.
+                            if budget.deadline_expired() {
+                                break;
+                            }
+                            done.push(eval.evaluate_with_variation(0, v)?);
+                        }
+                        Ok::<_, WaveMinError>(done)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect::<Result<Vec<_>, _>>()
         })?
         .into_iter()
         .flatten()
         .collect();
 
-        let mut peaks = Vec::with_capacity(self.runs);
-        let mut vdds = Vec::with_capacity(self.runs);
-        let mut gnds = Vec::with_capacity(self.runs);
+        let completed = reports.len();
+        let mut peaks = Vec::with_capacity(completed);
+        let mut vdds = Vec::with_capacity(completed);
+        let mut gnds = Vec::with_capacity(completed);
         let mut pass = 0usize;
         for report in reports {
             if report.skew.value() <= self.kappa.value() + 1e-9 {
@@ -151,11 +179,12 @@ impl MonteCarlo {
             gnds.push(report.gnd_noise.value());
         }
         Ok(MonteCarloStats {
-            runs: self.runs,
-            skew_yield: if self.runs == 0 {
+            runs: completed,
+            deadline_hit: completed < self.runs,
+            skew_yield: if completed == 0 {
                 0.0
             } else {
-                pass as f64 / self.runs as f64
+                pass as f64 / completed as f64
             },
             peak: Spread::from_samples(&peaks),
             vdd_noise: Spread::from_samples(&vdds),
@@ -181,11 +210,7 @@ mod tests {
     #[test]
     fn small_variation_gives_high_yield() {
         let d = Design::from_benchmark(&Benchmark::s15850(), 1);
-        let mc = MonteCarlo::new(
-            VariationModel::default(),
-            40,
-            Picoseconds::new(100.0),
-        );
+        let mc = MonteCarlo::new(VariationModel::default(), 40, Picoseconds::new(100.0));
         let stats = mc.run(&d, 11).unwrap();
         assert_eq!(stats.runs, 40);
         // A balanced tree with κ = 100 ps survives 5 % variation easily.
@@ -205,6 +230,16 @@ mod tests {
             .run(&d, 3)
             .unwrap();
         assert!(tight.skew_yield <= loose.skew_yield);
+    }
+
+    #[test]
+    fn expired_budget_returns_partial_stats() {
+        let d = Design::from_benchmark(&Benchmark::s15850(), 1);
+        let mc = MonteCarlo::new(VariationModel::default(), 50, Picoseconds::new(100.0))
+            .with_budget(Budget::with_time_limit(std::time::Duration::ZERO));
+        let stats = mc.run(&d, 5).unwrap();
+        assert!(stats.deadline_hit, "zero budget must flag the early stop");
+        assert!(stats.runs < 50, "ran {} instances", stats.runs);
     }
 
     #[test]

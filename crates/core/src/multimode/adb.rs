@@ -118,8 +118,7 @@ pub fn insert_adbs(design: &mut Design, kappa: Picoseconds) -> Result<AdbPlan, W
             // not cover.
             for &leaf in &leaves {
                 if deficit[leaf.0] > 1e-9 {
-                    fixed_any |=
-                        repair_path(design, leaf, mode, deficit[leaf.0], &mut adb_nodes)?;
+                    fixed_any |= repair_path(design, leaf, mode, deficit[leaf.0], &mut adb_nodes)?;
                 }
             }
         }
@@ -274,8 +273,7 @@ fn repair_path(
             let add = (add / step).ceil() * step;
             let add = add.min(budget);
             if add > 1e-9 {
-                design.mode_adjust[mode]
-                    .set_extra_delay(node, Picoseconds::new(current + add));
+                design.mode_adjust[mode].set_extra_delay(node, Picoseconds::new(current + add));
                 remaining -= add;
                 committed = true;
             }

@@ -1,6 +1,6 @@
 //! ClkWaveMin-M: the full multi-mode optimization flow (Fig. 13).
 
-use crate::algo::clkwavemin::solve_zone_mosp_generic;
+use crate::algo::clkwavemin::{solve_zone_mosp_generic, MospLadder};
 use crate::algo::{finish_outcome, Outcome, ZoneProblem};
 use crate::assignment::Assignment;
 use crate::config::WaveMinConfig;
@@ -62,6 +62,17 @@ impl ClkWaveMinM {
     /// [`WaveMinError::AdbInsertionFailed`] when even ADBs cannot meet the
     /// bound; timing/solver errors otherwise.
     pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
+        self.config.validate()?;
+        design.validate()?;
+        // One ladder (and one shared deadline) governs the whole flow, so
+        // escalations persist across the margin retries below.
+        let ladder = MospLadder::new(&self.config, self.config.budget());
+        let mut outcome = self.run_ladder(design, &ladder)?;
+        outcome.degradation = ladder.degradation();
+        Ok(outcome)
+    }
+
+    fn run_ladder(&self, design: &Design, ladder: &MospLadder) -> Result<Outcome, WaveMinError> {
         // Estimation error (sibling-load feedback, slew drift, quantized
         // delay codes, per-mode voltage scaling) can exceed the default
         // headroom on multi-mode designs, so the optimization window is
@@ -71,7 +82,7 @@ impl ClkWaveMinM {
 
         // Phase 1: polarity assignment + sizing alone.
         for &margin in &margins {
-            match self.optimize(design, margin) {
+            match self.optimize(design, margin, ladder) {
                 Ok(outcome) => return Ok(outcome),
                 Err(WaveMinError::NoFeasibleInterval) => {}
                 Err(e) => return Err(e),
@@ -90,7 +101,7 @@ impl ClkWaveMinM {
                     continue;
                 }
             }
-            match self.optimize(&embedded, margin) {
+            match self.optimize(&embedded, margin, ladder) {
                 Ok(outcome) => return Ok(outcome),
                 Err(WaveMinError::NoFeasibleInterval) => {
                     last_err = WaveMinError::NoFeasibleInterval;
@@ -122,10 +133,7 @@ impl ClkWaveMinM {
     ///
     /// Propagates preprocessing/solver failures; returns
     /// [`WaveMinError::NoFeasibleInterval`] when nothing intersects.
-    pub fn intersection_costs(
-        &self,
-        design: &Design,
-    ) -> Result<Vec<(usize, f64)>, WaveMinError> {
+    pub fn intersection_costs(&self, design: &Design) -> Result<Vec<(usize, f64)>, WaveMinError> {
         let modes = design.mode_count();
         let tables: Vec<NoiseTable> = (0..modes)
             .map(|m| NoiseTable::build(design, &self.config, m))
@@ -137,9 +145,10 @@ impl ClkWaveMinM {
             .map(|m| ZoneProblem::build_all(design, &self.config, &tables[m]))
             .collect();
         let mut out = Vec::new();
-        // (figure helper keeps the configured margin)
+        // (figure helper keeps the configured margin and has no budget)
+        let ladder = MospLadder::unbudgeted(&self.config);
         for intersection in set.intersections() {
-            match self.solve_intersection(design, &tables, &zones, intersection) {
+            match self.solve_intersection(design, &tables, &zones, intersection, &ladder) {
                 Ok((cost, _)) => out.push((intersection.degree_of_freedom(), cost)),
                 Err(WaveMinError::NoFeasibleInterval) => continue,
                 Err(e) => return Err(e),
@@ -150,7 +159,12 @@ impl ClkWaveMinM {
 
     /// One optimization pass over a (possibly ADB-embedded) design with
     /// the given window margin.
-    fn optimize(&self, design: &Design, margin: f64) -> Result<Outcome, WaveMinError> {
+    fn optimize(
+        &self,
+        design: &Design,
+        margin: f64,
+        ladder: &MospLadder,
+    ) -> Result<Outcome, WaveMinError> {
         let start = std::time::Instant::now();
         let modes = design.mode_count();
         let tables: Vec<NoiseTable> = (0..modes)
@@ -166,7 +180,7 @@ impl ClkWaveMinM {
 
         let mut ranked: Vec<(f64, Assignment)> = Vec::new();
         for intersection in set.intersections() {
-            match self.solve_intersection(design, &tables, &zones, intersection) {
+            match self.solve_intersection(design, &tables, &zones, intersection, ladder) {
                 Ok((cost, assignment)) => ranked.push((cost, assignment)),
                 Err(WaveMinError::NoFeasibleInterval) => continue,
                 Err(e) => return Err(e),
@@ -207,6 +221,7 @@ impl ClkWaveMinM {
         tables: &[NoiseTable],
         zones: &[Vec<ZoneProblem>],
         intersection: &FeasibleIntersection,
+        ladder: &MospLadder,
     ) -> Result<(f64, Assignment), WaveMinError> {
         let _ = design;
         let modes = tables.len();
@@ -215,8 +230,7 @@ impl ClkWaveMinM {
         let mut cost = 0.0_f64;
         // Accumulated noise of already-assigned zones, per mode (the
         // zones-one-by-one accumulation of the single-mode flow).
-        let mut accumulated =
-            vec![crate::noise_table::EventWaveforms::zero(); modes];
+        let mut accumulated = vec![crate::noise_table::EventWaveforms::zero(); modes];
         // Largest zones first.
         let mut zone_ids: Vec<usize> = (0..zone_count).collect();
         zone_ids.sort_by_key(|&z| std::cmp::Reverse(zones[0][z].sinks.len()));
@@ -253,7 +267,7 @@ impl ClkWaveMinM {
             };
 
             let (choices, zone_cost) = solve_zone_mosp_generic::<Vec<Picoseconds>>(
-                &self.config,
+                ladder,
                 rows,
                 option_data,
                 &allowed,

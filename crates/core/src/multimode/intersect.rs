@@ -84,11 +84,8 @@ impl IntersectionSet {
                         let mut allowed = Vec::with_capacity(p.allowed.len());
                         let mut feasible = true;
                         for (sa, sb) in p.allowed.iter().zip(&iv.allowed) {
-                            let inter: Vec<usize> = sa
-                                .iter()
-                                .copied()
-                                .filter(|o| sb.contains(o))
-                                .collect();
+                            let inter: Vec<usize> =
+                                sa.iter().copied().filter(|o| sb.contains(o)).collect();
                             if inter.is_empty() {
                                 feasible = false;
                                 break;

@@ -14,8 +14,8 @@ use crate::design::Design;
 use crate::error::WaveMinError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use wavemin_cells::lut::NoiseLut;
 use wavemin_cells::characterize::{ClockEdge, Rail};
+use wavemin_cells::lut::NoiseLut;
 use wavemin_cells::units::{Femtofarads, Picoseconds};
 use wavemin_cells::{CellKind, CellProfile, Waveform};
 use wavemin_clocktree::prelude::*;
@@ -444,7 +444,11 @@ mod tests {
         let d = design();
         let t = NoiseTable::build(&d, &WaveMinConfig::default(), 0).unwrap();
         let s = &t.sinks[0];
-        let buf = s.options.iter().find(|o| o.kind == CellKind::Buffer).unwrap();
+        let buf = s
+            .options
+            .iter()
+            .find(|o| o.kind == CellKind::Buffer)
+            .unwrap();
         let inv = s
             .options
             .iter()
@@ -587,8 +591,8 @@ mod tests {
             for (oa, ob) in a.options.iter().zip(&b.options) {
                 let derr = (oa.delay - ob.delay).abs().value() / oa.delay.value();
                 assert!(derr < 0.05, "{}: delay err {derr}", oa.cell);
-                let perr = (oa.waves.peak() - ob.waves.peak()).abs().value()
-                    / oa.waves.peak().value();
+                let perr =
+                    (oa.waves.peak() - ob.waves.peak()).abs().value() / oa.waves.peak().value();
                 assert!(perr < 0.25, "{}: peak err {perr}", oa.cell);
             }
         }

@@ -1,5 +1,7 @@
 //! Plain-text table formatting shared by the benchmark binaries.
 
+use crate::algo::Degradation;
+
 /// Renders an aligned plain-text table: a header row, a separator, then
 /// the data rows. Columns are right-aligned except the first.
 ///
@@ -67,9 +69,31 @@ pub fn pct(value: f64) -> String {
     }
 }
 
+/// Renders a run's degradation record as a short human-readable block
+/// (one line per relaxation step, plus an exhausted/total solve count),
+/// or "no degradation" when the run finished at full fidelity.
+#[must_use]
+pub fn degradation_summary(degradation: Option<&Degradation>) -> String {
+    match degradation {
+        None => "no degradation: all zone solves ran at full fidelity".to_owned(),
+        Some(d) => {
+            let mut out = format!(
+                "degraded: {}/{} zone solves exhausted their budget\n",
+                d.exhausted_solves, d.total_solves
+            );
+            for step in &d.steps {
+                out.push_str(&format!("  - {step}\n"));
+            }
+            out
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algo::DegradationStep;
+    use wavemin_mosp::Exhaustion;
 
     #[test]
     fn table_aligns_columns() {
@@ -91,7 +115,7 @@ mod tests {
 
     #[test]
     fn fmt_and_pct() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(f64::NAN, 2), "-");
         assert_eq!(pct(12.345), "+12.35");
         assert_eq!(pct(-3.0), "-3.00");
@@ -102,5 +126,21 @@ mod tests {
     fn short_rows_are_padded() {
         let s = render_table(&["a", "b", "c"], &[vec!["x".into()]]);
         assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn degradation_summary_renders_steps() {
+        assert!(degradation_summary(None).contains("no degradation"));
+        let d = Degradation {
+            steps: vec![DegradationStep::ExactToApproximate {
+                epsilon: 0.01,
+                reason: Exhaustion::DeadlineExpired,
+            }],
+            exhausted_solves: 1,
+            total_solves: 4,
+        };
+        let s = degradation_summary(Some(&d));
+        assert!(s.contains("1/4"), "{s}");
+        assert!(s.contains("0.01"), "{s}");
     }
 }

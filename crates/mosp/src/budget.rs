@@ -1,0 +1,177 @@
+//! Resource budgets for the MOSP dynamic programs.
+//!
+//! The exact Pareto enumeration is worst-case exponential, and even
+//! Warburton's ε-approximation can blow up for high weight dimensions. A
+//! [`Budget`] bounds a solve three ways — wall-clock deadline, total label
+//! work, and per-vertex label cap — so a pathological instance degrades
+//! into a fast greedy completion instead of hanging the pipeline. When a
+//! budget trips, the solver keeps going in single-label (greedy min–max)
+//! mode so the result is still a valid source→destination path set, and
+//! the returned [`crate::ParetoSet`] carries a structured
+//! [`Exhaustion`] reason.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Which resource ran out first during a budgeted solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exhaustion {
+    /// The wall-clock deadline passed mid-solve.
+    DeadlineExpired,
+    /// The total label-insertion work cap was reached.
+    WorkCapReached,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DeadlineExpired => write!(f, "wall-clock deadline expired"),
+            Self::WorkCapReached => write!(f, "label work cap reached"),
+        }
+    }
+}
+
+/// Resource limits for one solve: a wall-clock deadline, a total work cap
+/// (label insertion attempts), and a per-vertex label cap.
+///
+/// All limits are optional; [`Budget::unlimited`] (also the `Default`)
+/// disables them. The deadline is an absolute [`Instant`], so one `Budget`
+/// can be threaded through many solver calls and they all share the same
+/// end time — that is exactly how the core pipeline propagates its
+/// `--time-budget-ms` across zones and intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    work_cap: Option<u64>,
+    label_cap: Option<usize>,
+}
+
+impl Budget {
+    /// No limits: the solver runs to completion.
+    #[must_use]
+    pub const fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            work_cap: None,
+            label_cap: None,
+        }
+    }
+
+    /// A budget expiring `limit` from now.
+    #[must_use]
+    pub fn with_time_limit(limit: Duration) -> Self {
+        Self::unlimited().and_deadline(Instant::now() + limit)
+    }
+
+    /// Sets an absolute deadline (keeps other limits).
+    #[must_use]
+    pub fn and_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps total label-insertion work (keeps other limits). Work is a
+    /// deterministic machine-independent measure, handy for tests.
+    #[must_use]
+    pub const fn and_work_cap(mut self, cap: u64) -> Self {
+        self.work_cap = Some(cap);
+        self
+    }
+
+    /// Caps the per-vertex label frontier (keeps other limits); merged
+    /// with a solver's own `max_labels` by taking the smaller.
+    #[must_use]
+    pub const fn and_label_cap(mut self, cap: usize) -> Self {
+        self.label_cap = Some(cap);
+        self
+    }
+
+    /// The absolute deadline, if any.
+    #[must_use]
+    pub const fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The per-vertex label cap, if any.
+    #[must_use]
+    pub const fn label_cap(&self) -> Option<usize> {
+        self.label_cap
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is set;
+    /// `Some(ZERO)` once expired).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// `true` when the wall-clock deadline has passed.
+    #[must_use]
+    pub fn deadline_expired(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// Checks both caps against the work done so far. The deadline is only
+    /// polled every 256 work units to keep clock reads off the hot path.
+    #[must_use]
+    pub fn exhausted(&self, work: u64) -> Option<Exhaustion> {
+        if let Some(cap) = self.work_cap {
+            if work >= cap {
+                return Some(Exhaustion::WorkCapReached);
+            }
+        }
+        if work & 0xFF == 0 && self.deadline_expired() {
+            return Some(Exhaustion::DeadlineExpired);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        for w in [0, 1, 1 << 40] {
+            assert_eq!(b.exhausted(w), None);
+        }
+        assert_eq!(b.remaining(), None);
+        assert!(!b.deadline_expired());
+    }
+
+    #[test]
+    fn work_cap_trips_exactly() {
+        let b = Budget::unlimited().and_work_cap(100);
+        assert_eq!(b.exhausted(99), None);
+        assert_eq!(b.exhausted(100), Some(Exhaustion::WorkCapReached));
+    }
+
+    #[test]
+    fn elapsed_deadline_trips() {
+        let b = Budget::unlimited().and_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(b.deadline_expired());
+        assert_eq!(b.exhausted(0), Some(Exhaustion::DeadlineExpired));
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_leaves_time() {
+        let b = Budget::with_time_limit(Duration::from_secs(3600));
+        assert!(!b.deadline_expired());
+        assert!(b.remaining().expect("deadline set") > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn limits_compose() {
+        let b = Budget::with_time_limit(Duration::from_secs(3600))
+            .and_work_cap(5)
+            .and_label_cap(2);
+        assert_eq!(b.label_cap(), Some(2));
+        // Work cap trips first; the far-future deadline does not.
+        assert_eq!(b.exhausted(5), Some(Exhaustion::WorkCapReached));
+        assert_eq!(b.exhausted(4), None);
+    }
+}

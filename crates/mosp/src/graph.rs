@@ -39,7 +39,10 @@ impl fmt::Display for MospError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MospError::DimensionMismatch { expected, got } => {
-                write!(f, "arc weight has {got} dimensions, graph expects {expected}")
+                write!(
+                    f,
+                    "arc weight has {got} dimensions, graph expects {expected}"
+                )
             }
             MospError::InvalidVertex(v) => write!(f, "vertex {v} does not exist"),
             MospError::Cyclic => write!(f, "graph contains a directed cycle"),
@@ -238,7 +241,10 @@ mod tests {
         let b = g.add_vertex();
         assert!(matches!(
             g.add_arc(a, b, vec![1.0]),
-            Err(MospError::DimensionMismatch { expected: 2, got: 1 })
+            Err(MospError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             g.add_arc(a, VertexId(99), vec![1.0, 1.0]),
@@ -262,7 +268,10 @@ mod tests {
             g.add_arc(w[0], w[1], vec![1.0]).unwrap();
         }
         let order = g.topological_order().unwrap();
-        let pos: Vec<usize> = vs.iter().map(|v| order.iter().position(|o| o == v).unwrap()).collect();
+        let pos: Vec<usize> = vs
+            .iter()
+            .map(|v| order.iter().position(|o| o == v).unwrap())
+            .collect();
         assert!(pos.windows(2).all(|w| w[0] < w[1]));
     }
 
@@ -289,7 +298,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = MospError::DimensionMismatch { expected: 4, got: 2 };
+        let e = MospError::DimensionMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains('4'));
         assert!(MospError::Cyclic.to_string().contains("cycle"));
     }

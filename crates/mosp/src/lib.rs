@@ -35,9 +35,11 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod graph;
 pub mod pareto;
 pub mod solve;
 
+pub use budget::{Budget, Exhaustion};
 pub use graph::{MospError, MospGraph, VertexId};
 pub use pareto::{ParetoPath, ParetoSet};

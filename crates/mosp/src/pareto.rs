@@ -1,5 +1,6 @@
 //! Pareto path sets and dominance.
 
+use crate::budget::Exhaustion;
 use crate::graph::VertexId;
 use serde::{Deserialize, Serialize};
 
@@ -27,7 +28,11 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 /// Inserts `cost` into a mutable Pareto frontier of `(cost, payload)` pairs,
 /// dropping dominated entries. Returns `false` (and leaves the frontier
 /// unchanged) when `cost` is itself dominated or duplicated.
-pub fn insert_nondominated<T>(frontier: &mut Vec<(Vec<f64>, T)>, cost: Vec<f64>, payload: T) -> bool {
+pub fn insert_nondominated<T>(
+    frontier: &mut Vec<(Vec<f64>, T)>,
+    cost: Vec<f64>,
+    payload: T,
+) -> bool {
     for (c, _) in frontier.iter() {
         if dominates(c, &cost) || c == &cost {
             return false;
@@ -63,13 +68,33 @@ pub struct ParetoSet {
     /// `true` when the solver truncated the label sets (the frontier may
     /// be incomplete).
     truncated: bool,
+    /// Which resource budget (if any) ran out mid-solve. Implies
+    /// `truncated` when set.
+    exhausted: Option<Exhaustion>,
 }
 
 impl ParetoSet {
     /// Wraps solver output.
     #[must_use]
     pub fn new(paths: Vec<ParetoPath>, truncated: bool) -> Self {
-        Self { paths, truncated }
+        Self {
+            paths,
+            truncated,
+            exhausted: None,
+        }
+    }
+
+    /// Marks this set as cut short by an exhausted budget (also marks it
+    /// truncated: an exhausted solve can have lost frontier paths).
+    pub fn mark_exhausted(&mut self, exhausted: Exhaustion) {
+        self.truncated = true;
+        self.exhausted = Some(exhausted);
+    }
+
+    /// Which resource budget ran out during the solve, if any.
+    #[must_use]
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        self.exhausted
     }
 
     /// The Pareto paths found.
@@ -111,7 +136,11 @@ impl ParetoSet {
 }
 
 fn weighted_max(cost: &[f64], weights: &[f64]) -> f64 {
-    assert_eq!(cost.len(), weights.len(), "weight vector dimension mismatch");
+    assert_eq!(
+        cost.len(),
+        weights.len(),
+        "weight vector dimension mismatch"
+    );
     cost.iter()
         .zip(weights)
         .map(|(c, w)| c * w)
@@ -127,7 +156,10 @@ mod tests {
         assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
         assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
         assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
-        assert!(!dominates(&[2.0, 2.0], &[2.0, 2.0]), "equal does not dominate");
+        assert!(
+            !dominates(&[2.0, 2.0], &[2.0, 2.0]),
+            "equal does not dominate"
+        );
         assert!(!dominates(&[3.0, 1.0], &[1.0, 3.0]));
     }
 
@@ -141,10 +173,22 @@ mod tests {
     fn frontier_insertion_drops_dominated() {
         let mut f: Vec<(Vec<f64>, ())> = Vec::new();
         assert!(insert_nondominated(&mut f, vec![2.0, 2.0], ()));
-        assert!(!insert_nondominated(&mut f, vec![3.0, 3.0], ()), "dominated");
-        assert!(!insert_nondominated(&mut f, vec![2.0, 2.0], ()), "duplicate");
-        assert!(insert_nondominated(&mut f, vec![1.0, 3.0], ()), "incomparable");
-        assert!(insert_nondominated(&mut f, vec![1.0, 1.0], ()), "dominates all");
+        assert!(
+            !insert_nondominated(&mut f, vec![3.0, 3.0], ()),
+            "dominated"
+        );
+        assert!(
+            !insert_nondominated(&mut f, vec![2.0, 2.0], ()),
+            "duplicate"
+        );
+        assert!(
+            insert_nondominated(&mut f, vec![1.0, 3.0], ()),
+            "incomparable"
+        );
+        assert!(
+            insert_nondominated(&mut f, vec![1.0, 1.0], ()),
+            "dominates all"
+        );
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].0, vec![1.0, 1.0]);
     }

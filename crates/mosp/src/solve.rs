@@ -1,6 +1,7 @@
 //! The MOSP solvers: exact Pareto enumeration and Warburton's
-//! ε-approximation.
+//! ε-approximation, with optional resource budgets.
 
+use crate::budget::Budget;
 use crate::graph::{MospError, MospGraph, VertexId};
 use crate::pareto::{dominates, ParetoPath, ParetoSet};
 
@@ -34,7 +35,28 @@ pub fn exact(
     dest: VertexId,
     max_labels: Option<usize>,
 ) -> Result<ParetoSet, MospError> {
-    run(graph, source, dest, max_labels, None)
+    run(graph, source, dest, max_labels, None, &Budget::unlimited())
+}
+
+/// [`exact`] under a resource [`Budget`].
+///
+/// When the budget trips mid-solve the DP does not abort: it finishes
+/// propagating in single-label greedy mode (keeping only the best min–max
+/// label per vertex), so a valid path set still comes back — marked
+/// truncated, with [`ParetoSet::exhaustion`] naming the resource that ran
+/// out.
+///
+/// # Errors
+///
+/// Same as [`exact`].
+pub fn exact_budgeted(
+    graph: &MospGraph,
+    source: VertexId,
+    dest: VertexId,
+    max_labels: Option<usize>,
+    budget: &Budget,
+) -> Result<ParetoSet, MospError> {
+    run(graph, source, dest, max_labels, None, budget)
 }
 
 /// Warburton's fully polynomial ε-approximation.
@@ -72,6 +94,30 @@ pub fn warburton_capped(
     epsilon: f64,
     max_labels: Option<usize>,
 ) -> Result<ParetoSet, MospError> {
+    warburton_budgeted(
+        graph,
+        source,
+        dest,
+        epsilon,
+        max_labels,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`warburton_capped`] under a resource [`Budget`]; see
+/// [`exact_budgeted`] for the degradation semantics.
+///
+/// # Errors
+///
+/// Same as [`warburton`].
+pub fn warburton_budgeted(
+    graph: &MospGraph,
+    source: VertexId,
+    dest: VertexId,
+    epsilon: f64,
+    max_labels: Option<usize>,
+    budget: &Budget,
+) -> Result<ParetoSet, MospError> {
     if epsilon <= 0.0 || epsilon.is_nan() || !epsilon.is_finite() {
         return Err(MospError::InvalidParameter("epsilon must be positive"));
     }
@@ -88,16 +134,19 @@ pub fn warburton_capped(
             }
         })
         .collect();
-    run(graph, source, dest, max_labels, Some(&deltas))
+    run(graph, source, dest, max_labels, Some(&deltas), budget)
 }
 
-/// Shared label-correcting DP. `deltas` switches scaled-dominance mode.
+/// Shared label-correcting DP. `deltas` switches scaled-dominance mode;
+/// `budget` bounds the work (on exhaustion the DP degrades to single-label
+/// greedy propagation instead of aborting, so the result stays valid).
 fn run(
     graph: &MospGraph,
     source: VertexId,
     dest: VertexId,
     max_labels: Option<usize>,
     deltas: Option<&[f64]>,
+    budget: &Budget,
 ) -> Result<ParetoSet, MospError> {
     let order = graph.topological_order()?;
     let n = graph.vertex_count();
@@ -109,11 +158,21 @@ fn run(
     }
     let dim = graph.dim();
 
+    // Merge the per-vertex cap from the call site with the budget's.
+    let max_labels = match (max_labels, budget.label_cap()) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+
     // Arena of labels per vertex (append-only, so predecessor indices stay
     // valid) plus the indices of the currently nondominated ones.
     let mut arena: Vec<Vec<Label>> = vec![Vec::new(); n];
     let mut active: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut truncated = false;
+    // Label-insertion attempts so far; the budget's exhaustion checks key
+    // off this count.
+    let mut work: u64 = 0;
+    let mut exhausted = None;
 
     let scale = |cost: &[f64]| -> Vec<i64> {
         match deltas {
@@ -134,8 +193,18 @@ fn run(
     active[source.0].push(0);
 
     for v in order {
-        // Apply the per-vertex cap before expanding.
-        if let Some(cap) = max_labels {
+        if exhausted.is_none() {
+            exhausted = budget.exhausted(work);
+        }
+        // Apply the per-vertex cap before expanding. Once the budget is
+        // exhausted the cap collapses to 1: the remainder of the DP is a
+        // greedy min–max completion that still reaches the destination.
+        let cap = if exhausted.is_some() {
+            Some(1)
+        } else {
+            max_labels
+        };
+        if let Some(cap) = cap {
             if active[v.0].len() > cap {
                 let slot = &mut active[v.0];
                 slot.sort_by(|&a, &b| {
@@ -152,12 +221,16 @@ fn run(
         }
         for (to, w) in graph.out_arcs(v) {
             for idx in active[v.0].clone() {
+                work += 1;
+                if exhausted.is_none() {
+                    exhausted = budget.exhausted(work);
+                }
                 let mut cost = arena[v.0][idx].cost.clone();
                 for (c, wk) in cost.iter_mut().zip(w) {
                     *c += wk;
                 }
                 let scaled = scale(&cost);
-                if push_label(
+                push_label(
                     &mut arena[to.0],
                     &mut active[to.0],
                     Label {
@@ -166,9 +239,7 @@ fn run(
                         pred: Some((v.0, idx)),
                     },
                     deltas.is_some(),
-                ) {
-                    // inserted
-                }
+                );
             }
         }
     }
@@ -203,9 +274,17 @@ fn run(
             }
         }
     }
-    let mut it = keep.iter();
-    paths.retain(|_| *it.next().expect("keep mask aligned"));
-    Ok(ParetoSet::new(paths, truncated))
+    let mut next = 0;
+    paths.retain(|_| {
+        let kept = keep.get(next).copied().unwrap_or(false);
+        next += 1;
+        kept
+    });
+    let mut set = ParetoSet::new(paths, truncated);
+    if let Some(reason) = exhausted {
+        set.mark_exhausted(reason);
+    }
+    Ok(set)
 }
 
 /// Inserts a label unless dominated; prunes dominated incumbents.
@@ -259,13 +338,10 @@ fn reconstruct(arena: &[Vec<Label>], vertex: usize, label: usize) -> Vec<VertexI
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     /// Brute-force path enumeration for validation.
-    fn all_paths(
-        g: &MospGraph,
-        from: VertexId,
-        to: VertexId,
-    ) -> Vec<(Vec<f64>, Vec<VertexId>)> {
+    fn all_paths(g: &MospGraph, from: VertexId, to: VertexId) -> Vec<(Vec<f64>, Vec<VertexId>)> {
         let mut out = Vec::new();
         let mut stack = vec![(from, vec![0.0; g.dim()], vec![from])];
         while let Some((v, cost, path)) = stack.pop() {
@@ -410,6 +486,112 @@ mod tests {
         assert!(mm <= 6.0, "cap kept a good min-max path, got {mm}");
         let full = exact(&g, src, prev, None).unwrap();
         assert_eq!(full.min_max().unwrap().max_component(), 4.0);
+    }
+
+    /// `stages` chained diamonds with power-of-two stage weights: every
+    /// subset sum is distinct and all `2^stages` path costs lie on one
+    /// anti-diagonal, so the frontier is genuinely exponential — the worst
+    /// case for the exact DP.
+    fn diamond_chain(stages: usize) -> (MospGraph, VertexId, VertexId) {
+        let mut g = MospGraph::new(2);
+        let mut prev = g.add_vertex();
+        let src = prev;
+        for i in 0..stages {
+            let a = g.add_vertex();
+            let b = g.add_vertex();
+            let join = g.add_vertex();
+            let w = (1u64 << i) as f64;
+            g.add_arc(prev, a, vec![w, 0.0]).unwrap();
+            g.add_arc(prev, b, vec![0.0, w]).unwrap();
+            g.add_arc(a, join, vec![0.0, 0.0]).unwrap();
+            g.add_arc(b, join, vec![0.0, 0.0]).unwrap();
+            prev = join;
+        }
+        (g, src, prev)
+    }
+
+    #[test]
+    fn work_cap_degrades_to_valid_paths() {
+        let (g, src, dest) = diamond_chain(14);
+        let budget = Budget::unlimited().and_work_cap(2_000);
+        let set = exact_budgeted(&g, src, dest, None, &budget).unwrap();
+        assert_eq!(
+            set.exhaustion(),
+            Some(crate::budget::Exhaustion::WorkCapReached)
+        );
+        assert!(set.is_truncated());
+        // Every returned path is still a genuine source→dest path whose
+        // cost re-adds along its arcs.
+        assert!(!set.paths().is_empty());
+        for p in set.paths() {
+            assert_eq!(p.vertices.first(), Some(&src));
+            assert_eq!(p.vertices.last(), Some(&dest));
+            let total = ((1u64 << 14) - 1) as f64;
+            assert_eq!(p.cost.iter().sum::<f64>(), total, "total arc weight");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_path() {
+        let (g, src, dest) = diamond_chain(12);
+        let budget =
+            Budget::unlimited().and_deadline(std::time::Instant::now() - Duration::from_secs(1));
+        let set = exact_budgeted(&g, src, dest, None, &budget).unwrap();
+        assert_eq!(
+            set.exhaustion(),
+            Some(crate::budget::Exhaustion::DeadlineExpired)
+        );
+        assert!(!set.paths().is_empty());
+        let p = &set.paths()[0];
+        assert_eq!(p.vertices.first(), Some(&src));
+        assert_eq!(p.vertices.last(), Some(&dest));
+    }
+
+    #[test]
+    fn tight_deadline_finishes_fast_on_exponential_instance() {
+        // 2^22 Pareto paths unbudgeted — minutes of work. Under a ~100 ms
+        // budget the solve must come back quickly with a valid answer.
+        let (g, src, dest) = diamond_chain(22);
+        let budget = Budget::with_time_limit(Duration::from_millis(100));
+        let started = std::time::Instant::now();
+        let set = exact_budgeted(&g, src, dest, None, &budget).unwrap();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "budgeted solve took {elapsed:?}"
+        );
+        assert!(set.is_truncated());
+        assert!(set.exhaustion().is_some());
+        assert!(!set.paths().is_empty());
+    }
+
+    #[test]
+    fn generous_budget_reports_no_exhaustion() {
+        let (g, s, t) = diamond();
+        let budget = Budget::with_time_limit(Duration::from_secs(60)).and_work_cap(1 << 30);
+        let set = exact_budgeted(&g, s, t, None, &budget).unwrap();
+        assert_eq!(set.exhaustion(), None);
+        assert!(!set.is_truncated());
+        assert_eq!(set.paths().len(), 2);
+    }
+
+    #[test]
+    fn budget_label_cap_merges_with_solver_cap() {
+        let (g, src, dest) = diamond_chain(8);
+        let budget = Budget::unlimited().and_label_cap(2);
+        let set = exact_budgeted(&g, src, dest, Some(64), &budget).unwrap();
+        assert!(set.is_truncated(), "tighter budget cap applies");
+        assert!(set.paths().len() <= 2);
+        assert_eq!(set.exhaustion(), None, "caps are not exhaustion");
+    }
+
+    #[test]
+    fn warburton_budgeted_degrades_too() {
+        let (g, src, dest) = diamond_chain(14);
+        let budget = Budget::unlimited().and_work_cap(500);
+        let set = warburton_budgeted(&g, src, dest, 0.01, None, &budget).unwrap();
+        assert!(set.exhaustion().is_some());
+        assert!(!set.paths().is_empty());
     }
 
     #[test]

@@ -24,4 +24,4 @@
 
 pub mod mesh;
 
-pub use mesh::{GridOptions, PadPlacement, PowerGrid};
+pub use mesh::{GridError, GridOptions, PadPlacement, PowerGrid};

@@ -40,6 +40,26 @@ impl Default for GridOptions {
     }
 }
 
+/// Errors from power-grid construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridError {
+    /// The die side was zero, negative, or non-finite.
+    BadDieSide,
+    /// The grid pitch was zero, negative, or non-finite.
+    BadPitch,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::BadDieSide => write!(f, "die side must be positive and finite"),
+            GridError::BadPitch => write!(f, "grid pitch must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// A rectangular resistive mesh with supply pads along the die border.
 ///
 /// The VDD and ground grids are symmetric, so one mesh serves both rails:
@@ -59,11 +79,30 @@ impl PowerGrid {
     ///
     /// # Panics
     ///
-    /// Panics if the die side or pitch is not positive.
+    /// Panics if the die side or pitch is not positive; see
+    /// [`PowerGrid::try_over_die`] for the non-panicking form.
     #[must_use]
     pub fn over_die(die_side: Microns, options: GridOptions) -> Self {
-        assert!(die_side.value() > 0.0, "die side must be positive");
-        assert!(options.pitch.value() > 0.0, "grid pitch must be positive");
+        match Self::try_over_die(die_side, options) {
+            Ok(grid) => grid,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`PowerGrid::over_die`]: returns a typed error
+    /// instead of panicking on a degenerate die or pitch.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::BadDieSide`] or [`GridError::BadPitch`] when the
+    /// corresponding dimension is not positive and finite.
+    pub fn try_over_die(die_side: Microns, options: GridOptions) -> Result<Self, GridError> {
+        if !die_side.value().is_finite() || die_side.value() <= 0.0 {
+            return Err(GridError::BadDieSide);
+        }
+        if !options.pitch.value().is_finite() || options.pitch.value() <= 0.0 {
+            return Err(GridError::BadPitch);
+        }
         let cells = (die_side.value() / options.pitch.value()).ceil() as usize;
         let nx = cells + 1;
         let ny = cells + 1;
@@ -86,12 +125,12 @@ impl PowerGrid {
                 pads[(ny - 1) * nx + nx - 1] = true;
             }
         }
-        Self {
+        Ok(Self {
             nx,
             ny,
             options,
             pads,
-        }
+        })
     }
 
     /// Grid dimensions `(nx, ny)`.
@@ -132,10 +171,7 @@ impl PowerGrid {
     /// instants of a clock edge): one IR solve per snapshot, returning the
     /// drop waterfall.
     #[must_use]
-    pub fn ir_drop_series(
-        &self,
-        snapshots: &[Vec<((f64, f64), MicroAmps)>],
-    ) -> Vec<Millivolts> {
+    pub fn ir_drop_series(&self, snapshots: &[Vec<((f64, f64), MicroAmps)>]) -> Vec<Millivolts> {
         snapshots.iter().map(|s| self.ir_drop(s)).collect()
     }
 
@@ -320,5 +356,26 @@ mod tests {
     #[should_panic(expected = "die side must be positive")]
     fn zero_die_rejected() {
         let _ = PowerGrid::over_die(Microns::ZERO, GridOptions::default());
+    }
+
+    #[test]
+    fn try_over_die_returns_typed_errors() {
+        assert_eq!(
+            PowerGrid::try_over_die(Microns::ZERO, GridOptions::default()),
+            Err(GridError::BadDieSide)
+        );
+        assert_eq!(
+            PowerGrid::try_over_die(Microns::new(f64::NAN), GridOptions::default()),
+            Err(GridError::BadDieSide)
+        );
+        let bad_pitch = GridOptions {
+            pitch: Microns::new(-1.0),
+            ..GridOptions::default()
+        };
+        assert_eq!(
+            PowerGrid::try_over_die(Microns::new(100.0), bad_pitch),
+            Err(GridError::BadPitch)
+        );
+        assert!(PowerGrid::try_over_die(Microns::new(100.0), GridOptions::default()).is_ok());
     }
 }

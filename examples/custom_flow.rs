@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Library round-trip through the Liberty subset.
     let lib = CellLibrary::nangate45();
     let liberty_text = liberty::write_library("nangate45_wavemin", &lib);
-    println!("Liberty file: {} bytes, {} cells", liberty_text.len(), lib.len());
+    println!(
+        "Liberty file: {} bytes, {} cells",
+        liberty_text.len(),
+        lib.len()
+    );
     let lib = liberty::parse_library(&liberty_text)?;
     assert!(lib.get("BUF_X8").is_some());
 

@@ -79,12 +79,13 @@ fn grid_noise_scales_with_injected_current() {
         .map(|(id, n)| {
             (
                 (n.location.x.value(), n.location.y.value()),
-                per_node[id.0].get(Rail::Vdd, ClockEdge::Rise).sample(t_star),
+                per_node[id.0]
+                    .get(Rail::Vdd, ClockEdge::Rise)
+                    .sample(t_star),
             )
         })
         .collect();
-    let doubled: Vec<((f64, f64), MicroAmps)> =
-        base.iter().map(|&(p, i)| (p, i * 2.0)).collect();
+    let doubled: Vec<((f64, f64), MicroAmps)> = base.iter().map(|&(p, i)| (p, i * 2.0)).collect();
     let v1 = grid.ir_drop(&base).value();
     let v2 = grid.ir_drop(&doubled).value();
     assert!((v2 - 2.0 * v1).abs() < 0.05 * v2.max(1e-9), "{v1} vs {v2}");

@@ -53,9 +53,7 @@ fn optimized_design_remains_structurally_valid() {
     let mut optimized = d.clone();
     out.assignment.apply_to(&mut optimized);
     assert_eq!(
-        optimized
-            .tree
-            .validate(|c| optimized.lib.get(c).is_some()),
+        optimized.tree.validate(|c| optimized.lib.get(c).is_some()),
         Ok(())
     );
     // Only leaves were touched.

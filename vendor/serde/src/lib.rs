@@ -1,0 +1,254 @@
+//! Offline stand-in for `serde`: the build environment has no crates.io
+//! access, so the workspace vendors a minimal serialization facility with
+//! the same import surface (`use serde::{Serialize, Deserialize};` plus
+//! `#[derive(Serialize, Deserialize)]` and the `#[serde(...)]` attributes
+//! the repo uses).
+//!
+//! Design: instead of serde's visitor architecture, [`Serialize`] builds a
+//! [`Value`] tree that `serde_json` renders. That keeps the derive macro
+//! (hand-written, no `syn`/`quote`) and the JSON writer trivially simple
+//! while producing the same JSON shape as real serde for the types in this
+//! workspace. [`Deserialize`] is a marker trait only — nothing in the repo
+//! parses JSON back in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// A JSON-shaped value tree produced by [`Serialize::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point number (non-finite values render as `null`).
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// Types renderable to a JSON [`Value`]. Implemented by
+/// `#[derive(Serialize)]` and for the std types the workspace serializes.
+pub trait Serialize {
+    /// Renders `self` as a JSON-shaped value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait paired with `#[derive(Deserialize)]`. The workspace never
+/// deserializes, so no methods are required.
+pub trait Deserialize {}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: ToString + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Value::Map(
+        entries
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect(),
+    )
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort by rendered key.
+        let mut m = match map_to_value(self.iter()) {
+            Value::Map(m) => m,
+            _ => unreachable!(),
+        };
+        m.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(m)
+    }
+}
+impl<K, V: Deserialize, S> Deserialize for HashMap<K, V, S> {}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+impl<K, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        // Matches real serde's {secs, nanos} encoding.
+        Value::Map(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::UInt(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+impl Deserialize for Duration {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impls_shape() {
+        assert_eq!(1u32.to_value(), Value::UInt(1));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            (1u8, "x".to_string()).to_value(),
+            Value::Seq(vec![Value::UInt(1), Value::Str("x".into())])
+        );
+    }
+}

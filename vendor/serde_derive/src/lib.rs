@@ -1,0 +1,372 @@
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stand-in. No `syn`/`quote` — the item is parsed
+//! directly from the raw token stream, which is sufficient for the
+//! non-generic structs and enums this workspace derives on.
+//!
+//! Supported shapes: named structs, tuple structs, unit structs, and enums
+//! with unit / tuple / struct variants. Supported attributes:
+//! `#[serde(transparent)]` (container) and `#[serde(skip)]` (field).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: Option<String>,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    transparent: bool,
+}
+
+/// Returns the contents of a `#[serde(...)]` attribute body ("skip",
+/// "transparent", ...) or `None` for other attributes.
+fn serde_attr_body(bracket: &TokenTree) -> Option<String> {
+    let TokenTree::Group(g) = bracket else {
+        return None;
+    };
+    let mut it = g.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    match it.next() {
+        Some(TokenTree::Group(body)) => Some(body.stream().to_string()),
+        _ => None,
+    }
+}
+
+/// Consumes leading attributes at `*i`, returning (skip, transparent)
+/// accumulated from any `#[serde(...)]` among them.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let mut skip = false;
+    let mut transparent = false;
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(body) = serde_attr_body(&tokens[*i + 1]) {
+            if body.contains("skip") {
+                skip = true;
+            }
+            if body.contains("transparent") {
+                transparent = true;
+            }
+        }
+        *i += 2;
+    }
+    (skip, transparent)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn eat_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type (or any expression) up to the next top-level comma,
+/// tracking `<...>` nesting so commas inside generics don't split fields.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, _) = eat_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        eat_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field `{name}`, got {other:?}")),
+        }
+        skip_to_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name: Some(name),
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, _) = eat_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        eat_vis(&tokens, &mut i);
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = eat_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(parse_tuple_fields(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant`, then the separating comma.
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let (_, transparent) = eat_attrs(&tokens, &mut i);
+    eat_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let shape = if keyword == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("expected struct body, got {other:?}")),
+        }
+    };
+    Ok(Item {
+        name,
+        shape,
+        transparent,
+    })
+}
+
+fn named_map_expr(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("::serde::Value::Map(<[_]>::into_vec(Box::new([");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let name = f.name.as_deref().unwrap_or_default();
+        out.push_str(&format!(
+            "({name:?}.to_string(), ::serde::Serialize::to_value({})),",
+            accessor(name)
+        ));
+    }
+    out.push_str("])))");
+    out
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent && live.len() == 1 {
+                format!(
+                    "::serde::Serialize::to_value(&self.{})",
+                    live[0].name.as_deref().unwrap_or_default()
+                )
+            } else {
+                named_map_expr(fields, |f| format!("&self.{f}"))
+            }
+        }
+        Shape::Tuple(fields) => {
+            let live: Vec<usize> = fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.skip)
+                .map(|(i, _)| i)
+                .collect();
+            if live.len() == 1 {
+                // Newtype structs serialize as their inner value (real serde
+                // behaviour; also covers #[serde(transparent)]).
+                format!("::serde::Serialize::to_value(&self.{})", live[0])
+            } else {
+                let items: String = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Seq(<[_]>::into_vec(Box::new([{items}])))")
+            }
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let pat = binds.join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!("::serde::Value::Seq(<[_]>::into_vec(Box::new([{items}])))")
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn}({pat}) => ::serde::Value::Map(<[_]>::into_vec(Box::new([({vn:?}.to_string(), {inner})]))),"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pat: String = fields
+                            .iter()
+                            .filter_map(|f| f.name.as_deref())
+                            .map(|f| format!("{f},"))
+                            .collect();
+                        let inner = named_map_expr(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {pat} }} => ::serde::Value::Map(<[_]>::into_vec(Box::new([({vn:?}.to_string(), {inner})]))),"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Derives the vendored `serde::Serialize` (JSON value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => match serialize_impl(&item).parse() {
+            Ok(ts) => ts,
+            Err(e) => compile_error(&format!("serde_derive emitted invalid code: {e}")),
+        },
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let name = &item.name;
+            format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}")
+                .parse()
+                .unwrap_or_default()
+        }
+        Err(e) => compile_error(&e),
+    }
+}
