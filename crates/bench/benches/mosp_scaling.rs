@@ -1,37 +1,14 @@
 //! Criterion bench: MOSP solver scaling with zone size and weight
-//! dimension — the complexity knobs of Warburton's ε-approximation.
+//! dimension — the complexity knobs of Warburton's ε-approximation — plus
+//! the multi-zone worker-pool speedup of the parallel interval fan-out.
+//!
+//! The `bench_mosp` binary re-runs the same measurements and persists them
+//! as `BENCH_mosp.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use wavemin_mosp::{solve, MospGraph, VertexId};
-
-/// Builds a WaveMin-shaped layered graph: `rows` sinks × `cols` candidate
-/// cells with `dims`-dimensional weights.
-fn layered(rows: usize, cols: usize, dims: usize, seed: u64) -> (MospGraph, VertexId, VertexId) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut g = MospGraph::new(dims);
-    let src = g.add_vertex();
-    let mut prev = vec![src];
-    for _ in 0..rows {
-        let mut row = Vec::new();
-        for _ in 0..cols {
-            let v = g.add_vertex();
-            let w: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..100.0)).collect();
-            for &u in &prev {
-                g.add_arc(u, v, w.clone()).unwrap();
-            }
-            row.push(v);
-        }
-        prev = row;
-    }
-    let dest = g.add_vertex();
-    for &u in &prev {
-        g.add_arc(u, dest, vec![0.0; dims]).unwrap();
-    }
-    (g, src, dest)
-}
+use wavemin::prelude::*;
+use wavemin_bench::mosp_fixtures::layered;
+use wavemin_mosp::solve;
 
 fn bench_rows(c: &mut Criterion) {
     let mut group = c.benchmark_group("warburton_rows");
@@ -70,5 +47,39 @@ fn bench_exact_vs_warburton(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rows, bench_dims, bench_exact_vs_warburton);
+/// End-to-end ClkWaveMin on a multi-zone benchmark, sweeping the worker
+/// count: the parallel interval fan-out should scale until workers exceed
+/// either the core count or the interval count.
+fn bench_multi_zone(c: &mut Criterion) {
+    let design = Design::from_benchmark(&Benchmark::s13207(), 1);
+    let mut group = c.benchmark_group("multi_zone");
+    group.sample_size(10);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for threads in [1usize, 2, 4, 8] {
+        if threads > cores.max(8) {
+            break;
+        }
+        let mut cfg = WaveMinConfig::default()
+            .with_sample_count(32)
+            .with_threads(threads);
+        cfg.max_intervals = Some(8);
+        let algo = ClkWaveMin::new(cfg);
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &design,
+            |b, design| {
+                b.iter(|| algo.run(std::hint::black_box(design)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rows,
+    bench_dims,
+    bench_exact_vs_warburton,
+    bench_multi_zone
+);
 criterion_main!(benches);

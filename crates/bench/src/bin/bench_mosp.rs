@@ -1,0 +1,172 @@
+//! `bench_mosp` — machine-readable runs of the `mosp_scaling` criterion
+//! benches, persisted as `BENCH_mosp.json` for regression tracking.
+//!
+//! Usage: `bench_mosp [seed] [--json path]` (default path
+//! `BENCH_mosp.json` in the current directory). The record carries the
+//! host's core count: absolute numbers and the multi-zone speedups are
+//! only comparable across equal machines.
+
+use serde::Serialize;
+use std::time::Duration;
+use wavemin::prelude::*;
+use wavemin_bench::mosp_fixtures::{layered, median_secs};
+use wavemin_bench::ExperimentArgs;
+use wavemin_mosp::solve;
+
+/// One timed measurement, named like its criterion counterpart.
+#[derive(Serialize)]
+struct Measurement {
+    name: String,
+    median_us: f64,
+}
+
+/// One multi-zone worker-count sample.
+#[derive(Serialize)]
+struct ThreadSample {
+    threads: usize,
+    median_ms: f64,
+    /// Wall-clock speedup relative to the single-thread run.
+    speedup: f64,
+}
+
+/// Arena interning effectiveness on the largest layered fixture.
+#[derive(Serialize)]
+struct ArenaStats {
+    arcs: usize,
+    unique_weight_vectors: usize,
+    /// `arcs / unique_weight_vectors` — how many arcs share each slot.
+    sharing_factor: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    seed: u64,
+    /// Cores visible to the process; multi-zone speedups saturate here.
+    available_cores: usize,
+    solver: Vec<Measurement>,
+    multi_zone: Vec<ThreadSample>,
+    arena: ArenaStats,
+}
+
+const BATCHES: usize = 5;
+const SOLVER_BUDGET: Duration = Duration::from_millis(300);
+const E2E_BUDGET: Duration = Duration::from_millis(1500);
+
+#[allow(clippy::unwrap_used)]
+fn solver_measurements() -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for rows in [2usize, 4, 8] {
+        let (g, s, t) = layered(rows, 4, 8, 1);
+        let secs = median_secs(
+            || solve::warburton_capped(&g, s, t, 0.01, Some(64)).unwrap(),
+            BATCHES,
+            SOLVER_BUDGET,
+        );
+        out.push(Measurement {
+            name: format!("warburton_rows/{rows}"),
+            median_us: secs * 1e6,
+        });
+    }
+    for dims in [4usize, 32, 156] {
+        let (g, s, t) = layered(5, 4, dims, 2);
+        let secs = median_secs(
+            || solve::warburton_capped(&g, s, t, 0.01, Some(64)).unwrap(),
+            BATCHES,
+            SOLVER_BUDGET,
+        );
+        out.push(Measurement {
+            name: format!("warburton_dims/{dims}"),
+            median_us: secs * 1e6,
+        });
+    }
+    let (g, s, t) = layered(6, 4, 8, 3);
+    for (name, eps) in [("warburton_e01", 0.01), ("warburton_e50", 0.5)] {
+        let secs = median_secs(
+            || solve::warburton_capped(&g, s, t, eps, Some(64)).unwrap(),
+            BATCHES,
+            SOLVER_BUDGET,
+        );
+        out.push(Measurement {
+            name: format!("solver_kind/{name}"),
+            median_us: secs * 1e6,
+        });
+    }
+    let secs = median_secs(
+        || solve::exact(&g, s, t, Some(64)).unwrap(),
+        BATCHES,
+        SOLVER_BUDGET,
+    );
+    out.push(Measurement {
+        name: "solver_kind/exact".to_owned(),
+        median_us: secs * 1e6,
+    });
+    out
+}
+
+#[allow(clippy::unwrap_used)]
+fn multi_zone_measurements(seed: u64) -> Vec<ThreadSample> {
+    let design = Design::from_benchmark(&Benchmark::s13207(), seed);
+    let mut out: Vec<ThreadSample> = Vec::new();
+    let mut base = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = WaveMinConfig::default()
+            .with_sample_count(32)
+            .with_threads(threads);
+        cfg.max_intervals = Some(8);
+        let algo = ClkWaveMin::new(cfg);
+        let secs = median_secs(|| algo.run(&design).unwrap(), 3, E2E_BUDGET);
+        if threads == 1 {
+            base = secs;
+        }
+        out.push(ThreadSample {
+            threads,
+            median_ms: secs * 1e3,
+            speedup: base / secs,
+        });
+    }
+    out
+}
+
+fn arena_stats() -> ArenaStats {
+    let (g, _, _) = layered(8, 4, 156, 4);
+    let arcs = (0..g.vertex_count())
+        .map(|v| g.out_degree(wavemin_mosp::VertexId(v)))
+        .sum::<usize>();
+    let unique = g.unique_weight_count();
+    ArenaStats {
+        arcs,
+        unique_weight_vectors: unique,
+        sharing_factor: arcs as f64 / unique.max(1) as f64,
+    }
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let record = Record {
+        seed: args.seed,
+        available_cores: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        solver: solver_measurements(),
+        multi_zone: multi_zone_measurements(args.seed),
+        arena: arena_stats(),
+    };
+    for m in &record.solver {
+        println!("{:<28} {:>12.1} us", m.name, m.median_us);
+    }
+    for s in &record.multi_zone {
+        println!(
+            "multi_zone/threads={:<2}        {:>12.1} ms   speedup {:.2}x",
+            s.threads, s.median_ms, s.speedup
+        );
+    }
+    println!(
+        "arena: {} arcs share {} weight vectors ({:.1}x)",
+        record.arena.arcs, record.arena.unique_weight_vectors, record.arena.sharing_factor
+    );
+    // Persist: --json wins, else BENCH_mosp.json in the working directory.
+    let mut args = args;
+    if args.json.is_none() {
+        args.json = Some(std::path::PathBuf::from("BENCH_mosp.json"));
+    }
+    args.persist(&record);
+}

@@ -10,6 +10,8 @@
 use serde::Serialize;
 use std::path::PathBuf;
 
+pub mod mosp_fixtures;
+
 /// Common CLI arguments shared by the experiment binaries:
 /// `[seed] [--json <path>]` plus binary-specific extras read separately.
 #[derive(Debug, Clone)]

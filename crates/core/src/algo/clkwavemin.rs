@@ -9,7 +9,7 @@ use crate::design::Design;
 use crate::error::WaveMinError;
 use crate::intervals::FeasibleInterval;
 use crate::noise_table::NoiseTable;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use wavemin_cells::units::Picoseconds;
 use wavemin_mosp::{solve, Budget, Exhaustion, MospGraph, ParetoSet, VertexId};
 
@@ -79,10 +79,14 @@ impl ClkWaveMin {
 /// [`Budget`]; once the wall-clock deadline itself has passed it jumps
 /// straight to the greedy rung. Every transition is recorded as a
 /// [`DegradationStep`] for the final [`Degradation`] report.
+///
+/// The state sits behind a [`Mutex`] because concurrent interval solves
+/// share one ladder; the lock only guards the tiny rung/step bookkeeping,
+/// never a solve itself.
 pub(crate) struct MospLadder {
     budget: Budget,
     rungs: Vec<Rung>,
-    state: RefCell<LadderState>,
+    state: Mutex<LadderState>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -137,13 +141,21 @@ impl MospLadder {
         Self {
             budget,
             rungs,
-            state: RefCell::new(LadderState {
+            state: Mutex::new(LadderState {
                 rung: 0,
                 steps: Vec::new(),
                 exhausted_solves: 0,
                 total_solves: 0,
             }),
         }
+    }
+
+    /// Locks the ladder state, shrugging off poisoning: a panicking solve
+    /// thread cannot leave the plain-data bookkeeping inconsistent.
+    fn state(&self) -> std::sync::MutexGuard<'_, LadderState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// A ladder that never descends (no limits set).
@@ -163,7 +175,7 @@ impl MospLadder {
             self.jump_to_greedy(Exhaustion::DeadlineExpired);
         }
         let rung = {
-            let st = self.state.borrow();
+            let st = self.state();
             self.rungs[st.rung]
         };
         let set = match rung.solver {
@@ -180,7 +192,7 @@ impl MospLadder {
                 solve::exact_budgeted(graph, src, dest, cap, &self.budget)?
             }
         };
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state();
         st.total_solves += 1;
         if let Some(reason) = set.exhaustion() {
             st.exhausted_solves += 1;
@@ -192,7 +204,7 @@ impl MospLadder {
 
     /// Moves one rung down and records what changed.
     fn descend(&self, reason: Exhaustion) {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state();
         if st.rung + 1 >= self.rungs.len() {
             return;
         }
@@ -228,7 +240,7 @@ impl MospLadder {
 
     /// Drops straight to the last (greedy) rung.
     fn jump_to_greedy(&self, reason: Exhaustion) {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state();
         let last = self.rungs.len() - 1;
         if st.rung < last {
             st.rung = last;
@@ -239,7 +251,7 @@ impl MospLadder {
     /// The machine-readable record of everything that was relaxed, or
     /// `None` for a full-fidelity run.
     pub(crate) fn degradation(&self) -> Option<Degradation> {
-        let st = self.state.borrow();
+        let st = self.state();
         if st.steps.is_empty() && st.exhausted_solves == 0 {
             None
         } else {
@@ -292,9 +304,14 @@ impl ZoneSolver for MospZoneSolver {
 
 impl FeasibleInterval {
     /// The allowed-option lists of the given sinks (indices into the full
-    /// sink list).
-    pub(crate) fn allowed_for(&self, sinks: &[usize]) -> Vec<Vec<usize>> {
-        sinks.iter().map(|&si| self.allowed[si].clone()).collect()
+    /// sink list), borrowed straight from the interval — the hot path
+    /// builds one of these per (zone, interval) pair, so no per-sink
+    /// clones.
+    pub(crate) fn allowed_for(&self, sinks: &[usize]) -> Vec<&[usize]> {
+        sinks
+            .iter()
+            .map(|&si| self.allowed[si].as_slice())
+            .collect()
     }
 }
 
@@ -313,7 +330,7 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     ladder: &MospLadder,
     rows: usize,
     mut option_data: impl FnMut(usize, usize) -> Option<(C, Vec<f64>)>,
-    allowed: &[Vec<usize>],
+    allowed: &[&[usize]],
     background: &[f64],
 ) -> Result<(Vec<(usize, C)>, f64), WaveMinError> {
     if rows == 0 {
@@ -330,7 +347,7 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     for (local, opts) in allowed.iter().enumerate().take(rows) {
         let mut this_row = Vec::new();
         row_vectors.clear();
-        for &opt in opts {
+        for &opt in opts.iter() {
             let Some((code, vector)) = option_data(local, opt) else {
                 continue;
             };
@@ -344,7 +361,8 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
         }
         for &(v, ref vector) in &row_vectors {
             for &u in &prev_row {
-                graph.add_arc(u, v, vector.clone())?;
+                // Interning means the fan-in arcs all share one arena slot.
+                graph.add_arc_slice(u, v, vector)?;
             }
         }
         prev_row = this_row;
@@ -353,7 +371,7 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     let dest = graph.add_vertex();
     registry.push((usize::MAX, usize::MAX, C::default()));
     for &u in &prev_row {
-        graph.add_arc(u, dest, background.to_vec())?;
+        graph.add_arc_slice(u, dest, background)?;
     }
 
     let set = ladder.solve(&graph, src, dest)?;
@@ -374,7 +392,7 @@ pub(crate) fn solve_zone_mosp(
     ladder: &MospLadder,
     rows: usize,
     option_data: impl FnMut(usize, usize) -> Option<(Picoseconds, Vec<f64>)>,
-    allowed: &[Vec<usize>],
+    allowed: &[&[usize]],
     background: &[f64],
 ) -> Result<ZoneSolution, WaveMinError> {
     let (choices, cost) = solve_zone_mosp_generic(ladder, rows, option_data, allowed, background)?;
@@ -485,7 +503,7 @@ mod tests {
             vec![vec![10.0, 0.0], vec![0.0, 10.0]],
             vec![vec![10.0, 0.0], vec![0.0, 10.0]],
         ];
-        let allowed = vec![vec![0, 1], vec![0, 1]];
+        let allowed: Vec<&[usize]> = vec![&[0, 1], &[0, 1]];
         let sol = solve_zone_mosp(
             &MospLadder::unbudgeted(&cfg),
             2,
@@ -507,7 +525,7 @@ mod tests {
             vec![vec![5.0, 0.0], vec![0.0, 5.0]],
             vec![vec![5.0, 0.0], vec![0.0, 5.0]],
         ];
-        let allowed = vec![vec![0, 1], vec![0, 1]];
+        let allowed: Vec<&[usize]> = vec![&[0, 1], &[0, 1]];
         let sol = solve_zone_mosp(
             &MospLadder::unbudgeted(&cfg),
             2,

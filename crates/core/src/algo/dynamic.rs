@@ -72,11 +72,17 @@ impl DynamicPolarity {
     /// Fails when any mode's single-mode problem is infeasible.
     pub fn run(&self, design: &Design) -> Result<DynamicOutcome, WaveMinError> {
         let modes = design.mode_count();
-        let mut per_mode = Vec::with_capacity(modes);
-        for m in 0..modes {
-            let view = mode_view(design, m);
-            per_mode.push(ClkWaveMin::new(self.config.clone()).run(&view)?);
-        }
+        // The per-mode problems are fully independent, so they fan out
+        // over the worker pool (input-order collection keeps the result
+        // identical to a sequential run).
+        let mode_ids: Vec<usize> = (0..modes).collect();
+        let per_mode: Vec<crate::algo::Outcome> =
+            crate::parallel::map_ordered(&mode_ids, self.config.effective_threads(), |_, &m| {
+                let view = mode_view(design, m);
+                ClkWaveMin::new(self.config.clone()).run(&view)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
 
         // Cross-pollination: evaluate every winning assignment in every
         // mode and let each mode pick its best. By the minimax inequality

@@ -167,6 +167,12 @@ pub struct Outcome {
     /// What was relaxed to fit the resource budget (`None` = the run
     /// completed at full fidelity).
     pub degradation: Option<Degradation>,
+    /// Zones whose sampling plan fell back to a single dummy time because
+    /// the hot window was degenerate (see
+    /// [`crate::sampling::SamplePlan::is_degenerate`]). Their sampled
+    /// objectives are identically zero, so a nonzero count means parts of
+    /// the reported `estimated_cost` are vacuous rather than optimal.
+    pub degenerate_zones: usize,
 }
 
 impl Outcome {
@@ -298,8 +304,10 @@ pub(crate) struct ZoneSolution {
 
 /// An inner solver assigns one zone's sinks inside one interval. `extra`
 /// carries the accumulated noise of zones already assigned in this
-/// interval (the paper optimizes zones "one by one").
-pub(crate) trait ZoneSolver {
+/// interval (the paper optimizes zones "one by one"). Solvers must be
+/// `Sync`: independent intervals are solved concurrently on a worker
+/// pool, all through one shared solver instance.
+pub(crate) trait ZoneSolver: Sync {
     fn solve_zone(
         &self,
         table: &NoiseTable,
@@ -335,41 +343,50 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
     // accumulated background the smaller ones then avoid.
     let mut zone_order: Vec<usize> = (0..zones.len()).collect();
     zone_order.sort_by_key(|&z| std::cmp::Reverse(zones[z].sinks.len()));
+    let degenerate_zones = zones.iter().filter(|z| z.plan.is_degenerate()).count();
 
-    // Solve every interval; remember assignments ranked by cost.
-    let mut ranked: Vec<(f64, Assignment)> = Vec::new();
-    for interval in intervals.intervals() {
-        let mut cost = 0.0_f64;
-        let mut assignment = Assignment::new();
-        let mut ok = true;
-        let mut accumulated = crate::noise_table::EventWaveforms::zero();
-        for &zi in &zone_order {
-            let zone = &zones[zi];
-            match solver.solve_zone(&table, zone, interval, &accumulated) {
-                Ok(sol) => {
-                    cost = cost.max(sol.cost);
-                    for (local, &(opt, code)) in sol.choices.iter().enumerate() {
-                        let si = zone.sinks[local];
-                        let entry = &table.sinks[si];
-                        let option = &entry.options[opt];
-                        assignment.set(entry.node, option.cell.clone());
-                        if code > Picoseconds::ZERO {
-                            assignment.set_delay_code(0, entry.node, code);
-                            accumulated = accumulated.plus(&option.waves.shifted(code));
-                        } else {
-                            accumulated = accumulated.plus(&option.waves);
+    // Solve every interval. Intervals are independent — zones inside one
+    // interval chain through the accumulated background and stay
+    // sequential — so the intervals fan out over the worker pool and come
+    // back in input order (bit-identical to a sequential run).
+    let solve_interval =
+        |interval: &FeasibleInterval| -> Result<Option<(f64, Assignment)>, WaveMinError> {
+            let mut cost = 0.0_f64;
+            let mut assignment = Assignment::new();
+            let mut accumulated = crate::noise_table::EventWaveforms::zero();
+            for &zi in &zone_order {
+                let zone = &zones[zi];
+                match solver.solve_zone(&table, zone, interval, &accumulated) {
+                    Ok(sol) => {
+                        cost = cost.max(sol.cost);
+                        for (local, &(opt, code)) in sol.choices.iter().enumerate() {
+                            let si = zone.sinks[local];
+                            let entry = &table.sinks[si];
+                            let option = &entry.options[opt];
+                            assignment.set(entry.node, option.cell.clone());
+                            if code > Picoseconds::ZERO {
+                                assignment.set_delay_code(0, entry.node, code);
+                                accumulated = accumulated.plus(&option.waves.shifted(code));
+                            } else {
+                                accumulated = accumulated.plus(&option.waves);
+                            }
                         }
                     }
+                    Err(WaveMinError::NoFeasibleInterval) => return Ok(None),
+                    Err(e) => return Err(e),
                 }
-                Err(WaveMinError::NoFeasibleInterval) => {
-                    ok = false;
-                    break;
-                }
-                Err(e) => return Err(e),
             }
-        }
-        if ok {
-            ranked.push((cost, assignment));
+            Ok(Some((cost, assignment)))
+        };
+    let solved = crate::parallel::map_ordered(
+        intervals.intervals(),
+        config.effective_threads(),
+        |_, interval| solve_interval(interval),
+    );
+    let mut ranked: Vec<(f64, Assignment)> = Vec::new();
+    for result in solved {
+        if let Some(pair) = result? {
+            ranked.push(pair);
         }
     }
     if ranked.is_empty() {
@@ -390,25 +407,29 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
             eprintln!("candidate cost {cost:.1} -> exact skew {skew}");
         }
         if skew.value() <= config.skew_bound.value() + 1e-9 {
-            return finish_outcome(
+            let mut out = finish_outcome(
                 design,
                 &candidate,
                 assignment.clone(),
                 *cost,
                 intervals_tried,
                 runtime,
-            );
+            )?;
+            out.degenerate_zones = degenerate_zones;
+            return Ok(out);
         }
     }
     // Identity fallback: keep the tree as-is.
-    finish_outcome(
+    let mut out = finish_outcome(
         design,
         design,
         Assignment::new(),
         f64::NAN,
         intervals_tried,
         runtime,
-    )
+    )?;
+    out.degenerate_zones = degenerate_zones;
+    Ok(out)
 }
 
 /// Evaluates before/after and assembles the [`Outcome`].
@@ -438,6 +459,7 @@ pub(crate) fn finish_outcome(
         adi_count: count_kind(after, CellKind::Adi),
         runtime,
         degradation: None,
+        degenerate_zones: 0,
     };
     for mode in 0..before.mode_count() {
         let rb = eval_before.evaluate(mode)?;
@@ -494,6 +516,7 @@ mod tests {
             adi_count: 0,
             runtime: Duration::ZERO,
             degradation: None,
+            degenerate_zones: 0,
         };
         assert!((o.peak_improvement_pct() - 20.0).abs() < 1e-9);
         assert!((o.vdd_improvement_pct() - 20.0).abs() < 1e-9);

@@ -76,7 +76,7 @@ impl ZoneSolver for BalanceZoneSolver {
             Vec::with_capacity(rows);
         for (local, opts) in allowed.iter().enumerate() {
             let mut row = Vec::new();
-            for &opt in opts {
+            for &opt in opts.iter() {
                 let si = zone.sinks[local];
                 let o = &table.sinks[si].options[opt];
                 if let Some(code) = o.delay_code_for(interval.t_lo, interval.t_hi) {

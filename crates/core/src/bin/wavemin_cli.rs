@@ -131,6 +131,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "lib",
                     "power",
                     "time-budget-ms",
+                    "threads",
                     "strict",
                     "o",
                 ],
@@ -172,8 +173,8 @@ USAGE:
   wavemin synthesize --benchmark <name|all> [--seed N] [-o tree.clk]
   wavemin optimize   -i tree.clk [--algorithm wavemin|fast|peakmin|nieh|samanta|multimode]
                      [--kappa PS] [--samples N] [--lib file.lib]
-                     [--power intent.pw] [--time-budget-ms N] [--strict]
-                     [-o out.clk]
+                     [--power intent.pw] [--time-budget-ms N] [--threads N]
+                     [--strict] [-o out.clk]
   wavemin validate   -i tree.clk [--lib file.lib] [--power intent.pw]
                      [--kappa PS] [--samples N]
   wavemin evaluate   -i tree.clk [--lib file.lib]
@@ -183,6 +184,9 @@ USAGE:
 FLAGS:
   --time-budget-ms N  wall-clock cap; the solver degrades gracefully and
                       reports what was relaxed instead of running unbounded
+  --threads N         worker threads for independent interval/mode solves
+                      (default: one per core; results are thread-count
+                      independent for unbudgeted runs)
   --strict            fail (exit 5) if the run had to degrade at all
 
 EXIT CODES:
@@ -343,6 +347,12 @@ fn build_config(flags: &Flags) -> Result<WaveMinConfig, CliError> {
             ));
         }
         config.time_budget_ms = Some(ms as u64);
+    }
+    if let Some(t) = flags.numeric("threads")? {
+        if t < 1.0 || t.fract() != 0.0 {
+            return Err(CliError::usage("--threads expects a positive integer"));
+        }
+        config.threads = Some(t as usize);
     }
     config.validate().map_err(|e| CliError::from(&e))?;
     Ok(config)

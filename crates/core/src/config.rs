@@ -78,6 +78,12 @@ pub struct WaveMinConfig {
     /// capped → greedy) instead of running unbounded; the relaxations are
     /// reported in [`crate::algo::Outcome::degradation`].
     pub time_budget_ms: Option<u64>,
+    /// Worker threads for the independent solve units (feasible intervals,
+    /// interval intersections, power modes). `None` = one per available
+    /// core. Results are collected in input order, so the outcome is
+    /// independent of this setting (budgeted runs excepted: a shared work
+    /// cap is drained in whatever order the workers charge it).
+    pub threads: Option<usize>,
 }
 
 impl Default for WaveMinConfig {
@@ -102,6 +108,7 @@ impl Default for WaveMinConfig {
             window_margin: 0.8,
             lut_characterization: false,
             time_budget_ms: None,
+            threads: None,
         }
     }
 }
@@ -145,6 +152,22 @@ impl WaveMinConfig {
     pub fn with_time_budget_ms(mut self, ms: u64) -> Self {
         self.time_budget_ms = Some(ms);
         self
+    }
+
+    /// Returns the config with an explicit worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The worker count the solve pipeline will actually use: the
+    /// configured [`Self::threads`], or one per available core.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
     }
 
     /// A fresh [`Budget`] for one run: the deadline starts counting now.
@@ -208,6 +231,11 @@ impl WaveMinConfig {
                 "window_margin must lie in (0, 1]",
             ));
         }
+        if self.threads == Some(0) {
+            return Err(WaveMinError::InvalidConfig(
+                "threads must be at least 1 (use None for one per core)",
+            ));
+        }
         Ok(())
     }
 }
@@ -249,6 +277,16 @@ mod tests {
             .with_sample_count(8);
         assert_eq!(c.skew_bound, Picoseconds::new(90.0));
         assert_eq!(c.sample_count, 8);
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        assert_eq!(
+            WaveMinConfig::default().with_threads(3).effective_threads(),
+            3
+        );
+        assert!(WaveMinConfig::default().effective_threads() >= 1);
+        assert_eq!(WaveMinConfig::default().with_threads(1).validate(), Ok(()));
     }
 
     #[test]
@@ -324,6 +362,7 @@ mod tests {
                 },
                 "window_margin",
             ),
+            (WaveMinConfig::default().with_threads(0), "threads"),
         ];
         for (cfg, needle) in cases {
             let err = cfg.validate().expect_err(needle);

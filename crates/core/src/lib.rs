@@ -52,6 +52,7 @@ pub mod intervals;
 pub mod montecarlo;
 pub mod multimode;
 pub mod noise_table;
+pub(crate) mod parallel;
 pub mod report;
 pub mod sampling;
 

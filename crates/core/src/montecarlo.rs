@@ -135,7 +135,7 @@ impl MonteCarlo {
             .map_or(1, std::num::NonZeroUsize::get)
             .min(self.runs.max(1));
         let chunk = self.runs.div_ceil(workers.max(1)).max(1);
-        let budget = self.budget;
+        let budget = &self.budget;
         let reports: Vec<_> = std::thread::scope(|scope| {
             let handles: Vec<_> = variations
                 .chunks(chunk)

@@ -134,27 +134,56 @@ impl ClkWaveMinM {
     /// Propagates preprocessing/solver failures; returns
     /// [`WaveMinError::NoFeasibleInterval`] when nothing intersects.
     pub fn intersection_costs(&self, design: &Design) -> Result<Vec<(usize, f64)>, WaveMinError> {
-        let modes = design.mode_count();
-        let tables: Vec<NoiseTable> = (0..modes)
-            .map(|m| NoiseTable::build(design, &self.config, m))
-            .collect::<Result<_, _>>()?;
+        let threads = self.config.effective_threads();
+        let (tables, zones) = self.build_mode_data(design, threads)?;
         let mut tight = self.config.clone();
         tight.skew_bound = self.config.skew_bound * self.config.window_margin;
         let set = IntersectionSet::generate(design, &tight, &tables, self.beam)?;
-        let zones: Vec<Vec<ZoneProblem>> = (0..modes)
-            .map(|m| ZoneProblem::build_all(design, &self.config, &tables[m]))
-            .collect();
-        let mut out = Vec::new();
         // (figure helper keeps the configured margin and has no budget)
         let ladder = MospLadder::unbudgeted(&self.config);
-        for intersection in set.intersections() {
-            match self.solve_intersection(design, &tables, &zones, intersection, &ladder) {
-                Ok((cost, _)) => out.push((intersection.degree_of_freedom(), cost)),
-                Err(WaveMinError::NoFeasibleInterval) => continue,
-                Err(e) => return Err(e),
+        let solved = crate::parallel::map_ordered(
+            set.intersections(),
+            threads,
+            |_, intersection| match self.solve_intersection(
+                design,
+                &tables,
+                &zones,
+                intersection,
+                &ladder,
+            ) {
+                Ok((cost, _)) => Ok(Some((intersection.degree_of_freedom(), cost))),
+                Err(WaveMinError::NoFeasibleInterval) => Ok(None),
+                Err(e) => Err(e),
+            },
+        );
+        let mut out = Vec::new();
+        for result in solved {
+            if let Some(pair) = result? {
+                out.push(pair);
             }
         }
         Ok(out)
+    }
+
+    /// Builds the per-mode noise tables and zone problems, fanning the
+    /// independent modes out over the worker pool.
+    #[allow(clippy::type_complexity)]
+    fn build_mode_data(
+        &self,
+        design: &Design,
+        threads: usize,
+    ) -> Result<(Vec<NoiseTable>, Vec<Vec<ZoneProblem>>), WaveMinError> {
+        let mode_ids: Vec<usize> = (0..design.mode_count()).collect();
+        let tables: Vec<NoiseTable> = crate::parallel::map_ordered(&mode_ids, threads, |_, &m| {
+            NoiseTable::build(design, &self.config, m)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+        let zones: Vec<Vec<ZoneProblem>> =
+            crate::parallel::map_ordered(&mode_ids, threads, |_, &m| {
+                ZoneProblem::build_all(design, &self.config, &tables[m])
+            });
+        Ok((tables, zones))
     }
 
     /// One optimization pass over a (possibly ADB-embedded) design with
@@ -166,24 +195,41 @@ impl ClkWaveMinM {
         ladder: &MospLadder,
     ) -> Result<Outcome, WaveMinError> {
         let start = std::time::Instant::now();
-        let modes = design.mode_count();
-        let tables: Vec<NoiseTable> = (0..modes)
-            .map(|m| NoiseTable::build(design, &self.config, m))
-            .collect::<Result<_, _>>()?;
+        let threads = self.config.effective_threads();
+        let (tables, zones) = self.build_mode_data(design, threads)?;
         // Reserve sibling-load headroom like the single-mode flow.
         let mut tight = self.config.clone();
         tight.skew_bound = self.config.skew_bound * margin;
         let set = IntersectionSet::generate(design, &tight, &tables, self.beam)?;
-        let zones: Vec<Vec<ZoneProblem>> = (0..modes)
-            .map(|m| ZoneProblem::build_all(design, &self.config, &tables[m]))
-            .collect();
+        let degenerate_zones = zones
+            .iter()
+            .flatten()
+            .filter(|z| z.plan.is_degenerate())
+            .count();
 
+        // Intersections are independent of each other (each chains its own
+        // per-mode accumulated background), so they fan out over the
+        // worker pool; input-order collection keeps the ranking identical
+        // to a sequential run.
+        let solved = crate::parallel::map_ordered(
+            set.intersections(),
+            threads,
+            |_, intersection| match self.solve_intersection(
+                design,
+                &tables,
+                &zones,
+                intersection,
+                ladder,
+            ) {
+                Ok(pair) => Ok(Some(pair)),
+                Err(WaveMinError::NoFeasibleInterval) => Ok(None),
+                Err(e) => Err(e),
+            },
+        );
         let mut ranked: Vec<(f64, Assignment)> = Vec::new();
-        for intersection in set.intersections() {
-            match self.solve_intersection(design, &tables, &zones, intersection, ladder) {
-                Ok((cost, assignment)) => ranked.push((cost, assignment)),
-                Err(WaveMinError::NoFeasibleInterval) => continue,
-                Err(e) => return Err(e),
+        for result in solved {
+            if let Some(pair) = result? {
+                ranked.push(pair);
             }
         }
         if ranked.is_empty() {
@@ -200,14 +246,16 @@ impl ClkWaveMinM {
                 eprintln!("mm candidate cost {cost:.1} -> exact skew {skew}");
             }
             if skew.value() <= self.config.skew_bound.value() + 1e-9 {
-                return finish_outcome(
+                let mut out = finish_outcome(
                     design,
                     &candidate,
                     assignment.clone(),
                     *cost,
                     set.len(),
                     runtime,
-                );
+                )?;
+                out.degenerate_zones = degenerate_zones;
+                return Ok(out);
             }
         }
         Err(WaveMinError::NoFeasibleInterval)
@@ -238,10 +286,10 @@ impl ClkWaveMinM {
         for zi in zone_ids {
             let zone0 = &zones[0][zi];
             let rows = zone0.sinks.len();
-            let allowed: Vec<Vec<usize>> = zone0
+            let allowed: Vec<&[usize]> = zone0
                 .sinks
                 .iter()
-                .map(|&si| intersection.allowed[si].clone())
+                .map(|&si| intersection.allowed[si].as_slice())
                 .collect();
             // Concatenated background (static non-leaf + accumulated
             // assigned zones, per mode).

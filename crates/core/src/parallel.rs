@@ -1,0 +1,101 @@
+//! A minimal deterministic worker pool for independent solve units.
+//!
+//! The pipeline fans out over *independent* units — feasible intervals in
+//! the single-mode flow, interval intersections and power modes in the
+//! multi-mode flow, Monte-Carlo instances — while zones inside one unit
+//! stay sequential (their accumulated-background chaining is order
+//! dependent). Results always come back in input order, so the outcome of
+//! a run is independent of the worker count: the same contiguous-chunk
+//! scheme as [`crate::montecarlo`], built on [`std::thread::scope`].
+
+/// Maps `f` over `items`, returning results in input order.
+///
+/// With `threads <= 1` (or fewer than two items) the map runs inline on
+/// the calling thread — no pool, no overhead. Otherwise the items are
+/// split into at most `threads` contiguous chunks, one scoped worker per
+/// chunk. `f` receives the item's index alongside the item. Worker panics
+/// propagate to the caller.
+pub(crate) fn map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(ci * chunk + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let out = map_ordered(&items, threads, |i, &x| {
+                assert_eq!(i, x, "index matches item");
+                x * 2
+            });
+            let want: Vec<usize> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(out, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let none: Vec<u8> = Vec::new();
+        assert!(map_ordered(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(map_ordered(&[7u8], 4, |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn results_are_thread_count_independent() {
+        let items: Vec<f64> = (0..37).map(|i| f64::from(i) * 1.5).collect();
+        let seq = map_ordered(&items, 1, |i, &x| x + i as f64);
+        for threads in [2, 4, 16] {
+            assert_eq!(map_ordered(&items, threads, |i, &x| x + i as f64), seq);
+        }
+    }
+
+    #[test]
+    fn error_results_stay_in_place() {
+        let items: Vec<u32> = (0..10).collect();
+        let out = map_ordered(&items, 3, |_, &x| if x == 4 { Err("boom") } else { Ok(x) });
+        assert_eq!(out[4], Err("boom"));
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic propagates")]
+    fn panics_propagate() {
+        let items: Vec<u8> = (0..8).collect();
+        let _ = map_ordered(&items, 4, |_, &x| {
+            assert!(x < 6, "worker panic propagates");
+            x
+        });
+    }
+}

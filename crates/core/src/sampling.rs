@@ -16,6 +16,12 @@ use wavemin_cells::units::Picoseconds;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SamplePlan {
     times: Vec<Picoseconds>,
+    /// `true` when the hot window was degenerate (empty or inverted) and
+    /// the plan fell back to a single dummy time at t = 0. Every sampled
+    /// objective is then identically zero — "optimal" for the wrong
+    /// reason — so the pipeline surfaces this through
+    /// [`crate::algo::Outcome::degenerate_zones`].
+    degenerate: bool,
 }
 
 impl SamplePlan {
@@ -46,13 +52,16 @@ impl SamplePlan {
         Self::over_window(lo, hi + slack, k)
     }
 
-    /// Builds a plan with `k` uniform times over an explicit window.
+    /// Builds a plan with `k` uniform times over an explicit window. A
+    /// degenerate window (non-finite bounds or `hi <= lo`) falls back to a
+    /// single dummy time and marks the plan [`Self::is_degenerate`].
     #[must_use]
     pub fn over_window(lo: f64, hi: f64, k: usize) -> Self {
         let k = k.max(1);
         if !lo.is_finite() || !hi.is_finite() || hi <= lo {
             return Self {
                 times: vec![Picoseconds::ZERO],
+                degenerate: true,
             };
         }
         let times = (0..k)
@@ -62,13 +71,24 @@ impl SamplePlan {
                 Picoseconds::new(lo + frac * (hi - lo))
             })
             .collect();
-        Self { times }
+        Self {
+            times,
+            degenerate: false,
+        }
     }
 
     /// The shared sample times.
     #[must_use]
     pub fn times(&self) -> &[Picoseconds] {
         &self.times
+    }
+
+    /// `true` when the plan is the single-dummy-time fallback for a
+    /// degenerate hot window: its sampled objectives are all-zero and say
+    /// nothing about the real noise.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
     }
 
     /// Total dimension `|S| = 4k`.
@@ -132,6 +152,10 @@ mod tests {
     fn degenerate_window_fallback() {
         let plan = SamplePlan::over_window(f64::INFINITY, f64::NEG_INFINITY, 8);
         assert_eq!(plan.times().len(), 1);
+        assert!(plan.is_degenerate(), "fallback must be diagnosable");
+        assert!(!SamplePlan::over_window(0.0, 10.0, 8).is_degenerate());
+        assert!(SamplePlan::over_window(5.0, 5.0, 2).is_degenerate());
+        assert!(SamplePlan::over_window(f64::NAN, 1.0, 2).is_degenerate());
     }
 
     #[test]

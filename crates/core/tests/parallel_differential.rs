@@ -1,0 +1,109 @@
+//! Differential tests for the worker-pool execution path: an unbudgeted
+//! run must produce bit-identical assignments and noise figures whether it
+//! runs on one thread or many — intervals, intersections and power modes
+//! are fanned out, but results are collected in input order, so the
+//! ranking (and every tie-break) matches the sequential walk exactly.
+
+use wavemin::prelude::*;
+use wavemin_cells::units::Volts;
+
+/// Asserts two outcomes are observationally identical (runtime aside).
+fn assert_outcomes_identical(seq: &Outcome, par: &Outcome, label: &str) {
+    assert_eq!(seq.assignment, par.assignment, "{label}: assignment");
+    assert_eq!(seq.peak_after, par.peak_after, "{label}: peak");
+    assert_eq!(seq.vdd_noise_after, par.vdd_noise_after, "{label}: vdd");
+    assert_eq!(seq.gnd_noise_after, par.gnd_noise_after, "{label}: gnd");
+    assert_eq!(seq.skew_after, par.skew_after, "{label}: skew");
+    assert!(
+        seq.estimated_cost == par.estimated_cost
+            || (seq.estimated_cost.is_nan() && par.estimated_cost.is_nan()),
+        "{label}: cost {} vs {}",
+        seq.estimated_cost,
+        par.estimated_cost
+    );
+    assert_eq!(seq.intervals_tried, par.intervals_tried, "{label}: tried");
+    assert_eq!(
+        seq.degenerate_zones, par.degenerate_zones,
+        "{label}: degenerate zones"
+    );
+}
+
+#[test]
+fn clkwavemin_is_thread_count_independent() {
+    for bench in [Benchmark::s15850(), Benchmark::s13207()] {
+        let d = Design::from_benchmark(&bench, 7);
+        let mut cfg = WaveMinConfig::default().with_sample_count(16);
+        cfg.max_intervals = Some(6);
+        let seq = ClkWaveMin::new(cfg.clone().with_threads(1))
+            .run(&d)
+            .expect("sequential run");
+        let par = ClkWaveMin::new(cfg.with_threads(4))
+            .run(&d)
+            .expect("parallel run");
+        assert_outcomes_identical(&seq, &par, &bench.name);
+    }
+}
+
+#[test]
+fn fast_variant_is_thread_count_independent() {
+    let d = Design::from_benchmark(&Benchmark::s15850(), 11);
+    let cfg = WaveMinConfig::default().with_sample_count(16);
+    let seq = ClkWaveMinFast::new(cfg.clone().with_threads(1))
+        .run(&d)
+        .expect("sequential run");
+    let par = ClkWaveMinFast::new(cfg.with_threads(4))
+        .run(&d)
+        .expect("parallel run");
+    assert_outcomes_identical(&seq, &par, "fast");
+}
+
+#[test]
+fn multimode_is_thread_count_independent() {
+    let d = Design::from_benchmark_multimode_levels(
+        &Benchmark::s15850(),
+        3,
+        4,
+        4,
+        Volts::new(0.9),
+        Volts::new(1.1),
+    );
+    let cfg = WaveMinConfig::default()
+        .with_skew_bound(wavemin_cells::units::Picoseconds::new(22.0))
+        .with_sample_count(8);
+    let seq = ClkWaveMinM::new(cfg.clone().with_threads(1))
+        .run(&d)
+        .expect("sequential run");
+    let par = ClkWaveMinM::new(cfg.with_threads(4))
+        .run(&d)
+        .expect("parallel run");
+    assert_outcomes_identical(&seq, &par, "multimode");
+}
+
+#[test]
+fn dynamic_polarity_is_thread_count_independent() {
+    let d = Design::from_benchmark_multimode(&Benchmark::s15850(), 5, 4, 2);
+    let cfg = WaveMinConfig::default().with_sample_count(8);
+    let seq = DynamicPolarity::new(cfg.clone().with_threads(1))
+        .run(&d)
+        .expect("sequential run");
+    let par = DynamicPolarity::new(cfg.with_threads(4))
+        .run(&d)
+        .expect("parallel run");
+    assert_eq!(seq.xor_sinks, par.xor_sinks, "xor sinks");
+    assert_eq!(seq.dynamic_peak_ma, par.dynamic_peak_ma, "dynamic peak");
+    assert_eq!(seq.static_peak_ma, par.static_peak_ma, "static peak");
+}
+
+#[test]
+fn shared_budget_is_drained_across_parallel_solves() {
+    // A budgeted parallel run is allowed to differ from a sequential one
+    // (the shared work cap drains in worker charge order), but it must
+    // still end with a complete, skew-feasible assignment.
+    let d = Design::from_benchmark(&Benchmark::s15850(), 7);
+    let cfg = WaveMinConfig::default().with_time_budget_ms(50);
+    let out = ClkWaveMin::new(cfg.clone().with_threads(4))
+        .run(&d)
+        .expect("budgeted parallel run");
+    assert_eq!(out.assignment.len(), d.leaves().len());
+    assert!(out.skew_after.value() <= cfg.skew_bound.value() * 1.05 + 1e-9);
+}

@@ -9,8 +9,14 @@
 //! mode so the result is still a valid source→destination path set, and
 //! the returned [`crate::ParetoSet`] carries a structured
 //! [`Exhaustion`] reason.
+//!
+//! The work counter lives behind an [`AtomicU64`] shared by every clone
+//! of the budget, so concurrent zone solves on a worker pool all draw
+//! from one global cap instead of each getting a private allowance.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which resource ran out first during a budgeted solve.
@@ -38,23 +44,47 @@ impl std::fmt::Display for Exhaustion {
 /// disables them. The deadline is an absolute [`Instant`], so one `Budget`
 /// can be threaded through many solver calls and they all share the same
 /// end time — that is exactly how the core pipeline propagates its
-/// `--time-budget-ms` across zones and intervals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// `--time-budget-ms` across zones and intervals. The work counter is a
+/// shared atomic: clones of a budget draw from the *same* allowance, so
+/// zone solves running concurrently on a worker pool are capped globally,
+/// exactly like the sequential pipeline was.
+#[derive(Debug, Default)]
 pub struct Budget {
     deadline: Option<Instant>,
     work_cap: Option<u64>,
     label_cap: Option<usize>,
+    work_done: Arc<AtomicU64>,
 }
+
+impl Clone for Budget {
+    /// Clones share the work counter (and therefore the global cap).
+    fn clone(&self) -> Self {
+        Self {
+            deadline: self.deadline,
+            work_cap: self.work_cap,
+            label_cap: self.label_cap,
+            work_done: Arc::clone(&self.work_done),
+        }
+    }
+}
+
+/// Budgets compare by their limits; the live work counter is transient
+/// state and deliberately excluded.
+impl PartialEq for Budget {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+            && self.work_cap == other.work_cap
+            && self.label_cap == other.label_cap
+    }
+}
+
+impl Eq for Budget {}
 
 impl Budget {
     /// No limits: the solver runs to completion.
     #[must_use]
-    pub const fn unlimited() -> Self {
-        Self {
-            deadline: None,
-            work_cap: None,
-            label_cap: None,
-        }
+    pub fn unlimited() -> Self {
+        Self::default()
     }
 
     /// A budget expiring `limit` from now.
@@ -73,7 +103,7 @@ impl Budget {
     /// Caps total label-insertion work (keeps other limits). Work is a
     /// deterministic machine-independent measure, handy for tests.
     #[must_use]
-    pub const fn and_work_cap(mut self, cap: u64) -> Self {
+    pub fn and_work_cap(mut self, cap: u64) -> Self {
         self.work_cap = Some(cap);
         self
     }
@@ -81,7 +111,7 @@ impl Budget {
     /// Caps the per-vertex label frontier (keeps other limits); merged
     /// with a solver's own `max_labels` by taking the smaller.
     #[must_use]
-    pub const fn and_label_cap(mut self, cap: usize) -> Self {
+    pub fn and_label_cap(mut self, cap: usize) -> Self {
         self.label_cap = Some(cap);
         self
     }
@@ -98,6 +128,13 @@ impl Budget {
         self.label_cap
     }
 
+    /// Total work charged so far across every solve (and thread) sharing
+    /// this budget.
+    #[must_use]
+    pub fn work_done(&self) -> u64 {
+        self.work_done.load(Ordering::Relaxed)
+    }
+
     /// Time remaining until the deadline (`None` when no deadline is set;
     /// `Some(ZERO)` once expired).
     #[must_use]
@@ -112,16 +149,38 @@ impl Budget {
         matches!(self.deadline, Some(d) if Instant::now() >= d)
     }
 
-    /// Checks both caps against the work done so far. The deadline is only
-    /// polled every 256 work units to keep clock reads off the hot path.
+    /// Charges `units` of label work against the shared counter and
+    /// reports whether a cap tripped. The deadline is only polled when
+    /// the counter crosses a 256-unit boundary, keeping clock reads off
+    /// the hot path; unlimited budgets skip the atomic entirely.
     #[must_use]
-    pub fn exhausted(&self, work: u64) -> Option<Exhaustion> {
+    pub fn charge(&self, units: u64) -> Option<Exhaustion> {
+        if self.work_cap.is_none() && self.deadline.is_none() {
+            return None;
+        }
+        let total = self.work_done.fetch_add(units, Ordering::Relaxed) + units;
         if let Some(cap) = self.work_cap {
-            if work >= cap {
+            if total >= cap {
                 return Some(Exhaustion::WorkCapReached);
             }
         }
-        if work & 0xFF == 0 && self.deadline_expired() {
+        if total & 0xFF < units && self.deadline_expired() {
+            return Some(Exhaustion::DeadlineExpired);
+        }
+        None
+    }
+
+    /// Checks the caps against the work already charged, without charging
+    /// anything (used between vertices / solves). Unlike [`Self::charge`]
+    /// this always polls the deadline.
+    #[must_use]
+    pub fn exhausted(&self) -> Option<Exhaustion> {
+        if let Some(cap) = self.work_cap {
+            if self.work_done() >= cap {
+                return Some(Exhaustion::WorkCapReached);
+            }
+        }
+        if self.deadline_expired() {
             return Some(Exhaustion::DeadlineExpired);
         }
         None
@@ -135,26 +194,49 @@ mod tests {
     #[test]
     fn unlimited_never_exhausts() {
         let b = Budget::unlimited();
-        for w in [0, 1, 1 << 40] {
-            assert_eq!(b.exhausted(w), None);
+        for units in [0, 1, 1 << 40] {
+            assert_eq!(b.charge(units), None);
         }
+        assert_eq!(b.work_done(), 0, "unlimited budgets skip the counter");
         assert_eq!(b.remaining(), None);
         assert!(!b.deadline_expired());
+        assert_eq!(b.exhausted(), None);
     }
 
     #[test]
     fn work_cap_trips_exactly() {
         let b = Budget::unlimited().and_work_cap(100);
-        assert_eq!(b.exhausted(99), None);
-        assert_eq!(b.exhausted(100), Some(Exhaustion::WorkCapReached));
+        for _ in 0..99 {
+            assert_eq!(b.charge(1), None);
+        }
+        assert_eq!(b.charge(1), Some(Exhaustion::WorkCapReached));
+        assert_eq!(b.exhausted(), Some(Exhaustion::WorkCapReached));
+        assert_eq!(b.work_done(), 100);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let a = Budget::unlimited().and_work_cap(10);
+        let b = a.clone();
+        for _ in 0..5 {
+            assert_eq!(a.charge(1), None);
+        }
+        for _ in 0..4 {
+            assert_eq!(b.charge(1), None);
+        }
+        // The tenth unit trips regardless of which clone charges it.
+        assert_eq!(a.charge(1), Some(Exhaustion::WorkCapReached));
+        assert_eq!(b.work_done(), 10);
     }
 
     #[test]
     fn elapsed_deadline_trips() {
         let b = Budget::unlimited().and_deadline(Instant::now() - Duration::from_millis(1));
         assert!(b.deadline_expired());
-        assert_eq!(b.exhausted(0), Some(Exhaustion::DeadlineExpired));
+        assert_eq!(b.exhausted(), Some(Exhaustion::DeadlineExpired));
         assert_eq!(b.remaining(), Some(Duration::ZERO));
+        // charge polls the deadline on 256-unit boundaries.
+        assert_eq!(b.charge(256), Some(Exhaustion::DeadlineExpired));
     }
 
     #[test]
@@ -171,7 +253,16 @@ mod tests {
             .and_label_cap(2);
         assert_eq!(b.label_cap(), Some(2));
         // Work cap trips first; the far-future deadline does not.
-        assert_eq!(b.exhausted(5), Some(Exhaustion::WorkCapReached));
-        assert_eq!(b.exhausted(4), None);
+        assert_eq!(b.charge(4), None);
+        assert_eq!(b.charge(1), Some(Exhaustion::WorkCapReached));
+    }
+
+    #[test]
+    fn equality_ignores_the_live_counter() {
+        let a = Budget::unlimited().and_work_cap(7);
+        let b = Budget::unlimited().and_work_cap(7);
+        assert_eq!(a.charge(3), None);
+        assert_eq!(a, b, "limits match, counter state is transient");
+        assert_ne!(a, Budget::unlimited());
     }
 }

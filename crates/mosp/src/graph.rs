@@ -1,6 +1,14 @@
 //! The weighted directed graph underlying the MOSP problem.
+//!
+//! Arc weights are `r`-dimensional sample vectors; on WaveMin instances
+//! `r = |S|` can reach 158 and every candidate's vector is shared by one
+//! arc per predecessor vertex. Weights therefore live in a single flat
+//! `f64` arena and arcs carry `(target, weight-slot)` handles: identical
+//! vectors are interned once per graph instead of cloned per arc, and the
+//! solvers propagate labels over contiguous arena slices.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Index of a vertex within a [`MospGraph`].
@@ -57,12 +65,37 @@ impl fmt::Display for MospError {
 
 impl std::error::Error for MospError {}
 
-/// A directed graph with `r`-dimensional non-negative arc weights.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A directed graph with `r`-dimensional non-negative arc weights backed
+/// by a flat interned weight arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MospGraph {
     dim: usize,
-    /// Outgoing adjacency: `(target, weight)` per source vertex.
-    adjacency: Vec<Vec<(VertexId, Vec<f64>)>>,
+    /// Flat weight storage; slot `i` occupies `weights[i*dim .. (i+1)*dim]`.
+    weights: Vec<f64>,
+    /// Outgoing adjacency: `(target, weight slot)` per source vertex.
+    adjacency: Vec<Vec<(VertexId, u32)>>,
+    /// Intern table: weight hash → candidate slots (rebuilt lazily after
+    /// deserialization; misses only cost arena space, never correctness).
+    #[serde(skip)]
+    intern: HashMap<u64, Vec<u32>>,
+}
+
+/// Graphs compare observationally: same dimension and the same arcs with
+/// the same weight *values* (slot numbering and intern state are ignored,
+/// so a deserialized graph equals its original).
+impl PartialEq for MospGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim
+            && self.adjacency.len() == other.adjacency.len()
+            && (0..self.adjacency.len()).all(|v| {
+                let a = &self.adjacency[v];
+                let b = &other.adjacency[v];
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(&(ta, sa), &(tb, sb))| {
+                        ta == tb && self.weight_slice(sa) == other.weight_slice(sb)
+                    })
+            })
+    }
 }
 
 impl MospGraph {
@@ -76,7 +109,9 @@ impl MospGraph {
         assert!(dim > 0, "weight dimension must be positive");
         Self {
             dim,
+            weights: Vec::new(),
             adjacency: Vec::new(),
+            intern: HashMap::new(),
         }
     }
 
@@ -98,6 +133,14 @@ impl MospGraph {
         self.adjacency.iter().map(Vec::len).sum()
     }
 
+    /// Number of distinct weight vectors stored in the arena. With
+    /// interning this is at most [`Self::arc_count`]; the gap is the
+    /// storage the arena saved over per-arc clones.
+    #[must_use]
+    pub fn unique_weight_count(&self) -> usize {
+        self.weights.len() / self.dim
+    }
+
     /// Adds a vertex and returns its id.
     pub fn add_vertex(&mut self) -> VertexId {
         self.adjacency.push(Vec::new());
@@ -109,7 +152,7 @@ impl MospGraph {
         (0..n).map(|_| self.add_vertex()).collect()
     }
 
-    /// Adds a weighted arc `from → to`.
+    /// Adds a weighted arc `from → to` (see [`Self::add_arc_slice`]).
     ///
     /// # Errors
     ///
@@ -121,6 +164,23 @@ impl MospGraph {
         from: VertexId,
         to: VertexId,
         weight: Vec<f64>,
+    ) -> Result<(), MospError> {
+        self.add_arc_slice(from, to, &weight)
+    }
+
+    /// Adds a weighted arc `from → to` without taking ownership of the
+    /// weight: the vector is interned into the arena (stored once however
+    /// many arcs share it), so callers can pass the same borrowed slice
+    /// for every predecessor without cloning.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::add_arc`].
+    pub fn add_arc_slice(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        weight: &[f64],
     ) -> Result<(), MospError> {
         if weight.len() != self.dim {
             return Err(MospError::DimensionMismatch {
@@ -137,18 +197,55 @@ impl MospGraph {
         if let Some(&w) = weight.iter().find(|w| !w.is_finite() || **w < 0.0) {
             return Err(MospError::InvalidWeight(w));
         }
-        self.adjacency[from.0].push((to, weight));
+        let slot = self.intern_weight(weight);
+        self.adjacency[from.0].push((to, slot));
         Ok(())
     }
 
-    /// The outgoing arcs of a vertex.
+    /// Finds the arena slot holding `weight`, appending it when new.
+    fn intern_weight(&mut self, weight: &[f64]) -> u32 {
+        let hash = hash_bits(weight);
+        if let Some(slots) = self.intern.get(&hash) {
+            for &slot in slots {
+                let start = slot as usize * self.dim;
+                if &self.weights[start..start + self.dim] == weight {
+                    return slot;
+                }
+            }
+        }
+        let slot = u32::try_from(self.weights.len() / self.dim)
+            .unwrap_or_else(|_| panic!("weight arena exceeds u32 slots"));
+        self.weights.extend_from_slice(weight);
+        self.intern.entry(hash).or_default().push(slot);
+        slot
+    }
+
+    /// The weight slice of an arena slot.
+    #[inline]
+    fn weight_slice(&self, slot: u32) -> &[f64] {
+        let start = slot as usize * self.dim;
+        &self.weights[start..start + self.dim]
+    }
+
+    /// The outgoing arcs of a vertex as `(target, weight slice)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_arcs(&self, v: VertexId) -> impl Iterator<Item = (VertexId, &[f64])> + '_ {
+        self.adjacency[v.0]
+            .iter()
+            .map(move |&(to, slot)| (to, self.weight_slice(slot)))
+    }
+
+    /// Out-degree of a vertex.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[must_use]
-    pub fn out_arcs(&self, v: VertexId) -> &[(VertexId, Vec<f64>)] {
-        &self.adjacency[v.0]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.0].len()
     }
 
     /// Topological order of all vertices.
@@ -197,7 +294,8 @@ impl MospGraph {
             if best[v.0][0] == f64::NEG_INFINITY {
                 continue;
             }
-            for (to, w) in &self.adjacency[v.0] {
+            for &(to, slot) in &self.adjacency[v.0] {
+                let w = self.weight_slice(slot);
                 for k in 0..self.dim {
                     let cand = best[v.0][k] + w[k];
                     if cand > best[to.0][k] {
@@ -218,6 +316,20 @@ impl MospGraph {
     }
 }
 
+/// FNV-1a over the raw bit patterns. Weights are validated finite and
+/// non-negative before interning, so bitwise equality is sound (the only
+/// bitwise-distinct equal pair, `0.0`/`-0.0`, cannot both occur).
+fn hash_bits(weight: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in weight {
+        for b in w.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,7 +343,26 @@ mod tests {
         assert_eq!(g.vertex_count(), 3);
         assert_eq!(g.arc_count(), 2);
         assert_eq!(g.dim(), 3);
-        assert_eq!(g.out_arcs(vs[0]).len(), 1);
+        assert_eq!(g.out_degree(vs[0]), 1);
+        let (to, w) = g.out_arcs(vs[0]).next().unwrap();
+        assert_eq!(to, vs[1]);
+        assert_eq!(w, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identical_weights_are_interned_once() {
+        let mut g = MospGraph::new(2);
+        let vs = g.add_vertices(4);
+        let w = vec![1.5, 2.5];
+        for &u in &vs[..3] {
+            g.add_arc_slice(u, vs[3], &w).unwrap();
+        }
+        g.add_arc(vs[0], vs[1], vec![9.0, 9.0]).unwrap();
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.unique_weight_count(), 2, "shared vector stored once");
+        for (_, got) in g.out_arcs(vs[1]) {
+            assert_eq!(got, w.as_slice());
+        }
     }
 
     #[test]
@@ -258,6 +389,8 @@ mod tests {
             g.add_arc(a, b, vec![f64::NAN, 1.0]),
             Err(MospError::InvalidWeight(_))
         ));
+        assert_eq!(g.arc_count(), 0, "rejected arcs leave no trace");
+        assert_eq!(g.unique_weight_count(), 0);
     }
 
     #[test]
@@ -294,6 +427,47 @@ mod tests {
         g.add_arc(vs[1], vs[2], vec![2.0, 2.0]).unwrap();
         let ub = g.path_upper_bounds(vs[0]).unwrap();
         assert_eq!(ub, vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn observational_equality_ignores_slot_numbering() {
+        // Same arcs added in different orders → different slot layout,
+        // equal graphs.
+        let mut a = MospGraph::new(2);
+        let va = a.add_vertices(3);
+        a.add_arc(va[0], va[1], vec![1.0, 2.0]).unwrap();
+        a.add_arc(va[0], va[2], vec![3.0, 4.0]).unwrap();
+
+        let mut b = MospGraph::new(2);
+        let vb = b.add_vertices(3);
+        b.add_arc(vb[0], vb[2], vec![3.0, 4.0]).unwrap();
+        // Rebuild so arc order under v0 matches `a`.
+        let mut c = MospGraph::new(2);
+        let vc = c.add_vertices(3);
+        c.add_arc(vc[0], vc[1], vec![1.0, 2.0]).unwrap();
+        c.add_arc(vc[0], vc[2], vec![3.0, 4.0]).unwrap();
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn graph_without_intern_table_still_works() {
+        // The intern table is `#[serde(skip)]`: a deserialized graph has
+        // an empty one. Simulate that state — serialization must succeed
+        // and later arc additions must still be correct (an intern miss
+        // only appends a duplicate slot, never corrupts weights).
+        let mut g = MospGraph::new(2);
+        let vs = g.add_vertices(3);
+        g.add_arc(vs[0], vs[1], vec![1.0, 2.0]).unwrap();
+        g.add_arc(vs[1], vs[2], vec![1.0, 2.0]).unwrap();
+        assert!(serde_json::to_string(&g).is_ok());
+        let mut back = g.clone();
+        back.intern.clear();
+        assert_eq!(g, back, "equality ignores intern state");
+        back.add_arc(vs[2], vs[0], vec![1.0, 2.0]).unwrap();
+        assert_eq!(back.arc_count(), 3);
+        let (_, w) = back.out_arcs(vs[2]).next().unwrap();
+        assert_eq!(w, &[1.0, 2.0]);
     }
 
     #[test]

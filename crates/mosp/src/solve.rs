@@ -5,15 +5,39 @@ use crate::budget::Budget;
 use crate::graph::{MospError, MospGraph, VertexId};
 use crate::pareto::{dominates, ParetoPath, ParetoSet};
 
-/// A label in the dynamic program: an accumulated cost plus the
-/// predecessor (vertex, label-index) used to reconstruct the path.
-#[derive(Debug, Clone)]
-struct Label {
-    cost: Vec<f64>,
-    /// Scaled cost used for dominance in the ε-approximate solver
-    /// (empty in the exact solver, where `cost` itself is compared).
+/// Append-only per-vertex label store in structure-of-arrays layout.
+///
+/// Accumulated costs live in one flat `f64` block (stride = the graph's
+/// weight dimension). The ε-approximate solver's scaled grid lives in a
+/// parallel `i64` block that stays **empty** in exact mode, so exact
+/// labels no longer pay 24 bytes plus a dead allocation slot for a
+/// `scaled` vector they never use. The store is append-only: dominated
+/// labels leave the active frontier but keep their slot, so predecessor
+/// indices stay valid for path reconstruction.
+#[derive(Debug, Default)]
+struct LabelStore {
+    costs: Vec<f64>,
     scaled: Vec<i64>,
-    pred: Option<(usize, usize)>,
+    preds: Vec<Option<(usize, usize)>>,
+}
+
+impl LabelStore {
+    #[inline]
+    fn cost(&self, dim: usize, i: usize) -> &[f64] {
+        &self.costs[i * dim..(i + 1) * dim]
+    }
+
+    #[inline]
+    fn scaled_of(&self, dim: usize, i: usize) -> &[i64] {
+        &self.scaled[i * dim..(i + 1) * dim]
+    }
+
+    fn push(&mut self, cost: &[f64], scaled: &[i64], pred: Option<(usize, usize)>) -> usize {
+        self.costs.extend_from_slice(cost);
+        self.scaled.extend_from_slice(scaled);
+        self.preds.push(pred);
+        self.preds.len() - 1
+    }
 }
 
 /// Exact Pareto enumeration over the DAG.
@@ -140,6 +164,12 @@ pub fn warburton_budgeted(
 /// Shared label-correcting DP. `deltas` switches scaled-dominance mode;
 /// `budget` bounds the work (on exhaustion the DP degrades to single-label
 /// greedy propagation instead of aborting, so the result stays valid).
+///
+/// Each label-insertion attempt charges one unit against the budget's
+/// shared atomic work counter, so concurrent solves on a worker pool draw
+/// from a single global cap. Arc weights arrive as borrowed arena slices
+/// from the graph; candidate costs are built in reusable scratch buffers,
+/// so the hot loop performs no per-attempt allocation.
 fn run(
     graph: &MospGraph,
     source: VertexId,
@@ -157,6 +187,7 @@ fn run(
         return Err(MospError::InvalidVertex(dest));
     }
     let dim = graph.dim();
+    let eps_mode = deltas.is_some();
 
     // Merge the per-vertex cap from the call site with the budget's.
     let max_labels = match (max_labels, budget.label_cap()) {
@@ -164,37 +195,35 @@ fn run(
         (a, b) => a.or(b),
     };
 
-    // Arena of labels per vertex (append-only, so predecessor indices stay
-    // valid) plus the indices of the currently nondominated ones.
-    let mut arena: Vec<Vec<Label>> = vec![Vec::new(); n];
+    let mut store: Vec<LabelStore> = (0..n).map(|_| LabelStore::default()).collect();
     let mut active: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut truncated = false;
-    // Label-insertion attempts so far; the budget's exhaustion checks key
-    // off this count.
-    let mut work: u64 = 0;
     let mut exhausted = None;
 
-    let scale = |cost: &[f64]| -> Vec<i64> {
-        match deltas {
-            Some(ds) => cost
-                .iter()
-                .zip(ds)
-                .map(|(c, d)| (c / d).floor() as i64)
-                .collect(),
-            None => Vec::new(),
+    // Writes the ε-grid image of `cost` into `out` (left empty in exact
+    // mode, matching the store's empty scaled block).
+    let scale_into = |cost: &[f64], out: &mut Vec<i64>| {
+        out.clear();
+        if let Some(ds) = deltas {
+            out.extend(cost.iter().zip(ds).map(|(c, d)| (c / d).floor() as i64));
         }
     };
 
-    arena[source.0].push(Label {
-        cost: vec![0.0; dim],
-        scaled: scale(&vec![0.0; dim]),
-        pred: None,
-    });
+    let mut scaled_scratch: Vec<i64> = Vec::new();
+    let zero = vec![0.0; dim];
+    scale_into(&zero, &mut scaled_scratch);
+    store[source.0].push(&zero, &scaled_scratch, None);
     active[source.0].push(0);
+
+    // Scratch buffers reused across vertices: the expanding vertex's
+    // frontier snapshot (indices + flat costs) and the candidate cost.
+    let mut src_idx: Vec<usize> = Vec::new();
+    let mut src_costs: Vec<f64> = Vec::new();
+    let mut cand = vec![0.0; dim];
 
     for v in order {
         if exhausted.is_none() {
-            exhausted = budget.exhausted(work);
+            exhausted = budget.exhausted();
         }
         // Apply the per-vertex cap before expanding. Once the budget is
         // exhausted the cap collapses to 1: the remainder of the DP is a
@@ -207,11 +236,8 @@ fn run(
         if let Some(cap) = cap {
             if active[v.0].len() > cap {
                 let slot = &mut active[v.0];
-                slot.sort_by(|&a, &b| {
-                    let ma = max_of(&arena[v.0][a].cost);
-                    let mb = max_of(&arena[v.0][b].cost);
-                    ma.total_cmp(&mb)
-                });
+                let st = &store[v.0];
+                slot.sort_by(|&a, &b| max_of(st.cost(dim, a)).total_cmp(&max_of(st.cost(dim, b))));
                 slot.truncate(cap);
                 truncated = true;
             }
@@ -219,26 +245,34 @@ fn run(
         if active[v.0].is_empty() {
             continue;
         }
+        // Snapshot the frontier once per vertex: targets come strictly
+        // later in topological order, so `v`'s frontier cannot change
+        // while its arcs are expanded, and the snapshot lets the target
+        // stores be borrowed mutably.
+        src_idx.clear();
+        src_idx.extend_from_slice(&active[v.0]);
+        src_costs.clear();
+        for &i in &src_idx {
+            src_costs.extend_from_slice(store[v.0].cost(dim, i));
+        }
         for (to, w) in graph.out_arcs(v) {
-            for idx in active[v.0].clone() {
-                work += 1;
+            for (k, &idx) in src_idx.iter().enumerate() {
                 if exhausted.is_none() {
-                    exhausted = budget.exhausted(work);
+                    exhausted = budget.charge(1);
                 }
-                let mut cost = arena[v.0][idx].cost.clone();
-                for (c, wk) in cost.iter_mut().zip(w) {
-                    *c += wk;
+                let base = &src_costs[k * dim..(k + 1) * dim];
+                for ((c, s), wk) in cand.iter_mut().zip(base).zip(w) {
+                    *c = s + wk;
                 }
-                let scaled = scale(&cost);
+                scale_into(&cand, &mut scaled_scratch);
                 push_label(
-                    &mut arena[to.0],
+                    &mut store[to.0],
                     &mut active[to.0],
-                    Label {
-                        cost,
-                        scaled,
-                        pred: Some((v.0, idx)),
-                    },
-                    deltas.is_some(),
+                    dim,
+                    &cand,
+                    &scaled_scratch,
+                    (v.0, idx),
+                    eps_mode,
                 );
             }
         }
@@ -260,8 +294,8 @@ fn run(
     let mut paths: Vec<ParetoPath> = active[dest.0]
         .iter()
         .map(|&idx| ParetoPath {
-            cost: arena[dest.0][idx].cost.clone(),
-            vertices: reconstruct(&arena, dest.0, idx),
+            cost: store[dest.0].cost(dim, idx).to_vec(),
+            vertices: reconstruct(&store, dest.0, idx),
         })
         .collect();
     // Final exact-dominance sweep (the ε-solver's scaled dominance can let
@@ -287,31 +321,38 @@ fn run(
     Ok(set)
 }
 
-/// Inserts a label unless dominated; prunes dominated incumbents.
-/// Comparison uses scaled costs in ε mode, true costs otherwise.
-fn push_label(arena: &mut Vec<Label>, active: &mut Vec<usize>, label: Label, scaled: bool) -> bool {
-    fn cmp_vec(l: &Label) -> &[f64] {
-        &l.cost
-    }
-    if scaled {
-        for &i in active.iter() {
-            let inc = &arena[i];
-            if scaled_leq(&inc.scaled, &label.scaled) {
-                return false;
-            }
+/// Inserts a candidate label unless dominated; prunes dominated incumbents
+/// from the active frontier (the store itself is append-only). Comparison
+/// uses the scaled grid in ε mode, true costs otherwise. The candidate is
+/// copied into the store only when it survives.
+fn push_label(
+    store: &mut LabelStore,
+    active: &mut Vec<usize>,
+    dim: usize,
+    cost: &[f64],
+    scaled: &[i64],
+    pred: (usize, usize),
+    eps_mode: bool,
+) -> bool {
+    if eps_mode {
+        if active
+            .iter()
+            .any(|&i| scaled_leq(store.scaled_of(dim, i), scaled))
+        {
+            return false;
         }
-        active.retain(|&i| !scaled_leq(&label.scaled, &arena[i].scaled));
+        active.retain(|&i| !scaled_leq(scaled, store.scaled_of(dim, i)));
     } else {
-        for &i in active.iter() {
-            let inc = cmp_vec(&arena[i]);
-            if dominates(inc, &label.cost) || inc == label.cost.as_slice() {
-                return false;
-            }
+        if active.iter().any(|&i| {
+            let inc = store.cost(dim, i);
+            dominates(inc, cost) || inc == cost
+        }) {
+            return false;
         }
-        active.retain(|&i| !dominates(&label.cost, cmp_vec(&arena[i])));
+        active.retain(|&i| !dominates(cost, store.cost(dim, i)));
     }
-    arena.push(label);
-    active.push(arena.len() - 1);
+    let idx = store.push(cost, scaled, Some(pred));
+    active.push(idx);
     true
 }
 
@@ -324,12 +365,12 @@ fn max_of(cost: &[f64]) -> f64 {
     cost.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
-fn reconstruct(arena: &[Vec<Label>], vertex: usize, label: usize) -> Vec<VertexId> {
+fn reconstruct(store: &[LabelStore], vertex: usize, label: usize) -> Vec<VertexId> {
     let mut rev = vec![VertexId(vertex)];
-    let mut cur = &arena[vertex][label];
-    while let Some((pv, pl)) = cur.pred {
+    let mut cur = store[vertex].preds[label];
+    while let Some((pv, pl)) = cur {
         rev.push(VertexId(pv));
-        cur = &arena[pv][pl];
+        cur = store[pv].preds[pl];
     }
     rev.reverse();
     rev
@@ -347,7 +388,7 @@ mod tests {
         while let Some((v, cost, path)) = stack.pop() {
             if v == to {
                 out.push((cost.clone(), path.clone()));
-                if v == from && g.out_arcs(v).is_empty() {
+                if v == from && g.out_degree(v) == 0 {
                     continue;
                 }
             }
@@ -357,8 +398,8 @@ mod tests {
                     *a += b;
                 }
                 let mut p = path.clone();
-                p.push(*next);
-                stack.push((*next, c, p));
+                p.push(next);
+                stack.push((next, c, p));
             }
         }
         out
@@ -450,12 +491,8 @@ mod tests {
             let mut cost = vec![0.0; g.dim()];
             for w2 in p.vertices.windows(2) {
                 let (u, v) = (w2[0], w2[1]);
-                let arc = g
-                    .out_arcs(u)
-                    .iter()
-                    .find(|(to, _)| *to == v)
-                    .expect("arc exists");
-                for (a, b) in cost.iter_mut().zip(&arc.1) {
+                let (_, w) = g.out_arcs(u).find(|(to, _)| *to == v).expect("arc exists");
+                for (a, b) in cost.iter_mut().zip(w) {
                     *a += b;
                 }
             }
@@ -583,6 +620,28 @@ mod tests {
         assert!(set.is_truncated(), "tighter budget cap applies");
         assert!(set.paths().len() <= 2);
         assert_eq!(set.exhaustion(), None, "caps are not exhaustion");
+    }
+
+    #[test]
+    fn shared_budget_caps_across_solves() {
+        // Two solves drawing from one budget: the second starts with the
+        // counter already charged by the first and degrades sooner —
+        // exactly the semantics concurrent zone solves rely on.
+        let (g, src, dest) = diamond_chain(10);
+        let lone = Budget::unlimited().and_work_cap(5_000);
+        let lone_set = exact_budgeted(&g, src, dest, None, &lone).unwrap();
+        assert_eq!(lone_set.exhaustion(), None, "5k units suffice alone");
+
+        let shared = Budget::unlimited().and_work_cap(5_000);
+        let first = exact_budgeted(&g, src, dest, None, &shared.clone()).unwrap();
+        assert_eq!(first.exhaustion(), None);
+        let second = exact_budgeted(&g, src, dest, None, &shared.clone()).unwrap();
+        assert_eq!(
+            second.exhaustion(),
+            Some(crate::budget::Exhaustion::WorkCapReached),
+            "the second solve inherits the first one's spend"
+        );
+        assert!(!second.paths().is_empty(), "still degrades to a valid path");
     }
 
     #[test]

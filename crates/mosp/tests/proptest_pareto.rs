@@ -58,7 +58,7 @@ fn brute_force_costs(l: &Layered) -> Vec<Vec<f64>> {
             for (a, b) in c.iter_mut().zip(w) {
                 *a += b;
             }
-            stack.push((*to, c));
+            stack.push((to, c));
         }
     }
     out
@@ -122,13 +122,12 @@ proptest! {
         for p in set.paths() {
             let mut cost = vec![0.0; l.graph.dim()];
             for w in p.vertices.windows(2) {
-                let arc = l
+                let (_, arc_w) = l
                     .graph
                     .out_arcs(w[0])
-                    .iter()
                     .find(|(to, _)| *to == w[1])
                     .expect("path follows arcs");
-                for (a, b) in cost.iter_mut().zip(&arc.1) {
+                for (a, b) in cost.iter_mut().zip(arc_w) {
                     *a += b;
                 }
             }
