@@ -75,11 +75,37 @@ fn bench_multi_zone(c: &mut Criterion) {
     group.finish();
 }
 
+/// A/B overhead of the observability layer on the same end-to-end run.
+///
+/// `disabled` exercises the instrumented call sites with a `None`
+/// registry (a branch per site, no atomics) — this is the default path
+/// every production run takes and it must stay within noise (≤ 2 %) of
+/// pre-instrumentation cost. `enabled` adds the relaxed-atomic counter
+/// updates and per-zone table, bounding what turning metrics on costs.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let design = Design::from_benchmark(&Benchmark::s13207(), 1);
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    for (name, collect) in [("disabled", false), ("enabled", true)] {
+        let mut cfg = WaveMinConfig::default()
+            .with_sample_count(32)
+            .with_threads(1)
+            .with_metrics(collect);
+        cfg.max_intervals = Some(8);
+        let algo = ClkWaveMin::new(cfg);
+        group.bench_with_input(BenchmarkId::new("metrics", name), &design, |b, design| {
+            b.iter(|| algo.run(std::hint::black_box(design)).unwrap());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rows,
     bench_dims,
     bench_exact_vs_warburton,
-    bench_multi_zone
+    bench_multi_zone,
+    bench_metrics_overhead
 );
 criterion_main!(benches);

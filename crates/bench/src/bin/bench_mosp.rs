@@ -13,11 +13,15 @@ use wavemin_bench::mosp_fixtures::{layered, median_secs};
 use wavemin_bench::ExperimentArgs;
 use wavemin_mosp::solve;
 
-/// One timed measurement, named like its criterion counterpart.
+/// One timed measurement, named like its criterion counterpart, with the
+/// solver's label counters from an instrumented reference solve.
 #[derive(Serialize)]
 struct Measurement {
     name: String,
     median_us: f64,
+    labels_created: u64,
+    labels_pruned: u64,
+    front_size: u64,
 }
 
 /// One multi-zone worker-count sample.
@@ -38,6 +42,20 @@ struct ArenaStats {
     sharing_factor: f64,
 }
 
+/// Aggregated label/interning counters from one instrumented end-to-end
+/// run (the `RunReport` the optimizer attaches when metrics are on).
+#[derive(Serialize)]
+struct MetricsSummary {
+    labels_created: u64,
+    labels_pruned: u64,
+    zone_solves: u64,
+    zones: usize,
+    arena_arcs: u64,
+    arena_unique_weights: u64,
+    /// `1 - unique/arcs`: fraction of arc weights served from the arena.
+    intern_hit_rate: f64,
+}
+
 #[derive(Serialize)]
 struct Record {
     seed: u64,
@@ -46,6 +64,7 @@ struct Record {
     solver: Vec<Measurement>,
     multi_zone: Vec<ThreadSample>,
     arena: ArenaStats,
+    metrics: MetricsSummary,
 }
 
 const BATCHES: usize = 5;
@@ -53,54 +72,68 @@ const SOLVER_BUDGET: Duration = Duration::from_millis(300);
 const E2E_BUDGET: Duration = Duration::from_millis(1500);
 
 #[allow(clippy::unwrap_used)]
+fn measure(name: String, run: impl Fn() -> wavemin_mosp::ParetoSet) -> Measurement {
+    let secs = median_secs(&run, BATCHES, SOLVER_BUDGET);
+    // One reference solve for the label counters (deterministic, so any
+    // repetition reports the same numbers as the timed ones).
+    let stats = *run().stats();
+    Measurement {
+        name,
+        median_us: secs * 1e6,
+        labels_created: stats.labels_created,
+        labels_pruned: stats.labels_pruned,
+        front_size: stats.front_size,
+    }
+}
+
+#[allow(clippy::unwrap_used)]
 fn solver_measurements() -> Vec<Measurement> {
     let mut out = Vec::new();
     for rows in [2usize, 4, 8] {
         let (g, s, t) = layered(rows, 4, 8, 1);
-        let secs = median_secs(
-            || solve::warburton_capped(&g, s, t, 0.01, Some(64)).unwrap(),
-            BATCHES,
-            SOLVER_BUDGET,
-        );
-        out.push(Measurement {
-            name: format!("warburton_rows/{rows}"),
-            median_us: secs * 1e6,
-        });
+        out.push(measure(format!("warburton_rows/{rows}"), || {
+            solve::warburton_capped(&g, s, t, 0.01, Some(64)).unwrap()
+        }));
     }
     for dims in [4usize, 32, 156] {
         let (g, s, t) = layered(5, 4, dims, 2);
-        let secs = median_secs(
-            || solve::warburton_capped(&g, s, t, 0.01, Some(64)).unwrap(),
-            BATCHES,
-            SOLVER_BUDGET,
-        );
-        out.push(Measurement {
-            name: format!("warburton_dims/{dims}"),
-            median_us: secs * 1e6,
-        });
+        out.push(measure(format!("warburton_dims/{dims}"), || {
+            solve::warburton_capped(&g, s, t, 0.01, Some(64)).unwrap()
+        }));
     }
     let (g, s, t) = layered(6, 4, 8, 3);
     for (name, eps) in [("warburton_e01", 0.01), ("warburton_e50", 0.5)] {
-        let secs = median_secs(
-            || solve::warburton_capped(&g, s, t, eps, Some(64)).unwrap(),
-            BATCHES,
-            SOLVER_BUDGET,
-        );
-        out.push(Measurement {
-            name: format!("solver_kind/{name}"),
-            median_us: secs * 1e6,
-        });
+        out.push(measure(format!("solver_kind/{name}"), || {
+            solve::warburton_capped(&g, s, t, eps, Some(64)).unwrap()
+        }));
     }
-    let secs = median_secs(
-        || solve::exact(&g, s, t, Some(64)).unwrap(),
-        BATCHES,
-        SOLVER_BUDGET,
-    );
-    out.push(Measurement {
-        name: "solver_kind/exact".to_owned(),
-        median_us: secs * 1e6,
-    });
+    out.push(measure("solver_kind/exact".to_owned(), || {
+        solve::exact(&g, s, t, Some(64)).unwrap()
+    }));
     out
+}
+
+/// One instrumented ClkWaveMin run; its RunReport supplies the label and
+/// interning columns.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+fn metrics_summary(seed: u64) -> MetricsSummary {
+    let design = Design::from_benchmark(&Benchmark::s13207(), seed);
+    let mut cfg = WaveMinConfig::default()
+        .with_sample_count(32)
+        .with_metrics(true);
+    cfg.max_intervals = Some(8);
+    let out = ClkWaveMin::new(cfg).run(&design).unwrap();
+    let report = out.report.expect("metrics were enabled");
+    report.validate().expect("self-consistent report");
+    MetricsSummary {
+        labels_created: report.counters.labels_created,
+        labels_pruned: report.counters.labels_pruned,
+        zone_solves: report.counters.zone_solves,
+        zones: report.zones.len(),
+        arena_arcs: report.counters.arena_arcs,
+        arena_unique_weights: report.counters.arena_unique_weights,
+        intern_hit_rate: report.counters.intern_hit_rate(),
+    }
 }
 
 #[allow(clippy::unwrap_used)]
@@ -149,9 +182,13 @@ fn main() {
         solver: solver_measurements(),
         multi_zone: multi_zone_measurements(args.seed),
         arena: arena_stats(),
+        metrics: metrics_summary(args.seed),
     };
     for m in &record.solver {
-        println!("{:<28} {:>12.1} us", m.name, m.median_us);
+        println!(
+            "{:<28} {:>12.1} us   {:>8} labels ({} pruned, front {})",
+            m.name, m.median_us, m.labels_created, m.labels_pruned, m.front_size
+        );
     }
     for s in &record.multi_zone {
         println!(
@@ -162,6 +199,13 @@ fn main() {
     println!(
         "arena: {} arcs share {} weight vectors ({:.1}x)",
         record.arena.arcs, record.arena.unique_weight_vectors, record.arena.sharing_factor
+    );
+    println!(
+        "metrics: {} labels over {} zone solves in {} zones, intern hit rate {:.1} %",
+        record.metrics.labels_created,
+        record.metrics.zone_solves,
+        record.metrics.zones,
+        record.metrics.intern_hit_rate * 100.0
     );
     // Persist: --json wins, else BENCH_mosp.json in the working directory.
     let mut args = args;

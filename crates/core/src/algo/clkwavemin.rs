@@ -9,6 +9,7 @@ use crate::design::Design;
 use crate::error::WaveMinError;
 use crate::intervals::FeasibleInterval;
 use crate::noise_table::NoiseTable;
+use crate::observe::{MetricsRegistry, ReportContext, ZoneSolveRecord};
 use std::sync::Mutex;
 use wavemin_cells::units::Picoseconds;
 use wavemin_mosp::{solve, Budget, Exhaustion, MospGraph, ParetoSet, VertexId};
@@ -59,9 +60,17 @@ impl ClkWaveMin {
     pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
         self.config.validate()?;
         design.validate()?;
-        let solver = MospZoneSolver::new(&self.config, self.config.budget());
-        let mut out = run_interval_framework(design, &self.config, &solver)?;
+        let registry = MetricsRegistry::from_config(&self.config);
+        let budget = self.config.budget();
+        let solver = MospZoneSolver::new(&self.config, budget.clone(), registry.clone());
+        let mut out = run_interval_framework(design, &self.config, &solver, &registry)?;
         out.degradation = solver.ladder.degradation();
+        out.report = registry.report(&ReportContext {
+            threads: self.config.effective_threads(),
+            degenerate_zones: out.degenerate_zones,
+            ladder_rung: solver.ladder.current_rung(),
+            budget_units: budget.work_done(),
+        });
         Ok(out)
     }
 }
@@ -87,6 +96,9 @@ pub(crate) struct MospLadder {
     budget: Budget,
     rungs: Vec<Rung>,
     state: Mutex<LadderState>,
+    /// Metrics sink shared with the run's driver; rung transitions and
+    /// (through [`solve_zone_mosp_generic`]) zone solves land here.
+    pub(crate) registry: MetricsRegistry,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -104,7 +116,7 @@ struct LadderState {
 }
 
 impl MospLadder {
-    pub(crate) fn new(config: &WaveMinConfig, budget: Budget) -> Self {
+    pub(crate) fn new(config: &WaveMinConfig, budget: Budget, registry: MetricsRegistry) -> Self {
         let cap = config.label_cap.max(1);
         let base_eps = match config.solver {
             SolverKind::Warburton { epsilon } => epsilon,
@@ -147,6 +159,7 @@ impl MospLadder {
                 exhausted_solves: 0,
                 total_solves: 0,
             }),
+            registry,
         }
     }
 
@@ -158,9 +171,14 @@ impl MospLadder {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// A ladder that never descends (no limits set).
+    /// A ladder that never descends (no limits set) and records nothing.
     pub(crate) fn unbudgeted(config: &WaveMinConfig) -> Self {
-        Self::new(config, Budget::unlimited())
+        Self::new(config, Budget::unlimited(), MetricsRegistry::disabled())
+    }
+
+    /// The rung the ladder currently sits on (0 = full fidelity).
+    pub(crate) fn current_rung(&self) -> usize {
+        self.state().rung
     }
 
     /// Solves one prepared MOSP instance at the current rung, descending
@@ -211,6 +229,7 @@ impl MospLadder {
         let from = self.rungs[st.rung];
         let to = self.rungs[st.rung + 1];
         st.rung += 1;
+        self.registry.record_rung_transition();
         match (from.solver, to.solver) {
             (_, SolverKind::Exact { .. }) => {
                 st.steps.push(DegradationStep::GreedyFallback { reason });
@@ -245,6 +264,7 @@ impl MospLadder {
         if st.rung < last {
             st.rung = last;
             st.steps.push(DegradationStep::GreedyFallback { reason });
+            self.registry.record_rung_transition();
         }
     }
 
@@ -270,9 +290,9 @@ pub(crate) struct MospZoneSolver {
 }
 
 impl MospZoneSolver {
-    pub(crate) fn new(config: &WaveMinConfig, budget: Budget) -> Self {
+    pub(crate) fn new(config: &WaveMinConfig, budget: Budget, registry: MetricsRegistry) -> Self {
         Self {
-            ladder: MospLadder::new(config, budget),
+            ladder: MospLadder::new(config, budget, registry),
         }
     }
 }
@@ -289,6 +309,7 @@ impl ZoneSolver for MospZoneSolver {
         zone.plan.accumulate_into(&mut background, extra);
         solve_zone_mosp(
             &self.ladder,
+            zone.id,
             zone.sinks.len(),
             |local, option| {
                 let si = zone.sinks[local];
@@ -328,6 +349,7 @@ impl FeasibleInterval {
 /// code per power mode.
 pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     ladder: &MospLadder,
+    zone_id: usize,
     rows: usize,
     mut option_data: impl FnMut(usize, usize) -> Option<(C, Vec<f64>)>,
     allowed: &[&[usize]],
@@ -374,7 +396,20 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
         graph.add_arc_slice(u, dest, background)?;
     }
 
+    let started = ladder.registry.is_enabled().then(std::time::Instant::now);
     let set = ladder.solve(&graph, src, dest)?;
+    if let Some(started) = started {
+        ladder.registry.record_zone_solve(
+            zone_id,
+            &ZoneSolveRecord {
+                stats: *set.stats(),
+                exhausted: set.exhaustion().is_some(),
+                arena_arcs: graph.arc_count() as u64,
+                arena_unique_weights: graph.unique_weight_count() as u64,
+                wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            },
+        );
+    }
     let best = set.min_max().ok_or(WaveMinError::NoFeasibleInterval)?;
     let mut choices: Vec<(usize, C)> = vec![(usize::MAX, C::default()); rows];
     for v in &best.vertices {
@@ -390,12 +425,14 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
 /// Single-mode wrapper around [`solve_zone_mosp_generic`].
 pub(crate) fn solve_zone_mosp(
     ladder: &MospLadder,
+    zone_id: usize,
     rows: usize,
     option_data: impl FnMut(usize, usize) -> Option<(Picoseconds, Vec<f64>)>,
     allowed: &[&[usize]],
     background: &[f64],
 ) -> Result<ZoneSolution, WaveMinError> {
-    let (choices, cost) = solve_zone_mosp_generic(ladder, rows, option_data, allowed, background)?;
+    let (choices, cost) =
+        solve_zone_mosp_generic(ladder, zone_id, rows, option_data, allowed, background)?;
     Ok(ZoneSolution { choices, cost })
 }
 
@@ -506,6 +543,7 @@ mod tests {
         let allowed: Vec<&[usize]> = vec![&[0, 1], &[0, 1]];
         let sol = solve_zone_mosp(
             &MospLadder::unbudgeted(&cfg),
+            0,
             2,
             |l, o| Some((Picoseconds::ZERO, vectors[l][o].clone())),
             &allowed,
@@ -528,6 +566,7 @@ mod tests {
         let allowed: Vec<&[usize]> = vec![&[0, 1], &[0, 1]];
         let sol = solve_zone_mosp(
             &MospLadder::unbudgeted(&cfg),
+            0,
             2,
             |l, o| Some((Picoseconds::ZERO, vectors[l][o].clone())),
             &allowed,
@@ -544,6 +583,7 @@ mod tests {
         let cfg = WaveMinConfig::default();
         let sol = solve_zone_mosp(
             &MospLadder::unbudgeted(&cfg),
+            0,
             0,
             |_, _| None,
             &[],

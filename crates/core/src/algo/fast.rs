@@ -6,7 +6,9 @@ use crate::design::Design;
 use crate::error::WaveMinError;
 use crate::intervals::FeasibleInterval;
 use crate::noise_table::NoiseTable;
+use crate::observe::{MetricsRegistry, ReportContext, ZoneSolveRecord};
 use wavemin_cells::units::Picoseconds;
+use wavemin_mosp::SolveStats;
 
 /// The greedy variant: instead of a shortest-path search, sinks are
 /// assigned one at a time; at each step the (sink, cell) option whose
@@ -48,12 +50,29 @@ impl ClkWaveMinFast {
     ///
     /// Same contract as [`crate::algo::ClkWaveMin::run`].
     pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
-        run_interval_framework(design, &self.config, &GreedyZoneSolver)
+        let registry = MetricsRegistry::from_config(&self.config);
+        let solver = GreedyZoneSolver::new(registry.clone());
+        let mut out = run_interval_framework(design, &self.config, &solver, &registry)?;
+        out.report = registry.report(&ReportContext {
+            threads: self.config.effective_threads(),
+            degenerate_zones: out.degenerate_zones,
+            ladder_rung: 0,
+            budget_units: 0,
+        });
+        Ok(out)
     }
 }
 
 /// Greedy least-noise-worsening-first inner solver.
-pub(crate) struct GreedyZoneSolver;
+pub(crate) struct GreedyZoneSolver {
+    registry: MetricsRegistry,
+}
+
+impl GreedyZoneSolver {
+    pub(crate) fn new(registry: MetricsRegistry) -> Self {
+        Self { registry }
+    }
+}
 
 impl ZoneSolver for GreedyZoneSolver {
     fn solve_zone(
@@ -63,6 +82,8 @@ impl ZoneSolver for GreedyZoneSolver {
         interval: &FeasibleInterval,
         extra: &crate::noise_table::EventWaveforms,
     ) -> Result<ZoneSolution, WaveMinError> {
+        let started = self.registry.is_enabled().then(std::time::Instant::now);
+        let mut work = 0_u64;
         let rows = zone.sinks.len();
         let allowed = interval.allowed_for(&zone.sinks);
         // Candidate (row, option, code, vector) tuples.
@@ -91,6 +112,7 @@ impl ZoneSolver for GreedyZoneSolver {
             let mut best: Option<(usize, usize, f64)> = None; // (row, cand idx, M)
             for &row in &remaining {
                 for (ci, (_, _, vector)) in candidates[row].iter().enumerate() {
+                    work += 1;
                     let m = sum
                         .iter()
                         .zip(vector)
@@ -114,6 +136,23 @@ impl ZoneSolver for GreedyZoneSolver {
             remaining.retain(|&r| r != row);
         }
         let cost = sum.iter().copied().fold(0.0, f64::max);
+        if let Some(started) = started {
+            self.registry.record_zone_solve(
+                zone.id,
+                &ZoneSolveRecord {
+                    stats: SolveStats {
+                        labels_created: rows as u64,
+                        labels_pruned: 0,
+                        work,
+                        front_size: 1,
+                    },
+                    exhausted: false,
+                    arena_arcs: 0,
+                    arena_unique_weights: 0,
+                    wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                },
+            );
+        }
         Ok(ZoneSolution { choices, cost })
     }
 }
@@ -130,9 +169,14 @@ fn greedy_vs_mosp_zone_cost(
 ) -> Result<(f64, f64), WaveMinError> {
     use crate::algo::clkwavemin::MospZoneSolver;
     let zero = crate::noise_table::EventWaveforms::zero();
-    let greedy = GreedyZoneSolver.solve_zone(table, zone, interval, &zero)?;
-    let mosp = MospZoneSolver::new(config, wavemin_mosp::Budget::unlimited())
+    let greedy = GreedyZoneSolver::new(MetricsRegistry::disabled())
         .solve_zone(table, zone, interval, &zero)?;
+    let mosp = MospZoneSolver::new(
+        config,
+        wavemin_mosp::Budget::unlimited(),
+        MetricsRegistry::disabled(),
+    )
+    .solve_zone(table, zone, interval, &zero)?;
     Ok((greedy.cost, mosp.cost))
 }
 

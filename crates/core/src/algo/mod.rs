@@ -40,6 +40,7 @@ use crate::error::WaveMinError;
 use crate::eval::NoiseEvaluator;
 use crate::intervals::{FeasibleInterval, IntervalSet};
 use crate::noise_table::NoiseTable;
+use crate::observe::{MetricsRegistry, RunReport, Stage};
 use crate::sampling::SamplePlan;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -173,6 +174,11 @@ pub struct Outcome {
     /// objectives are identically zero, so a nonzero count means parts of
     /// the reported `estimated_cost` are vacuous rather than optimal.
     pub degenerate_zones: usize,
+    /// The run's structured metrics report (`None` unless the config set
+    /// [`crate::config::WaveMinConfig::collect_metrics`] or
+    /// [`crate::config::WaveMinConfig::trace_spans`]).
+    #[serde(default)]
+    pub report: Option<RunReport>,
 }
 
 impl Outcome {
@@ -206,6 +212,9 @@ pub(crate) fn improvement_pct(before: f64, after: f64) -> f64 {
 /// A zone's precomputed sampled noise data, shared by all inner solvers.
 #[derive(Debug, Clone)]
 pub(crate) struct ZoneProblem {
+    /// The zone's id in the run's partition (the metrics registry keys its
+    /// per-zone rows by this).
+    pub id: usize,
     /// Indices into `table.sinks` for this zone's sinks.
     pub sinks: Vec<usize>,
     /// The zone's sampling plan.
@@ -227,7 +236,8 @@ impl ZoneProblem {
         let k = config.samples_per_slot();
         grid.zones()
             .iter()
-            .map(|zone| {
+            .enumerate()
+            .map(|(id, zone)| {
                 let sinks: Vec<usize> = zone
                     .sinks
                     .iter()
@@ -267,6 +277,7 @@ impl ZoneProblem {
                     })
                     .collect();
                 ZoneProblem {
+                    id,
                     sinks,
                     plan,
                     background,
@@ -326,18 +337,25 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
     design: &Design,
     config: &WaveMinConfig,
     solver: &S,
+    registry: &MetricsRegistry,
 ) -> Result<Outcome, WaveMinError> {
     let start = std::time::Instant::now();
-    let table = NoiseTable::build(design, config, 0)?;
+    let table = {
+        let _span = registry.span(Stage::Characterization);
+        NoiseTable::build(design, config, 0)?
+    };
     // Optimize against a slightly tightened window: Observation 4 ignores
     // sibling-load feedback during assignment, so headroom is reserved and
     // the exact bound is checked afterwards.
+    let zoning_span = registry.span(Stage::Zoning);
     let kappa_eff = config.skew_bound * config.window_margin;
     let intervals = IntervalSet::generate(&table, kappa_eff, config.max_intervals);
     if intervals.is_empty() {
         return Err(WaveMinError::NoFeasibleInterval);
     }
     let zones = ZoneProblem::build_all(design, config, &table);
+    registry.ensure_zones(zones.len());
+    drop(zoning_span);
 
     // Zones are processed largest-first so the dominant zones shape the
     // accumulated background the smaller ones then avoid.
@@ -399,6 +417,7 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
     // Validate with exact timing (Observation 4 ignores sibling-load
     // feedback, so re-check against the true bound); fall back to the
     // next-best interval, then to the identity assignment.
+    let _validation_span = registry.span(Stage::Validation);
     for (cost, assignment) in &ranked {
         let mut candidate = design.clone();
         assignment.apply_to(&mut candidate);
@@ -460,6 +479,7 @@ pub(crate) fn finish_outcome(
         runtime,
         degradation: None,
         degenerate_zones: 0,
+        report: None,
     };
     for mode in 0..before.mode_count() {
         let rb = eval_before.evaluate(mode)?;
@@ -517,6 +537,7 @@ mod tests {
             runtime: Duration::ZERO,
             degradation: None,
             degenerate_zones: 0,
+            report: None,
         };
         assert!((o.peak_improvement_pct() - 20.0).abs() < 1e-9);
         assert!((o.vdd_improvement_pct() - 20.0).abs() < 1e-9);

@@ -14,9 +14,11 @@ use crate::design::Design;
 use crate::error::WaveMinError;
 use crate::intervals::FeasibleInterval;
 use crate::noise_table::NoiseTable;
+use crate::observe::{MetricsRegistry, ReportContext, ZoneSolveRecord};
 use std::collections::HashMap;
 use wavemin_cells::units::Picoseconds;
 use wavemin_cells::Polarity;
+use wavemin_mosp::SolveStats;
 
 /// The ClkPeakMin baseline optimizer.
 ///
@@ -49,12 +51,25 @@ impl ClkPeakMin {
     ///
     /// Same contract as [`crate::algo::ClkWaveMin::run`].
     pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
-        run_interval_framework(design, &self.config, &BalanceZoneSolver)
+        let registry = MetricsRegistry::from_config(&self.config);
+        let solver = BalanceZoneSolver {
+            registry: registry.clone(),
+        };
+        let mut out = run_interval_framework(design, &self.config, &solver, &registry)?;
+        out.report = registry.report(&ReportContext {
+            threads: self.config.effective_threads(),
+            degenerate_zones: out.degenerate_zones,
+            ladder_rung: 0,
+            budget_units: 0,
+        });
+        Ok(out)
     }
 }
 
 /// Exact two-way balance DP per zone.
-struct BalanceZoneSolver;
+struct BalanceZoneSolver {
+    registry: MetricsRegistry,
+}
 
 /// Peak resolution of the pseudo-polynomial DP (µA).
 const RESOLUTION: f64 = 0.5;
@@ -69,6 +84,8 @@ impl ZoneSolver for BalanceZoneSolver {
     ) -> Result<ZoneSolution, WaveMinError> {
         // PeakMin is deliberately oblivious to other zones and to the
         // non-leaf background — that is the limitation WaveMin fixes.
+        let started = self.registry.is_enabled().then(std::time::Instant::now);
+        let mut work = 0_u64;
         let rows = zone.sinks.len();
         let allowed = interval.allowed_for(&zone.sinks);
         // Candidate tuples: (option, code, polarity, standalone peak).
@@ -97,6 +114,7 @@ impl ZoneSolver for BalanceZoneSolver {
             let mut next: State = HashMap::new();
             for (&bufq, (invsum, trace)) in &state {
                 for (ci, &(_, _, pol, peak)) in row.iter().enumerate() {
+                    work += 1;
                     let (nb, ni) = match pol {
                         Polarity::Positive => (bufq + (peak / RESOLUTION).round() as i64, *invsum),
                         Polarity::Negative => (bufq, invsum + peak),
@@ -129,6 +147,23 @@ impl ZoneSolver for BalanceZoneSolver {
                 (opt, code)
             })
             .collect();
+        if let Some(started) = started {
+            self.registry.record_zone_solve(
+                zone.id,
+                &ZoneSolveRecord {
+                    stats: SolveStats {
+                        labels_created: rows as u64,
+                        labels_pruned: 0,
+                        work,
+                        front_size: 1,
+                    },
+                    exhausted: false,
+                    arena_arcs: 0,
+                    arena_unique_weights: 0,
+                    wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                },
+            );
+        }
         Ok(ZoneSolution {
             choices,
             cost: best_cost,
@@ -194,7 +229,9 @@ mod tests {
         let table = NoiseTable::build(&d, &cfg, 0).unwrap();
         let intervals = IntervalSet::generate(&table, cfg.skew_bound, Some(1));
         let zones = ZoneProblem::build_all(&d, &cfg, &table);
-        let solver = BalanceZoneSolver;
+        let solver = BalanceZoneSolver {
+            registry: MetricsRegistry::disabled(),
+        };
         let interval = &intervals.intervals()[0];
         for zone in &zones {
             let sol = solver

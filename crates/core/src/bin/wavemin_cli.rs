@@ -133,10 +133,16 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "time-budget-ms",
                     "threads",
                     "strict",
+                    "metrics-out",
+                    "trace",
                     "o",
                 ],
             )?;
             optimize(&flags)
+        }
+        "check-report" => {
+            flags.reject_unknown("check-report", &["i"])?;
+            check_report(&flags)
         }
         "validate" => {
             flags.reject_unknown("validate", &["i", "lib", "power", "kappa", "samples"])?;
@@ -174,9 +180,11 @@ USAGE:
   wavemin optimize   -i tree.clk [--algorithm wavemin|fast|peakmin|nieh|samanta|multimode]
                      [--kappa PS] [--samples N] [--lib file.lib]
                      [--power intent.pw] [--time-budget-ms N] [--threads N]
-                     [--strict] [-o out.clk]
+                     [--strict] [--metrics-out report.json] [--trace]
+                     [-o out.clk]
   wavemin validate   -i tree.clk [--lib file.lib] [--power intent.pw]
                      [--kappa PS] [--samples N]
+  wavemin check-report -i report.json
   wavemin evaluate   -i tree.clk [--lib file.lib]
   wavemin svg        -i tree.clk [--lib file.lib] [-o out.svg]
   wavemin liberty    [-o out.lib]
@@ -188,6 +196,10 @@ FLAGS:
                       (default: one per core; results are thread-count
                       independent for unbudgeted runs)
   --strict            fail (exit 5) if the run had to degrade at all
+  --metrics-out PATH  write the machine-readable run report (solver
+                      metrics, stage timings, per-zone counters) as JSON
+  --trace             print stage spans to stderr as they close (also
+                      enables metrics collection)
 
 EXIT CODES:
   0 success   1 runtime error   2 usage error
@@ -354,6 +366,10 @@ fn build_config(flags: &Flags) -> Result<WaveMinConfig, CliError> {
         }
         config.threads = Some(t as usize);
     }
+    // Metrics are collected whenever a sink for them exists: a report
+    // file (--metrics-out) or live span tracing (--trace).
+    config.collect_metrics = flags.has("metrics-out") || flags.has("trace");
+    config.trace_spans = flags.has("trace");
     config.validate().map_err(|e| CliError::from(&e))?;
     Ok(config)
 }
@@ -397,6 +413,24 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
         "assignment: {pos} buffers / {neg} inverters over {} sinks",
         pos + neg
     );
+    eprintln!("degenerate zones: {}", outcome.degenerate_zones);
+    if let Some(report) = &outcome.report {
+        eprintln!(
+            "metrics: ladder rung {}, {} zone solves, {} labels created, intern hit rate {:.1} %",
+            report.ladder_rung,
+            report.counters.zone_solves,
+            report.counters.labels_created,
+            report.counters.intern_hit_rate() * 100.0
+        );
+        if let Some(path) = flags.get("metrics-out") {
+            let json = serde_json::to_string_pretty(report)
+                .map_err(|e| format!("cannot serialize report: {e}"))?;
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote metrics report to {path}");
+        }
+    } else if flags.has("metrics-out") {
+        eprintln!("note: --metrics-out: the '{algorithm}' algorithm does not produce a run report");
+    }
 
     let mut optimized = design.clone();
     outcome.assignment.apply_to(&mut optimized);
@@ -411,6 +445,27 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
         "(no -o given, dumping optimized tree to stdout)",
         &tree_io::write_tree(&optimized.tree),
     )
+}
+
+fn check_report(flags: &Flags) -> Result<(), CliError> {
+    let input = flags
+        .get("i")
+        .ok_or_else(|| CliError::usage("missing -i <report.json>"))?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let report =
+        RunReport::from_json(&text).map_err(|e| CliError::invalid(format!("{input}: {e}")))?;
+    report
+        .validate()
+        .map_err(|e| CliError::invalid(format!("{input}: {e}")))?;
+    println!(
+        "ok: schema v{}, {} zone solves across {} zones, {} labels created, {} stage spans",
+        report.schema_version,
+        report.counters.zone_solves,
+        report.zones.len(),
+        report.counters.labels_created,
+        report.stages.len()
+    );
+    Ok(())
 }
 
 fn validate(flags: &Flags) -> Result<(), CliError> {

@@ -84,6 +84,15 @@ pub struct WaveMinConfig {
     /// independent of this setting (budgeted runs excepted: a shared work
     /// cap is drained in whatever order the workers charge it).
     pub threads: Option<usize>,
+    /// Collect solver metrics into a [`crate::observe::RunReport`] attached
+    /// to the outcome. Off by default: when disabled the instrumented call
+    /// sites reduce to a branch on a `None` registry.
+    #[serde(default)]
+    pub collect_metrics: bool,
+    /// Print pipeline-stage spans to stderr as they close. Implies metric
+    /// collection for the run.
+    #[serde(default)]
+    pub trace_spans: bool,
 }
 
 impl Default for WaveMinConfig {
@@ -109,6 +118,8 @@ impl Default for WaveMinConfig {
             lut_characterization: false,
             time_budget_ms: None,
             threads: None,
+            collect_metrics: false,
+            trace_spans: false,
         }
     }
 }
@@ -158,6 +169,20 @@ impl WaveMinConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Returns the config with metric collection switched on or off.
+    #[must_use]
+    pub fn with_metrics(mut self, collect: bool) -> Self {
+        self.collect_metrics = collect;
+        self
+    }
+
+    /// Returns the config with span tracing switched on or off.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace_spans = trace;
         self
     }
 

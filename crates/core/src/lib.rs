@@ -52,6 +52,7 @@ pub mod intervals;
 pub mod montecarlo;
 pub mod multimode;
 pub mod noise_table;
+pub mod observe;
 pub(crate) mod parallel;
 pub mod report;
 pub mod sampling;
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use crate::montecarlo::{MonteCarlo, MonteCarloStats};
     pub use crate::multimode::{AdbPlan, ClkWaveMinM};
     pub use crate::noise_table::{EventWaveforms, NoiseTable};
+    pub use crate::observe::{MetricsRegistry, RunReport, Stage};
     pub use crate::sampling::SamplePlan;
     pub use wavemin_cells::{CellKind, CellLibrary, Characterizer, Polarity};
     pub use wavemin_clocktree::prelude::*;

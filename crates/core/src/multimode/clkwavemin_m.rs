@@ -9,6 +9,7 @@ use crate::error::WaveMinError;
 use crate::multimode::adb::insert_adbs;
 use crate::multimode::intersect::{FeasibleIntersection, IntersectionSet};
 use crate::noise_table::NoiseTable;
+use crate::observe::{MetricsRegistry, ReportContext, Stage};
 use wavemin_cells::units::Picoseconds;
 
 /// The multi-power-mode optimizer.
@@ -65,10 +66,20 @@ impl ClkWaveMinM {
         self.config.validate()?;
         design.validate()?;
         // One ladder (and one shared deadline) governs the whole flow, so
-        // escalations persist across the margin retries below.
-        let ladder = MospLadder::new(&self.config, self.config.budget());
+        // escalations persist across the margin retries below — and one
+        // registry keeps accumulating across them (zone ids are stable
+        // between retries).
+        let registry = MetricsRegistry::from_config(&self.config);
+        let budget = self.config.budget();
+        let ladder = MospLadder::new(&self.config, budget.clone(), registry.clone());
         let mut outcome = self.run_ladder(design, &ladder)?;
         outcome.degradation = ladder.degradation();
+        outcome.report = registry.report(&ReportContext {
+            threads: self.config.effective_threads(),
+            degenerate_zones: outcome.degenerate_zones,
+            ladder_rung: ladder.current_rung(),
+            budget_units: budget.work_done(),
+        });
         Ok(outcome)
     }
 
@@ -135,12 +146,12 @@ impl ClkWaveMinM {
     /// [`WaveMinError::NoFeasibleInterval`] when nothing intersects.
     pub fn intersection_costs(&self, design: &Design) -> Result<Vec<(usize, f64)>, WaveMinError> {
         let threads = self.config.effective_threads();
-        let (tables, zones) = self.build_mode_data(design, threads)?;
+        // (figure helper keeps the configured margin and has no budget)
+        let ladder = MospLadder::unbudgeted(&self.config);
+        let (tables, zones) = self.build_mode_data(design, threads, &ladder.registry)?;
         let mut tight = self.config.clone();
         tight.skew_bound = self.config.skew_bound * self.config.window_margin;
         let set = IntersectionSet::generate(design, &tight, &tables, self.beam)?;
-        // (figure helper keeps the configured margin and has no budget)
-        let ladder = MospLadder::unbudgeted(&self.config);
         let solved = crate::parallel::map_ordered(
             set.intersections(),
             threads,
@@ -172,17 +183,25 @@ impl ClkWaveMinM {
         &self,
         design: &Design,
         threads: usize,
+        registry: &MetricsRegistry,
     ) -> Result<(Vec<NoiseTable>, Vec<Vec<ZoneProblem>>), WaveMinError> {
         let mode_ids: Vec<usize> = (0..design.mode_count()).collect();
-        let tables: Vec<NoiseTable> = crate::parallel::map_ordered(&mode_ids, threads, |_, &m| {
-            NoiseTable::build(design, &self.config, m)
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        let tables: Vec<NoiseTable> = {
+            let _span = registry.span(Stage::Characterization);
+            crate::parallel::map_ordered(&mode_ids, threads, |_, &m| {
+                NoiseTable::build(design, &self.config, m)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?
+        };
+        let _span = registry.span(Stage::Zoning);
         let zones: Vec<Vec<ZoneProblem>> =
             crate::parallel::map_ordered(&mode_ids, threads, |_, &m| {
                 ZoneProblem::build_all(design, &self.config, &tables[m])
             });
+        if let Some(per_mode) = zones.first() {
+            registry.ensure_zones(per_mode.len());
+        }
         Ok((tables, zones))
     }
 
@@ -196,7 +215,7 @@ impl ClkWaveMinM {
     ) -> Result<Outcome, WaveMinError> {
         let start = std::time::Instant::now();
         let threads = self.config.effective_threads();
-        let (tables, zones) = self.build_mode_data(design, threads)?;
+        let (tables, zones) = self.build_mode_data(design, threads, &ladder.registry)?;
         // Reserve sibling-load headroom like the single-mode flow.
         let mut tight = self.config.clone();
         tight.skew_bound = self.config.skew_bound * margin;
@@ -211,21 +230,15 @@ impl ClkWaveMinM {
         // per-mode accumulated background), so they fan out over the
         // worker pool; input-order collection keeps the ranking identical
         // to a sequential run.
-        let solved = crate::parallel::map_ordered(
-            set.intersections(),
-            threads,
-            |_, intersection| match self.solve_intersection(
-                design,
-                &tables,
-                &zones,
-                intersection,
-                ladder,
-            ) {
-                Ok(pair) => Ok(Some(pair)),
-                Err(WaveMinError::NoFeasibleInterval) => Ok(None),
-                Err(e) => Err(e),
-            },
-        );
+        let solved =
+            crate::parallel::map_ordered(set.intersections(), threads, |_, intersection| {
+                let _span = ladder.registry.span(Stage::Intersection);
+                match self.solve_intersection(design, &tables, &zones, intersection, ladder) {
+                    Ok(pair) => Ok(Some(pair)),
+                    Err(WaveMinError::NoFeasibleInterval) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            });
         let mut ranked: Vec<(f64, Assignment)> = Vec::new();
         for result in solved {
             if let Some(pair) = result? {
@@ -238,6 +251,7 @@ impl ClkWaveMinM {
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
         let runtime = start.elapsed();
 
+        let _validation_span = ladder.registry.span(Stage::Validation);
         for (cost, assignment) in &ranked {
             let mut candidate = design.clone();
             assignment.apply_to(&mut candidate);
@@ -316,6 +330,7 @@ impl ClkWaveMinM {
 
             let (choices, zone_cost) = solve_zone_mosp_generic::<Vec<Picoseconds>>(
                 ladder,
+                zi,
                 rows,
                 option_data,
                 &allowed,

@@ -1,0 +1,920 @@
+//! Observability: pipeline stage spans, a lock-free solver metrics
+//! registry, and the machine-readable [`RunReport`].
+//!
+//! The registry is an `Option<Arc<_>>`: a disabled registry carries no
+//! allocation and every recording call is a single branch on `None`, so
+//! the instrumented hot paths cost nothing when metrics are off (the
+//! `metrics_overhead` criterion group in `wavemin-bench` keeps that
+//! honest). When enabled, all counters are relaxed [`AtomicU64`]s —
+//! recording from the `parallel::map_ordered` workers never locks, and
+//! because every counter is a commutative sum, the aggregates are
+//! identical for any worker count on an unbudgeted run.
+//!
+//! Span hierarchy (one [`Stage`] per pipeline phase):
+//!
+//! ```text
+//! run
+//! ├── characterization      NoiseTable::build (per power mode)
+//! ├── zoning                feasible intervals/intersections + ZoneProblem
+//! ├── zone_solve            one span per zone × interval MOSP solve
+//! ├── intersection          one span per multi-mode intersection solve
+//! ├── validation            exact skew re-check of ranked candidates
+//! └── monte_carlo           process-variation study
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+use wavemin_mosp::SolveStats;
+
+/// The instrumented pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Per-mode candidate characterization ([`crate::NoiseTable`] build).
+    Characterization,
+    /// Feasible interval/intersection generation and zone partitioning.
+    Zoning,
+    /// One zone × interval MOSP (or greedy) subproblem solve.
+    ZoneSolve,
+    /// One multi-mode interval-intersection solve (all zones chained).
+    Intersection,
+    /// Exact skew re-validation of the ranked candidates.
+    Validation,
+    /// Monte-Carlo process-variation study.
+    MonteCarlo,
+}
+
+impl Stage {
+    const COUNT: usize = 6;
+
+    const ALL: [Stage; Stage::COUNT] = [
+        Stage::Characterization,
+        Stage::Zoning,
+        Stage::ZoneSolve,
+        Stage::Intersection,
+        Stage::Validation,
+        Stage::MonteCarlo,
+    ];
+
+    /// The stage's stable snake_case name (the key used in reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Characterization => "characterization",
+            Stage::Zoning => "zoning",
+            Stage::ZoneSolve => "zone_solve",
+            Stage::Intersection => "intersection",
+            Stage::Validation => "validation",
+            Stage::MonteCarlo => "monte_carlo",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Characterization => 0,
+            Stage::Zoning => 1,
+            Stage::ZoneSolve => 2,
+            Stage::Intersection => 3,
+            Stage::Validation => 4,
+            Stage::MonteCarlo => 5,
+        }
+    }
+}
+
+/// Per-stage span accumulator: entry count and total wall time.
+#[derive(Default)]
+struct StageCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+/// Global run counters (relaxed atomics; every one is a commutative sum).
+#[derive(Default)]
+struct Counters {
+    labels_created: AtomicU64,
+    labels_pruned: AtomicU64,
+    solver_work: AtomicU64,
+    pareto_paths: AtomicU64,
+    zone_solves: AtomicU64,
+    exhausted_solves: AtomicU64,
+    arena_arcs: AtomicU64,
+    arena_unique_weights: AtomicU64,
+    rung_transitions: AtomicU64,
+}
+
+/// Per-zone counters, same units as the matching [`Counters`] fields.
+#[derive(Default)]
+struct ZoneCell {
+    solves: AtomicU64,
+    labels_created: AtomicU64,
+    labels_pruned: AtomicU64,
+    solver_work: AtomicU64,
+    pareto_paths: AtomicU64,
+    exhausted_solves: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+struct Inner {
+    trace: bool,
+    counters: Counters,
+    stages: [StageCell; Stage::COUNT],
+    /// Indexed by [`crate::algo::ZoneProblem`] id. Behind an `RwLock` only
+    /// for growth ([`MetricsRegistry::ensure_zones`]); recording takes the
+    /// read lock and bumps atomics, so concurrent workers never contend on
+    /// anything but the cells themselves.
+    zones: RwLock<Vec<ZoneCell>>,
+}
+
+/// The run-wide metrics sink threaded through the optimization pipeline.
+///
+/// Cheap to clone (it is an `Option<Arc<_>>`); a disabled registry is a
+/// `None` and every method short-circuits on the first branch.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry that records nothing (also the `Default`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A collecting registry; `trace` additionally prints every finished
+    /// span to stderr as it closes.
+    #[must_use]
+    pub fn enabled(trace: bool) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                trace,
+                counters: Counters::default(),
+                stages: Default::default(),
+                zones: RwLock::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Builds the registry a run should use: collecting iff the config
+    /// asks for metrics or span tracing.
+    #[must_use]
+    pub fn from_config(config: &crate::config::WaveMinConfig) -> Self {
+        if config.collect_metrics || config.trace_spans {
+            Self::enabled(config.trace_spans)
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// `true` when this registry records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span for `stage`; the guard records the elapsed wall time
+    /// (and bumps the stage count) when dropped. No-op when disabled.
+    #[must_use]
+    pub fn span(&self, stage: Stage) -> SpanGuard {
+        SpanGuard {
+            active: self
+                .inner
+                .as_ref()
+                .map(|inner| (Arc::clone(inner), stage, Instant::now())),
+        }
+    }
+
+    /// Pre-sizes the per-zone table so worker threads only ever take the
+    /// read lock. Growth is monotonic — multi-mode margin retries re-use
+    /// the ids of earlier builds and keep accumulating into them.
+    pub fn ensure_zones(&self, zones: usize) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let mut table = inner.zones.write().unwrap_or_else(PoisonError::into_inner);
+        if table.len() < zones {
+            table.resize_with(zones, ZoneCell::default);
+        }
+    }
+
+    /// Records one finished zone subproblem solve: the DP's label/work
+    /// counters, the graph's arena interning footprint, whether the solve
+    /// exhausted its budget, and its wall time. Updates the global and the
+    /// per-zone counters from the same numbers, so `global == Σ zones`
+    /// holds by construction.
+    pub fn record_zone_solve(&self, zone: usize, solve: &ZoneSolveRecord) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let c = &inner.counters;
+        c.labels_created
+            .fetch_add(solve.stats.labels_created, Ordering::Relaxed);
+        c.labels_pruned
+            .fetch_add(solve.stats.labels_pruned, Ordering::Relaxed);
+        c.solver_work.fetch_add(solve.stats.work, Ordering::Relaxed);
+        c.pareto_paths
+            .fetch_add(solve.stats.front_size, Ordering::Relaxed);
+        c.zone_solves.fetch_add(1, Ordering::Relaxed);
+        c.exhausted_solves
+            .fetch_add(u64::from(solve.exhausted), Ordering::Relaxed);
+        c.arena_arcs.fetch_add(solve.arena_arcs, Ordering::Relaxed);
+        c.arena_unique_weights
+            .fetch_add(solve.arena_unique_weights, Ordering::Relaxed);
+
+        let stage = &inner.stages[Stage::ZoneSolve.index()];
+        stage.count.fetch_add(1, Ordering::Relaxed);
+        stage.total_ns.fetch_add(solve.wall_ns, Ordering::Relaxed);
+
+        {
+            let table = inner.zones.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cell) = table.get(zone) {
+                cell.solves.fetch_add(1, Ordering::Relaxed);
+                cell.labels_created
+                    .fetch_add(solve.stats.labels_created, Ordering::Relaxed);
+                cell.labels_pruned
+                    .fetch_add(solve.stats.labels_pruned, Ordering::Relaxed);
+                cell.solver_work
+                    .fetch_add(solve.stats.work, Ordering::Relaxed);
+                cell.pareto_paths
+                    .fetch_add(solve.stats.front_size, Ordering::Relaxed);
+                cell.exhausted_solves
+                    .fetch_add(u64::from(solve.exhausted), Ordering::Relaxed);
+                cell.wall_ns.fetch_add(solve.wall_ns, Ordering::Relaxed);
+                return;
+            }
+        }
+        // A zone id past the table means `ensure_zones` was not called
+        // first; grow and retry rather than silently dropping the row.
+        self.ensure_zones(zone + 1);
+        let table = inner.zones.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cell) = table.get(zone) {
+            cell.solves.fetch_add(1, Ordering::Relaxed);
+            cell.labels_created
+                .fetch_add(solve.stats.labels_created, Ordering::Relaxed);
+            cell.labels_pruned
+                .fetch_add(solve.stats.labels_pruned, Ordering::Relaxed);
+            cell.solver_work
+                .fetch_add(solve.stats.work, Ordering::Relaxed);
+            cell.pareto_paths
+                .fetch_add(solve.stats.front_size, Ordering::Relaxed);
+            cell.exhausted_solves
+                .fetch_add(u64::from(solve.exhausted), Ordering::Relaxed);
+            cell.wall_ns.fetch_add(solve.wall_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one degradation-ladder rung transition.
+    pub fn record_rung_transition(&self) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner
+                .counters
+                .rung_transitions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Assembles the [`RunReport`], or `None` when the registry is
+    /// disabled. The caller supplies run-level context the registry
+    /// cannot observe itself.
+    #[must_use]
+    pub fn report(&self, ctx: &ReportContext) -> Option<RunReport> {
+        let inner = self.inner.as_ref()?;
+        let c = &inner.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let cell = &inner.stages[s.index()];
+                StageTiming {
+                    stage: s.name().to_owned(),
+                    count: load(&cell.count),
+                    total_ns: load(&cell.total_ns),
+                }
+            })
+            .filter(|t| t.count > 0)
+            .collect();
+        let zones = {
+            let table = inner.zones.read().unwrap_or_else(PoisonError::into_inner);
+            table
+                .iter()
+                .enumerate()
+                .map(|(id, cell)| ZoneMetrics {
+                    zone: id,
+                    solves: load(&cell.solves),
+                    labels_created: load(&cell.labels_created),
+                    labels_pruned: load(&cell.labels_pruned),
+                    solver_work: load(&cell.solver_work),
+                    pareto_paths: load(&cell.pareto_paths),
+                    exhausted_solves: load(&cell.exhausted_solves),
+                    wall_ns: load(&cell.wall_ns),
+                })
+                .collect()
+        };
+        Some(RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            threads: ctx.threads,
+            counters: RunCounters {
+                labels_created: load(&c.labels_created),
+                labels_pruned: load(&c.labels_pruned),
+                solver_work: load(&c.solver_work),
+                pareto_paths: load(&c.pareto_paths),
+                zone_solves: load(&c.zone_solves),
+                exhausted_solves: load(&c.exhausted_solves),
+                arena_arcs: load(&c.arena_arcs),
+                arena_unique_weights: load(&c.arena_unique_weights),
+                rung_transitions: load(&c.rung_transitions),
+                budget_units: ctx.budget_units,
+            },
+            stages,
+            zones,
+            degenerate_zones: ctx.degenerate_zones,
+            ladder_rung: ctx.ladder_rung,
+        })
+    }
+}
+
+/// Live guard of an open [`Stage`] span; records on drop.
+pub struct SpanGuard {
+    active: Option<(Arc<Inner>, Stage, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((inner, stage, started)) = self.active.take() else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let cell = &inner.stages[stage.index()];
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        if inner.trace {
+            eprintln!(
+                "[trace] span={} elapsed_us={:.1}",
+                stage.name(),
+                elapsed_ns as f64 / 1e3
+            );
+        }
+    }
+}
+
+/// Everything one zone subproblem solve contributes to the registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZoneSolveRecord {
+    /// The DP's label/work counters.
+    pub stats: SolveStats,
+    /// Whether the solve exhausted its resource budget mid-way.
+    pub exhausted: bool,
+    /// Arcs in the solve's MOSP graph (each references an arena slot).
+    pub arena_arcs: u64,
+    /// Distinct interned weight vectors in the graph's arena.
+    pub arena_unique_weights: u64,
+    /// Wall time of the solve, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Run-level context only the driver knows, passed to
+/// [`MetricsRegistry::report`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReportContext {
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+    /// Zones whose sampling plan degenerated (see
+    /// [`crate::algo::Outcome::degenerate_zones`]).
+    pub degenerate_zones: usize,
+    /// Final degradation-ladder rung (0 = full fidelity).
+    pub ladder_rung: usize,
+    /// Work units the shared [`wavemin_mosp::Budget`] charged (0 when the
+    /// run was unbudgeted — the budget's fast path skips its atomic; see
+    /// [`RunCounters::solver_work`] for the unconditional count).
+    pub budget_units: u64,
+}
+
+/// One stage's aggregated span timing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name ([`Stage::name`]).
+    pub stage: String,
+    /// Number of spans recorded for the stage.
+    pub count: u64,
+    /// Total wall time across those spans, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// The run-wide counter aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCounters {
+    /// MOSP labels that survived insertion, across all zone solves.
+    pub labels_created: u64,
+    /// Labels evicted from an active frontier (dominance or cap).
+    pub labels_pruned: u64,
+    /// Label-insertion attempts (the budget work unit), counted
+    /// unconditionally.
+    pub solver_work: u64,
+    /// Pareto paths returned at the destinations (Σ front sizes).
+    pub pareto_paths: u64,
+    /// Zone × interval subproblem solves performed.
+    pub zone_solves: u64,
+    /// Zone solves that exhausted their resource budget.
+    pub exhausted_solves: u64,
+    /// Arcs across all solved MOSP graphs.
+    pub arena_arcs: u64,
+    /// Distinct interned weight vectors across those graphs.
+    pub arena_unique_weights: u64,
+    /// Degradation-ladder rung transitions during the run.
+    pub rung_transitions: u64,
+    /// Work units charged against the shared budget (0 for unbudgeted
+    /// runs, whose fast path never touches the atomic).
+    pub budget_units: u64,
+}
+
+impl RunCounters {
+    /// Fraction of arc weight lookups served by an already-interned arena
+    /// vector: `1 - unique/arcs` (0 when no arcs were built).
+    #[must_use]
+    pub fn intern_hit_rate(&self) -> f64 {
+        if self.arena_arcs == 0 {
+            0.0
+        } else {
+            1.0 - self.arena_unique_weights as f64 / self.arena_arcs as f64
+        }
+    }
+}
+
+/// One zone's aggregated solver metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneMetrics {
+    /// Zone id (index into the run's zone partition).
+    pub zone: usize,
+    /// Subproblem solves recorded against this zone.
+    pub solves: u64,
+    /// Labels created by this zone's solves.
+    pub labels_created: u64,
+    /// Labels pruned by this zone's solves.
+    pub labels_pruned: u64,
+    /// Label-insertion attempts by this zone's solves.
+    pub solver_work: u64,
+    /// Pareto paths returned by this zone's solves.
+    pub pareto_paths: u64,
+    /// This zone's solves that exhausted the budget.
+    pub exhausted_solves: u64,
+    /// Total wall time of this zone's solves, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// The structured, machine-readable account of one optimization run.
+///
+/// Everything except the wall-time fields (`stages[].total_ns`,
+/// `zones[].wall_ns`) and `threads` is identical across worker counts for
+/// an unbudgeted run; [`RunReport::normalized`] strips exactly those
+/// fields for differential comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema version of this report ([`RunReport::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Run-wide counter aggregates.
+    pub counters: RunCounters,
+    /// Per-stage span timings (stages with zero spans are omitted).
+    pub stages: Vec<StageTiming>,
+    /// Per-zone solver metrics.
+    pub zones: Vec<ZoneMetrics>,
+    /// Zones whose sampling plan degenerated to a dummy time.
+    pub degenerate_zones: usize,
+    /// Final degradation-ladder rung (0 = full fidelity).
+    pub ladder_rung: usize,
+}
+
+impl RunReport {
+    /// Version stamped into (and required from) serialized reports.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Checks the report's internal consistency: the schema version is
+    /// supported and every global counter equals the sum of its per-zone
+    /// rows.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != Self::SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {} (expected {})",
+                self.schema_version,
+                Self::SCHEMA_VERSION
+            ));
+        }
+        let sums: [(&str, u64, u64); 6] = [
+            (
+                "labels_created",
+                self.counters.labels_created,
+                self.zones.iter().map(|z| z.labels_created).sum(),
+            ),
+            (
+                "labels_pruned",
+                self.counters.labels_pruned,
+                self.zones.iter().map(|z| z.labels_pruned).sum(),
+            ),
+            (
+                "solver_work",
+                self.counters.solver_work,
+                self.zones.iter().map(|z| z.solver_work).sum(),
+            ),
+            (
+                "pareto_paths",
+                self.counters.pareto_paths,
+                self.zones.iter().map(|z| z.pareto_paths).sum(),
+            ),
+            (
+                "zone_solves",
+                self.counters.zone_solves,
+                self.zones.iter().map(|z| z.solves).sum(),
+            ),
+            (
+                "exhausted_solves",
+                self.counters.exhausted_solves,
+                self.zones.iter().map(|z| z.exhausted_solves).sum(),
+            ),
+        ];
+        for (name, global, zone_sum) in sums {
+            if global != zone_sum {
+                return Err(format!(
+                    "counter {name} = {global} but its per-zone rows sum to {zone_sum}"
+                ));
+            }
+        }
+        if self.counters.arena_unique_weights > self.counters.arena_arcs {
+            return Err(format!(
+                "arena_unique_weights {} exceeds arena_arcs {}",
+                self.counters.arena_unique_weights, self.counters.arena_arcs
+            ));
+        }
+        if self.counters.exhausted_solves > self.counters.zone_solves {
+            return Err(format!(
+                "exhausted_solves {} exceeds zone_solves {}",
+                self.counters.exhausted_solves, self.counters.zone_solves
+            ));
+        }
+        Ok(())
+    }
+
+    /// A copy with every timing-dependent field zeroed (`threads`, stage
+    /// `total_ns`, zone `wall_ns`): two unbudgeted runs of the same
+    /// problem must produce equal normalized reports regardless of worker
+    /// count.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut out = self.clone();
+        out.threads = 0;
+        for s in &mut out.stages {
+            s.total_ns = 0;
+        }
+        for z in &mut out.zones {
+            z.wall_ns = 0;
+        }
+        out
+    }
+
+    /// Parses a report back from its JSON serialization (the format
+    /// `--metrics-out` writes). Unknown fields are rejected so a report
+    /// that decodes is structurally exactly this schema.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first syntax or schema problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        decode::report(&value)
+    }
+}
+
+/// Hand-rolled decoding of the report's JSON [`serde::Value`] tree — the
+/// vendored serde stack has no typed deserializer.
+mod decode {
+    use super::{RunCounters, RunReport, StageTiming, ZoneMetrics};
+    use serde::Value;
+
+    fn fields<'a>(
+        v: &'a Value,
+        expected: &'static [&'static str],
+        what: &str,
+    ) -> Result<&'a [(String, Value)], String> {
+        let Value::Map(entries) = v else {
+            return Err(format!("{what}: expected a JSON object"));
+        };
+        for (k, _) in entries {
+            if !expected.contains(&k.as_str()) {
+                return Err(format!("{what}: unknown field '{k}'"));
+            }
+        }
+        Ok(entries)
+    }
+
+    fn get<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    fn u64_field(entries: &[(String, Value)], key: &str) -> Result<u64, String> {
+        match get(entries, key)? {
+            Value::UInt(u) => Ok(*u),
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(format!(
+                "field '{key}': expected an unsigned integer, got {other:?}"
+            )),
+        }
+    }
+
+    fn usize_field(entries: &[(String, Value)], key: &str) -> Result<usize, String> {
+        usize::try_from(u64_field(entries, key)?)
+            .map_err(|_| format!("field '{key}': value does not fit usize"))
+    }
+
+    fn str_field(entries: &[(String, Value)], key: &str) -> Result<String, String> {
+        match get(entries, key)? {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("field '{key}': expected a string, got {other:?}")),
+        }
+    }
+
+    fn seq_field<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a [Value], String> {
+        match get(entries, key)? {
+            Value::Seq(items) => Ok(items),
+            other => Err(format!("field '{key}': expected an array, got {other:?}")),
+        }
+    }
+
+    pub(super) fn report(v: &Value) -> Result<RunReport, String> {
+        let entries = fields(
+            v,
+            &[
+                "schema_version",
+                "threads",
+                "counters",
+                "stages",
+                "zones",
+                "degenerate_zones",
+                "ladder_rung",
+            ],
+            "report",
+        )?;
+        let schema_version = u64_field(entries, "schema_version")?;
+        let schema_version = u32::try_from(schema_version)
+            .map_err(|_| format!("schema_version {schema_version} does not fit u32"))?;
+        Ok(RunReport {
+            schema_version,
+            threads: usize_field(entries, "threads")?,
+            counters: counters(get(entries, "counters")?)?,
+            stages: seq_field(entries, "stages")?
+                .iter()
+                .map(stage_timing)
+                .collect::<Result<_, _>>()?,
+            zones: seq_field(entries, "zones")?
+                .iter()
+                .map(zone_metrics)
+                .collect::<Result<_, _>>()?,
+            degenerate_zones: usize_field(entries, "degenerate_zones")?,
+            ladder_rung: usize_field(entries, "ladder_rung")?,
+        })
+    }
+
+    fn counters(v: &Value) -> Result<RunCounters, String> {
+        let entries = fields(
+            v,
+            &[
+                "labels_created",
+                "labels_pruned",
+                "solver_work",
+                "pareto_paths",
+                "zone_solves",
+                "exhausted_solves",
+                "arena_arcs",
+                "arena_unique_weights",
+                "rung_transitions",
+                "budget_units",
+            ],
+            "counters",
+        )?;
+        Ok(RunCounters {
+            labels_created: u64_field(entries, "labels_created")?,
+            labels_pruned: u64_field(entries, "labels_pruned")?,
+            solver_work: u64_field(entries, "solver_work")?,
+            pareto_paths: u64_field(entries, "pareto_paths")?,
+            zone_solves: u64_field(entries, "zone_solves")?,
+            exhausted_solves: u64_field(entries, "exhausted_solves")?,
+            arena_arcs: u64_field(entries, "arena_arcs")?,
+            arena_unique_weights: u64_field(entries, "arena_unique_weights")?,
+            rung_transitions: u64_field(entries, "rung_transitions")?,
+            budget_units: u64_field(entries, "budget_units")?,
+        })
+    }
+
+    fn stage_timing(v: &Value) -> Result<StageTiming, String> {
+        let entries = fields(v, &["stage", "count", "total_ns"], "stage timing")?;
+        Ok(StageTiming {
+            stage: str_field(entries, "stage")?,
+            count: u64_field(entries, "count")?,
+            total_ns: u64_field(entries, "total_ns")?,
+        })
+    }
+
+    fn zone_metrics(v: &Value) -> Result<ZoneMetrics, String> {
+        let entries = fields(
+            v,
+            &[
+                "zone",
+                "solves",
+                "labels_created",
+                "labels_pruned",
+                "solver_work",
+                "pareto_paths",
+                "exhausted_solves",
+                "wall_ns",
+            ],
+            "zone metrics",
+        )?;
+        Ok(ZoneMetrics {
+            zone: usize_field(entries, "zone")?,
+            solves: u64_field(entries, "solves")?,
+            labels_created: u64_field(entries, "labels_created")?,
+            labels_pruned: u64_field(entries, "labels_pruned")?,
+            solver_work: u64_field(entries, "solver_work")?,
+            pareto_paths: u64_field(entries, "pareto_paths")?,
+            exhausted_solves: u64_field(entries, "exhausted_solves")?,
+            wall_ns: u64_field(entries, "wall_ns")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_record(labels: u64) -> ZoneSolveRecord {
+        ZoneSolveRecord {
+            stats: SolveStats {
+                labels_created: labels,
+                labels_pruned: labels / 2,
+                work: labels * 3,
+                front_size: 2,
+            },
+            exhausted: false,
+            arena_arcs: 10,
+            arena_unique_weights: 4,
+            wall_ns: 1_000,
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_and_reports_none() {
+        let r = MetricsRegistry::disabled();
+        assert!(!r.is_enabled());
+        r.ensure_zones(4);
+        r.record_zone_solve(0, &sample_record(5));
+        r.record_rung_transition();
+        drop(r.span(Stage::Zoning));
+        assert!(r.report(&ReportContext::default()).is_none());
+    }
+
+    #[test]
+    fn global_counters_equal_zone_sums_by_construction() {
+        let r = MetricsRegistry::enabled(false);
+        r.ensure_zones(3);
+        r.record_zone_solve(0, &sample_record(5));
+        r.record_zone_solve(1, &sample_record(7));
+        r.record_zone_solve(1, &sample_record(2));
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        report.validate().expect("self-consistent");
+        assert_eq!(report.counters.labels_created, 14);
+        assert_eq!(report.counters.zone_solves, 3);
+        assert_eq!(report.zones[1].solves, 2);
+        assert_eq!(report.zones[2].solves, 0);
+        assert!((report.counters.intern_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsized_zone_table_grows_on_demand() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(5, &sample_record(1));
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        assert_eq!(report.zones.len(), 6);
+        assert_eq!(report.zones[5].solves, 1);
+        report.validate().expect("self-consistent");
+    }
+
+    #[test]
+    fn spans_accumulate_wall_time() {
+        let r = MetricsRegistry::enabled(false);
+        {
+            let _g = r.span(Stage::Characterization);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _g = r.span(Stage::Characterization);
+        }
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        let t = report
+            .stages
+            .iter()
+            .find(|s| s.stage == "characterization")
+            .expect("stage present");
+        assert_eq!(t.count, 2);
+        assert!(t.total_ns >= 2_000_000, "slept 2 ms, got {} ns", t.total_ns);
+        assert!(
+            !report.stages.iter().any(|s| s.stage == "monte_carlo"),
+            "unused stages are omitted"
+        );
+    }
+
+    #[test]
+    fn aggregation_is_worker_count_independent() {
+        // The same 64 records, pushed from 1 thread and from 8, must
+        // produce identical normalized reports.
+        let run = |threads: usize| {
+            let r = MetricsRegistry::enabled(false);
+            r.ensure_zones(4);
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let r = r.clone();
+                    scope.spawn(move || {
+                        for i in 0..(64 / threads) {
+                            r.record_zone_solve((t + i) % 4, &sample_record(3));
+                        }
+                    });
+                }
+            });
+            r.report(&ReportContext::default()).expect("enabled")
+        };
+        let seq = run(1);
+        let par = run(8);
+        seq.validate().expect("seq self-consistent");
+        par.validate().expect("par self-consistent");
+        assert_eq!(seq.counters, par.counters);
+        assert_eq!(seq.normalized().zones, par.normalized().zones);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json_and_validates() {
+        let r = MetricsRegistry::enabled(false);
+        r.ensure_zones(2);
+        r.record_zone_solve(0, &sample_record(4));
+        r.record_rung_transition();
+        let report = r
+            .report(&ReportContext {
+                threads: 4,
+                degenerate_zones: 1,
+                ladder_rung: 2,
+                budget_units: 99,
+            })
+            .expect("enabled");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back = RunReport::from_json(&json).expect("deserialize");
+        assert_eq!(back, report);
+        back.validate().expect("valid after roundtrip");
+        assert_eq!(back.ladder_rung, 2);
+        assert_eq!(back.counters.rung_transitions, 1);
+        assert_eq!(back.counters.budget_units, 99);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_reports() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(4));
+        let mut report = r.report(&ReportContext::default()).expect("enabled");
+        report.counters.labels_created += 1;
+        let err = report.validate().expect_err("tampered counter");
+        assert!(err.contains("labels_created"), "{err}");
+        let mut wrong_version = r.report(&ReportContext::default()).expect("enabled");
+        wrong_version.schema_version = 99;
+        assert!(wrong_version.validate().is_err());
+    }
+
+    #[test]
+    fn normalization_strips_timing_but_keeps_counters() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(4));
+        let report = r
+            .report(&ReportContext {
+                threads: 8,
+                ..ReportContext::default()
+            })
+            .expect("enabled");
+        let n = report.normalized();
+        assert_eq!(n.threads, 0);
+        assert!(n.zones.iter().all(|z| z.wall_ns == 0));
+        assert_eq!(n.counters, report.counters);
+    }
+}

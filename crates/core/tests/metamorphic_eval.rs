@@ -1,0 +1,165 @@
+//! Metamorphic properties of the [`NoiseEvaluator`]: transformations of
+//! a design with a *known* effect on the evaluation, checked over
+//! randomized inputs.
+//!
+//! 1. A global arrival shift (extra delay at the clock root) moves every
+//!    node's waveform by the same amount, so the peak current, the grid
+//!    noises and the skew are all unchanged.
+//! 2. Flipping every sink's polarity (buffer ↔ inverter) swaps the
+//!    IDD/ISS roles of the sink currents: a buffer charges its load from
+//!    VDD on the source-rise event, the inverter discharges it into
+//!    ground instead.
+//! 3. Scaling every node's current uniformly (the Monte-Carlo
+//!    `current_mult` channel with identity timing) scales the peak
+//!    linearly and leaves the skew untouched.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wavemin::noise_table::EventWaveforms;
+use wavemin::prelude::*;
+use wavemin_cells::characterize::ClockEdge;
+use wavemin_cells::units::{Femtofarads, Microns, Picoseconds, Volts};
+use wavemin_clocktree::timing::TimingAdjust;
+use wavemin_clocktree::variation::Variation;
+
+/// A randomized little tree (two branch buffers, 4–8 buffer sinks).
+fn random_design(seed: u64) -> Design {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut tree = ClockTree::new(Point::new(0.0, 0.0), "BUF_X16");
+    let sinks = rng.gen_range(4..=8usize);
+    let mut parents = Vec::new();
+    for b in 0..2 {
+        parents.push(tree.add_internal(
+            tree.root(),
+            Point::new(rng.gen_range(25.0..40.0), 20.0 * b as f64 - 10.0),
+            "BUF_X8",
+            Microns::new(rng.gen_range(30.0..50.0)),
+        ));
+    }
+    for s in 0..sinks {
+        tree.add_leaf(
+            parents[s % 2],
+            Point::new(rng.gen_range(55.0..75.0), rng.gen_range(-20.0..20.0)),
+            "BUF_X8",
+            Microns::new(rng.gen_range(20.0..45.0)),
+            Femtofarads::new(rng.gen_range(3.0..8.0)),
+        );
+    }
+    Design::new(
+        tree,
+        CellLibrary::nangate45(),
+        PowerDesign::uniform(Volts::new(1.1)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn global_arrival_shift_leaves_evaluation_unchanged(
+        seed in 0u64..1000,
+        shift in 1.0..200.0f64,
+    ) {
+        let base = random_design(seed);
+        let mut shifted = base.clone();
+        shifted.mode_adjust[0].set_extra_delay(shifted.tree.root(), Picoseconds::new(shift));
+
+        let a = NoiseEvaluator::new(&base).evaluate(0).unwrap();
+        let b = NoiseEvaluator::new(&shifted).evaluate(0).unwrap();
+        prop_assert!((a.peak.value() - b.peak.value()).abs() < 1e-9,
+            "peak {} vs {}", a.peak, b.peak);
+        prop_assert!((a.vdd_noise.value() - b.vdd_noise.value()).abs() < 1e-9);
+        prop_assert!((a.gnd_noise.value() - b.gnd_noise.value()).abs() < 1e-9);
+        prop_assert!((a.skew.value() - b.skew.value()).abs() < 1e-9);
+        // The peak happens at the same relative instant, `shift` later.
+        prop_assert!(
+            ((b.peak_time - a.peak_time).value() - shift).abs() < 1e-6,
+            "peak time {} -> {} under a {shift} ps shift", a.peak_time, b.peak_time
+        );
+    }
+
+    #[test]
+    fn polarity_flip_swaps_idd_iss_roles(seed in 0u64..1000) {
+        let base = random_design(seed);
+        let mut flipped = base.clone();
+        for &leaf in &flipped.leaves() {
+            flipped.tree.set_cell(leaf, "INV_X8");
+        }
+
+        let (buf_waves, _) = NoiseEvaluator::new(&base).waveforms(0).unwrap();
+        let (inv_waves, _) = NoiseEvaluator::new(&flipped).waveforms(0).unwrap();
+        for &leaf in &base.leaves() {
+            let b = &buf_waves[leaf.0];
+            let i = &inv_waves[leaf.0];
+            // Source-rise event: the buffer charges from VDD, the
+            // inverter dumps the same transition into ground.
+            prop_assert!(
+                b.vdd_rise.peak() > b.gnd_rise.peak(),
+                "buffer sink {leaf:?} must draw IDD on the rise event"
+            );
+            prop_assert!(
+                i.gnd_rise.peak() > i.vdd_rise.peak(),
+                "inverter sink {leaf:?} must draw ISS on the rise event"
+            );
+            // And mirrored on the source-fall event.
+            prop_assert!(b.gnd_fall.peak() > b.vdd_fall.peak());
+            prop_assert!(i.vdd_fall.peak() > i.gnd_fall.peak());
+        }
+    }
+
+    #[test]
+    fn input_edge_flip_swaps_event_slots_exactly(
+        load in 2.0..30.0f64,
+        slew in 5.0..60.0f64,
+    ) {
+        // The mechanism behind property 2, checked exactly: a polarity
+        // flip upstream of a cell flips the input edge it sees, which
+        // swaps its source-rise and source-fall event slots verbatim.
+        let lib = CellLibrary::nangate45();
+        let chr = Characterizer::default();
+        for name in ["BUF_X8", "INV_X8", "BUF_X16", "INV_X16"] {
+            let profile = chr.characterize(
+                lib.get(name).unwrap(),
+                Femtofarads::new(load),
+                Picoseconds::new(slew),
+                Volts::new(1.1),
+            );
+            let rise = EventWaveforms::from_profile(&profile, ClockEdge::Rise);
+            let fall = EventWaveforms::from_profile(&profile, ClockEdge::Fall);
+            for (rail, event) in EventWaveforms::SLOTS {
+                let opposite = match event {
+                    ClockEdge::Rise => ClockEdge::Fall,
+                    ClockEdge::Fall => ClockEdge::Rise,
+                };
+                prop_assert_eq!(rise.get(rail, event), fall.get(rail, opposite));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_current_scaling_scales_peak_linearly(
+        seed in 0u64..1000,
+        k in 0.25..4.0f64,
+    ) {
+        let design = random_design(seed);
+        let eval = NoiseEvaluator::new(&design);
+        let base = eval.evaluate(0).unwrap();
+        let scaled = eval
+            .evaluate_with_variation(
+                0,
+                &Variation {
+                    timing: TimingAdjust::identity(),
+                    current_mult: vec![k; design.tree.len()],
+                },
+            )
+            .unwrap();
+        let expected = base.peak.value() * k;
+        prop_assert!(
+            (scaled.peak.value() - expected).abs() <= 1e-9 * expected.max(1.0),
+            "peak {} * {k} should be {expected}, got {}", base.peak, scaled.peak
+        );
+        // Identity timing: the skew is untouched by the current channel.
+        prop_assert!((scaled.skew.value() - base.skew.value()).abs() < 1e-12);
+    }
+}

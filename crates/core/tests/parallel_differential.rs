@@ -95,6 +95,68 @@ fn dynamic_polarity_is_thread_count_independent() {
 }
 
 #[test]
+fn metrics_aggregate_identically_across_thread_counts() {
+    // The metrics registry sums per-zone records with commutative relaxed
+    // atomics, so an unbudgeted run's RunReport — wall-clock fields
+    // stripped by `normalized()` — must be identical whether the zone
+    // solves fan out over one worker or four.
+    for bench in [Benchmark::s15850(), Benchmark::s13207()] {
+        let d = Design::from_benchmark(&bench, 7);
+        let mut cfg = WaveMinConfig::default()
+            .with_sample_count(16)
+            .with_metrics(true);
+        cfg.max_intervals = Some(6);
+        let seq = ClkWaveMin::new(cfg.clone().with_threads(1))
+            .run(&d)
+            .expect("sequential run");
+        let par = ClkWaveMin::new(cfg.with_threads(4))
+            .run(&d)
+            .expect("parallel run");
+        let seq_report = seq.report.as_ref().expect("sequential report");
+        let par_report = par.report.as_ref().expect("parallel report");
+        seq_report
+            .validate()
+            .expect("sequential report consistency");
+        par_report.validate().expect("parallel report consistency");
+        assert_eq!(
+            seq_report.normalized(),
+            par_report.normalized(),
+            "{}: normalized reports must not depend on the worker count",
+            bench.name
+        );
+        assert_eq!(seq_report.threads, 1, "{}", bench.name);
+        assert_eq!(par_report.threads, 4, "{}", bench.name);
+    }
+}
+
+#[test]
+fn report_counters_match_per_zone_sums() {
+    let d = Design::from_benchmark(&Benchmark::s15850(), 7);
+    let cfg = WaveMinConfig::default()
+        .with_sample_count(16)
+        .with_metrics(true)
+        .with_threads(4);
+    let out = ClkWaveMin::new(cfg).run(&d).expect("run");
+    let report = out.report.as_ref().expect("report");
+    let zone_labels: u64 = report.zones.iter().map(|z| z.labels_created).sum();
+    assert_eq!(
+        report.counters.labels_created, zone_labels,
+        "global label count must equal the per-zone sum"
+    );
+    let zone_solves: u64 = report.zones.iter().map(|z| z.solves).sum();
+    assert_eq!(report.counters.zone_solves, zone_solves);
+    assert!(
+        report.counters.labels_created > 0,
+        "an instrumented MOSP run must create labels"
+    );
+    // Unmetered runs attach no report at all.
+    let plain = ClkWaveMin::new(WaveMinConfig::default().with_sample_count(16))
+        .run(&d)
+        .expect("plain run");
+    assert!(plain.report.is_none(), "metrics default to off");
+}
+
+#[test]
 fn shared_budget_is_drained_across_parallel_solves() {
     // A budgeted parallel run is allowed to differ from a sequential one
     // (the shared work cap drains in worker charge order), but it must

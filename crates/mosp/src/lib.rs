@@ -42,4 +42,4 @@ pub mod solve;
 
 pub use budget::{Budget, Exhaustion};
 pub use graph::{MospError, MospGraph, VertexId};
-pub use pareto::{ParetoPath, ParetoSet};
+pub use pareto::{ParetoPath, ParetoSet, SolveStats};

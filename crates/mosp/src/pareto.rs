@@ -43,6 +43,40 @@ pub fn insert_nondominated<T>(
     true
 }
 
+/// Counters collected by one label-correcting solve. Always on: the
+/// counters are plain local integers inside the DP loop, so the cost is a
+/// handful of register increments per label attempt — far below the
+/// dominance comparisons they count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Labels that survived insertion into some vertex frontier (including
+    /// the source label).
+    pub labels_created: u64,
+    /// Labels evicted from an active frontier, by dominance or by the
+    /// per-vertex cap. Evicted labels keep their store slot (predecessor
+    /// chains stay valid), so this counts frontier removals, not frees.
+    pub labels_pruned: u64,
+    /// Label-insertion attempts — the same unit the [`crate::Budget`]
+    /// work counter charges, but counted unconditionally (the budget's
+    /// fast path skips its atomic when no cap is set).
+    pub work: u64,
+    /// Pareto paths at the destination after the final dominance sweep.
+    pub front_size: u64,
+}
+
+impl SolveStats {
+    /// Componentwise sum, for aggregating across solves.
+    #[must_use]
+    pub fn plus(&self, other: &Self) -> Self {
+        Self {
+            labels_created: self.labels_created + other.labels_created,
+            labels_pruned: self.labels_pruned + other.labels_pruned,
+            work: self.work + other.work,
+            front_size: self.front_size + other.front_size,
+        }
+    }
+}
+
 /// One Pareto-optimal source→destination path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParetoPath {
@@ -71,6 +105,9 @@ pub struct ParetoSet {
     /// Which resource budget (if any) ran out mid-solve. Implies
     /// `truncated` when set.
     exhausted: Option<Exhaustion>,
+    /// Label/work counters of the solve that produced this set.
+    #[serde(default)]
+    stats: SolveStats,
 }
 
 impl ParetoSet {
@@ -81,7 +118,19 @@ impl ParetoSet {
             paths,
             truncated,
             exhausted: None,
+            stats: SolveStats::default(),
         }
+    }
+
+    /// Attaches the solve's counters (set once by the DP before returning).
+    pub fn set_stats(&mut self, stats: SolveStats) {
+        self.stats = stats;
+    }
+
+    /// The counters collected while computing this set.
+    #[must_use]
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
     }
 
     /// Marks this set as cut short by an exhausted budget (also marks it

@@ -3,7 +3,7 @@
 
 use crate::budget::Budget;
 use crate::graph::{MospError, MospGraph, VertexId};
-use crate::pareto::{dominates, ParetoPath, ParetoSet};
+use crate::pareto::{dominates, ParetoPath, ParetoSet, SolveStats};
 
 /// Append-only per-vertex label store in structure-of-arrays layout.
 ///
@@ -199,6 +199,7 @@ fn run(
     let mut active: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut truncated = false;
     let mut exhausted = None;
+    let mut stats = SolveStats::default();
 
     // Writes the ε-grid image of `cost` into `out` (left empty in exact
     // mode, matching the store's empty scaled block).
@@ -214,6 +215,7 @@ fn run(
     scale_into(&zero, &mut scaled_scratch);
     store[source.0].push(&zero, &scaled_scratch, None);
     active[source.0].push(0);
+    stats.labels_created += 1;
 
     // Scratch buffers reused across vertices: the expanding vertex's
     // frontier snapshot (indices + flat costs) and the candidate cost.
@@ -238,6 +240,7 @@ fn run(
                 let slot = &mut active[v.0];
                 let st = &store[v.0];
                 slot.sort_by(|&a, &b| max_of(st.cost(dim, a)).total_cmp(&max_of(st.cost(dim, b))));
+                stats.labels_pruned += (slot.len() - cap) as u64;
                 slot.truncate(cap);
                 truncated = true;
             }
@@ -257,6 +260,7 @@ fn run(
         }
         for (to, w) in graph.out_arcs(v) {
             for (k, &idx) in src_idx.iter().enumerate() {
+                stats.work += 1;
                 if exhausted.is_none() {
                     exhausted = budget.charge(1);
                 }
@@ -273,6 +277,7 @@ fn run(
                     &scaled_scratch,
                     (v.0, idx),
                     eps_mode,
+                    &mut stats,
                 );
             }
         }
@@ -280,13 +285,16 @@ fn run(
 
     if active[dest.0].is_empty() {
         if source == dest {
-            return Ok(ParetoSet::new(
+            let mut set = ParetoSet::new(
                 vec![ParetoPath {
                     cost: vec![0.0; dim],
                     vertices: vec![source],
                 }],
                 false,
-            ));
+            );
+            stats.front_size = 1;
+            set.set_stats(stats);
+            return Ok(set);
         }
         return Err(MospError::NoPath);
     }
@@ -318,6 +326,8 @@ fn run(
     if let Some(reason) = exhausted {
         set.mark_exhausted(reason);
     }
+    stats.front_size = set.paths().len() as u64;
+    set.set_stats(stats);
     Ok(set)
 }
 
@@ -325,6 +335,7 @@ fn run(
 /// from the active frontier (the store itself is append-only). Comparison
 /// uses the scaled grid in ε mode, true costs otherwise. The candidate is
 /// copied into the store only when it survives.
+#[allow(clippy::too_many_arguments)]
 fn push_label(
     store: &mut LabelStore,
     active: &mut Vec<usize>,
@@ -333,7 +344,9 @@ fn push_label(
     scaled: &[i64],
     pred: (usize, usize),
     eps_mode: bool,
+    stats: &mut SolveStats,
 ) -> bool {
+    let before = active.len();
     if eps_mode {
         if active
             .iter()
@@ -351,6 +364,8 @@ fn push_label(
         }
         active.retain(|&i| !dominates(cost, store.cost(dim, i)));
     }
+    stats.labels_pruned += (before - active.len()) as u64;
+    stats.labels_created += 1;
     let idx = store.push(cost, scaled, Some(pred));
     active.push(idx);
     true
@@ -425,6 +440,33 @@ mod tests {
         let mm = set.min_max().unwrap();
         assert_eq!(mm.max_component(), 9.0);
         assert_eq!(mm.vertices.len(), 3);
+    }
+
+    #[test]
+    fn solve_stats_count_labels_and_work() {
+        let (g, s, t) = diamond();
+        let set = exact(&g, s, t, None).unwrap();
+        let stats = set.stats();
+        // src label + one label per vertex reached (a, b, and two at dest).
+        assert_eq!(stats.labels_created, 5);
+        // One insertion attempt per (arc, source label) pair: 4 arcs, one
+        // label each side.
+        assert_eq!(stats.work, 4);
+        assert_eq!(stats.front_size, 2);
+        assert_eq!(stats.labels_pruned, 0, "no dominated labels here");
+        // Merging stats adds componentwise.
+        let twice = stats.plus(stats);
+        assert_eq!(twice.work, 8);
+        assert_eq!(twice.front_size, 4);
+    }
+
+    #[test]
+    fn solve_stats_record_pruning_under_cap() {
+        let (g, src, dest) = diamond_chain(6);
+        let set = exact(&g, src, dest, Some(2)).unwrap();
+        assert!(set.is_truncated());
+        assert!(set.stats().labels_pruned > 0, "the cap must prune");
+        assert!(set.stats().work >= set.stats().labels_created - 1);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Offline stand-in for `serde_json`: renders the vendored
-//! [`serde::Value`] tree produced by `#[derive(Serialize)]` as JSON text.
-//! Only the writer half exists — the workspace never parses JSON back in.
+//! [`serde::Value`] tree produced by `#[derive(Serialize)]` as JSON text,
+//! and parses JSON text back into a [`Value`] tree ([`from_str`]). There is
+//! no typed deserialization — consumers that read JSON decode the `Value`
+//! tree by hand.
 
 use serde::{Serialize, Value};
 use std::fmt;
@@ -31,6 +33,200 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some("  "), 0);
     Ok(out)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] describing the first syntax problem (position and
+/// what was expected).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!(
+            "expected '{}' at byte {}",
+            char::from(c),
+            *pos
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".to_string())),
+        Some(b'n') => parse_keyword(b, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, kw: &str, value: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(kw.as_bytes()) {
+        *pos += kw.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("expected '{kw}' at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".to_string())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error(format!("bad \\u escape '{hex}'")))?;
+                        // Surrogates are not paired up — the writer never
+                        // emits them for this workspace's data.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences arrive
+                // already valid: the input is a &str).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos])
+                        .map_err(|_| Error(format!("invalid UTF-8 in string at byte {start}")))?,
+                );
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| Error(format!("invalid number at byte {start}")))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("expected a value at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("bad number '{text}'")))
+    } else if text.starts_with('-') {
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| Error(format!("bad number '{text}'")))
+    } else {
+        text.parse::<u64>()
+            .map(Value::UInt)
+            .map_err(|_| Error(format!("bad number '{text}'")))
+    }
 }
 
 fn write_indent(out: &mut String, indent: Option<&str>, depth: usize) {
@@ -140,5 +336,49 @@ mod tests {
     fn escapes_strings() {
         let v = Value::Str("a\"b\\c\nd".to_string());
         assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn parses_what_it_writes() {
+        let v = Value::Map(vec![
+            ("n".to_string(), Value::Null),
+            ("t".to_string(), Value::Bool(true)),
+            ("i".to_string(), Value::Int(-42)),
+            ("u".to_string(), Value::UInt(7)),
+            ("f".to_string(), Value::Float(2.5)),
+            ("s".to_string(), Value::Str("a\"b\\c\nd µ".to_string())),
+            (
+                "seq".to_string(),
+                Value::Seq(vec![Value::UInt(1), Value::Seq(vec![])]),
+            ),
+            ("empty".to_string(), Value::Map(vec![])),
+        ]);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str(r#"{"a" 1}"#).is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("\"abc").is_err());
+        assert!(from_str("-").is_err());
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_floats() {
+        assert_eq!(from_str(r#""A\t""#).unwrap(), Value::Str("A\t".to_string()));
+        assert_eq!(from_str("1.5e3").unwrap(), Value::Float(1500.0));
+        assert_eq!(from_str("-3").unwrap(), Value::Int(-3));
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
     }
 }
