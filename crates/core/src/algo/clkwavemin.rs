@@ -70,6 +70,7 @@ impl ClkWaveMin {
             degenerate_zones: out.degenerate_zones,
             ladder_rung: solver.ladder.current_rung(),
             budget_units: budget.work_done(),
+            kernel: wavemin_mosp::kernels::active().name(),
         });
         Ok(out)
     }

@@ -58,6 +58,7 @@ impl ClkWaveMinFast {
             degenerate_zones: out.degenerate_zones,
             ladder_rung: 0,
             budget_units: 0,
+            kernel: wavemin_mosp::kernels::active().name(),
         });
         Ok(out)
     }
@@ -113,11 +114,7 @@ impl ZoneSolver for GreedyZoneSolver {
             for &row in &remaining {
                 for (ci, (_, _, vector)) in candidates[row].iter().enumerate() {
                     work += 1;
-                    let m = sum
-                        .iter()
-                        .zip(vector)
-                        .map(|(s, v)| s + v)
-                        .fold(f64::NEG_INFINITY, f64::max);
+                    let m = wavemin_mosp::kernels::add_max(&sum, vector);
                     if best.is_none_or(|(_, _, bm)| m < bm) {
                         best = Some((row, ci, m));
                     }
@@ -129,13 +126,11 @@ impl ZoneSolver for GreedyZoneSolver {
                 return Err(WaveMinError::NoFeasibleInterval);
             };
             let (opt, code, ref vector) = candidates[row][ci];
-            for (s, v) in sum.iter_mut().zip(vector) {
-                *s += v;
-            }
+            wavemin_mosp::kernels::add_assign(&mut sum, vector);
             choices[row] = (opt, code);
             remaining.retain(|&r| r != row);
         }
-        let cost = sum.iter().copied().fold(0.0, f64::max);
+        let cost = wavemin_mosp::kernels::max_component(&sum).max(0.0);
         if let Some(started) = started {
             self.registry.record_zone_solve(
                 zone.id,
@@ -145,6 +140,8 @@ impl ZoneSolver for GreedyZoneSolver {
                         labels_pruned: 0,
                         work,
                         front_size: 1,
+                        dominance_checks: 0,
+                        dominance_skipped: 0,
                     },
                     exhausted: false,
                     arena_arcs: 0,

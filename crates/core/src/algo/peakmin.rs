@@ -61,6 +61,7 @@ impl ClkPeakMin {
             degenerate_zones: out.degenerate_zones,
             ladder_rung: 0,
             budget_units: 0,
+            kernel: wavemin_mosp::kernels::active().name(),
         });
         Ok(out)
     }
@@ -156,6 +157,8 @@ impl ZoneSolver for BalanceZoneSolver {
                         labels_pruned: 0,
                         work,
                         front_size: 1,
+                        dominance_checks: 0,
+                        dominance_skipped: 0,
                     },
                     exhausted: false,
                     arena_arcs: 0,

@@ -79,6 +79,7 @@ impl ClkWaveMinM {
             degenerate_zones: outcome.degenerate_zones,
             ladder_rung: ladder.current_rung(),
             budget_units: budget.work_done(),
+            kernel: wavemin_mosp::kernels::active().name(),
         });
         Ok(outcome)
     }

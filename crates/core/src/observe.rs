@@ -101,6 +101,8 @@ struct Counters {
     arena_arcs: AtomicU64,
     arena_unique_weights: AtomicU64,
     rung_transitions: AtomicU64,
+    dominance_checks: AtomicU64,
+    dominance_skipped: AtomicU64,
 }
 
 /// Per-zone counters, same units as the matching [`Counters`] fields.
@@ -112,6 +114,8 @@ struct ZoneCell {
     solver_work: AtomicU64,
     pareto_paths: AtomicU64,
     exhausted_solves: AtomicU64,
+    dominance_checks: AtomicU64,
+    dominance_skipped: AtomicU64,
     wall_ns: AtomicU64,
 }
 
@@ -229,6 +233,10 @@ impl MetricsRegistry {
         c.arena_arcs.fetch_add(solve.arena_arcs, Ordering::Relaxed);
         c.arena_unique_weights
             .fetch_add(solve.arena_unique_weights, Ordering::Relaxed);
+        c.dominance_checks
+            .fetch_add(solve.stats.dominance_checks, Ordering::Relaxed);
+        c.dominance_skipped
+            .fetch_add(solve.stats.dominance_skipped, Ordering::Relaxed);
 
         let stage = &inner.stages[Stage::ZoneSolve.index()];
         stage.count.fetch_add(1, Ordering::Relaxed);
@@ -248,6 +256,10 @@ impl MetricsRegistry {
                     .fetch_add(solve.stats.front_size, Ordering::Relaxed);
                 cell.exhausted_solves
                     .fetch_add(u64::from(solve.exhausted), Ordering::Relaxed);
+                cell.dominance_checks
+                    .fetch_add(solve.stats.dominance_checks, Ordering::Relaxed);
+                cell.dominance_skipped
+                    .fetch_add(solve.stats.dominance_skipped, Ordering::Relaxed);
                 cell.wall_ns.fetch_add(solve.wall_ns, Ordering::Relaxed);
                 return;
             }
@@ -268,6 +280,10 @@ impl MetricsRegistry {
                 .fetch_add(solve.stats.front_size, Ordering::Relaxed);
             cell.exhausted_solves
                 .fetch_add(u64::from(solve.exhausted), Ordering::Relaxed);
+            cell.dominance_checks
+                .fetch_add(solve.stats.dominance_checks, Ordering::Relaxed);
+            cell.dominance_skipped
+                .fetch_add(solve.stats.dominance_skipped, Ordering::Relaxed);
             cell.wall_ns.fetch_add(solve.wall_ns, Ordering::Relaxed);
         }
     }
@@ -315,6 +331,8 @@ impl MetricsRegistry {
                     solver_work: load(&cell.solver_work),
                     pareto_paths: load(&cell.pareto_paths),
                     exhausted_solves: load(&cell.exhausted_solves),
+                    dominance_checks: load(&cell.dominance_checks),
+                    dominance_skipped: load(&cell.dominance_skipped),
                     wall_ns: load(&cell.wall_ns),
                 })
                 .collect()
@@ -322,6 +340,7 @@ impl MetricsRegistry {
         Some(RunReport {
             schema_version: RunReport::SCHEMA_VERSION,
             threads: ctx.threads,
+            kernel: ctx.kernel.to_owned(),
             counters: RunCounters {
                 labels_created: load(&c.labels_created),
                 labels_pruned: load(&c.labels_pruned),
@@ -333,6 +352,8 @@ impl MetricsRegistry {
                 arena_unique_weights: load(&c.arena_unique_weights),
                 rung_transitions: load(&c.rung_transitions),
                 budget_units: ctx.budget_units,
+                dominance_checks: load(&c.dominance_checks),
+                dominance_skipped: load(&c.dominance_skipped),
             },
             stages,
             zones,
@@ -396,6 +417,9 @@ pub struct ReportContext {
     /// run was unbudgeted — the budget's fast path skips its atomic; see
     /// [`RunCounters::solver_work`] for the unconditional count).
     pub budget_units: u64,
+    /// Name of the numeric kernel family the run dispatched to
+    /// ([`wavemin_mosp::kernels::active`]`().name()`; empty when unknown).
+    pub kernel: &'static str,
 }
 
 /// One stage's aggregated span timing.
@@ -434,6 +458,11 @@ pub struct RunCounters {
     /// Work units charged against the shared budget (0 for unbudgeted
     /// runs, whose fast path never touches the atomic).
     pub budget_units: u64,
+    /// Pairwise dominance comparisons the frontier actually performed.
+    pub dominance_checks: u64,
+    /// Dominance comparisons the sorted max-component index proved
+    /// unnecessary and skipped.
+    pub dominance_skipped: u64,
 }
 
 impl RunCounters {
@@ -466,6 +495,10 @@ pub struct ZoneMetrics {
     pub pareto_paths: u64,
     /// This zone's solves that exhausted the budget.
     pub exhausted_solves: u64,
+    /// Dominance comparisons performed by this zone's solves.
+    pub dominance_checks: u64,
+    /// Dominance comparisons skipped via the sorted-key index.
+    pub dominance_skipped: u64,
     /// Total wall time of this zone's solves, nanoseconds.
     pub wall_ns: u64,
 }
@@ -482,6 +515,12 @@ pub struct RunReport {
     pub schema_version: u32,
     /// Worker threads the run used.
     pub threads: usize,
+    /// Numeric kernel family the run dispatched to ("vector"/"scalar";
+    /// empty in reports written before the field existed). Stripped by
+    /// [`RunReport::normalized`] — both families are bit-identical, so
+    /// normalized reports must compare equal across them.
+    #[serde(default)]
+    pub kernel: String,
     /// Run-wide counter aggregates.
     pub counters: RunCounters,
     /// Per-stage span timings (stages with zero spans are omitted).
@@ -513,7 +552,7 @@ impl RunReport {
                 Self::SCHEMA_VERSION
             ));
         }
-        let sums: [(&str, u64, u64); 6] = [
+        let sums: [(&str, u64, u64); 8] = [
             (
                 "labels_created",
                 self.counters.labels_created,
@@ -544,6 +583,16 @@ impl RunReport {
                 self.counters.exhausted_solves,
                 self.zones.iter().map(|z| z.exhausted_solves).sum(),
             ),
+            (
+                "dominance_checks",
+                self.counters.dominance_checks,
+                self.zones.iter().map(|z| z.dominance_checks).sum(),
+            ),
+            (
+                "dominance_skipped",
+                self.counters.dominance_skipped,
+                self.zones.iter().map(|z| z.dominance_skipped).sum(),
+            ),
         ];
         for (name, global, zone_sum) in sums {
             if global != zone_sum {
@@ -567,14 +616,15 @@ impl RunReport {
         Ok(())
     }
 
-    /// A copy with every timing-dependent field zeroed (`threads`, stage
-    /// `total_ns`, zone `wall_ns`): two unbudgeted runs of the same
-    /// problem must produce equal normalized reports regardless of worker
-    /// count.
+    /// A copy with every run-environment field zeroed (`threads`, the
+    /// `kernel` name, stage `total_ns`, zone `wall_ns`): two unbudgeted
+    /// runs of the same problem must produce equal normalized reports
+    /// regardless of worker count or kernel family.
     #[must_use]
     pub fn normalized(&self) -> Self {
         let mut out = self.clone();
         out.threads = 0;
+        out.kernel = String::new();
         for s in &mut out.stages {
             s.total_ns = 0;
         }
@@ -637,6 +687,25 @@ mod decode {
         }
     }
 
+    /// Like [`u64_field`] but defaults to 0 when the field is absent —
+    /// for additive schema fields that older reports predate.
+    fn opt_u64_field(entries: &[(String, Value)], key: &str) -> Result<u64, String> {
+        if entries.iter().any(|(k, _)| k == key) {
+            u64_field(entries, key)
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Like [`str_field`] but defaults to "" when the field is absent.
+    fn opt_str_field(entries: &[(String, Value)], key: &str) -> Result<String, String> {
+        if entries.iter().any(|(k, _)| k == key) {
+            str_field(entries, key)
+        } else {
+            Ok(String::new())
+        }
+    }
+
     fn usize_field(entries: &[(String, Value)], key: &str) -> Result<usize, String> {
         usize::try_from(u64_field(entries, key)?)
             .map_err(|_| format!("field '{key}': value does not fit usize"))
@@ -662,6 +731,7 @@ mod decode {
             &[
                 "schema_version",
                 "threads",
+                "kernel",
                 "counters",
                 "stages",
                 "zones",
@@ -676,6 +746,7 @@ mod decode {
         Ok(RunReport {
             schema_version,
             threads: usize_field(entries, "threads")?,
+            kernel: opt_str_field(entries, "kernel")?,
             counters: counters(get(entries, "counters")?)?,
             stages: seq_field(entries, "stages")?
                 .iter()
@@ -704,6 +775,8 @@ mod decode {
                 "arena_unique_weights",
                 "rung_transitions",
                 "budget_units",
+                "dominance_checks",
+                "dominance_skipped",
             ],
             "counters",
         )?;
@@ -718,6 +791,8 @@ mod decode {
             arena_unique_weights: u64_field(entries, "arena_unique_weights")?,
             rung_transitions: u64_field(entries, "rung_transitions")?,
             budget_units: u64_field(entries, "budget_units")?,
+            dominance_checks: opt_u64_field(entries, "dominance_checks")?,
+            dominance_skipped: opt_u64_field(entries, "dominance_skipped")?,
         })
     }
 
@@ -741,6 +816,8 @@ mod decode {
                 "solver_work",
                 "pareto_paths",
                 "exhausted_solves",
+                "dominance_checks",
+                "dominance_skipped",
                 "wall_ns",
             ],
             "zone metrics",
@@ -753,6 +830,8 @@ mod decode {
             solver_work: u64_field(entries, "solver_work")?,
             pareto_paths: u64_field(entries, "pareto_paths")?,
             exhausted_solves: u64_field(entries, "exhausted_solves")?,
+            dominance_checks: opt_u64_field(entries, "dominance_checks")?,
+            dominance_skipped: opt_u64_field(entries, "dominance_skipped")?,
             wall_ns: u64_field(entries, "wall_ns")?,
         })
     }
@@ -770,6 +849,8 @@ mod tests {
                 labels_pruned: labels / 2,
                 work: labels * 3,
                 front_size: 2,
+                dominance_checks: labels * 4,
+                dominance_skipped: labels,
             },
             exhausted: false,
             arena_arcs: 10,
@@ -878,6 +959,7 @@ mod tests {
                 degenerate_zones: 1,
                 ladder_rung: 2,
                 budget_units: 99,
+                kernel: "vector",
             })
             .expect("enabled");
         let json = serde_json::to_string(&report).expect("serialize");
@@ -887,6 +969,32 @@ mod tests {
         assert_eq!(back.ladder_rung, 2);
         assert_eq!(back.counters.rung_transitions, 1);
         assert_eq!(back.counters.budget_units, 99);
+        assert_eq!(back.kernel, "vector");
+        assert_eq!(back.normalized().kernel, "", "normalization strips kernel");
+    }
+
+    #[test]
+    fn decode_defaults_fields_older_reports_lack() {
+        // A report serialized before the kernel/dominance fields existed
+        // must still decode, with those fields defaulted.
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(4));
+        let report = r
+            .report(&ReportContext {
+                kernel: "vector",
+                ..ReportContext::default()
+            })
+            .expect("enabled");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let legacy = json
+            .replace("\"kernel\":\"vector\",", "")
+            .replace(",\"dominance_checks\":16,\"dominance_skipped\":4", "");
+        assert_ne!(legacy, json, "fixture must actually strip the fields");
+        let back = RunReport::from_json(&legacy).expect("legacy decodes");
+        assert_eq!(back.kernel, "");
+        assert_eq!(back.counters.dominance_checks, 0);
+        assert_eq!(back.counters.dominance_skipped, 0);
+        back.validate().expect("defaults stay self-consistent");
     }
 
     #[test]

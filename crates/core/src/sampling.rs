@@ -118,13 +118,17 @@ impl SamplePlan {
     /// Panics if `acc` length differs from [`Self::dims`].
     pub fn accumulate_into(&self, acc: &mut [f64], waves: &EventWaveforms) {
         assert_eq!(acc.len(), self.dims(), "accumulator dimension mismatch");
-        let mut i = 0;
-        for (rail, event) in EventWaveforms::SLOTS {
-            let w = waves.get(rail, event);
-            for &t in &self.times {
-                acc[i] += w.sample(t).value();
-                i += 1;
+        // Sample each slot into a contiguous scratch row, then add it with
+        // the vectorizable kernel — waveform interpolation is branchy and
+        // defeats autovectorization, but the accumulate itself need not.
+        let k = self.times.len();
+        let mut row = vec![0.0; k];
+        for (slot, (rail, event)) in EventWaveforms::SLOTS.iter().enumerate() {
+            let w = waves.get(*rail, *event);
+            for (r, &t) in row.iter_mut().zip(&self.times) {
+                *r = w.sample(t).value();
             }
+            wavemin_mosp::kernels::add_assign(&mut acc[slot * k..(slot + 1) * k], &row);
         }
     }
 }

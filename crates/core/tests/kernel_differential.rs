@@ -1,0 +1,111 @@
+//! End-to-end kernel differential test: a full optimization run must be
+//! observationally identical whether the numeric kernels dispatch to the
+//! vectorized or the scalar-reference family. The kernel selection is a
+//! process-wide switch ([`wavemin_mosp::kernels::force`]), so everything
+//! lives in ONE `#[test]` that flips it sequentially — splitting into
+//! multiple tests would race the global on the parallel test runner.
+
+use wavemin::prelude::*;
+use wavemin_cells::units::Volts;
+use wavemin_mosp::{kernels, Kernel};
+
+/// Asserts two outcomes are observationally identical (runtime aside).
+fn assert_outcomes_identical(vec_out: &Outcome, sc_out: &Outcome, label: &str) {
+    assert_eq!(vec_out.assignment, sc_out.assignment, "{label}: assignment");
+    assert_eq!(vec_out.peak_after, sc_out.peak_after, "{label}: peak");
+    assert_eq!(
+        vec_out.vdd_noise_after, sc_out.vdd_noise_after,
+        "{label}: vdd"
+    );
+    assert_eq!(
+        vec_out.gnd_noise_after, sc_out.gnd_noise_after,
+        "{label}: gnd"
+    );
+    assert_eq!(vec_out.skew_after, sc_out.skew_after, "{label}: skew");
+    assert!(
+        vec_out.estimated_cost == sc_out.estimated_cost
+            || (vec_out.estimated_cost.is_nan() && sc_out.estimated_cost.is_nan()),
+        "{label}: cost {} vs {}",
+        vec_out.estimated_cost,
+        sc_out.estimated_cost
+    );
+    assert_eq!(
+        vec_out.intervals_tried, sc_out.intervals_tried,
+        "{label}: tried"
+    );
+    assert_eq!(
+        vec_out.degenerate_zones, sc_out.degenerate_zones,
+        "{label}: degenerate zones"
+    );
+    match (&vec_out.report, &sc_out.report) {
+        (Some(v), Some(s)) => {
+            v.validate().expect("vector report consistency");
+            s.validate().expect("scalar report consistency");
+            assert_eq!(
+                v.normalized(),
+                s.normalized(),
+                "{label}: normalized reports must not depend on the kernel family"
+            );
+            assert_eq!(v.kernel, "vector", "{label}: vector run labels itself");
+            assert_eq!(s.kernel, "scalar", "{label}: scalar run labels itself");
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one run produced a report and the other did not"),
+    }
+}
+
+/// Runs `build` once per kernel family and checks the outcomes match.
+fn differential<F: Fn() -> Outcome>(label: &str, build: F) {
+    kernels::force(Some(Kernel::Vector));
+    let vec_out = build();
+    kernels::force(Some(Kernel::Scalar));
+    let sc_out = build();
+    kernels::force(None);
+    assert_outcomes_identical(&vec_out, &sc_out, label);
+}
+
+#[test]
+fn optimizers_are_kernel_family_independent() {
+    // ClkWaveMin on two benchmarks, with metrics so the normalized
+    // RunReport comparison also runs.
+    for bench in [Benchmark::s15850(), Benchmark::s13207()] {
+        let d = Design::from_benchmark(&bench, 7);
+        let mut cfg = WaveMinConfig::default()
+            .with_sample_count(16)
+            .with_metrics(true);
+        cfg.max_intervals = Some(6);
+        differential(&bench.name, || {
+            ClkWaveMin::new(cfg.clone())
+                .run(&d)
+                .expect("clkwavemin run")
+        });
+    }
+
+    // The greedy fast variant (add_max / add_assign hot loop).
+    let d = Design::from_benchmark(&Benchmark::s15850(), 11);
+    let cfg = WaveMinConfig::default()
+        .with_sample_count(16)
+        .with_metrics(true);
+    differential("fast", || {
+        ClkWaveMinFast::new(cfg.clone()).run(&d).expect("fast run")
+    });
+
+    // Multi-mode (intersection solves + per-mode characterization).
+    let dm = Design::from_benchmark_multimode_levels(
+        &Benchmark::s15850(),
+        3,
+        4,
+        4,
+        Volts::new(0.9),
+        Volts::new(1.1),
+    );
+    let mcfg = WaveMinConfig::default()
+        .with_skew_bound(wavemin_cells::units::Picoseconds::new(22.0))
+        .with_sample_count(8)
+        .with_metrics(true);
+    differential("multimode", || {
+        ClkWaveMinM::new(mcfg.clone())
+            .run(&dm)
+            .expect("multimode run")
+    });
+}

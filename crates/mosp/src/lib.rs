@@ -37,9 +37,11 @@
 
 pub mod budget;
 pub mod graph;
+pub mod kernels;
 pub mod pareto;
 pub mod solve;
 
 pub use budget::{Budget, Exhaustion};
 pub use graph::{MospError, MospGraph, VertexId};
-pub use pareto::{ParetoPath, ParetoSet, SolveStats};
+pub use kernels::Kernel;
+pub use pareto::{ParetoFront, ParetoPath, ParetoSet, SolveStats};

@@ -3,41 +3,228 @@
 
 use crate::budget::Budget;
 use crate::graph::{MospError, MospGraph, VertexId};
-use crate::pareto::{dominates, ParetoPath, ParetoSet, SolveStats};
+use crate::kernels;
+use crate::pareto::{ParetoFront, ParetoPath, ParetoSet, SolveStats};
 
-/// Append-only per-vertex label store in structure-of-arrays layout.
+/// One vertex's active label frontier, kept sorted by cached min–max key
+/// with the label data in contiguous slabs.
 ///
-/// Accumulated costs live in one flat `f64` block (stride = the graph's
-/// weight dimension). The ε-approximate solver's scaled grid lives in a
-/// parallel `i64` block that stays **empty** in exact mode, so exact
-/// labels no longer pay 24 bytes plus a dead allocation slot for a
-/// `scaled` vector they never use. The store is append-only: dominated
-/// labels leave the active frontier but keep their slot, so predecessor
-/// indices stay valid for path reconstruction.
-#[derive(Debug, Default)]
-struct LabelStore {
+/// The costs of the *active* labels live in one flat `f64` slab (stride =
+/// the graph's weight dimension) whose row order matches `entries`; the
+/// ε-solver's scaled grid lives in a parallel `i64` slab that stays
+/// **empty** in exact mode. Keeping the slab in ascending key order makes
+/// the two dominance scans of a candidate insertion contiguous slab
+/// passes, each restricted by the key partition:
+///
+/// * rejection: an incumbent dominating (weakly) the candidate satisfies
+///   componentwise `inc <= cand`, hence `max(inc) <= max(cand)` — only
+///   the sorted prefix with `key <= cand_key` needs comparing;
+/// * eviction: symmetrically, only entries with `key >= cand_key` can be
+///   dominated by the candidate.
+///
+/// The implications require NaN-free costs, which the solver guarantees:
+/// [`MospGraph`] validates arc weights finite and non-negative, and sums
+/// of non-negative finite values never produce NaN (at worst `+inf`,
+/// which orders fine). [`crate::pareto::ParetoFront`] is the public
+/// variant that stays sound for arbitrary inputs.
+///
+/// Dominated or cap-evicted labels leave the frontier (their slab rows
+/// are compacted away) but keep their slot in the vertex's append-only
+/// predecessor store, so reconstruction chains stay valid.
+#[derive(Debug, Default, Clone)]
+struct Frontier {
+    entries: Vec<FrontierEntry>,
     costs: Vec<f64>,
     scaled: Vec<i64>,
-    preds: Vec<Option<(usize, usize)>>,
 }
 
-impl LabelStore {
+#[derive(Debug, Clone, Copy)]
+struct FrontierEntry {
+    /// Cached max true-cost component: the exact-mode sort key and the
+    /// cap-truncation order in both modes.
+    fkey: f64,
+    /// Cached max scaled component: the ε-mode sort key (the `i64` grid
+    /// must not be compared through `f64` — large grids lose precision).
+    /// 0 in exact mode.
+    ikey: i64,
+    /// The label's slot in its vertex's predecessor store.
+    slot: usize,
+}
+
+impl Frontier {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     #[inline]
     fn cost(&self, dim: usize, i: usize) -> &[f64] {
         &self.costs[i * dim..(i + 1) * dim]
     }
 
     #[inline]
-    fn scaled_of(&self, dim: usize, i: usize) -> &[i64] {
+    fn scaled_row(&self, dim: usize, i: usize) -> &[i64] {
         &self.scaled[i * dim..(i + 1) * dim]
     }
 
-    fn push(&mut self, cost: &[f64], scaled: &[i64], pred: Option<(usize, usize)>) -> usize {
-        self.costs.extend_from_slice(cost);
-        self.scaled.extend_from_slice(scaled);
-        self.preds.push(pred);
-        self.preds.len() - 1
+    fn move_row(&mut self, dim: usize, from: usize, to: usize) {
+        self.entries[to] = self.entries[from];
+        self.costs
+            .copy_within(from * dim..(from + 1) * dim, to * dim);
+        if !self.scaled.is_empty() {
+            self.scaled
+                .copy_within(from * dim..(from + 1) * dim, to * dim);
+        }
     }
+
+    fn truncate_rows(&mut self, dim: usize, len: usize) {
+        self.entries.truncate(len);
+        self.costs.truncate(len * dim);
+        if !self.scaled.is_empty() {
+            self.scaled.truncate(len * dim);
+        }
+    }
+
+    /// Dominance screening of a candidate: the rejection test against the
+    /// admissible sorted prefix, then eviction of every incumbent the
+    /// candidate dominates. Returns whether the candidate belongs in the
+    /// frontier. Comparison runs on the scaled grid in ε mode (weak
+    /// dominance) and on true costs otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &mut self,
+        dim: usize,
+        eps_mode: bool,
+        cost: &[f64],
+        scaled: &[i64],
+        fkey: f64,
+        ikey: i64,
+        stats: &mut SolveStats,
+    ) -> bool {
+        let n = self.entries.len();
+        if eps_mode {
+            let hi = self.entries.partition_point(|e| e.ikey <= ikey);
+            stats.dominance_skipped += (n - hi) as u64;
+            if let Some(r) = kernels::scaled_leq_any(&self.scaled, dim, hi, scaled) {
+                stats.dominance_checks += (r + 1) as u64;
+                return false;
+            }
+            stats.dominance_checks += hi as u64;
+            let lo = self.entries.partition_point(|e| e.ikey < ikey);
+            stats.dominance_skipped += lo as u64;
+            let mut w = lo;
+            for r in lo..n {
+                stats.dominance_checks += 1;
+                let doomed = kernels::scaled_leq(scaled, self.scaled_row(dim, r));
+                if !doomed {
+                    if w != r {
+                        self.move_row(dim, r, w);
+                    }
+                    w += 1;
+                }
+            }
+            stats.labels_pruned += (n - w) as u64;
+            self.truncate_rows(dim, w);
+        } else {
+            let hi = self
+                .entries
+                .partition_point(|e| e.fkey.total_cmp(&fkey) != std::cmp::Ordering::Greater);
+            stats.dominance_skipped += (n - hi) as u64;
+            if let Some(r) = kernels::dominated_weakly_by_any(&self.costs, dim, hi, cost) {
+                stats.dominance_checks += (r + 1) as u64;
+                return false;
+            }
+            stats.dominance_checks += hi as u64;
+            let lo = self
+                .entries
+                .partition_point(|e| e.fkey.total_cmp(&fkey) == std::cmp::Ordering::Less);
+            stats.dominance_skipped += lo as u64;
+            let mut w = lo;
+            for r in lo..n {
+                stats.dominance_checks += 1;
+                let doomed = kernels::dominates(cost, self.cost(dim, r));
+                if !doomed {
+                    if w != r {
+                        self.move_row(dim, r, w);
+                    }
+                    w += 1;
+                }
+            }
+            stats.labels_pruned += (n - w) as u64;
+            self.truncate_rows(dim, w);
+        }
+        true
+    }
+
+    /// Inserts an admitted label at its sorted position (after equal
+    /// keys, so ties keep insertion order).
+    #[allow(clippy::too_many_arguments)]
+    fn commit(
+        &mut self,
+        dim: usize,
+        eps_mode: bool,
+        cost: &[f64],
+        scaled: &[i64],
+        fkey: f64,
+        ikey: i64,
+        slot: usize,
+    ) {
+        let p = if eps_mode {
+            self.entries.partition_point(|e| e.ikey <= ikey)
+        } else {
+            self.entries
+                .partition_point(|e| e.fkey.total_cmp(&fkey) != std::cmp::Ordering::Greater)
+        };
+        self.entries.insert(p, FrontierEntry { fkey, ikey, slot });
+        insert_row(&mut self.costs, dim, p, cost);
+        if eps_mode {
+            insert_row(&mut self.scaled, dim, p, scaled);
+        }
+    }
+
+    /// Truncates to the `cap` labels with the smallest max true-cost
+    /// component (ties keep earlier-inserted labels, as before the slab
+    /// rewrite). Exact mode is already in that order; ε mode selects by
+    /// `fkey` but preserves the scaled-key order of the survivors.
+    /// Returns the number of evicted labels.
+    fn apply_cap(&mut self, dim: usize, eps_mode: bool, cap: usize) -> usize {
+        let n = self.entries.len();
+        if n <= cap {
+            return 0;
+        }
+        if eps_mode {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| self.entries[a].fkey.total_cmp(&self.entries[b].fkey));
+            let mut keep = vec![false; n];
+            for &i in order.iter().take(cap) {
+                keep[i] = true;
+            }
+            let mut w = 0;
+            for (r, &kept) in keep.iter().enumerate() {
+                if kept {
+                    if w != r {
+                        self.move_row(dim, r, w);
+                    }
+                    w += 1;
+                }
+            }
+            self.truncate_rows(dim, w);
+        } else {
+            self.truncate_rows(dim, cap);
+        }
+        n - cap
+    }
+}
+
+/// Splices `values` in as row `row` of a flat slab of stride `dim`.
+fn insert_row<T: Copy + Default>(slab: &mut Vec<T>, dim: usize, row: usize, values: &[T]) {
+    let old = slab.len();
+    slab.resize(old + dim, T::default());
+    slab.copy_within(row * dim..old, (row + 1) * dim);
+    slab[row * dim..(row + 1) * dim].copy_from_slice(values);
 }
 
 /// Exact Pareto enumeration over the DAG.
@@ -195,14 +382,17 @@ fn run(
         (a, b) => a.or(b),
     };
 
-    let mut store: Vec<LabelStore> = (0..n).map(|_| LabelStore::default()).collect();
-    let mut active: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut fronts: Vec<Frontier> = vec![Frontier::default(); n];
+    // Append-only per-vertex predecessor store: dominated or cap-evicted
+    // labels leave the frontier but keep their slot here, so predecessor
+    // chains stay valid for reconstruction.
+    let mut preds: Vec<Vec<Option<(usize, usize)>>> = vec![Vec::new(); n];
     let mut truncated = false;
     let mut exhausted = None;
     let mut stats = SolveStats::default();
 
     // Writes the ε-grid image of `cost` into `out` (left empty in exact
-    // mode, matching the store's empty scaled block).
+    // mode, matching the frontier's empty scaled slab).
     let scale_into = |cost: &[f64], out: &mut Vec<i64>| {
         out.clear();
         if let Some(ds) = deltas {
@@ -213,13 +403,21 @@ fn run(
     let mut scaled_scratch: Vec<i64> = Vec::new();
     let zero = vec![0.0; dim];
     scale_into(&zero, &mut scaled_scratch);
-    store[source.0].push(&zero, &scaled_scratch, None);
-    active[source.0].push(0);
+    preds[source.0].push(None);
+    fronts[source.0].commit(
+        dim,
+        eps_mode,
+        &zero,
+        &scaled_scratch,
+        kernels::max_component(&zero),
+        ikey_of(&scaled_scratch),
+        0,
+    );
     stats.labels_created += 1;
 
     // Scratch buffers reused across vertices: the expanding vertex's
-    // frontier snapshot (indices + flat costs) and the candidate cost.
-    let mut src_idx: Vec<usize> = Vec::new();
+    // frontier snapshot (slots + flat costs) and the candidate cost.
+    let mut src_slots: Vec<usize> = Vec::new();
     let mut src_costs: Vec<f64> = Vec::new();
     let mut cand = vec![0.0; dim];
 
@@ -236,46 +434,40 @@ fn run(
             max_labels
         };
         if let Some(cap) = cap {
-            if active[v.0].len() > cap {
-                let slot = &mut active[v.0];
-                let st = &store[v.0];
-                slot.sort_by(|&a, &b| max_of(st.cost(dim, a)).total_cmp(&max_of(st.cost(dim, b))));
-                stats.labels_pruned += (slot.len() - cap) as u64;
-                slot.truncate(cap);
+            let evicted = fronts[v.0].apply_cap(dim, eps_mode, cap);
+            if evicted > 0 {
+                stats.labels_pruned += evicted as u64;
                 truncated = true;
             }
         }
-        if active[v.0].is_empty() {
+        if fronts[v.0].is_empty() {
             continue;
         }
         // Snapshot the frontier once per vertex: targets come strictly
         // later in topological order, so `v`'s frontier cannot change
         // while its arcs are expanded, and the snapshot lets the target
-        // stores be borrowed mutably.
-        src_idx.clear();
-        src_idx.extend_from_slice(&active[v.0]);
+        // frontiers be borrowed mutably. The cost slab is already
+        // contiguous, so this is one memcpy.
+        src_slots.clear();
+        src_slots.extend(fronts[v.0].entries.iter().map(|e| e.slot));
         src_costs.clear();
-        for &i in &src_idx {
-            src_costs.extend_from_slice(store[v.0].cost(dim, i));
-        }
+        src_costs.extend_from_slice(&fronts[v.0].costs);
         for (to, w) in graph.out_arcs(v) {
-            for (k, &idx) in src_idx.iter().enumerate() {
+            for (k, &slot) in src_slots.iter().enumerate() {
                 stats.work += 1;
                 if exhausted.is_none() {
                     exhausted = budget.charge(1);
                 }
                 let base = &src_costs[k * dim..(k + 1) * dim];
-                for ((c, s), wk) in cand.iter_mut().zip(base).zip(w) {
-                    *c = s + wk;
-                }
+                kernels::add_into(&mut cand, base, w);
                 scale_into(&cand, &mut scaled_scratch);
                 push_label(
-                    &mut store[to.0],
-                    &mut active[to.0],
+                    &mut fronts[to.0],
+                    &mut preds[to.0],
                     dim,
                     &cand,
                     &scaled_scratch,
-                    (v.0, idx),
+                    (v.0, slot),
                     eps_mode,
                     &mut stats,
                 );
@@ -283,7 +475,7 @@ fn run(
         }
     }
 
-    if active[dest.0].is_empty() {
+    if fronts[dest.0].is_empty() {
         if source == dest {
             let mut set = ParetoSet::new(
                 vec![ParetoPath {
@@ -299,29 +491,26 @@ fn run(
         return Err(MospError::NoPath);
     }
 
-    let mut paths: Vec<ParetoPath> = active[dest.0]
-        .iter()
-        .map(|&idx| ParetoPath {
-            cost: store[dest.0].cost(dim, idx).to_vec(),
-            vertices: reconstruct(&store, dest.0, idx),
+    // Final exact-dominance sweep through a maintained [`ParetoFront`]
+    // (the ε-solver's scaled dominance can let exactly-dominated paths
+    // coexist); its key index replaces the old all-pairs O(k²) pass and
+    // its pruning counters fold into the solve stats.
+    let mut dest_front: ParetoFront<usize> = ParetoFront::new(dim);
+    for i in 0..fronts[dest.0].len() {
+        let slot = fronts[dest.0].entries[i].slot;
+        dest_front.insert(fronts[dest.0].cost(dim, i), slot);
+    }
+    let (checks, skipped) = dest_front.counters();
+    stats.dominance_checks += checks;
+    stats.dominance_skipped += skipped;
+    let paths: Vec<ParetoPath> = dest_front
+        .into_pairs()
+        .into_iter()
+        .map(|(cost, slot)| ParetoPath {
+            cost,
+            vertices: reconstruct(&preds, dest.0, slot),
         })
         .collect();
-    // Final exact-dominance sweep (the ε-solver's scaled dominance can let
-    // exactly-dominated paths coexist).
-    let mut keep = vec![true; paths.len()];
-    for i in 0..paths.len() {
-        for j in 0..paths.len() {
-            if i != j && keep[i] && keep[j] && dominates(&paths[i].cost, &paths[j].cost) {
-                keep[j] = false;
-            }
-        }
-    }
-    let mut next = 0;
-    paths.retain(|_| {
-        let kept = keep.get(next).copied().unwrap_or(false);
-        next += 1;
-        kept
-    });
     let mut set = ParetoSet::new(paths, truncated);
     if let Some(reason) = exhausted {
         set.mark_exhausted(reason);
@@ -332,13 +521,13 @@ fn run(
 }
 
 /// Inserts a candidate label unless dominated; prunes dominated incumbents
-/// from the active frontier (the store itself is append-only). Comparison
+/// from the frontier (the predecessor store is append-only). Comparison
 /// uses the scaled grid in ε mode, true costs otherwise. The candidate is
-/// copied into the store only when it survives.
+/// copied into the frontier slab only when it survives screening.
 #[allow(clippy::too_many_arguments)]
 fn push_label(
-    store: &mut LabelStore,
-    active: &mut Vec<usize>,
+    front: &mut Frontier,
+    preds: &mut Vec<Option<(usize, usize)>>,
     dim: usize,
     cost: &[f64],
     scaled: &[i64],
@@ -346,46 +535,29 @@ fn push_label(
     eps_mode: bool,
     stats: &mut SolveStats,
 ) -> bool {
-    let before = active.len();
-    if eps_mode {
-        if active
-            .iter()
-            .any(|&i| scaled_leq(store.scaled_of(dim, i), scaled))
-        {
-            return false;
-        }
-        active.retain(|&i| !scaled_leq(scaled, store.scaled_of(dim, i)));
-    } else {
-        if active.iter().any(|&i| {
-            let inc = store.cost(dim, i);
-            dominates(inc, cost) || inc == cost
-        }) {
-            return false;
-        }
-        active.retain(|&i| !dominates(cost, store.cost(dim, i)));
+    let fkey = kernels::max_component(cost);
+    let ikey = ikey_of(scaled);
+    if !front.admit(dim, eps_mode, cost, scaled, fkey, ikey, stats) {
+        return false;
     }
-    stats.labels_pruned += (before - active.len()) as u64;
     stats.labels_created += 1;
-    let idx = store.push(cost, scaled, Some(pred));
-    active.push(idx);
+    preds.push(Some(pred));
+    front.commit(dim, eps_mode, cost, scaled, fkey, ikey, preds.len() - 1);
     true
 }
 
-/// `a` weakly dominates `b` on the scaled grid (componentwise `<=`).
-fn scaled_leq(a: &[i64], b: &[i64]) -> bool {
-    a.iter().zip(b).all(|(x, y)| x <= y)
+/// Max scaled component: the ε-mode frontier sort key (0 in exact mode,
+/// where the scaled slice is empty).
+fn ikey_of(scaled: &[i64]) -> i64 {
+    scaled.iter().copied().max().unwrap_or(0)
 }
 
-fn max_of(cost: &[f64]) -> f64 {
-    cost.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-}
-
-fn reconstruct(store: &[LabelStore], vertex: usize, label: usize) -> Vec<VertexId> {
+fn reconstruct(preds: &[Vec<Option<(usize, usize)>>], vertex: usize, slot: usize) -> Vec<VertexId> {
     let mut rev = vec![VertexId(vertex)];
-    let mut cur = store[vertex].preds[label];
-    while let Some((pv, pl)) = cur {
+    let mut cur = preds[vertex][slot];
+    while let Some((pv, ps)) = cur {
         rev.push(VertexId(pv));
-        cur = store[pv].preds[pl];
+        cur = preds[pv][ps];
     }
     rev.reverse();
     rev
@@ -394,6 +566,7 @@ fn reconstruct(store: &[LabelStore], vertex: usize, label: usize) -> Vec<VertexI
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pareto::dominates;
     use std::time::Duration;
 
     /// Brute-force path enumeration for validation.
