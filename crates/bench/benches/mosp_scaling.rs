@@ -100,12 +100,87 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// A/B overhead of the event journal, mirroring `metrics_overhead`.
+///
+/// End-to-end, `disabled` runs `run_traced` with a disabled journal — the
+/// production default, one branch per hook site — and must stay within
+/// noise of the plain `run`; `enabled` bounds what a full journal costs an
+/// end-to-end run. Solver-level, `enabled` drives the `warburton_rows/8`
+/// fixture through `warburton_observed` with a live handle recording every
+/// layer and label batch — the finest-grained ceiling, budgeted at under
+/// 5 % over the unobserved baseline on this fixture.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use wavemin::trace::TraceJournal;
+    use wavemin_mosp::Budget;
+
+    let design = Design::from_benchmark(&Benchmark::s13207(), 1);
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    let mut cfg = WaveMinConfig::default()
+        .with_sample_count(32)
+        .with_threads(1);
+    cfg.max_intervals = Some(8);
+    let algo = ClkWaveMin::new(cfg);
+    group.bench_with_input(BenchmarkId::new("e2e", "baseline"), &design, |b, design| {
+        b.iter(|| algo.run(std::hint::black_box(design)).unwrap());
+    });
+    let disabled = TraceJournal::disabled();
+    group.bench_with_input(BenchmarkId::new("e2e", "disabled"), &design, |b, design| {
+        b.iter(|| {
+            algo.run_traced(std::hint::black_box(design), &disabled)
+                .unwrap()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("e2e", "enabled"), &design, |b, design| {
+        b.iter(|| {
+            let journal = TraceJournal::enabled();
+            algo.run_traced(std::hint::black_box(design), &journal)
+                .unwrap()
+        });
+    });
+
+    let (g, s, t) = layered(8, 4, 8, 1);
+    group.bench_with_input(
+        BenchmarkId::new("warburton_rows/8", "baseline"),
+        &g,
+        |b, g| {
+            b.iter(|| solve::warburton_capped(g, s, t, 0.01, Some(64)).unwrap());
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("warburton_rows/8", "enabled"),
+        &g,
+        |b, g| {
+            b.iter(|| {
+                // A fresh journal per iteration so the track never
+                // saturates into the (cheaper) overflow-drop path.
+                let journal = TraceJournal::enabled();
+                let mut handle = journal.handle();
+                let set = solve::warburton_observed(
+                    g,
+                    s,
+                    t,
+                    0.01,
+                    Some(64),
+                    &Budget::unlimited(),
+                    Some(&mut handle),
+                )
+                .unwrap();
+                handle.flush();
+                std::hint::black_box(set)
+            });
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rows,
     bench_dims,
     bench_exact_vs_warburton,
     bench_multi_zone,
-    bench_metrics_overhead
+    bench_metrics_overhead,
+    bench_trace_overhead
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@ use serde::Serialize;
 use std::time::Duration;
 use wavemin::prelude::*;
 use wavemin_bench::mosp_fixtures::{layered, median_secs};
-use wavemin_bench::ExperimentArgs;
+use wavemin_bench::{append_history, ExperimentArgs};
 use wavemin_mosp::{kernels, solve, Kernel};
 
 /// One timed measurement, named like its criterion counterpart, with the
@@ -247,4 +247,15 @@ fn main() {
         args.json = Some(std::path::PathBuf::from("BENCH_mosp.json"));
     }
     args.persist(&record);
+    // The snapshot above overwrites; the history file next to it
+    // accumulates one dated line per run so trends survive re-runs.
+    let history = args
+        .json
+        .as_deref()
+        .and_then(std::path::Path::parent)
+        .map_or_else(
+            || std::path::PathBuf::from("BENCH_history.jsonl"),
+            |dir| dir.join("BENCH_history.jsonl"),
+        );
+    append_history(&history, &record);
 }

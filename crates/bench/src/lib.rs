@@ -68,6 +68,57 @@ impl ExperimentArgs {
     }
 }
 
+/// Appends one dated entry to a JSONL history file (one `{"date", "record"}`
+/// object per line), creating the file if absent. Unlike a plain `--json`
+/// overwrite, the history accumulates across runs so regressions can be
+/// diffed over time.
+///
+/// # Panics
+///
+/// Panics on I/O or serialization failure, like [`ExperimentArgs::persist`]
+/// (experiment runs must not silently lose their results).
+#[allow(clippy::expect_used)]
+pub fn append_history<T: Serialize>(path: &std::path::Path, record: &T) {
+    use std::io::Write;
+    let body = serde_json::to_string(record).expect("serialize record");
+    let line = format!("{{\"date\":\"{}\",\"record\":{body}}}\n", utc_date_now());
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open history file");
+    file.write_all(line.as_bytes())
+        .expect("append history line");
+    eprintln!("appended to {}", path.display());
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no external
+/// date dependencies: civil-from-days per Howard Hinnant's algorithm).
+#[must_use]
+pub fn utc_date_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Gregorian (year, month, day) from days since the Unix epoch.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
 /// Geometric-mean helper for averaging ratios.
 #[must_use]
 pub fn geo_mean(values: &[f64]) -> f64 {
@@ -120,6 +171,41 @@ mod tests {
         args.persist(&vec![1, 2, 3]);
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains('1') && body.contains('3'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn civil_date_conversion_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+        assert_eq!(civil_from_days(20_454), (2026, 1, 1));
+    }
+
+    #[test]
+    fn utc_date_is_iso_shaped() {
+        let d = utc_date_now();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+    }
+
+    #[test]
+    fn history_appends_one_line_per_run() {
+        let dir = std::env::temp_dir().join("wavemin_bench_test_history");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        std::fs::remove_file(&path).ok();
+        append_history(&path, &vec![1, 2]);
+        append_history(&path, &vec![3]);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with("{\"date\":\""));
+            assert!(line.contains("\"record\":"));
+        }
+        assert!(lines[1].contains("[3]"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -128,6 +128,182 @@ pub fn render(tree: &ClockTree, lib: &CellLibrary, options: &SvgOptions) -> Stri
     svg
 }
 
+/// One labeled polyline in a [`render_waveforms`] chart. Plain data, so
+/// callers in any crate can build series without new dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveSeries {
+    /// Legend label.
+    pub label: String,
+    /// Stroke color (`""` picks from the built-in palette by index).
+    pub color: String,
+    /// `(x, y)` samples in data units, in ascending-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Options for [`render_waveforms`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveChartOptions {
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+    /// Margin around the plot area in pixels.
+    pub margin: f64,
+    /// An `(x, y)` instant to mark with a circle and a vertical guide
+    /// (the peak-attribution argmax, typically).
+    pub marker: Option<(f64, f64)>,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Y-axis caption.
+    pub y_label: String,
+}
+
+impl Default for WaveChartOptions {
+    fn default() -> Self {
+        Self {
+            width: 720.0,
+            height: 360.0,
+            margin: 48.0,
+            marker: None,
+            x_label: "time (ps)".to_owned(),
+            y_label: "current (mA)".to_owned(),
+        }
+    }
+}
+
+/// Fallback stroke palette for series without an explicit color.
+const PALETTE: [&str; 6] = [
+    "#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2",
+];
+
+/// Renders sampled waveforms as an SVG line chart: one polyline per
+/// series, a shared linear scale over all points, an optional argmax
+/// marker, and a legend. Pure string generation like [`render`].
+///
+/// Series with no points are skipped (but keep their palette slot so
+/// colors stay stable under filtering).
+#[must_use]
+pub fn render_waveforms(series: &[WaveSeries], options: &WaveChartOptions) -> String {
+    let margin = options.margin;
+    let width = options.width.max(2.0 * margin + 1.0);
+    let height = options.height.max(2.0 * margin + 1.0);
+
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = 0.0_f64;
+    let mut max_y = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+    }
+    if let Some((mx, my)) = options.marker {
+        min_x = min_x.min(mx);
+        max_x = max_x.max(mx);
+        min_y = min_y.min(my);
+        max_y = max_y.max(my);
+    }
+    if !min_x.is_finite() {
+        min_x = 0.0;
+        max_x = 1.0;
+    }
+    if !max_y.is_finite() {
+        max_y = 1.0;
+    }
+    let span_x = (max_x - min_x).max(1e-12);
+    let span_y = (max_y - min_y).max(1e-12);
+    let px = |x: f64| margin + (x - min_x) / span_x * (width - 2.0 * margin);
+    let py = |y: f64| height - margin - (y - min_y) / span_y * (height - 2.0 * margin);
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\">\n"
+    ));
+    svg.push_str("  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    // Axes.
+    svg.push_str(&format!(
+        "  <path d=\"M {m:.1} {m:.1} V {b:.1} H {r:.1}\" stroke=\"#111\" \
+         stroke-width=\"1\" fill=\"none\"/>\n",
+        m = margin,
+        b = height - margin,
+        r = width - margin,
+    ));
+    svg.push_str(&format!(
+        "  <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" font-family=\"sans-serif\" \
+         fill=\"#111\" text-anchor=\"middle\">{}</text>\n",
+        width / 2.0,
+        height - margin / 4.0,
+        xml_escape(&options.x_label),
+    ));
+    svg.push_str(&format!(
+        "  <text x=\"{x:.1}\" y=\"{y:.1}\" font-size=\"11\" font-family=\"sans-serif\" \
+         fill=\"#111\" text-anchor=\"middle\" transform=\"rotate(-90 {x:.1} {y:.1})\">{label}</text>\n",
+        x = margin / 3.0,
+        y = height / 2.0,
+        label = xml_escape(&options.y_label),
+    ));
+
+    for (i, s) in series.iter().enumerate() {
+        if s.points.is_empty() {
+            continue;
+        }
+        let color: &str = if s.color.is_empty() {
+            PALETTE[i % PALETTE.len()]
+        } else {
+            &s.color
+        };
+        let mut d = String::new();
+        for &(x, y) in &s.points {
+            if !d.is_empty() {
+                d.push(' ');
+            }
+            d.push_str(&format!("{:.1},{:.1}", px(x), py(y)));
+        }
+        svg.push_str(&format!(
+            "  <polyline points=\"{d}\" stroke=\"{color}\" stroke-width=\"1.5\" \
+             fill=\"none\"><title>{}</title></polyline>\n",
+            xml_escape(&s.label),
+        ));
+        // Legend entry.
+        let ly = margin / 2.0 + i as f64 * 14.0;
+        svg.push_str(&format!(
+            "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"3\" fill=\"{color}\"/>\n\
+             \x20 <text x=\"{:.1}\" y=\"{ly:.1}\" font-size=\"10\" \
+             font-family=\"sans-serif\" fill=\"#111\" dominant-baseline=\"middle\">{}</text>\n",
+            width - margin - 130.0,
+            ly - 1.5,
+            width - margin - 115.0,
+            xml_escape(&s.label),
+        ));
+    }
+
+    if let Some((mx, my)) = options.marker {
+        svg.push_str(&format!(
+            "  <path d=\"M {x:.1} {t:.1} V {b:.1}\" stroke=\"#9ca3af\" stroke-width=\"1\" \
+             stroke-dasharray=\"4 3\" fill=\"none\"/>\n\
+             \x20 <circle cx=\"{x:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"none\" stroke=\"#111\" \
+             stroke-width=\"1.5\"><title>peak</title></circle>\n",
+            py(my),
+            x = px(mx),
+            t = margin,
+            b = height - margin,
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Minimal XML text escaping for labels.
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
 fn bounds(tree: &ClockTree) -> (f64, f64, f64, f64) {
     let mut min_x = f64::INFINITY;
     let mut min_y = f64::INFINITY;
@@ -213,5 +389,69 @@ mod tests {
     fn titles_carry_cell_names() {
         let (_, svg) = rendered();
         assert!(svg.contains("<title>BUF_X8</title>"));
+    }
+
+    fn wave(label: &str, points: Vec<(f64, f64)>) -> WaveSeries {
+        WaveSeries {
+            label: label.to_owned(),
+            color: String::new(),
+            points,
+        }
+    }
+
+    #[test]
+    fn waveform_chart_draws_one_polyline_per_nonempty_series() {
+        let series = vec![
+            wave("total", vec![(0.0, 0.0), (10.0, 5.0), (20.0, 1.0)]),
+            wave("sink 3", vec![(0.0, 0.0), (10.0, 3.0), (20.0, 0.5)]),
+            wave("empty", Vec::new()),
+        ];
+        let svg = render_waveforms(&series, &WaveChartOptions::default());
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("<title>total</title>"));
+        assert!(svg.contains("<title>sink 3</title>"));
+    }
+
+    #[test]
+    fn waveform_chart_marks_the_peak_instant() {
+        let series = vec![wave("total", vec![(0.0, 0.0), (10.0, 5.0), (20.0, 1.0)])];
+        let with = render_waveforms(
+            &series,
+            &WaveChartOptions {
+                marker: Some((10.0, 5.0)),
+                ..WaveChartOptions::default()
+            },
+        );
+        let without = render_waveforms(&series, &WaveChartOptions::default());
+        assert!(with.contains("<title>peak</title>"));
+        assert!(!without.contains("<title>peak</title>"));
+        assert!(with.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn waveform_chart_survives_degenerate_input() {
+        // No series, no points: still a well-formed document.
+        let svg = render_waveforms(&[], &WaveChartOptions::default());
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One flat series at a single x: scales clamp, no NaN/inf output.
+        let flat = render_waveforms(
+            &[wave("flat", vec![(5.0, 0.0)])],
+            &WaveChartOptions::default(),
+        );
+        assert!(!flat.contains("NaN"));
+        assert!(!flat.contains("inf"));
+    }
+
+    #[test]
+    fn waveform_chart_escapes_labels() {
+        let svg = render_waveforms(
+            &[wave("a<b&c", vec![(0.0, 1.0), (1.0, 2.0)])],
+            &WaveChartOptions::default(),
+        );
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b&c"));
     }
 }

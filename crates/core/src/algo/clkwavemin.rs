@@ -1,18 +1,20 @@
 //! ClkWaveMin: the MOSP-based approximation algorithm (Section V).
 
 use crate::algo::{
-    run_interval_framework, Degradation, DegradationStep, Outcome, ZoneProblem, ZoneSolution,
-    ZoneSolver,
+    run_interval_framework_traced, Degradation, DegradationStep, Outcome, ZoneProblem,
+    ZoneSolution, ZoneSolver,
 };
 use crate::config::{SolverKind, WaveMinConfig};
 use crate::design::Design;
 use crate::error::WaveMinError;
+use crate::eval::NoiseEvaluator;
 use crate::intervals::FeasibleInterval;
 use crate::noise_table::NoiseTable;
-use crate::observe::{MetricsRegistry, ReportContext, ZoneSolveRecord};
+use crate::observe::{MetricsRegistry, PeakAttribution, ReportContext, ZoneSolveRecord};
+use crate::trace::TraceJournal;
 use std::sync::Mutex;
 use wavemin_cells::units::Picoseconds;
-use wavemin_mosp::{solve, Budget, Exhaustion, MospGraph, ParetoSet, VertexId};
+use wavemin_mosp::{solve, Budget, Exhaustion, MospGraph, ParetoSet, SolveObserver, VertexId};
 
 /// The paper's main algorithm: per zone and feasible interval, convert the
 /// assignment subproblem to a multi-objective shortest path instance
@@ -58,12 +60,31 @@ impl ClkWaveMin {
     /// [`WaveMinError::NoFeasibleInterval`] when no assignment can satisfy
     /// the skew bound; timing/characterization errors otherwise.
     pub fn run(&self, design: &Design) -> Result<Outcome, WaveMinError> {
+        self.run_traced(design, &TraceJournal::disabled())
+    }
+
+    /// [`ClkWaveMin::run`] with an event journal attached: zone /
+    /// graph-layer / label-batch spans and ladder/budget instants land in
+    /// `journal` (see [`TraceJournal::chrome_trace`]). A disabled journal
+    /// makes this identical to `run` — the instrumentation is a single
+    /// branch per hook.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClkWaveMin::run`].
+    pub fn run_traced(
+        &self,
+        design: &Design,
+        journal: &TraceJournal,
+    ) -> Result<Outcome, WaveMinError> {
         self.config.validate()?;
         design.validate()?;
         let registry = MetricsRegistry::from_config(&self.config);
         let budget = self.config.budget();
-        let solver = MospZoneSolver::new(&self.config, budget.clone(), registry.clone());
-        let mut out = run_interval_framework(design, &self.config, &solver, &registry)?;
+        let solver = MospZoneSolver::new(&self.config, budget.clone(), registry.clone())
+            .with_journal(journal.clone());
+        let mut out =
+            run_interval_framework_traced(design, &self.config, &solver, &registry, journal)?;
         out.degradation = solver.ladder.degradation();
         out.report = registry.report(&ReportContext {
             threads: self.config.effective_threads(),
@@ -72,8 +93,34 @@ impl ClkWaveMin {
             budget_units: budget.work_done(),
             kernel: wavemin_mosp::kernels::active().name(),
         });
+        if out.report.is_some() {
+            let attribution = worst_mode_attribution(design, &out)?;
+            if let Some(report) = out.report.as_mut() {
+                report.attribution = attribution;
+            }
+        }
         Ok(out)
     }
+}
+
+/// The peak attribution of the outcome's assignment: every mode is
+/// decomposed and the one with the largest attributed peak wins (matching
+/// the worst-mode `peak_after` the outcome reports).
+pub(crate) fn worst_mode_attribution(
+    design: &Design,
+    out: &Outcome,
+) -> Result<Option<PeakAttribution>, WaveMinError> {
+    let mut optimized = design.clone();
+    out.assignment.apply_to(&mut optimized);
+    let eval = NoiseEvaluator::new(&optimized);
+    let mut best: Option<PeakAttribution> = None;
+    for mode in 0..optimized.mode_count() {
+        let attr = eval.attribution(mode)?;
+        if best.as_ref().is_none_or(|b| attr.peak_ma > b.peak_ma) {
+            best = Some(attr);
+        }
+    }
+    Ok(best)
 }
 
 /// The resource-governed degradation ladder shared by every MOSP zone
@@ -100,6 +147,9 @@ pub(crate) struct MospLadder {
     /// Metrics sink shared with the run's driver; rung transitions and
     /// (through [`solve_zone_mosp_generic`]) zone solves land here.
     pub(crate) registry: MetricsRegistry,
+    /// Event journal shared with the run's driver; zone/layer/batch spans
+    /// and rung/budget instants land here (disabled by default).
+    pub(crate) journal: TraceJournal,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -161,6 +211,7 @@ impl MospLadder {
                 total_solves: 0,
             }),
             registry,
+            journal: TraceJournal::disabled(),
         }
     }
 
@@ -190,6 +241,18 @@ impl MospLadder {
         src: VertexId,
         dest: VertexId,
     ) -> Result<ParetoSet, WaveMinError> {
+        self.solve_observed(graph, src, dest, None)
+    }
+
+    /// [`MospLadder::solve`] with an optional [`SolveObserver`] receiving
+    /// the solver's layer/batch spans and instants.
+    pub(crate) fn solve_observed(
+        &self,
+        graph: &MospGraph,
+        src: VertexId,
+        dest: VertexId,
+        observer: Option<&mut dyn SolveObserver>,
+    ) -> Result<ParetoSet, WaveMinError> {
         if self.budget.deadline_expired() {
             self.jump_to_greedy(Exhaustion::DeadlineExpired);
         }
@@ -198,17 +261,18 @@ impl MospLadder {
             self.rungs[st.rung]
         };
         let set = match rung.solver {
-            SolverKind::Warburton { epsilon } => solve::warburton_budgeted(
+            SolverKind::Warburton { epsilon } => solve::warburton_observed(
                 graph,
                 src,
                 dest,
                 epsilon,
                 Some(rung.label_cap),
                 &self.budget,
+                observer,
             )?,
             SolverKind::Exact { max_labels } => {
                 let cap = Some(max_labels.map_or(rung.label_cap, |m| m.min(rung.label_cap)));
-                solve::exact_budgeted(graph, src, dest, cap, &self.budget)?
+                solve::exact_observed(graph, src, dest, cap, &self.budget, observer)?
             }
         };
         let mut st = self.state();
@@ -231,6 +295,9 @@ impl MospLadder {
         let to = self.rungs[st.rung + 1];
         st.rung += 1;
         self.registry.record_rung_transition();
+        if self.journal.is_enabled() {
+            self.journal.handle().rung_transition(st.rung);
+        }
         match (from.solver, to.solver) {
             (_, SolverKind::Exact { .. }) => {
                 st.steps.push(DegradationStep::GreedyFallback { reason });
@@ -266,6 +333,9 @@ impl MospLadder {
             st.rung = last;
             st.steps.push(DegradationStep::GreedyFallback { reason });
             self.registry.record_rung_transition();
+            if self.journal.is_enabled() {
+                self.journal.handle().rung_transition(last);
+            }
         }
     }
 
@@ -295,6 +365,12 @@ impl MospZoneSolver {
         Self {
             ladder: MospLadder::new(config, budget, registry),
         }
+    }
+
+    /// Attaches an event journal (disabled by default).
+    pub(crate) fn with_journal(mut self, journal: TraceJournal) -> Self {
+        self.ladder.journal = journal;
+        self
     }
 }
 
@@ -398,7 +474,15 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     }
 
     let started = ladder.registry.is_enabled().then(std::time::Instant::now);
-    let set = ladder.solve(&graph, src, dest)?;
+    let mut handle = ladder.journal.handle();
+    let zone_start = handle.now_ns();
+    let set = if handle.is_enabled() {
+        ladder.solve_observed(&graph, src, dest, Some(&mut handle))?
+    } else {
+        ladder.solve(&graph, src, dest)?
+    };
+    handle.zone_span(zone_start, zone_id, set.stats(), set.exhaustion().is_some());
+    drop(handle);
     if let Some(started) = started {
         ladder.registry.record_zone_solve(
             zone_id,

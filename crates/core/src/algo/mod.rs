@@ -42,6 +42,7 @@ use crate::intervals::{FeasibleInterval, IntervalSet};
 use crate::noise_table::NoiseTable;
 use crate::observe::{MetricsRegistry, RunReport, Stage};
 use crate::sampling::SamplePlan;
+use crate::trace::TraceJournal;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use wavemin_cells::units::{MilliAmps, Millivolts, Picoseconds};
@@ -339,15 +340,33 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
     solver: &S,
     registry: &MetricsRegistry,
 ) -> Result<Outcome, WaveMinError> {
+    run_interval_framework_traced(design, config, solver, registry, &TraceJournal::disabled())
+}
+
+/// [`run_interval_framework`] with an event journal attached: the driving
+/// thread's characterization / zoning / validation stages become journal
+/// spans alongside the registry's aggregates (zone-level and solver-level
+/// events come from the inner solver's own journal wiring).
+pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
+    design: &Design,
+    config: &WaveMinConfig,
+    solver: &S,
+    registry: &MetricsRegistry,
+    journal: &TraceJournal,
+) -> Result<Outcome, WaveMinError> {
+    let mut thandle = journal.handle();
     let start = std::time::Instant::now();
+    let char_start = thandle.now_ns();
     let table = {
         let _span = registry.span(Stage::Characterization);
         NoiseTable::build(design, config, 0)?
     };
+    thandle.stage_span(char_start, "characterization");
     // Optimize against a slightly tightened window: Observation 4 ignores
     // sibling-load feedback during assignment, so headroom is reserved and
     // the exact bound is checked afterwards.
     let zoning_span = registry.span(Stage::Zoning);
+    let zoning_start = thandle.now_ns();
     let kappa_eff = config.skew_bound * config.window_margin;
     let intervals = IntervalSet::generate(&table, kappa_eff, config.max_intervals);
     if intervals.is_empty() {
@@ -355,6 +374,7 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
     }
     let zones = ZoneProblem::build_all(design, config, &table);
     registry.ensure_zones(zones.len());
+    thandle.stage_span(zoning_start, "zoning");
     drop(zoning_span);
 
     // Zones are processed largest-first so the dominant zones shape the
@@ -418,6 +438,8 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
     // feedback, so re-check against the true bound); fall back to the
     // next-best interval, then to the identity assignment.
     let _validation_span = registry.span(Stage::Validation);
+    let validation_start = thandle.now_ns();
+    let mut chosen: Option<Outcome> = None;
     for (cost, assignment) in &ranked {
         let mut candidate = design.clone();
         assignment.apply_to(&mut candidate);
@@ -426,28 +448,31 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
             eprintln!("candidate cost {cost:.1} -> exact skew {skew}");
         }
         if skew.value() <= config.skew_bound.value() + 1e-9 {
-            let mut out = finish_outcome(
+            chosen = Some(finish_outcome(
                 design,
                 &candidate,
                 assignment.clone(),
                 *cost,
                 intervals_tried,
                 runtime,
-            )?;
-            out.degenerate_zones = degenerate_zones;
-            return Ok(out);
+            )?);
+            break;
         }
     }
-    // Identity fallback: keep the tree as-is.
-    let mut out = finish_outcome(
-        design,
-        design,
-        Assignment::new(),
-        f64::NAN,
-        intervals_tried,
-        runtime,
-    )?;
+    let mut out = match chosen {
+        Some(out) => out,
+        // Identity fallback: keep the tree as-is.
+        None => finish_outcome(
+            design,
+            design,
+            Assignment::new(),
+            f64::NAN,
+            intervals_tried,
+            runtime,
+        )?,
+    };
     out.degenerate_zones = degenerate_zones;
+    thandle.stage_span(validation_start, "validation");
     Ok(out)
 }
 

@@ -135,10 +135,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "strict",
                     "metrics-out",
                     "trace",
+                    "trace-out",
                     "o",
                 ],
             )?;
             optimize(&flags)
+        }
+        "explain" => {
+            flags.reject_unknown("explain", &["i", "lib", "power", "top", "svg", "json"])?;
+            explain(&flags)
         }
         "check-report" => {
             flags.reject_unknown("check-report", &["i"])?;
@@ -181,10 +186,12 @@ USAGE:
                      [--kappa PS] [--samples N] [--lib file.lib]
                      [--power intent.pw] [--time-budget-ms N] [--threads N]
                      [--strict] [--metrics-out report.json] [--trace]
-                     [-o out.clk]
+                     [--trace-out trace.json] [-o out.clk]
   wavemin validate   -i tree.clk [--lib file.lib] [--power intent.pw]
                      [--kappa PS] [--samples N]
   wavemin check-report -i report.json
+  wavemin explain    -i tree.clk [--lib file.lib] [--power intent.pw]
+                     [--top N] [--svg waves.svg] [--json attribution.json]
   wavemin evaluate   -i tree.clk [--lib file.lib]
   wavemin svg        -i tree.clk [--lib file.lib] [-o out.svg]
   wavemin liberty    [-o out.lib]
@@ -200,6 +207,11 @@ FLAGS:
                       metrics, stage timings, per-zone counters) as JSON
   --trace             print stage spans to stderr as they close (also
                       enables metrics collection)
+  --trace-out PATH    record the event journal (zone/layer/label-batch
+                      spans, ladder and budget instants) and write it as
+                      Chrome-trace JSON, viewable in chrome://tracing and
+                      ui.perfetto.dev; wavemin-algorithm runs only
+  --top N             explain: contributors to print (default 10)
 
 EXIT CODES:
   0 success   1 runtime error   2 usage error
@@ -367,8 +379,10 @@ fn build_config(flags: &Flags) -> Result<WaveMinConfig, CliError> {
         config.threads = Some(t as usize);
     }
     // Metrics are collected whenever a sink for them exists: a report
-    // file (--metrics-out) or live span tracing (--trace).
-    config.collect_metrics = flags.has("metrics-out") || flags.has("trace");
+    // file (--metrics-out), live span tracing (--trace), or the event
+    // journal (--trace-out).
+    config.collect_metrics =
+        flags.has("metrics-out") || flags.has("trace") || flags.has("trace-out");
     config.trace_spans = flags.has("trace");
     config.validate().map_err(|e| CliError::from(&e))?;
     Ok(config)
@@ -378,8 +392,14 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
     let design = load_design(flags)?;
     let config = build_config(flags)?;
     let algorithm = flags.get("algorithm").unwrap_or("wavemin");
+    let trace_out = flags.get("trace-out");
+    let journal = if trace_out.is_some() {
+        TraceJournal::enabled()
+    } else {
+        TraceJournal::disabled()
+    };
     let outcome = match algorithm {
-        "wavemin" => ClkWaveMin::new(config).run(&design),
+        "wavemin" => ClkWaveMin::new(config).run_traced(&design, &journal),
         "fast" => ClkWaveMinFast::new(config).run(&design),
         "peakmin" => ClkPeakMin::new(config).run(&design),
         "nieh" => NiehOppositePhase::new().run(&design),
@@ -431,6 +451,20 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
     } else if flags.has("metrics-out") {
         eprintln!("note: --metrics-out: the '{algorithm}' algorithm does not produce a run report");
     }
+    if let Some(path) = trace_out {
+        if algorithm != "wavemin" {
+            eprintln!("note: --trace-out: only the 'wavemin' algorithm emits solver events");
+        }
+        let json = journal
+            .chrome_trace()
+            .ok_or_else(|| CliError::from("trace journal was not enabled".to_owned()))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let dropped = journal.dropped_events();
+        if dropped > 0 {
+            eprintln!("note: trace journal dropped {dropped} events to its capacity cap");
+        }
+        eprintln!("wrote Chrome-trace journal to {path}");
+    }
 
     let mut optimized = design.clone();
     outcome.assignment.apply_to(&mut optimized);
@@ -445,6 +479,119 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
         "(no -o given, dumping optimized tree to stdout)",
         &tree_io::write_tree(&optimized.tree),
     )
+}
+
+/// Decomposes the worst mode's peak into per-node contributions and
+/// prints/exports the attribution (see `NoiseEvaluator::attribution`).
+fn explain(flags: &Flags) -> Result<(), CliError> {
+    let design = load_design(flags)?;
+    let eval = NoiseEvaluator::new(&design);
+    let top = flags.numeric("top")?.unwrap_or(10.0).max(1.0) as usize;
+
+    let mut best: Option<PeakAttribution> = None;
+    for mode in 0..design.mode_count() {
+        let attr = eval.attribution(mode).map_err(|e| CliError::from(&e))?;
+        if best.as_ref().is_none_or(|b| attr.peak_ma > b.peak_ma) {
+            best = Some(attr);
+        }
+    }
+    let attr = best.ok_or_else(|| CliError::invalid("design has no power modes"))?;
+
+    println!(
+        "peak {:.6} mA on the {} rail at the {} edge, t = {:.2} ps (mode {})",
+        attr.peak_ma, attr.rail, attr.edge, attr.time_ps, attr.mode
+    );
+    let mut rows = Vec::new();
+    let mut cumulative = 0.0;
+    for c in attr.contributions.iter().take(top) {
+        cumulative += c.amps_ma;
+        let pct = if attr.peak_ma.abs() > 1e-12 {
+            cumulative / attr.peak_ma * 100.0
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            c.node.to_string(),
+            c.cell.clone(),
+            c.kind.clone(),
+            format!("{:.6}", c.amps_ma),
+            format!("{pct:.1}"),
+        ]);
+    }
+    print!(
+        "{}",
+        wavemin::report::render_table(&["node", "cell", "kind", "mA", "cum %"], &rows)
+    );
+    let hidden = attr.contributions.len().saturating_sub(top);
+    if hidden > 0 {
+        let rest: f64 = attr.contributions.iter().skip(top).map(|c| c.amps_ma).sum();
+        println!("(+ {hidden} more contributors totaling {rest:.6} mA)");
+    }
+    let sum = attr.contribution_sum();
+    println!(
+        "contribution sum {:.9} mA (delta vs peak {:.3e})",
+        sum,
+        (sum - attr.peak_ma).abs()
+    );
+
+    if let Some(path) = flags.get("json") {
+        let json = serde_json::to_string_pretty(&attr)
+            .map_err(|e| format!("cannot serialize attribution: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote attribution to {path}");
+    }
+    if let Some(path) = flags.get("svg") {
+        let svg = attribution_chart(&eval, &attr)?;
+        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote waveform overlay to {path}");
+    }
+    Ok(())
+}
+
+/// The explain SVG: the total rail waveform overlaid with the top
+/// contributors' individual waveforms, the argmax instant marked.
+fn attribution_chart(eval: &NoiseEvaluator, attr: &PeakAttribution) -> Result<String, CliError> {
+    use wavemin_cells::characterize::{ClockEdge, Rail};
+    use wavemin_clocktree::svg::{render_waveforms, WaveChartOptions, WaveSeries};
+
+    let rail = if attr.rail == "gnd" {
+        Rail::Gnd
+    } else {
+        Rail::Vdd
+    };
+    let edge = if attr.edge == "fall" {
+        ClockEdge::Fall
+    } else {
+        ClockEdge::Rise
+    };
+    let (per_node, total) = eval.waveforms(attr.mode).map_err(|e| CliError::from(&e))?;
+    let points = |w: &wavemin_cells::Waveform| -> Vec<(f64, f64)> {
+        w.breakpoints()
+            .map(|(t, i)| (t.value(), i.to_milliamps().value()))
+            .collect()
+    };
+    let mut series = vec![WaveSeries {
+        label: format!("total {} {}", attr.rail, attr.edge),
+        color: "#111111".to_owned(),
+        points: points(total.get(rail, edge)),
+    }];
+    for c in attr.contributions.iter().take(4) {
+        let Some(waves) = per_node.get(c.node) else {
+            continue;
+        };
+        series.push(WaveSeries {
+            label: format!("{} {} ({})", c.kind, c.node, c.cell),
+            color: String::new(),
+            points: points(waves.get(rail, edge)),
+        });
+    }
+    Ok(render_waveforms(
+        &series,
+        &WaveChartOptions {
+            marker: Some((attr.time_ps, attr.peak_ma)),
+            ..WaveChartOptions::default()
+        },
+    ))
 }
 
 fn check_report(flags: &Flags) -> Result<(), CliError> {
@@ -465,6 +612,16 @@ fn check_report(flags: &Flags) -> Result<(), CliError> {
         report.counters.labels_created,
         report.stages.len()
     );
+    if let Some(attr) = &report.attribution {
+        println!(
+            "attribution: peak {:.6} mA ({} {}) over {} contributors, sum delta {:.3e}",
+            attr.peak_ma,
+            attr.rail,
+            attr.edge,
+            attr.contributions.len(),
+            (attr.contribution_sum() - attr.peak_ma).abs()
+        );
+    }
     Ok(())
 }
 

@@ -97,6 +97,89 @@ impl<'a> NoiseEvaluator<'a> {
         Ok((per_node, total))
     }
 
+    /// Decomposes one mode's peak into per-node contributions: finds the
+    /// argmax sample of the total waveform over the four (rail, event)
+    /// slots, then samples every node's shifted waveform at that instant.
+    ///
+    /// The returned record's `peak_ma` is *defined as* the sum of the
+    /// contributions in stored order, so the decomposition is exact by
+    /// construction (the per-node sample sum and the pooled total agree
+    /// to float accumulation order, ~1e-6 relative — see the
+    /// `waveforms_sum_to_total` test — and the attribution reports the
+    /// decomposed figure). Contributions are sorted largest-first with
+    /// node id as the deterministic tie-break.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing/characterization failures.
+    pub fn attribution(
+        &self,
+        mode: usize,
+    ) -> Result<crate::observe::PeakAttribution, WaveMinError> {
+        use wavemin_clocktree::NodeKind;
+
+        let (per_node, total) = self.waveforms(mode)?;
+
+        let mut peak = MicroAmps::ZERO;
+        let mut peak_rail = Rail::Vdd;
+        let mut peak_event = ClockEdge::Rise;
+        let mut peak_time = Picoseconds::ZERO;
+        for (rail, event) in EventWaveforms::SLOTS {
+            let w = total.get(rail, event);
+            let p = w.peak();
+            if p > peak {
+                peak = p;
+                peak_rail = rail;
+                peak_event = event;
+                peak_time = w.peak_time().unwrap_or(Picoseconds::ZERO);
+            }
+        }
+
+        let mut contributions: Vec<crate::observe::Contribution> = self
+            .design
+            .tree
+            .iter()
+            .map(|(id, node)| {
+                let amps = per_node[id.0].get(peak_rail, peak_event).sample(peak_time);
+                crate::observe::Contribution {
+                    node: id.0,
+                    cell: node.cell.clone(),
+                    kind: if node.kind == NodeKind::Leaf {
+                        "sink"
+                    } else {
+                        "nonleaf"
+                    }
+                    .to_owned(),
+                    amps_ma: amps.to_milliamps().value(),
+                }
+            })
+            .collect();
+        contributions.sort_by(|a, b| {
+            b.amps_ma
+                .partial_cmp(&a.amps_ma)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
+        });
+        let peak_ma = contributions.iter().map(|c| c.amps_ma).sum();
+
+        Ok(crate::observe::PeakAttribution {
+            mode,
+            rail: match peak_rail {
+                Rail::Vdd => "vdd",
+                Rail::Gnd => "gnd",
+            }
+            .to_owned(),
+            edge: match peak_event {
+                ClockEdge::Rise => "rise",
+                ClockEdge::Fall => "fall",
+            }
+            .to_owned(),
+            time_ps: peak_time.value(),
+            peak_ma,
+            contributions,
+        })
+    }
+
     fn evaluate_inner(
         &self,
         mode: usize,
@@ -322,6 +405,33 @@ mod tests {
         let t = total.vdd_rise.peak_time().unwrap();
         let manual: f64 = per_node.iter().map(|w| w.vdd_rise.sample(t).value()).sum();
         assert!((manual - total.vdd_rise.sample(t).value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attribution_sums_to_its_peak_and_matches_the_report() {
+        let d = design();
+        let eval = NoiseEvaluator::new(&d);
+        let report = eval.evaluate(0).unwrap();
+        let attr = eval.attribution(0).unwrap();
+        // Exact by construction: peak_ma is the stored-order sum.
+        assert!((attr.contribution_sum() - attr.peak_ma).abs() <= 1e-9);
+        // And it decomposes the same argmax instant the report found.
+        assert_eq!(attr.rail, "vdd");
+        assert_eq!(attr.edge, "rise");
+        assert!((attr.time_ps - report.peak_time.value()).abs() < 1e-9);
+        assert!(
+            (attr.peak_ma - report.peak.value()).abs() < 1e-5,
+            "attributed {} vs evaluated {}",
+            attr.peak_ma,
+            report.peak
+        );
+        assert_eq!(attr.contributions.len(), d.tree.len());
+        assert!(attr
+            .contributions
+            .windows(2)
+            .all(|w| w[0].amps_ma >= w[1].amps_ma));
+        assert!(attr.contributions.iter().any(|c| c.kind == "sink"));
+        assert!(attr.contributions.iter().any(|c| c.kind == "nonleaf"));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod observe;
 pub(crate) mod parallel;
 pub mod report;
 pub mod sampling;
+pub mod trace;
 
 /// Convenient re-exports of the main types.
 pub mod prelude {
@@ -74,8 +75,9 @@ pub mod prelude {
     pub use crate::montecarlo::{MonteCarlo, MonteCarloStats};
     pub use crate::multimode::{AdbPlan, ClkWaveMinM};
     pub use crate::noise_table::{EventWaveforms, NoiseTable};
-    pub use crate::observe::{MetricsRegistry, RunReport, Stage};
+    pub use crate::observe::{Contribution, MetricsRegistry, PeakAttribution, RunReport, Stage};
     pub use crate::sampling::SamplePlan;
+    pub use crate::trace::{TraceHandle, TraceJournal};
     pub use wavemin_cells::{CellKind, CellLibrary, Characterizer, Polarity};
     pub use wavemin_clocktree::prelude::*;
     pub use wavemin_mosp::{Budget, Exhaustion};

@@ -359,6 +359,7 @@ impl MetricsRegistry {
             zones,
             degenerate_zones: ctx.degenerate_zones,
             ladder_rung: ctx.ladder_rung,
+            attribution: None,
         })
     }
 }
@@ -503,6 +504,53 @@ pub struct ZoneMetrics {
     pub wall_ns: u64,
 }
 
+/// One node's share of the total rail current at the attributed peak
+/// instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contribution {
+    /// Node id in the clock tree.
+    pub node: usize,
+    /// The node's cell name at the attributed assignment.
+    pub cell: String,
+    /// `"sink"` for leaf buffers/inverters, `"nonleaf"` for the fixed
+    /// internal levels.
+    pub kind: String,
+    /// The node's sampled current at the peak instant, milliamps.
+    pub amps_ma: f64,
+}
+
+/// The peak-attribution record: the argmax sample of the evaluated total
+/// IDD/ISS waveform, decomposed into per-node contributions.
+///
+/// The decomposition is exact by construction — `peak_ma` is defined as
+/// the sum of `contributions[].amps_ma` in stored order, and the vendored
+/// JSON writer round-trips `f64` exactly, so re-summing a decoded report
+/// reproduces `peak_ma` bit-for-bit ([`RunReport::validate`] enforces a
+/// 1e-9 tolerance to stay robust against hand-edited reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeakAttribution {
+    /// Power-mode index the peak occurred in.
+    pub mode: usize,
+    /// The peak rail: `"vdd"` or `"gnd"`.
+    pub rail: String,
+    /// The clock edge driving the peak: `"rise"` or `"fall"`.
+    pub edge: String,
+    /// The argmax sample time, picoseconds.
+    pub time_ps: f64,
+    /// The attributed peak current, milliamps (= Σ contributions).
+    pub peak_ma: f64,
+    /// Per-node contributions at the peak instant, largest first.
+    pub contributions: Vec<Contribution>,
+}
+
+impl PeakAttribution {
+    /// The contributions' sum in stored order (must equal `peak_ma`).
+    #[must_use]
+    pub fn contribution_sum(&self) -> f64 {
+        self.contributions.iter().map(|c| c.amps_ma).sum()
+    }
+}
+
 /// The structured, machine-readable account of one optimization run.
 ///
 /// Everything except the wall-time fields (`stages[].total_ns`,
@@ -531,6 +579,11 @@ pub struct RunReport {
     pub degenerate_zones: usize,
     /// Final degradation-ladder rung (0 = full fidelity).
     pub ladder_rung: usize,
+    /// Peak attribution of the winning assignment (absent in reports
+    /// written before the field existed, and in runs that skipped the
+    /// explain pass). Additive schema field — still schema v1.
+    #[serde(default)]
+    pub attribution: Option<PeakAttribution>,
 }
 
 impl RunReport {
@@ -613,6 +666,29 @@ impl RunReport {
                 self.counters.exhausted_solves, self.counters.zone_solves
             ));
         }
+        if let Some(attr) = &self.attribution {
+            if attr.rail != "vdd" && attr.rail != "gnd" {
+                return Err(format!("attribution rail '{}' is not vdd/gnd", attr.rail));
+            }
+            if attr.edge != "rise" && attr.edge != "fall" {
+                return Err(format!("attribution edge '{}' is not rise/fall", attr.edge));
+            }
+            for c in &attr.contributions {
+                if c.kind != "sink" && c.kind != "nonleaf" {
+                    return Err(format!(
+                        "attribution contribution kind '{}' is not sink/nonleaf",
+                        c.kind
+                    ));
+                }
+            }
+            let sum = attr.contribution_sum();
+            if (sum - attr.peak_ma).abs() > 1e-9 {
+                return Err(format!(
+                    "attribution contributions sum to {sum} mA but peak_ma is {} (|Δ| > 1e-9)",
+                    attr.peak_ma
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -650,7 +726,7 @@ impl RunReport {
 /// Hand-rolled decoding of the report's JSON [`serde::Value`] tree — the
 /// vendored serde stack has no typed deserializer.
 mod decode {
-    use super::{RunCounters, RunReport, StageTiming, ZoneMetrics};
+    use super::{Contribution, PeakAttribution, RunCounters, RunReport, StageTiming, ZoneMetrics};
     use serde::Value;
 
     fn fields<'a>(
@@ -725,6 +801,15 @@ mod decode {
         }
     }
 
+    fn f64_field(entries: &[(String, Value)], key: &str) -> Result<f64, String> {
+        match get(entries, key)? {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(format!("field '{key}': expected a number, got {other:?}")),
+        }
+    }
+
     pub(super) fn report(v: &Value) -> Result<RunReport, String> {
         let entries = fields(
             v,
@@ -737,6 +822,7 @@ mod decode {
                 "zones",
                 "degenerate_zones",
                 "ladder_rung",
+                "attribution",
             ],
             "report",
         )?;
@@ -758,6 +844,51 @@ mod decode {
                 .collect::<Result<_, _>>()?,
             degenerate_zones: usize_field(entries, "degenerate_zones")?,
             ladder_rung: usize_field(entries, "ladder_rung")?,
+            attribution: attribution(entries)?,
+        })
+    }
+
+    /// Additive v1 field: absent (legacy reports) and explicit `null`
+    /// both decode to `None`.
+    fn attribution(entries: &[(String, Value)]) -> Result<Option<PeakAttribution>, String> {
+        let Some((_, v)) = entries.iter().find(|(k, _)| k == "attribution") else {
+            return Ok(None);
+        };
+        if matches!(v, Value::Null) {
+            return Ok(None);
+        }
+        let entries = fields(
+            v,
+            &[
+                "mode",
+                "rail",
+                "edge",
+                "time_ps",
+                "peak_ma",
+                "contributions",
+            ],
+            "attribution",
+        )?;
+        Ok(Some(PeakAttribution {
+            mode: usize_field(entries, "mode")?,
+            rail: str_field(entries, "rail")?,
+            edge: str_field(entries, "edge")?,
+            time_ps: f64_field(entries, "time_ps")?,
+            peak_ma: f64_field(entries, "peak_ma")?,
+            contributions: seq_field(entries, "contributions")?
+                .iter()
+                .map(contribution)
+                .collect::<Result<_, _>>()?,
+        }))
+    }
+
+    fn contribution(v: &Value) -> Result<Contribution, String> {
+        let entries = fields(v, &["node", "cell", "kind", "amps_ma"], "contribution")?;
+        Ok(Contribution {
+            node: usize_field(entries, "node")?,
+            cell: str_field(entries, "cell")?,
+            kind: str_field(entries, "kind")?,
+            amps_ma: f64_field(entries, "amps_ma")?,
         })
     }
 
@@ -995,6 +1126,79 @@ mod tests {
         assert_eq!(back.counters.dominance_checks, 0);
         assert_eq!(back.counters.dominance_skipped, 0);
         back.validate().expect("defaults stay self-consistent");
+    }
+
+    fn sample_attribution() -> PeakAttribution {
+        PeakAttribution {
+            mode: 0,
+            rail: "vdd".to_owned(),
+            edge: "rise".to_owned(),
+            time_ps: 38.5,
+            peak_ma: 0.0,
+            contributions: vec![
+                Contribution {
+                    node: 3,
+                    cell: "buf_x4".to_owned(),
+                    kind: "sink".to_owned(),
+                    amps_ma: 7.25,
+                },
+                Contribution {
+                    node: 1,
+                    cell: "buf_x8".to_owned(),
+                    kind: "nonleaf".to_owned(),
+                    amps_ma: 0.1 + 0.2, // deliberately non-representable sum
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn attribution_roundtrips_and_validates() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(4));
+        let mut report = r.report(&ReportContext::default()).expect("enabled");
+        let mut attr = sample_attribution();
+        attr.peak_ma = attr.contribution_sum();
+        report.attribution = Some(attr);
+        report.validate().expect("sum matches by construction");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back = RunReport::from_json(&json).expect("deserialize");
+        assert_eq!(back, report);
+        // Exact f64 JSON roundtrip: the decoded contributions re-sum
+        // bit-identically, so validation still passes post-decode.
+        back.validate().expect("valid after roundtrip");
+    }
+
+    #[test]
+    fn legacy_reports_without_attribution_still_decode() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(4));
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let legacy = json.replace(",\"attribution\":null", "");
+        assert_ne!(legacy, json, "fixture must actually strip the field");
+        let back = RunReport::from_json(&legacy).expect("legacy decodes");
+        assert_eq!(back.attribution, None);
+        back.validate().expect("legacy report stays valid");
+    }
+
+    #[test]
+    fn validate_rejects_attribution_sum_mismatch() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(4));
+        let mut report = r.report(&ReportContext::default()).expect("enabled");
+        let mut attr = sample_attribution();
+        attr.peak_ma = attr.contribution_sum() + 1e-6;
+        report.attribution = Some(attr);
+        let err = report.validate().expect_err("sum off by 1e-6");
+        assert!(err.contains("attribution"), "{err}");
+
+        let mut bad_rail = sample_attribution();
+        bad_rail.peak_ma = bad_rail.contribution_sum();
+        bad_rail.rail = "vss".to_owned();
+        report = r.report(&ReportContext::default()).expect("enabled");
+        report.attribution = Some(bad_rail);
+        assert!(report.validate().is_err());
     }
 
     #[test]

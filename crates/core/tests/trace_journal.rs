@@ -1,0 +1,72 @@
+//! Property-based tests for the trace journal's merge and overflow
+//! accounting: the merged view must be timestamp-sorted no matter how the
+//! recording threads interleave, and forced overflow must follow the
+//! keep-oldest policy with *exact* per-track drop counts.
+
+use proptest::prelude::*;
+use wavemin::trace::{TraceEventKind, TraceJournal};
+
+/// Rung values encode `thread_tag * TAG_STRIDE + sequence` so a merged
+/// event identifies both its producing thread and its position.
+const TAG_STRIDE: usize = 1_000;
+
+proptest! {
+    // Each case spawns real threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_sorted_and_overflow_drops_are_exact(
+        capacity in 1usize..24,
+        counts in prop::collection::vec(1usize..60, 1..5),
+    ) {
+        let journal = TraceJournal::with_capacity(capacity);
+        std::thread::scope(|scope| {
+            for (tag, &count) in counts.iter().enumerate() {
+                let journal = journal.clone();
+                scope.spawn(move || {
+                    let mut handle = journal.handle();
+                    for i in 0..count {
+                        handle.instant(TraceEventKind::RungTransition {
+                            rung: tag * TAG_STRIDE + i,
+                        });
+                    }
+                });
+            }
+        });
+
+        let merged = journal.merged().expect("enabled journal");
+        prop_assert_eq!(merged.tracks.len(), counts.len());
+
+        // The merged view is globally timestamp-sorted.
+        let ts: Vec<u64> = merged.events.iter().map(|(_, e)| e.ts_ns).collect();
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "merged ts order");
+
+        // Keep-oldest: every track retains exactly the first
+        // `min(count, capacity)` events of its thread, in recording
+        // order, and counts the remainder as dropped.
+        let mut per_track: Vec<Vec<usize>> = vec![Vec::new(); merged.tracks.len()];
+        for &(track, ev) in &merged.events {
+            match ev.kind {
+                TraceEventKind::RungTransition { rung } => per_track[track].push(rung),
+                _ => prop_assert!(false, "unexpected event kind"),
+            }
+        }
+        let mut expected_total_drops = 0u64;
+        for (track, rungs) in per_track.iter().enumerate() {
+            prop_assert!(!rungs.is_empty(), "every thread pushed at least one event");
+            let tag = rungs[0] / TAG_STRIDE;
+            let count = counts[tag];
+            let kept = count.min(capacity);
+            let expected: Vec<usize> = (0..kept).map(|i| tag * TAG_STRIDE + i).collect();
+            prop_assert_eq!(rungs.as_slice(), expected.as_slice());
+            prop_assert_eq!(merged.tracks[track].recorded, kept);
+            prop_assert_eq!(merged.tracks[track].dropped, (count - kept) as u64);
+            expected_total_drops += (count - kept) as u64;
+        }
+        prop_assert_eq!(journal.dropped_events(), expected_total_drops);
+
+        // The export surfaces the same total in its otherData footer.
+        let json = journal.chrome_trace().expect("enabled journal");
+        prop_assert!(json.contains(&format!("\"dropped_events\":{expected_total_drops}")));
+    }
+}

@@ -1,10 +1,53 @@
 //! The MOSP solvers: exact Pareto enumeration and Warburton's
 //! ε-approximation, with optional resource budgets.
 
-use crate::budget::Budget;
+use crate::budget::{Budget, Exhaustion};
 use crate::graph::{MospError, MospGraph, VertexId};
 use crate::kernels;
 use crate::pareto::{ParetoFront, ParetoPath, ParetoSet, SolveStats};
+
+/// Observer hooks for solver-internal trace events, implemented by the
+/// event journal in the `wavemin` core crate (which owns the clock and the
+/// buffers — this crate stays dependency-free).
+///
+/// The DP calls these at three granularities:
+///
+/// * one *layer* span per vertex expansion (all out-arcs of one vertex);
+/// * one *label-batch* span per (vertex, arc) pair — every insertion
+///   attempt that batch made plus the labels it pruned;
+/// * instants for per-vertex cap evictions and the first budget-exhaustion
+///   transition.
+///
+/// Span hooks receive the `start_ns` the caller sampled via [`now_ns`]
+/// before the work ran; the observer stamps the end itself. Every hook
+/// site in the solver is a single `Option` branch when no observer is
+/// attached, so untraced solves pay nothing.
+///
+/// [`now_ns`]: SolveObserver::now_ns
+pub trait SolveObserver {
+    /// The observer's current monotonic timestamp, nanoseconds since its
+    /// own epoch.
+    fn now_ns(&mut self) -> u64;
+    /// One finished vertex expansion: `labels` source labels propagated
+    /// over all of `vertex`'s out-arcs.
+    fn layer_span(&mut self, start_ns: u64, vertex: usize, labels: usize);
+    /// One finished (vertex, arc) label batch: `attempts` insertion
+    /// attempts into `target`, of which `pruned` incumbent labels were
+    /// evicted by dominance.
+    fn batch_span(
+        &mut self,
+        start_ns: u64,
+        vertex: usize,
+        target: usize,
+        attempts: u64,
+        pruned: u64,
+    );
+    /// Instant: the per-vertex cap evicted `count` labels at `vertex`.
+    fn cap_evictions(&mut self, vertex: usize, count: u64);
+    /// Instant: the shared budget ran out mid-solve (fired once per solve,
+    /// on the first `None -> Some` exhaustion transition).
+    fn budget_exhausted(&mut self, reason: Exhaustion);
+}
 
 /// One vertex's active label frontier, kept sorted by cached min–max key
 /// with the label data in contiguous slabs.
@@ -246,7 +289,15 @@ pub fn exact(
     dest: VertexId,
     max_labels: Option<usize>,
 ) -> Result<ParetoSet, MospError> {
-    run(graph, source, dest, max_labels, None, &Budget::unlimited())
+    run(
+        graph,
+        source,
+        dest,
+        max_labels,
+        None,
+        &Budget::unlimited(),
+        None,
+    )
 }
 
 /// [`exact`] under a resource [`Budget`].
@@ -267,7 +318,25 @@ pub fn exact_budgeted(
     max_labels: Option<usize>,
     budget: &Budget,
 ) -> Result<ParetoSet, MospError> {
-    run(graph, source, dest, max_labels, None, budget)
+    run(graph, source, dest, max_labels, None, budget, None)
+}
+
+/// [`exact_budgeted`] with an attached [`SolveObserver`] receiving layer
+/// and label-batch spans plus eviction/exhaustion instants. Passing `None`
+/// is exactly [`exact_budgeted`].
+///
+/// # Errors
+///
+/// Same as [`exact`].
+pub fn exact_observed(
+    graph: &MospGraph,
+    source: VertexId,
+    dest: VertexId,
+    max_labels: Option<usize>,
+    budget: &Budget,
+    observer: Option<&mut dyn SolveObserver>,
+) -> Result<ParetoSet, MospError> {
+    run(graph, source, dest, max_labels, None, budget, observer)
 }
 
 /// Warburton's fully polynomial ε-approximation.
@@ -329,6 +398,25 @@ pub fn warburton_budgeted(
     max_labels: Option<usize>,
     budget: &Budget,
 ) -> Result<ParetoSet, MospError> {
+    warburton_observed(graph, source, dest, epsilon, max_labels, budget, None)
+}
+
+/// [`warburton_budgeted`] with an attached [`SolveObserver`] receiving
+/// layer and label-batch spans plus eviction/exhaustion instants. Passing
+/// `None` is exactly [`warburton_budgeted`].
+///
+/// # Errors
+///
+/// Same as [`warburton`].
+pub fn warburton_observed(
+    graph: &MospGraph,
+    source: VertexId,
+    dest: VertexId,
+    epsilon: f64,
+    max_labels: Option<usize>,
+    budget: &Budget,
+    observer: Option<&mut dyn SolveObserver>,
+) -> Result<ParetoSet, MospError> {
     if epsilon <= 0.0 || epsilon.is_nan() || !epsilon.is_finite() {
         return Err(MospError::InvalidParameter("epsilon must be positive"));
     }
@@ -345,7 +433,15 @@ pub fn warburton_budgeted(
             }
         })
         .collect();
-    run(graph, source, dest, max_labels, Some(&deltas), budget)
+    run(
+        graph,
+        source,
+        dest,
+        max_labels,
+        Some(&deltas),
+        budget,
+        observer,
+    )
 }
 
 /// Shared label-correcting DP. `deltas` switches scaled-dominance mode;
@@ -356,7 +452,9 @@ pub fn warburton_budgeted(
 /// shared atomic work counter, so concurrent solves on a worker pool draw
 /// from a single global cap. Arc weights arrive as borrowed arena slices
 /// from the graph; candidate costs are built in reusable scratch buffers,
-/// so the hot loop performs no per-attempt allocation.
+/// so the hot loop performs no per-attempt allocation. Every `observer`
+/// hook site is a single branch when the observer is `None`.
+#[allow(clippy::too_many_arguments)]
 fn run(
     graph: &MospGraph,
     source: VertexId,
@@ -364,6 +462,7 @@ fn run(
     max_labels: Option<usize>,
     deltas: Option<&[f64]>,
     budget: &Budget,
+    mut observer: Option<&mut dyn SolveObserver>,
 ) -> Result<ParetoSet, MospError> {
     let order = graph.topological_order()?;
     let n = graph.vertex_count();
@@ -421,9 +520,18 @@ fn run(
     let mut src_costs: Vec<f64> = Vec::new();
     let mut cand = vec![0.0; dim];
 
+    // The first None -> Some exhaustion transition is reported to the
+    // observer exactly once.
+    let mut exhaustion_reported = false;
     for v in order {
         if exhausted.is_none() {
             exhausted = budget.exhausted();
+        }
+        if let (Some(reason), false) = (exhausted, exhaustion_reported) {
+            exhaustion_reported = true;
+            if let Some(o) = observer.as_deref_mut() {
+                o.budget_exhausted(reason);
+            }
         }
         // Apply the per-vertex cap before expanding. Once the budget is
         // exhausted the cap collapses to 1: the remainder of the DP is a
@@ -438,6 +546,9 @@ fn run(
             if evicted > 0 {
                 stats.labels_pruned += evicted as u64;
                 truncated = true;
+                if let Some(o) = observer.as_deref_mut() {
+                    o.cap_evictions(v.0, evicted as u64);
+                }
             }
         }
         if fronts[v.0].is_empty() {
@@ -452,7 +563,10 @@ fn run(
         src_slots.extend(fronts[v.0].entries.iter().map(|e| e.slot));
         src_costs.clear();
         src_costs.extend_from_slice(&fronts[v.0].costs);
+        let layer_start = observer.as_deref_mut().map(|o| o.now_ns());
         for (to, w) in graph.out_arcs(v) {
+            let batch_start = observer.as_deref_mut().map(|o| o.now_ns());
+            let pruned_before = stats.labels_pruned;
             for (k, &slot) in src_slots.iter().enumerate() {
                 stats.work += 1;
                 if exhausted.is_none() {
@@ -472,6 +586,24 @@ fn run(
                     &mut stats,
                 );
             }
+            if let Some(o) = observer.as_deref_mut() {
+                o.batch_span(
+                    batch_start.unwrap_or(0),
+                    v.0,
+                    to.0,
+                    src_slots.len() as u64,
+                    stats.labels_pruned - pruned_before,
+                );
+            }
+        }
+        if let Some(o) = observer.as_deref_mut() {
+            o.layer_span(layer_start.unwrap_or(0), v.0, src_slots.len());
+        }
+    }
+    if let (Some(reason), false) = (exhausted, exhaustion_reported) {
+        // Exhaustion during the final vertex's inner loop.
+        if let Some(o) = observer {
+            o.budget_exhausted(reason);
         }
     }
 
