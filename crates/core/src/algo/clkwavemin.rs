@@ -8,13 +8,18 @@ use crate::config::{SolverKind, WaveMinConfig};
 use crate::design::Design;
 use crate::error::WaveMinError;
 use crate::eval::NoiseEvaluator;
+use crate::fault::{FaultKind, FaultObserver, FaultPlan, FaultSite};
 use crate::intervals::FeasibleInterval;
 use crate::noise_table::NoiseTable;
 use crate::observe::{MetricsRegistry, PeakAttribution, ReportContext, ZoneSolveRecord};
 use crate::trace::TraceJournal;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+#[cfg(test)]
 use wavemin_cells::units::Picoseconds;
-use wavemin_mosp::{solve, Budget, Exhaustion, MospGraph, ParetoSet, SolveObserver, VertexId};
+use wavemin_mosp::{
+    solve, Budget, Exhaustion, MospError, MospGraph, ParetoSet, SolveObserver, VertexId,
+};
 
 /// The paper's main algorithm: per zone and feasible interval, convert the
 /// assignment subproblem to a multi-objective shortest path instance
@@ -144,6 +149,13 @@ pub(crate) struct MospLadder {
     budget: Budget,
     rungs: Vec<Rung>,
     state: Mutex<LadderState>,
+    /// The last rung recorded by a *completed* transition, kept outside
+    /// the mutex so poison recovery can restore it (a panicking worker
+    /// can poison the lock, never corrupt this).
+    last_rung: AtomicUsize,
+    /// The run's deterministic fault schedule (`None` in production);
+    /// consulted by [`solve_zone_mosp_generic`] on non-salvage solves.
+    pub(crate) fault_plan: Option<FaultPlan>,
     /// Metrics sink shared with the run's driver; rung transitions and
     /// (through [`solve_zone_mosp_generic`]) zone solves land here.
     pub(crate) registry: MetricsRegistry,
@@ -210,17 +222,31 @@ impl MospLadder {
                 exhausted_solves: 0,
                 total_solves: 0,
             }),
+            last_rung: AtomicUsize::new(0),
+            fault_plan: config.fault_plan,
             registry,
             journal: TraceJournal::disabled(),
         }
     }
 
-    /// Locks the ladder state, shrugging off poisoning: a panicking solve
-    /// thread cannot leave the plain-data bookkeeping inconsistent.
+    /// Locks the ladder state. On poison (a worker panicked while holding
+    /// the guard) the last rung recorded by a completed transition is
+    /// restored, the poison is cleared, and a trace instant marks the
+    /// recovery — the ladder never silently loses its position.
     fn state(&self) -> std::sync::MutexGuard<'_, LadderState> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                let rung = self.last_rung.load(Ordering::Relaxed);
+                g.rung = rung;
+                self.state.clear_poison();
+                if self.journal.is_enabled() {
+                    self.journal.handle().ladder_restored(rung);
+                }
+                g
+            }
+        }
     }
 
     /// A ladder that never descends (no limits set) and records nothing.
@@ -294,6 +320,7 @@ impl MospLadder {
         let from = self.rungs[st.rung];
         let to = self.rungs[st.rung + 1];
         st.rung += 1;
+        self.last_rung.store(st.rung, Ordering::Relaxed);
         self.registry.record_rung_transition();
         if self.journal.is_enabled() {
             self.journal.handle().rung_transition(st.rung);
@@ -331,6 +358,7 @@ impl MospLadder {
         let last = self.rungs.len() - 1;
         if st.rung < last {
             st.rung = last;
+            self.last_rung.store(last, Ordering::Relaxed);
             st.steps.push(DegradationStep::GreedyFallback { reason });
             self.registry.record_rung_transition();
             if self.journal.is_enabled() {
@@ -353,6 +381,60 @@ impl MospLadder {
             })
         }
     }
+
+    /// Records a contained zone fault as a degradation step and emits the
+    /// trace instant (the containment layer owns the metrics counters).
+    pub(crate) fn note_zone_fault(&self, zone: usize) {
+        self.state()
+            .steps
+            .push(DegradationStep::ZoneFaultContained { zone });
+        if self.journal.is_enabled() {
+            self.journal.handle().zone_fault(zone);
+        }
+    }
+
+    /// Emits the salvage trace instant for a recovered zone.
+    pub(crate) fn note_zone_salvaged(&self, zone: usize) {
+        if self.journal.is_enabled() {
+            self.journal.handle().zone_salvaged(zone);
+        }
+    }
+
+    /// The zones recorded as fault-contained so far, sorted and deduped.
+    pub(crate) fn faulted_zones(&self) -> Vec<usize> {
+        let st = self.state();
+        let mut zones: Vec<usize> = st
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                DegradationStep::ZoneFaultContained { zone } => Some(*zone),
+                _ => None,
+            })
+            .collect();
+        drop(st);
+        zones.sort_unstable();
+        zones.dedup();
+        zones
+    }
+
+    /// The salvage solver: greedy single-label completion (the ladder's
+    /// last rung) without touching the ladder state or firing any
+    /// injection. Always terminates, still a valid assignment.
+    pub(crate) fn solve_salvage(
+        &self,
+        graph: &MospGraph,
+        src: VertexId,
+        dest: VertexId,
+    ) -> Result<ParetoSet, WaveMinError> {
+        Ok(solve::exact_observed(
+            graph,
+            src,
+            dest,
+            Some(1),
+            &self.budget,
+            None,
+        )?)
+    }
 }
 
 /// The MOSP-based inner solver shared by ClkWaveMin and ClkWaveMin-M.
@@ -374,17 +456,18 @@ impl MospZoneSolver {
     }
 }
 
-impl ZoneSolver for MospZoneSolver {
-    fn solve_zone(
+impl MospZoneSolver {
+    fn solve_zone_inner(
         &self,
         table: &NoiseTable,
         zone: &ZoneProblem,
         interval: &FeasibleInterval,
         extra: &crate::noise_table::EventWaveforms,
+        salvage: bool,
     ) -> Result<ZoneSolution, WaveMinError> {
         let mut background = zone.background.clone();
         zone.plan.accumulate_into(&mut background, extra);
-        solve_zone_mosp(
+        let (choices, cost) = solve_zone_mosp_generic(
             &self.ladder,
             zone.id,
             zone.sinks.len(),
@@ -396,7 +479,39 @@ impl ZoneSolver for MospZoneSolver {
             },
             &interval.allowed_for(&zone.sinks),
             &background,
-        )
+            salvage,
+        )?;
+        Ok(ZoneSolution { choices, cost })
+    }
+}
+
+impl ZoneSolver for MospZoneSolver {
+    fn solve_zone(
+        &self,
+        table: &NoiseTable,
+        zone: &ZoneProblem,
+        interval: &FeasibleInterval,
+        extra: &crate::noise_table::EventWaveforms,
+    ) -> Result<ZoneSolution, WaveMinError> {
+        self.solve_zone_inner(table, zone, interval, extra, false)
+    }
+
+    fn salvage_zone(
+        &self,
+        table: &NoiseTable,
+        zone: &ZoneProblem,
+        interval: &FeasibleInterval,
+        extra: &crate::noise_table::EventWaveforms,
+    ) -> Result<ZoneSolution, WaveMinError> {
+        self.solve_zone_inner(table, zone, interval, extra, true)
+    }
+
+    fn note_zone_fault(&self, zone: usize, _payload: &str) {
+        self.ladder.note_zone_fault(zone);
+    }
+
+    fn note_zone_salvaged(&self, zone: usize) {
+        self.ladder.note_zone_salvaged(zone);
     }
 }
 
@@ -424,6 +539,10 @@ impl FeasibleInterval {
 ///
 /// Generic over the payload `C` so the multi-mode flow can carry one delay
 /// code per power mode.
+///
+/// With `salvage` set, the solve runs greedy (single label), bypasses the
+/// ladder state, and ignores the fault plan — the containment layer's
+/// injection-free retry path.
 pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     ladder: &MospLadder,
     zone_id: usize,
@@ -431,10 +550,25 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     mut option_data: impl FnMut(usize, usize) -> Option<(C, Vec<f64>)>,
     allowed: &[&[usize]],
     background: &[f64],
+    salvage: bool,
 ) -> Result<(Vec<(usize, C)>, f64), WaveMinError> {
     if rows == 0 {
         return Ok((Vec::new(), background.iter().copied().fold(0.0, f64::max)));
     }
+    let plan = if salvage { None } else { ladder.fault_plan };
+    if let Some(p) = plan {
+        let site = FaultSite::ZoneSolve { zone: zone_id };
+        if p.decide(site) == Some(FaultKind::Panic) {
+            p.fire_panic(site);
+        }
+    }
+    // A pending NaN poison corrupts the first cost vector built below;
+    // the kernels' ingest guard must reject it — `poison_ingest_error`
+    // then converts the rejection into a contained `ZoneFault`.
+    let mut poison_pending = plan.is_some_and(|p| {
+        p.decide(FaultSite::ZoneIngest { zone: zone_id }) == Some(FaultKind::PoisonNan)
+    });
+    let mut poisoned = false;
     let dims = background.len();
     let mut graph = MospGraph::new(dims);
     let src = graph.add_vertex();
@@ -447,9 +581,14 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
         let mut this_row = Vec::new();
         row_vectors.clear();
         for &opt in opts.iter() {
-            let Some((code, vector)) = option_data(local, opt) else {
+            let Some((code, mut vector)) = option_data(local, opt) else {
                 continue;
             };
+            if poison_pending && !vector.is_empty() {
+                vector[0] = f64::NAN;
+                poison_pending = false;
+                poisoned = true;
+            }
             let v = graph.add_vertex();
             registry.push((local, opt, code));
             row_vectors.push((v, vector));
@@ -461,7 +600,9 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
         for &(v, ref vector) in &row_vectors {
             for &u in &prev_row {
                 // Interning means the fan-in arcs all share one arena slot.
-                graph.add_arc_slice(u, v, vector)?;
+                graph
+                    .add_arc_slice(u, v, vector)
+                    .map_err(|e| poison_ingest_error(e, zone_id, poisoned))?;
             }
         }
         prev_row = this_row;
@@ -476,7 +617,19 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     let started = ladder.registry.is_enabled().then(std::time::Instant::now);
     let mut handle = ladder.journal.handle();
     let zone_start = handle.now_ns();
-    let set = if handle.is_enabled() {
+    let set = if salvage {
+        ladder.solve_salvage(&graph, src, dest)?
+    } else if let Some(p) = plan {
+        // A fault plan keeps the observed path live even when tracing is
+        // off, so layer-site faults fire on untraced runs too.
+        let inner: Option<&mut dyn SolveObserver> = if handle.is_enabled() {
+            Some(&mut handle)
+        } else {
+            None
+        };
+        let mut fo = FaultObserver::new(p, zone_id, &ladder.budget, inner);
+        ladder.solve_observed(&graph, src, dest, Some(&mut fo))?
+    } else if handle.is_enabled() {
         ladder.solve_observed(&graph, src, dest, Some(&mut handle))?
     } else {
         ladder.solve(&graph, src, dest)?
@@ -507,7 +660,22 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     Ok((choices, best.max_component()))
 }
 
-/// Single-mode wrapper around [`solve_zone_mosp_generic`].
+/// Converts the ingest guard's rejection of a deliberately poisoned
+/// vector into a contained [`WaveMinError::ZoneFault`]; genuine invalid
+/// weights (not ours) keep their `Mosp` error identity.
+fn poison_ingest_error(e: MospError, zone: usize, poisoned: bool) -> WaveMinError {
+    match e {
+        MospError::InvalidWeight(w) if poisoned && !w.is_finite() => WaveMinError::ZoneFault {
+            zone,
+            payload: "injected NaN cost vector rejected at ingest".to_string(),
+        },
+        other => other.into(),
+    }
+}
+
+/// Single-mode wrapper around [`solve_zone_mosp_generic`] (the production
+/// drivers call the generic directly; tests exercise this entry).
+#[cfg(test)]
 pub(crate) fn solve_zone_mosp(
     ladder: &MospLadder,
     zone_id: usize,
@@ -516,8 +684,15 @@ pub(crate) fn solve_zone_mosp(
     allowed: &[&[usize]],
     background: &[f64],
 ) -> Result<ZoneSolution, WaveMinError> {
-    let (choices, cost) =
-        solve_zone_mosp_generic(ladder, zone_id, rows, option_data, allowed, background)?;
+    let (choices, cost) = solve_zone_mosp_generic(
+        ladder,
+        zone_id,
+        rows,
+        option_data,
+        allowed,
+        background,
+        false,
+    )?;
     Ok(ZoneSolution { choices, cost })
 }
 
@@ -677,5 +852,67 @@ mod tests {
         .unwrap();
         assert_eq!(sol.cost, 7.0);
         assert!(sol.choices.is_empty());
+    }
+
+    #[test]
+    fn ladder_recovers_from_poisoned_state_mutex() {
+        let cfg = WaveMinConfig::default();
+        let ladder = MospLadder::unbudgeted(&cfg);
+        ladder.descend(Exhaustion::WorkCapReached);
+        let rung = ladder.current_rung();
+        assert!(rung > 0, "descend must move off the top rung");
+        // Poison the state mutex: a thread panics while holding the guard,
+        // after tearing the rung to a value no rung table contains.
+        let join = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut g = ladder.state.lock().expect("not yet poisoned");
+                g.rung = usize::MAX;
+                panic!("poison the ladder");
+            })
+            .join()
+        });
+        assert!(join.is_err());
+        assert!(ladder.state.is_poisoned());
+        // Recovery restores the last-known-good rung and clears the poison.
+        assert_eq!(ladder.current_rung(), rung);
+        assert!(!ladder.state.is_poisoned());
+        assert_eq!(ladder.current_rung(), rung, "stable after recovery");
+    }
+
+    #[test]
+    fn injected_zone_panic_fires_and_salvage_path_is_injection_free() {
+        // rate 1.0 fires at every site, and ZoneSolve sites always panic.
+        let plan = crate::fault::FaultPlan { seed: 1, rate: 1.0 };
+        let cfg = WaveMinConfig::default().with_fault_plan(Some(plan));
+        let ladder = MospLadder::unbudgeted(&cfg);
+        let allowed: Vec<&[usize]> = vec![&[0]];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            solve_zone_mosp(
+                &ladder,
+                3,
+                1,
+                |_, _| Some((Picoseconds::ZERO, vec![1.0])),
+                &allowed,
+                &[0.0],
+            )
+        }));
+        let p = caught.expect_err("a rate-1.0 plan must fire");
+        let payload = crate::parallel::panic_payload(p.as_ref());
+        assert!(
+            payload.contains(crate::fault::INJECTED_MARKER),
+            "payload '{payload}' lacks the marker"
+        );
+        // The salvage retry runs with injection disarmed and succeeds.
+        let (choices, _) = solve_zone_mosp_generic::<Picoseconds>(
+            &ladder,
+            3,
+            1,
+            |_, _| Some((Picoseconds::ZERO, vec![1.0])),
+            &allowed,
+            &[0.0],
+            true,
+        )
+        .expect("salvage solve is injection-free");
+        assert_eq!(choices.len(), 1);
     }
 }

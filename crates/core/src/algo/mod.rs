@@ -86,6 +86,13 @@ pub enum DegradationStep {
         /// Which resource ran out.
         reason: Exhaustion,
     },
+    /// A zone worker faulted (panic or injected fault) and its result was
+    /// salvaged by a greedy retry — the assignment is valid but carries
+    /// no optimality claim for that zone.
+    ZoneFaultContained {
+        /// The zone whose solve faulted.
+        zone: usize,
+    },
 }
 
 impl std::fmt::Display for DegradationStep {
@@ -102,6 +109,9 @@ impl std::fmt::Display for DegradationStep {
             }
             Self::GreedyFallback { reason } => {
                 write!(f, "greedy fallback: {reason}")
+            }
+            Self::ZoneFaultContained { zone } => {
+                write!(f, "zone {zone} fault contained (salvaged on greedy rung)")
             }
         }
     }
@@ -180,6 +190,12 @@ pub struct Outcome {
     /// [`crate::config::WaveMinConfig::trace_spans`]).
     #[serde(default)]
     pub report: Option<RunReport>,
+    /// Zones whose solve faulted (panicked or hit an injected fault) and
+    /// were salvaged by a greedy retry, sorted ascending. Empty for a
+    /// clean run; non-empty means the assignment is valid but those zones
+    /// carry no optimality claim.
+    #[serde(default)]
+    pub faulted_zones: Vec<usize>,
 }
 
 impl Outcome {
@@ -327,6 +343,26 @@ pub(crate) trait ZoneSolver: Sync {
         interval: &FeasibleInterval,
         extra: &crate::noise_table::EventWaveforms,
     ) -> Result<ZoneSolution, WaveMinError>;
+
+    /// The containment layer's one retry after [`Self::solve_zone`]
+    /// faulted: solve the same zone on the cheapest rung available,
+    /// injection-free. The default just retries the normal solve.
+    fn salvage_zone(
+        &self,
+        table: &NoiseTable,
+        zone: &ZoneProblem,
+        interval: &FeasibleInterval,
+        extra: &crate::noise_table::EventWaveforms,
+    ) -> Result<ZoneSolution, WaveMinError> {
+        self.solve_zone(table, zone, interval, extra)
+    }
+
+    /// Notification that `zone`'s solve faulted (before the salvage
+    /// retry); solvers record it in their own degradation bookkeeping.
+    fn note_zone_fault(&self, _zone: usize, _payload: &str) {}
+
+    /// Notification that `zone`'s salvage retry produced a usable result.
+    fn note_zone_salvaged(&self, _zone: usize) {}
 }
 
 /// The shared interval-based optimization skeleton.
@@ -383,6 +419,71 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
     zone_order.sort_by_key(|&z| std::cmp::Reverse(zones[z].sinks.len()));
     let degenerate_zones = zones.iter().filter(|z| z.plan.is_degenerate()).count();
 
+    // The per-zone checkpoint journal, when the config asks for one. Keys
+    // chain through every predecessor zone's solution, so a hit is
+    // reusable bit-for-bit (see `crate::checkpoint`).
+    let checkpoint = match &config.checkpoint_path {
+        Some(path) => {
+            let fingerprint = crate::checkpoint::design_fingerprint(design, config)?;
+            Some((
+                crate::checkpoint::CheckpointJournal::open(path, fingerprint, config.resume)?,
+                fingerprint,
+            ))
+        }
+        None => None,
+    };
+
+    // Zones that faulted and were salvaged, across all intervals.
+    let faulted = std::sync::Mutex::new(std::collections::BTreeSet::new());
+
+    // Solve one zone with fault containment: a panic (or an injected
+    // fault surfacing as `ZoneFault`) is noted, then retried once through
+    // the solver's salvage path. A second failure makes the whole
+    // interval a fault — handled at ranking like an infeasible one as
+    // long as some interval survives.
+    let contained_solve = |zi: usize,
+                           interval: &FeasibleInterval,
+                           accumulated: &crate::noise_table::EventWaveforms|
+     -> Result<ZoneSolution, WaveMinError> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let zone = &zones[zi];
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            solver.solve_zone(&table, zone, interval, accumulated)
+        }));
+        let payload = match first {
+            Ok(Ok(sol)) => return Ok(sol),
+            Ok(Err(WaveMinError::ZoneFault { payload, .. })) => payload,
+            Ok(Err(e)) => return Err(e),
+            Err(p) => crate::parallel::panic_payload(p.as_ref()),
+        };
+        solver.note_zone_fault(zi, &payload);
+        registry.record_zone_fault();
+        if let Ok(mut g) = faulted.lock() {
+            g.insert(zi);
+        }
+        let retry = catch_unwind(AssertUnwindSafe(|| {
+            solver.salvage_zone(&table, zone, interval, accumulated)
+        }));
+        match retry {
+            Ok(Ok(sol)) => {
+                solver.note_zone_salvaged(zi);
+                registry.record_zone_salvage();
+                Ok(sol)
+            }
+            Ok(Err(e)) => Err(WaveMinError::ZoneFault {
+                zone: zi,
+                payload: format!("{payload}; salvage failed: {e}"),
+            }),
+            Err(p) => Err(WaveMinError::ZoneFault {
+                zone: zi,
+                payload: format!(
+                    "{payload}; salvage panicked: {}",
+                    crate::parallel::panic_payload(p.as_ref())
+                ),
+            }),
+        }
+    };
+
     // Solve every interval. Intervals are independent — zones inside one
     // interval chain through the accumulated background and stay
     // sequential — so the intervals fan out over the worker pool and come
@@ -392,26 +493,50 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
             let mut cost = 0.0_f64;
             let mut assignment = Assignment::new();
             let mut accumulated = crate::noise_table::EventWaveforms::zero();
+            let mut chain = checkpoint.as_ref().map(|&(_, fingerprint)| {
+                crate::checkpoint::ZoneKeyChain::new(fingerprint, interval.t_lo, interval.t_hi)
+            });
             for &zi in &zone_order {
                 let zone = &zones[zi];
-                match solver.solve_zone(&table, zone, interval, &accumulated) {
-                    Ok(sol) => {
-                        cost = cost.max(sol.cost);
-                        for (local, &(opt, code)) in sol.choices.iter().enumerate() {
-                            let si = zone.sinks[local];
-                            let entry = &table.sinks[si];
-                            let option = &entry.options[opt];
-                            assignment.set(entry.node, option.cell.clone());
-                            if code > Picoseconds::ZERO {
-                                assignment.set_delay_code(0, entry.node, code);
-                                accumulated = accumulated.plus(&option.waves.shifted(code));
-                            } else {
-                                accumulated = accumulated.plus(&option.waves);
-                            }
+                let key = chain.as_ref().map(|c| c.key_for(zi));
+                let cached = match (&checkpoint, key) {
+                    (Some((journal, _)), Some(k)) => journal.lookup(k),
+                    _ => None,
+                };
+                let sol = match cached {
+                    Some(hit) => {
+                        registry.record_zone_reused();
+                        ZoneSolution {
+                            choices: hit.choices_ps(),
+                            cost: hit.cost(),
                         }
                     }
-                    Err(WaveMinError::NoFeasibleInterval) => return Ok(None),
-                    Err(e) => return Err(e),
+                    None => match contained_solve(zi, interval, &accumulated) {
+                        Ok(sol) => {
+                            if let (Some((journal, _)), Some(k)) = (&checkpoint, key) {
+                                journal.record(k, sol.cost.to_bits(), &sol.choices)?;
+                            }
+                            sol
+                        }
+                        Err(WaveMinError::NoFeasibleInterval) => return Ok(None),
+                        Err(e) => return Err(e),
+                    },
+                };
+                if let Some(c) = chain.as_mut() {
+                    c.absorb(zi, sol.cost.to_bits(), &sol.choices);
+                }
+                cost = cost.max(sol.cost);
+                for (local, &(opt, code)) in sol.choices.iter().enumerate() {
+                    let si = zone.sinks[local];
+                    let entry = &table.sinks[si];
+                    let option = &entry.options[opt];
+                    assignment.set(entry.node, option.cell.clone());
+                    if code > Picoseconds::ZERO {
+                        assignment.set_delay_code(0, entry.node, code);
+                        accumulated = accumulated.plus(&option.waves.shifted(code));
+                    } else {
+                        accumulated = accumulated.plus(&option.waves);
+                    }
                 }
             }
             Ok(Some((cost, assignment)))
@@ -422,13 +547,27 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
         |_, interval| solve_interval(interval),
     );
     let mut ranked: Vec<(f64, Assignment)> = Vec::new();
+    let mut fault: Option<WaveMinError> = None;
     for result in solved {
-        if let Some(pair) = result? {
-            ranked.push(pair);
+        match result {
+            Ok(Some(pair)) => ranked.push(pair),
+            Ok(None) => {}
+            // An uncontainable zone fault drops its interval from the
+            // ranking; only if *every* interval is lost does it become
+            // the run's error.
+            Err(e @ WaveMinError::ZoneFault { .. }) => {
+                if fault.is_none() {
+                    fault = Some(e);
+                }
+            }
+            Err(e) => return Err(e),
         }
     }
     if ranked.is_empty() {
-        return Err(WaveMinError::NoFeasibleInterval);
+        return Err(match fault {
+            Some(e) => e,
+            None => WaveMinError::NoFeasibleInterval,
+        });
     }
     ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
     let intervals_tried = intervals.len();
@@ -472,6 +611,10 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
         )?,
     };
     out.degenerate_zones = degenerate_zones;
+    out.faulted_zones = match faulted.lock() {
+        Ok(g) => g.iter().copied().collect(),
+        Err(poisoned) => poisoned.into_inner().iter().copied().collect(),
+    };
     thandle.stage_span(validation_start, "validation");
     Ok(out)
 }
@@ -505,6 +648,7 @@ pub(crate) fn finish_outcome(
         degradation: None,
         degenerate_zones: 0,
         report: None,
+        faulted_zones: Vec::new(),
     };
     for mode in 0..before.mode_count() {
         let rb = eval_before.evaluate(mode)?;
@@ -563,6 +707,7 @@ mod tests {
             degradation: None,
             degenerate_zones: 0,
             report: None,
+            faulted_zones: Vec::new(),
         };
         assert!((o.peak_improvement_pct() - 20.0).abs() < 1e-9);
         assert!((o.vdd_improvement_pct() - 20.0).abs() < 1e-9);

@@ -136,6 +136,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "metrics-out",
                     "trace",
                     "trace-out",
+                    "fault-plan",
+                    "checkpoint",
+                    "resume",
                     "o",
                 ],
             )?;
@@ -186,7 +189,8 @@ USAGE:
                      [--kappa PS] [--samples N] [--lib file.lib]
                      [--power intent.pw] [--time-budget-ms N] [--threads N]
                      [--strict] [--metrics-out report.json] [--trace]
-                     [--trace-out trace.json] [-o out.clk]
+                     [--trace-out trace.json] [--fault-plan seed:rate]
+                     [--checkpoint journal.ckpt [--resume]] [-o out.clk]
   wavemin validate   -i tree.clk [--lib file.lib] [--power intent.pw]
                      [--kappa PS] [--samples N]
   wavemin check-report -i report.json
@@ -211,11 +215,20 @@ FLAGS:
                       spans, ladder and budget instants) and write it as
                       Chrome-trace JSON, viewable in chrome://tracing and
                       ui.perfetto.dev; wavemin-algorithm runs only
+  --fault-plan S:R    inject deterministic faults (seed S, per-site rate R
+                      in (0,1]) into the zone solvers for chaos testing;
+                      also settable via WAVEMIN_FAULTS=seed:rate. Contained
+                      faults are salvaged and reported, not fatal
+  --checkpoint PATH   append every completed zone's result to a
+                      content-hashed journal as it finishes
+  --resume            with --checkpoint: reuse journal entries whose keys
+                      still match and re-solve only missing/dirty zones
   --top N             explain: contributors to print (default 10)
 
 EXIT CODES:
   0 success   1 runtime error   2 usage error
   3 input failed validation   4 infeasible   5 degraded under --strict
+  (salvaged fault-contained runs exit 0 unless --strict)
 
 Benchmarks: s13207 s15850 s35932 s38417 s38584 ispd09f31 ispd09f34"
     );
@@ -384,13 +397,53 @@ fn build_config(flags: &Flags) -> Result<WaveMinConfig, CliError> {
     config.collect_metrics =
         flags.has("metrics-out") || flags.has("trace") || flags.has("trace-out");
     config.trace_spans = flags.has("trace");
+    if let Some(spec) = flags.get("fault-plan") {
+        let plan =
+            FaultPlan::parse(spec).map_err(|e| CliError::usage(format!("--fault-plan: {e}")))?;
+        config.fault_plan = Some(plan);
+    }
+    if let Some(path) = flags.get("checkpoint") {
+        if path.is_empty() {
+            return Err(CliError::usage("--checkpoint expects a journal path"));
+        }
+        config.checkpoint_path = Some(path.to_owned());
+    }
+    if flags.has("resume") {
+        if config.checkpoint_path.is_none() {
+            return Err(CliError::usage("--resume requires --checkpoint <path>"));
+        }
+        config.resume = true;
+    }
     config.validate().map_err(|e| CliError::from(&e))?;
     Ok(config)
+}
+
+/// Injected chaos panics are contained and salvaged by the solver, but
+/// the default panic hook would still print one message (and backtrace)
+/// per fault to stderr, drowning the real output. With a plan active,
+/// swallow hook output for payloads carrying the injection marker and
+/// defer everything else — genuine panics — to the previous hook.
+fn quiet_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains(wavemin::fault::INJECTED_MARKER));
+        if !injected {
+            previous(info);
+        }
+    }));
 }
 
 fn optimize(flags: &Flags) -> Result<(), CliError> {
     let design = load_design(flags)?;
     let config = build_config(flags)?;
+    if config.fault_plan.is_some() {
+        quiet_injected_panics();
+    }
     let algorithm = flags.get("algorithm").unwrap_or("wavemin");
     let trace_out = flags.get("trace-out");
     let journal = if trace_out.is_some() {
@@ -398,6 +451,11 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
     } else {
         TraceJournal::disabled()
     };
+    if config.checkpoint_path.is_some() && algorithm != "wavemin" {
+        eprintln!(
+            "note: --checkpoint/--resume: only the 'wavemin' algorithm journals zone results"
+        );
+    }
     let outcome = match algorithm {
         "wavemin" => ClkWaveMin::new(config).run_traced(&design, &journal),
         "fast" => ClkWaveMinFast::new(config).run(&design),
@@ -409,9 +467,27 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
     }
     .map_err(|e| CliError::from(&e))?;
 
+    if !outcome.faulted_zones.is_empty() {
+        eprintln!(
+            "note: {} zone worker fault(s) contained (zones {:?}); the salvaged outcome is valid",
+            outcome.faulted_zones.len(),
+            outcome.faulted_zones
+        );
+    }
     if let Some(d) = &outcome.degradation {
         eprint!("{}", degradation_summary(Some(d)));
-        if flags.has("strict") {
+    }
+    // Salvaged or budget-relaxed runs still exit 0 by default: the outcome
+    // is valid, just degraded. `--strict` turns any degradation into
+    // exit 5.
+    if flags.has("strict") {
+        if !outcome.faulted_zones.is_empty() {
+            return Err(CliError::degraded(format!(
+                "--strict: {} zone solve(s) faulted and were salvaged on the greedy rung",
+                outcome.faulted_zones.len()
+            )));
+        }
+        if let Some(d) = &outcome.degradation {
             return Err(CliError::degraded(format!(
                 "--strict: the run relaxed {} of {} zone solves to stay within budget",
                 d.exhausted_solves, d.total_solves

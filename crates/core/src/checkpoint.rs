@@ -1,0 +1,448 @@
+//! Content-hashed zone-result journal for checkpoint/resume.
+//!
+//! `optimize --checkpoint PATH` appends each completed zone's solution to
+//! a line-oriented journal as it lands; `--resume` replays the journal
+//! and re-solves only the zones it cannot vouch for. The file is the
+//! deliberate seed of the future serve-mode per-zone solution cache: keys
+//! are *content* hashes, so a stale or foreign entry can never be
+//! mistaken for a hit — it is simply never looked up.
+//!
+//! # Format
+//!
+//! ```text
+//! wavemin-checkpoint v1 fingerprint=<hex16>
+//! zone <key hex16> <cost-bits hex16> <n> <sink>:<code-bits hex16> ...
+//! ```
+//!
+//! The header fingerprint hashes the characterized design and the solver
+//! configuration; a mismatch invalidates every entry. Each entry's key is
+//! drawn from a per-interval *hash chain* ([`ZoneKeyChain`]): the chain
+//! starts from the fingerprint and the interval bounds and absorbs every
+//! earlier zone's solution in solve order. Zones are solved against the
+//! accumulated background noise of their predecessors, so a zone's key
+//! changes whenever anything it depends on changes — hit means bit-for-bit
+//! reusable. Costs and delay codes are stored as raw `f64` bit patterns,
+//! so a resumed run reproduces the uninterrupted run exactly.
+//!
+//! Lines are flushed per zone; a killed process leaves at most one
+//! truncated trailing line, which the loader ignores.
+
+use crate::config::WaveMinConfig;
+use crate::design::Design;
+use crate::error::WaveMinError;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::Mutex;
+use wavemin_cells::units::Picoseconds;
+
+/// Journal format version; bumped on any incompatible layout change.
+pub const FORMAT_VERSION: &str = "v1";
+
+const HEADER_TAG: &str = "wavemin-checkpoint";
+
+/// FNV-1a 64 over raw bytes — the journal's only hash primitive.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the characterized design + solver configuration. Any
+/// change to either invalidates every checkpoint entry.
+///
+/// Run-plumbing fields that cannot change a zone's solution — the worker
+/// count, observability switches, and the checkpoint/resume flags
+/// themselves — are normalized out before hashing, so an interrupted run
+/// and its `--resume` continuation (or a re-run with `--trace` added)
+/// agree on the fingerprint. Everything semantic stays in, including the
+/// fault plan (injection changes solve results) and the time budget.
+///
+/// # Errors
+///
+/// Returns [`WaveMinError::Checkpoint`] if serialization fails.
+pub fn design_fingerprint(design: &Design, config: &WaveMinConfig) -> Result<u64, WaveMinError> {
+    let d = serde_json::to_string(design)
+        .map_err(|e| WaveMinError::Checkpoint(format!("design fingerprint: {e}")))?;
+    let mut canon = config.clone();
+    canon.threads = None;
+    canon.collect_metrics = false;
+    canon.trace_spans = false;
+    canon.checkpoint_path = None;
+    canon.resume = false;
+    let c = serde_json::to_string(&canon)
+        .map_err(|e| WaveMinError::Checkpoint(format!("config fingerprint: {e}")))?;
+    let mut h = fnv1a(d.as_bytes());
+    h ^= fnv1a(c.as_bytes()).rotate_left(29);
+    Ok(h)
+}
+
+/// A journalled zone solution: the min–max cost and the per-sink delay
+/// codes, both as exact `f64` bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedZone {
+    /// `ZoneSolution::cost` bits.
+    pub cost_bits: u64,
+    /// `(sink index, delay-code bits)` per chosen option.
+    pub choices: Vec<(usize, u64)>,
+}
+
+impl CachedZone {
+    /// The cost as an `f64` (bit-exact round trip).
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        f64::from_bits(self.cost_bits)
+    }
+
+    /// The choices as `(sink, Picoseconds)` pairs (bit-exact round trip).
+    #[must_use]
+    pub fn choices_ps(&self) -> Vec<(usize, Picoseconds)> {
+        self.choices
+            .iter()
+            .map(|&(s, bits)| (s, Picoseconds::new(f64::from_bits(bits))))
+            .collect()
+    }
+}
+
+/// The per-interval key chain. Seeded from the design fingerprint and the
+/// interval bounds; absorbs each solved zone in solve order so a zone's
+/// key covers everything its accumulated-background input depends on.
+#[derive(Debug, Clone)]
+pub struct ZoneKeyChain {
+    h: u64,
+}
+
+impl ZoneKeyChain {
+    /// Starts a chain for one feasible interval.
+    #[must_use]
+    pub fn new(fingerprint: u64, t_lo: Picoseconds, t_hi: Picoseconds) -> Self {
+        let mut h = fingerprint;
+        h = step(h, t_lo.value().to_bits());
+        h = step(h, t_hi.value().to_bits());
+        Self { h }
+    }
+
+    /// The lookup/record key for `zone` at the chain's current state.
+    #[must_use]
+    pub fn key_for(&self, zone: usize) -> u64 {
+        step(self.h, zone as u64 ^ 0x5a5a_5a5a_5a5a_5a5a)
+    }
+
+    /// Absorbs a completed zone's solution, advancing the chain for every
+    /// zone solved after it.
+    pub fn absorb(&mut self, zone: usize, cost_bits: u64, choices: &[(usize, Picoseconds)]) {
+        self.h = step(self.h, zone as u64);
+        self.h = step(self.h, cost_bits);
+        for &(sink, code) in choices {
+            self.h = step(self.h, sink as u64);
+            self.h = step(self.h, code.value().to_bits());
+        }
+    }
+}
+
+/// One avalanche step of the chain (splitmix64 finalizer over `h ^ x`).
+#[inline]
+fn step(h: u64, x: u64) -> u64 {
+    let mut z = (h ^ x).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Inner {
+    writer: BufWriter<File>,
+    cache: HashMap<u64, CachedZone>,
+}
+
+/// The append-only journal handle shared by zone workers.
+pub struct CheckpointJournal {
+    path: String,
+    inner: Mutex<Inner>,
+}
+
+impl CheckpointJournal {
+    /// Opens (or creates) the journal at `path` for `fingerprint`.
+    ///
+    /// With `resume` set, an existing journal whose header fingerprint
+    /// matches is loaded into the hit cache and appended to; a missing
+    /// file, mismatched fingerprint, or unreadable header starts fresh
+    /// (every zone dirty). Without `resume`, the file is truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveMinError::Checkpoint`] on I/O failure.
+    pub fn open(path: &str, fingerprint: u64, resume: bool) -> Result<Self, WaveMinError> {
+        let cache = if resume {
+            load_entries(path, fingerprint)
+        } else {
+            None
+        };
+        match cache {
+            Some(cache) => {
+                let file = OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| WaveMinError::Checkpoint(format!("{path}: {e}")))?;
+                Ok(Self {
+                    path: path.to_string(),
+                    inner: Mutex::new(Inner {
+                        writer: BufWriter::new(file),
+                        cache,
+                    }),
+                })
+            }
+            None => {
+                let file = File::create(path)
+                    .map_err(|e| WaveMinError::Checkpoint(format!("{path}: {e}")))?;
+                let mut writer = BufWriter::new(file);
+                writeln!(
+                    writer,
+                    "{HEADER_TAG} {FORMAT_VERSION} fingerprint={fingerprint:016x}"
+                )
+                .and_then(|()| writer.flush())
+                .map_err(|e| WaveMinError::Checkpoint(format!("{path}: {e}")))?;
+                Ok(Self {
+                    path: path.to_string(),
+                    inner: Mutex::new(Inner {
+                        writer,
+                        cache: HashMap::new(),
+                    }),
+                })
+            }
+        }
+    }
+
+    /// Number of reusable entries loaded at open.
+    #[must_use]
+    pub fn loaded(&self) -> usize {
+        self.lock().cache.len()
+    }
+
+    /// Looks up a zone by its chain key.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<CachedZone> {
+        self.lock().cache.get(&key).cloned()
+    }
+
+    /// Appends a completed zone and flushes, so a killed process loses at
+    /// most the zone in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveMinError::Checkpoint`] on I/O failure.
+    pub fn record(
+        &self,
+        key: u64,
+        cost_bits: u64,
+        choices: &[(usize, Picoseconds)],
+    ) -> Result<(), WaveMinError> {
+        let mut line = format!("zone {key:016x} {cost_bits:016x} {}", choices.len());
+        for &(sink, code) in choices {
+            use std::fmt::Write as _;
+            let _ = write!(line, " {sink}:{:016x}", code.value().to_bits());
+        }
+        let mut g = self.lock();
+        writeln!(g.writer, "{line}")
+            .and_then(|()| g.writer.flush())
+            .map_err(|e| WaveMinError::Checkpoint(format!("{}: {e}", self.path)))?;
+        g.cache.insert(
+            key,
+            CachedZone {
+                cost_bits,
+                choices: choices
+                    .iter()
+                    .map(|&(s, c)| (s, c.value().to_bits()))
+                    .collect(),
+            },
+        );
+        Ok(())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A worker that panicked mid-append can only have poisoned the
+        // lock after its own writeln completed or failed atomically at
+        // the line level; the cache and writer state remain coherent.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Parses an existing journal; `None` means "start fresh" (missing file,
+/// wrong header, or fingerprint mismatch). Unparseable entry lines —
+/// including a truncated trailing line from a killed process — are
+/// skipped, not fatal.
+fn load_entries(path: &str, fingerprint: u64) -> Option<HashMap<u64, CachedZone>> {
+    let file = File::open(path).ok()?;
+    let mut lines = BufReader::new(file).lines();
+    let header = lines.next()?.ok()?;
+    let expect = format!("{HEADER_TAG} {FORMAT_VERSION} fingerprint={fingerprint:016x}");
+    if header != expect {
+        return None;
+    }
+    let mut cache = HashMap::new();
+    for line in lines {
+        let Ok(line) = line else { break };
+        if let Some((key, entry)) = parse_entry(&line) {
+            cache.insert(key, entry);
+        }
+    }
+    Some(cache)
+}
+
+fn parse_entry(line: &str) -> Option<(u64, CachedZone)> {
+    let mut it = line.split_ascii_whitespace();
+    if it.next()? != "zone" {
+        return None;
+    }
+    let key = u64::from_str_radix(it.next()?, 16).ok()?;
+    let cost_bits = u64::from_str_radix(it.next()?, 16).ok()?;
+    let n: usize = it.next()?.parse().ok()?;
+    let mut choices = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (sink, bits) = it.next()?.split_once(':')?;
+        choices.push((sink.parse().ok()?, u64::from_str_radix(bits, 16).ok()?));
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    Some((key, CachedZone { cost_bits, choices }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("wavemin-checkpoint-tests");
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn ps(v: f64) -> Picoseconds {
+        Picoseconds::new(v)
+    }
+
+    #[test]
+    fn round_trips_entries_bit_for_bit() {
+        let path = tmp("roundtrip.ckpt");
+        let j = CheckpointJournal::open(&path, 0xdead_beef, false).expect("create");
+        let choices = vec![(0usize, ps(12.5)), (3, ps(-0.0)), (7, ps(0.1 + 0.2))];
+        j.record(42, 1.75_f64.to_bits(), &choices).expect("record");
+        j.record(43, f64::NAN.to_bits(), &[]).expect("record");
+        drop(j);
+
+        let j = CheckpointJournal::open(&path, 0xdead_beef, true).expect("resume");
+        assert_eq!(j.loaded(), 2);
+        let hit = j.lookup(42).expect("key 42");
+        assert_eq!(hit.cost().to_bits(), 1.75_f64.to_bits());
+        let back = hit.choices_ps();
+        assert_eq!(back.len(), 3);
+        for ((s0, c0), (s1, c1)) in choices.iter().zip(&back) {
+            assert_eq!(s0, s1);
+            assert_eq!(c0.value().to_bits(), c1.value().to_bits());
+        }
+        // NaN cost survives as exact bits too (costs are opaque payloads).
+        let nan = j.lookup(43).expect("key 43");
+        assert_eq!(nan.cost_bits, f64::NAN.to_bits());
+        assert!(j.lookup(99).is_none());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards_everything() {
+        let path = tmp("mismatch.ckpt");
+        let j = CheckpointJournal::open(&path, 1, false).expect("create");
+        j.record(7, 0, &[]).expect("record");
+        drop(j);
+        let j = CheckpointJournal::open(&path, 2, true).expect("resume other fp");
+        assert_eq!(j.loaded(), 0, "foreign entries must not be trusted");
+        // And the file was restarted under the new fingerprint.
+        drop(j);
+        let j = CheckpointJournal::open(&path, 2, true).expect("reopen");
+        assert_eq!(j.loaded(), 0);
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_ignored() {
+        let path = tmp("truncated.ckpt");
+        let j = CheckpointJournal::open(&path, 5, false).expect("create");
+        j.record(1, 10, &[(0, ps(1.0))]).expect("record");
+        drop(j);
+        // Simulate a kill mid-append: a dangling half line.
+        let mut f = OpenOptions::new().append(true).open(&path).expect("append");
+        write!(f, "zone 00000000000000ff 000000").expect("write partial");
+        drop(f);
+        let j = CheckpointJournal::open(&path, 5, true).expect("resume");
+        assert_eq!(j.loaded(), 1, "only the complete entry survives");
+        assert!(j.lookup(1).is_some());
+        assert!(j.lookup(0xff).is_none());
+    }
+
+    #[test]
+    fn key_chain_is_order_and_content_sensitive() {
+        let a0 = ZoneKeyChain::new(9, ps(1.0), ps(2.0));
+        let b0 = ZoneKeyChain::new(9, ps(1.0), ps(2.5));
+        assert_ne!(a0.key_for(0), b0.key_for(0), "interval bounds feed the key");
+        assert_ne!(a0.key_for(0), a0.key_for(1), "zones get distinct keys");
+
+        let mut a = a0.clone();
+        let mut b = a0.clone();
+        a.absorb(0, 1.0_f64.to_bits(), &[(2, ps(3.0))]);
+        b.absorb(0, 1.0_f64.to_bits(), &[(2, ps(4.0))]);
+        assert_ne!(
+            a.key_for(1),
+            b.key_for(1),
+            "a predecessor's choices change every later key"
+        );
+        let mut c = a0.clone();
+        c.absorb(0, 1.0_f64.to_bits(), &[(2, ps(3.0))]);
+        assert_eq!(
+            a.key_for(1),
+            c.key_for(1),
+            "identical history, identical key"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_run_plumbing_but_not_semantics() {
+        use crate::prelude::Benchmark;
+        let d = Design::from_benchmark(&Benchmark::s15850(), 3);
+        let base = WaveMinConfig::default().with_fault_plan(None);
+        let fp = design_fingerprint(&d, &base).expect("fingerprint");
+
+        // A resume run differs from its original only in plumbing; the
+        // journal header must still match.
+        let resumed = base
+            .clone()
+            .with_checkpoint("some/path.ckpt")
+            .with_resume(true)
+            .with_threads(4)
+            .with_metrics(true);
+        assert_eq!(
+            design_fingerprint(&d, &resumed).expect("fingerprint"),
+            fp,
+            "plumbing flags must not invalidate the journal"
+        );
+
+        // Semantic knobs do invalidate: a fault plan changes solve results.
+        let faulted = base
+            .clone()
+            .with_fault_plan(Some(crate::fault::FaultPlan { seed: 1, rate: 0.5 }));
+        assert_ne!(
+            design_fingerprint(&d, &faulted).expect("fingerprint"),
+            fp,
+            "a fault-injected run must not share cached zones with a clean one"
+        );
+        let coarser = base.clone().with_sample_count(8);
+        assert_ne!(
+            design_fingerprint(&d, &coarser).expect("fingerprint"),
+            fp,
+            "sampling resolution is semantic"
+        );
+    }
+}

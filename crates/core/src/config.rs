@@ -1,6 +1,7 @@
 //! Optimization configuration.
 
 use crate::error::WaveMinError;
+use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use wavemin_cells::units::{Microns, Picoseconds};
@@ -93,6 +94,24 @@ pub struct WaveMinConfig {
     /// collection for the run.
     #[serde(default)]
     pub trace_spans: bool,
+    /// Deterministic fault-injection plan for chaos testing: seeded panics,
+    /// forced budget exhaustion, and NaN-poisoned cost vectors fired at
+    /// solver hook sites. `None` (the production setting) injects nothing.
+    /// Defaults from the `WAVEMIN_FAULTS=seed:rate` environment variable.
+    #[serde(default)]
+    pub fault_plan: Option<FaultPlan>,
+    /// Path of the zone-result checkpoint journal. When set, every solved
+    /// zone's result is appended (and flushed) as it completes, keyed by a
+    /// content hash covering the design, config, interval, and predecessor
+    /// solutions.
+    #[serde(default)]
+    pub checkpoint_path: Option<String>,
+    /// Resume from an existing checkpoint journal at
+    /// [`Self::checkpoint_path`]: zones whose keys match are reused
+    /// bit-for-bit, only missing or dirty zones are re-solved. Ignored
+    /// without a checkpoint path.
+    #[serde(default)]
+    pub resume: bool,
 }
 
 impl Default for WaveMinConfig {
@@ -120,6 +139,9 @@ impl Default for WaveMinConfig {
             threads: None,
             collect_metrics: false,
             trace_spans: false,
+            fault_plan: FaultPlan::from_env(),
+            checkpoint_path: None,
+            resume: false,
         }
     }
 }
@@ -183,6 +205,28 @@ impl WaveMinConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace_spans = trace;
+        self
+    }
+
+    /// Returns the config with an explicit fault-injection plan (`None`
+    /// disables injection even when `WAVEMIN_FAULTS` is set).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Returns the config with a checkpoint journal path.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<String>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Returns the config with resume-from-checkpoint switched on or off.
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
         self
     }
 

@@ -38,6 +38,17 @@ pub enum WaveMinError {
     /// Two sinks are exact duplicates (same location and load), which the
     /// zone partition and skew analysis cannot distinguish.
     DuplicateSinks(String),
+    /// A zone worker panicked (or was fault-injected) and its salvage
+    /// retry also failed; the run could not contain the fault.
+    ZoneFault {
+        /// The zone whose solve faulted.
+        zone: usize,
+        /// The panic payload (or injected-fault description).
+        payload: String,
+    },
+    /// The checkpoint journal could not be written, read, or validated;
+    /// the message names the file and the reason.
+    Checkpoint(String),
 }
 
 impl fmt::Display for WaveMinError {
@@ -65,6 +76,12 @@ impl fmt::Display for WaveMinError {
             }
             WaveMinError::DuplicateSinks(what) => {
                 write!(f, "duplicate sinks: {what}")
+            }
+            WaveMinError::ZoneFault { zone, payload } => {
+                write!(f, "zone {zone} solve faulted and salvage failed: {payload}")
+            }
+            WaveMinError::Checkpoint(what) => {
+                write!(f, "checkpoint journal error: {what}")
             }
         }
     }
@@ -113,6 +130,18 @@ mod tests {
             .contains("ADB_X8"));
         let e = WaveMinError::from(MospError::Cyclic);
         assert!(e.to_string().contains("MOSP"));
+    }
+
+    #[test]
+    fn fault_and_checkpoint_displays_name_the_cause() {
+        let e = WaveMinError::ZoneFault {
+            zone: 7,
+            payload: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("zone 7"));
+        assert!(e.to_string().contains("index out of bounds"));
+        let c = WaveMinError::Checkpoint("fingerprint mismatch".into());
+        assert!(c.to_string().contains("fingerprint mismatch"));
     }
 
     #[test]

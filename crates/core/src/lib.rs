@@ -44,10 +44,12 @@
 
 pub mod algo;
 pub mod assignment;
+pub mod checkpoint;
 pub mod config;
 pub mod design;
 pub mod error;
 pub mod eval;
+pub mod fault;
 pub mod intervals;
 pub mod montecarlo;
 pub mod multimode;
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use crate::design::Design;
     pub use crate::error::WaveMinError;
     pub use crate::eval::{NoiseEvaluator, NoiseReport};
+    pub use crate::fault::FaultPlan;
     pub use crate::intervals::{FeasibleInterval, IntervalSet};
     pub use crate::montecarlo::{MonteCarlo, MonteCarloStats};
     pub use crate::multimode::{AdbPlan, ClkWaveMinM};

@@ -74,6 +74,7 @@ impl ClkWaveMinM {
         let ladder = MospLadder::new(&self.config, budget.clone(), registry.clone());
         let mut outcome = self.run_ladder(design, &ladder)?;
         outcome.degradation = ladder.degradation();
+        outcome.faulted_zones = ladder.faulted_zones();
         outcome.report = registry.report(&ReportContext {
             threads: self.config.effective_threads(),
             degenerate_zones: outcome.degenerate_zones,
@@ -241,13 +242,24 @@ impl ClkWaveMinM {
                 }
             });
         let mut ranked: Vec<(f64, Assignment)> = Vec::new();
+        // Like the single-mode flow, an intersection lost to an
+        // unsalvageable zone fault only fails the run when nothing else
+        // survives to rank.
+        let mut fault: Option<WaveMinError> = None;
         for result in solved {
-            if let Some(pair) = result? {
-                ranked.push(pair);
+            match result {
+                Ok(Some(pair)) => ranked.push(pair),
+                Ok(None) => {}
+                Err(e @ WaveMinError::ZoneFault { .. }) => {
+                    if fault.is_none() {
+                        fault = Some(e);
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
         if ranked.is_empty() {
-            return Err(WaveMinError::NoFeasibleInterval);
+            return Err(fault.unwrap_or(WaveMinError::NoFeasibleInterval));
         }
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
         let runtime = start.elapsed();
@@ -329,14 +341,34 @@ impl ClkWaveMinM {
                 Some((codes, vector))
             };
 
-            let (choices, zone_cost) = solve_zone_mosp_generic::<Vec<Picoseconds>>(
-                ladder,
-                zi,
-                rows,
-                option_data,
-                &allowed,
-                &background,
-            )?;
+            // Same containment as the single-mode framework: a panicking
+            // (or injected-fault) zone worker is caught, retried once on
+            // the injection-free greedy rung, and only fails the
+            // intersection when the salvage also dies.
+            let attempt = |salvage: bool| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    solve_zone_mosp_generic::<Vec<Picoseconds>>(
+                        ladder,
+                        zi,
+                        rows,
+                        option_data,
+                        &allowed,
+                        &background,
+                        salvage,
+                    )
+                }))
+            };
+            let (choices, zone_cost) = match attempt(false) {
+                Ok(Ok(pair)) => pair,
+                Ok(Err(WaveMinError::ZoneFault { payload, .. })) => {
+                    salvage_mm_zone(ladder, zi, &payload, &attempt)?
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(p) => {
+                    let payload = crate::parallel::panic_payload(p.as_ref());
+                    salvage_mm_zone(ladder, zi, &payload, &attempt)?
+                }
+            };
             cost = cost.max(zone_cost);
             for (local, (opt, codes)) in choices.iter().enumerate() {
                 let si = zone0.sinks[local];
@@ -358,6 +390,44 @@ impl ClkWaveMinM {
             }
         }
         Ok((cost, assignment))
+    }
+}
+
+/// One multimode zone solution: per-sink `(option, per-mode delay codes)`
+/// choices plus the zone's min–max cost.
+type MmZoneSolution = (Vec<(usize, Vec<Picoseconds>)>, f64);
+
+/// The multimode salvage retry: records the fault against the ladder and
+/// the registry, re-attempts the zone on the injection-free greedy rung,
+/// and wraps an unrecoverable failure in [`WaveMinError::ZoneFault`].
+fn salvage_mm_zone<F>(
+    ladder: &MospLadder,
+    zone: usize,
+    payload: &str,
+    attempt: &F,
+) -> Result<MmZoneSolution, WaveMinError>
+where
+    F: Fn(bool) -> std::thread::Result<Result<MmZoneSolution, WaveMinError>>,
+{
+    ladder.note_zone_fault(zone);
+    ladder.registry.record_zone_fault();
+    match attempt(true) {
+        Ok(Ok(pair)) => {
+            ladder.note_zone_salvaged(zone);
+            ladder.registry.record_zone_salvage();
+            Ok(pair)
+        }
+        Ok(Err(e)) => Err(WaveMinError::ZoneFault {
+            zone,
+            payload: format!("{payload}; salvage failed: {e}"),
+        }),
+        Err(p) => Err(WaveMinError::ZoneFault {
+            zone,
+            payload: format!(
+                "{payload}; salvage panicked: {}",
+                crate::parallel::panic_payload(p.as_ref())
+            ),
+        }),
     }
 }
 

@@ -103,6 +103,9 @@ struct Counters {
     rung_transitions: AtomicU64,
     dominance_checks: AtomicU64,
     dominance_skipped: AtomicU64,
+    zone_faults: AtomicU64,
+    zone_salvages: AtomicU64,
+    zones_reused: AtomicU64,
 }
 
 /// Per-zone counters, same units as the matching [`Counters`] fields.
@@ -298,6 +301,28 @@ impl MetricsRegistry {
         }
     }
 
+    /// Counts one contained zone-worker fault (panic or poisoned input).
+    pub fn record_zone_fault(&self) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.counters.zone_faults.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one successful salvage retry of a faulted zone.
+    pub fn record_zone_salvage(&self) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.counters.zone_salvages.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one zone result served from the checkpoint journal instead
+    /// of being re-solved.
+    pub fn record_zone_reused(&self) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.counters.zones_reused.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Assembles the [`RunReport`], or `None` when the registry is
     /// disabled. The caller supplies run-level context the registry
     /// cannot observe itself.
@@ -354,6 +379,9 @@ impl MetricsRegistry {
                 budget_units: ctx.budget_units,
                 dominance_checks: load(&c.dominance_checks),
                 dominance_skipped: load(&c.dominance_skipped),
+                zone_faults: load(&c.zone_faults),
+                zone_salvages: load(&c.zone_salvages),
+                zones_reused: load(&c.zones_reused),
             },
             stages,
             zones,
@@ -464,6 +492,18 @@ pub struct RunCounters {
     /// Dominance comparisons the sorted max-component index proved
     /// unnecessary and skipped.
     pub dominance_skipped: u64,
+    /// Zone-worker faults (panics or poisoned inputs) the containment
+    /// layer caught. Additive schema field — defaults to 0 in reports
+    /// written before it existed.
+    #[serde(default)]
+    pub zone_faults: u64,
+    /// Faulted zones whose greedy salvage retry succeeded.
+    #[serde(default)]
+    pub zone_salvages: u64,
+    /// Zone results served from the checkpoint journal instead of being
+    /// re-solved (`--resume`).
+    #[serde(default)]
+    pub zones_reused: u64,
 }
 
 impl RunCounters {
@@ -908,6 +948,9 @@ mod decode {
                 "budget_units",
                 "dominance_checks",
                 "dominance_skipped",
+                "zone_faults",
+                "zone_salvages",
+                "zones_reused",
             ],
             "counters",
         )?;
@@ -924,6 +967,9 @@ mod decode {
             budget_units: u64_field(entries, "budget_units")?,
             dominance_checks: opt_u64_field(entries, "dominance_checks")?,
             dominance_skipped: opt_u64_field(entries, "dominance_skipped")?,
+            zone_faults: opt_u64_field(entries, "zone_faults")?,
+            zone_salvages: opt_u64_field(entries, "zone_salvages")?,
+            zones_reused: opt_u64_field(entries, "zones_reused")?,
         })
     }
 
@@ -1119,12 +1165,18 @@ mod tests {
         let json = serde_json::to_string(&report).expect("serialize");
         let legacy = json
             .replace("\"kernel\":\"vector\",", "")
-            .replace(",\"dominance_checks\":16,\"dominance_skipped\":4", "");
+            .replace(",\"dominance_checks\":16,\"dominance_skipped\":4", "")
+            .replace(
+                ",\"zone_faults\":0,\"zone_salvages\":0,\"zones_reused\":0",
+                "",
+            );
         assert_ne!(legacy, json, "fixture must actually strip the fields");
         let back = RunReport::from_json(&legacy).expect("legacy decodes");
         assert_eq!(back.kernel, "");
         assert_eq!(back.counters.dominance_checks, 0);
         assert_eq!(back.counters.dominance_skipped, 0);
+        assert_eq!(back.counters.zone_faults, 0);
+        assert_eq!(back.counters.zones_reused, 0);
         back.validate().expect("defaults stay self-consistent");
     }
 

@@ -48,6 +48,19 @@ where
     })
 }
 
+/// Renders a caught panic payload as text. `panic!` carries a `&str` or
+/// `String` in practice; anything else gets a stable placeholder so the
+/// containment layer can always produce a typed error.
+pub(crate) fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +110,15 @@ mod tests {
             assert!(x < 6, "worker panic propagates");
             x
         });
+    }
+
+    #[test]
+    fn panic_payload_extracts_strings() {
+        let e = std::panic::catch_unwind(|| panic!("static message")).expect_err("panics");
+        assert_eq!(panic_payload(e.as_ref()), "static message");
+        let e = std::panic::catch_unwind(|| panic!("formatted {}", 7)).expect_err("panics");
+        assert_eq!(panic_payload(e.as_ref()), "formatted 7");
+        let e = std::panic::catch_unwind(|| std::panic::panic_any(42_u32)).expect_err("panics");
+        assert_eq!(panic_payload(e.as_ref()), "non-string panic payload");
     }
 }

@@ -1,6 +1,6 @@
 //! Plain-text table formatting shared by the benchmark binaries.
 
-use crate::algo::Degradation;
+use crate::algo::{Degradation, DegradationStep};
 
 /// Renders an aligned plain-text table: a header row, a separator, then
 /// the data rows. Columns are right-aligned except the first.
@@ -77,11 +77,32 @@ pub fn degradation_summary(degradation: Option<&Degradation>) -> String {
     match degradation {
         None => "no degradation: all zone solves ran at full fidelity".to_owned(),
         Some(d) => {
-            let mut out = format!(
-                "degraded: {}/{} zone solves exhausted their budget\n",
-                d.exhausted_solves, d.total_solves
-            );
+            let faults = d
+                .steps
+                .iter()
+                .filter(|s| matches!(s, DegradationStep::ZoneFaultContained { .. }))
+                .count();
+            // A fault-only record has nothing budget-related to report;
+            // don't open with a confusing "0/0 solves exhausted" line.
+            let mut out = if d.exhausted_solves > 0 || faults == 0 {
+                format!(
+                    "degraded: {}/{} zone solves exhausted their budget\n",
+                    d.exhausted_solves, d.total_solves
+                )
+            } else {
+                "degraded: stayed within budget, but zone workers faulted\n".to_owned()
+            };
+            if faults > 0 {
+                out.push_str(&format!(
+                    "  {faults} zone worker fault(s) contained and salvaged\n"
+                ));
+            }
+            // Contained faults are aggregated above (a chaos run can have
+            // hundreds); only the fidelity-relaxation steps are itemized.
             for step in &d.steps {
+                if matches!(step, DegradationStep::ZoneFaultContained { .. }) {
+                    continue;
+                }
                 out.push_str(&format!("  - {step}\n"));
             }
             out
@@ -142,5 +163,23 @@ mod tests {
         let s = degradation_summary(Some(&d));
         assert!(s.contains("1/4"), "{s}");
         assert!(s.contains("0.01"), "{s}");
+    }
+
+    #[test]
+    fn degradation_summary_counts_contained_faults() {
+        let d = Degradation {
+            steps: vec![
+                DegradationStep::ZoneFaultContained { zone: 2 },
+                DegradationStep::ZoneFaultContained { zone: 7 },
+            ],
+            exhausted_solves: 0,
+            total_solves: 9,
+        };
+        let s = degradation_summary(Some(&d));
+        assert!(s.contains("2 zone worker fault(s)"), "{s}");
+        assert!(
+            !s.contains("zone 7"),
+            "contained faults are aggregated, not itemized: {s}"
+        );
     }
 }

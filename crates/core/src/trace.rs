@@ -104,6 +104,24 @@ pub enum TraceEventKind {
         /// Labels evicted.
         count: u64,
     },
+    /// Instant: a zone worker faulted (panic or poisoned input) and the
+    /// containment layer caught it.
+    ZoneFault {
+        /// The faulted zone.
+        zone: usize,
+    },
+    /// Instant: a faulted zone's salvage retry on the greedy rung
+    /// succeeded.
+    ZoneSalvaged {
+        /// The salvaged zone.
+        zone: usize,
+    },
+    /// Instant: the ladder's state mutex was found poisoned and the rung
+    /// was restored from the last-known-good shadow.
+    LadderRestored {
+        /// The restored rung.
+        rung: usize,
+    },
 }
 
 impl TraceEventKind {
@@ -118,6 +136,9 @@ impl TraceEventKind {
             Self::RungTransition { .. } => "rung_transition",
             Self::BudgetExhausted { .. } => "budget_exhausted",
             Self::CapEvictions { .. } => "cap_evictions",
+            Self::ZoneFault { .. } => "zone_fault",
+            Self::ZoneSalvaged { .. } => "zone_salvaged",
+            Self::LadderRestored { .. } => "ladder_restored",
         }
     }
 
@@ -432,6 +453,21 @@ impl TraceHandle {
         self.instant(TraceEventKind::RungTransition { rung });
     }
 
+    /// Records a contained zone-fault instant.
+    pub fn zone_fault(&mut self, zone: usize) {
+        self.instant(TraceEventKind::ZoneFault { zone });
+    }
+
+    /// Records a successful zone-salvage instant.
+    pub fn zone_salvaged(&mut self, zone: usize) {
+        self.instant(TraceEventKind::ZoneSalvaged { zone });
+    }
+
+    /// Records a ladder poison-recovery instant.
+    pub fn ladder_restored(&mut self, rung: usize) {
+        self.instant(TraceEventKind::LadderRestored { rung });
+    }
+
     /// Flushes the buffered events into the journal. Idempotent; also runs
     /// on drop. After a flush the handle is disabled.
     pub fn flush(&mut self) {
@@ -563,6 +599,10 @@ fn event_value(track: usize, ev: &TraceEvent) -> Value {
             ("vertex", Value::UInt(vertex as u64)),
             ("count", Value::UInt(count)),
         ]),
+        TraceEventKind::ZoneFault { zone } | TraceEventKind::ZoneSalvaged { zone } => {
+            map(vec![("zone", Value::UInt(zone as u64))])
+        }
+        TraceEventKind::LadderRestored { rung } => map(vec![("rung", Value::UInt(rung as u64))]),
     };
     let mut entries = vec![
         ("name", str_value(ev.kind.name())),

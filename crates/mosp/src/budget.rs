@@ -15,7 +15,7 @@
 //! from one global cap instead of each getting a private allowance.
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -54,6 +54,8 @@ pub struct Budget {
     work_cap: Option<u64>,
     label_cap: Option<usize>,
     work_done: Arc<AtomicU64>,
+    /// One-shot fault-injection latch ([`Budget::inject_exhaustion`]).
+    injected: Arc<AtomicBool>,
 }
 
 impl Clone for Budget {
@@ -64,6 +66,7 @@ impl Clone for Budget {
             work_cap: self.work_cap,
             label_cap: self.label_cap,
             work_done: Arc::clone(&self.work_done),
+            injected: Arc::clone(&self.injected),
         }
     }
 }
@@ -149,6 +152,23 @@ impl Budget {
         matches!(self.deadline, Some(d) if Instant::now() >= d)
     }
 
+    /// Arms a one-shot injected [`Exhaustion::WorkCapReached`]: the next
+    /// [`Self::charge`] or [`Self::exhausted`] call on any clone reports
+    /// exhaustion, then the latch clears. Deliberately a no-op on
+    /// unlimited budgets — they are contractually immune to exhaustion
+    /// (see `unlimited_never_exhausts`), so fault plans cannot perturb
+    /// unbudgeted differential runs. This exists for deterministic fault
+    /// injection; production code never arms it.
+    pub fn inject_exhaustion(&self) {
+        self.injected.store(true, Ordering::Relaxed);
+    }
+
+    /// Consumes the injection latch (only meaningful on limited budgets).
+    #[inline]
+    fn take_injected(&self) -> bool {
+        self.injected.load(Ordering::Relaxed) && self.injected.swap(false, Ordering::Relaxed)
+    }
+
     /// Charges `units` of label work against the shared counter and
     /// reports whether a cap tripped. The deadline is only polled when
     /// the counter crosses a 256-unit boundary, keeping clock reads off
@@ -157,6 +177,9 @@ impl Budget {
     pub fn charge(&self, units: u64) -> Option<Exhaustion> {
         if self.work_cap.is_none() && self.deadline.is_none() {
             return None;
+        }
+        if self.take_injected() {
+            return Some(Exhaustion::WorkCapReached);
         }
         let total = self.work_done.fetch_add(units, Ordering::Relaxed) + units;
         if let Some(cap) = self.work_cap {
@@ -175,6 +198,9 @@ impl Budget {
     /// this always polls the deadline.
     #[must_use]
     pub fn exhausted(&self) -> Option<Exhaustion> {
+        if (self.work_cap.is_some() || self.deadline.is_some()) && self.take_injected() {
+            return Some(Exhaustion::WorkCapReached);
+        }
         if let Some(cap) = self.work_cap {
             if self.work_done() >= cap {
                 return Some(Exhaustion::WorkCapReached);
@@ -255,6 +281,30 @@ mod tests {
         // Work cap trips first; the far-future deadline does not.
         assert_eq!(b.charge(4), None);
         assert_eq!(b.charge(1), Some(Exhaustion::WorkCapReached));
+    }
+
+    #[test]
+    fn injected_exhaustion_is_one_shot_and_spares_unlimited() {
+        // Unlimited budgets are immune: the latch arms but never fires.
+        let u = Budget::unlimited();
+        u.inject_exhaustion();
+        assert_eq!(u.charge(1), None);
+        assert_eq!(u.exhausted(), None);
+        assert_eq!(u.work_done(), 0);
+
+        // Limited budgets fire exactly once, across clones, without
+        // charging any work for the injected trip.
+        let a = Budget::unlimited().and_work_cap(1_000_000);
+        let b = a.clone();
+        b.inject_exhaustion();
+        assert_eq!(a.charge(1), Some(Exhaustion::WorkCapReached));
+        assert_eq!(a.charge(1), None, "latch cleared after one trip");
+        assert_eq!(b.exhausted(), None);
+
+        let c = Budget::with_time_limit(Duration::from_secs(3600));
+        c.inject_exhaustion();
+        assert_eq!(c.exhausted(), Some(Exhaustion::WorkCapReached));
+        assert_eq!(c.exhausted(), None);
     }
 
     #[test]

@@ -194,7 +194,7 @@ impl MospGraph {
         if to.0 >= self.adjacency.len() {
             return Err(MospError::InvalidVertex(to));
         }
-        if let Some(&w) = weight.iter().find(|w| !w.is_finite() || **w < 0.0) {
+        if let Some(w) = crate::kernels::invalid_weight(weight) {
             return Err(MospError::InvalidWeight(w));
         }
         let slot = self.intern_weight(weight);

@@ -240,6 +240,16 @@ pub mod scalar {
         (0..rows).find(|&r| scaled_leq(&slab[r * dim..r * dim + dim], cand))
     }
 
+    /// The ingest guard: the first component of `v` that is not a valid
+    /// arc weight (NaN, ±inf, or negative), or `None` when every
+    /// component is finite and non-negative. `-0.0` passes (it compares
+    /// `>= 0.0`).
+    #[inline]
+    #[must_use]
+    pub fn invalid_weight(v: &[f64]) -> Option<f64> {
+        v.iter().copied().find(|w| !w.is_finite() || *w < 0.0)
+    }
+
     #[inline]
     pub(super) fn canonical_zero(m: f64) -> f64 {
         // `-0.0 == 0.0`, so this maps both zeros to `+0.0` and leaves
@@ -501,6 +511,27 @@ pub mod vector {
     pub fn scaled_leq_any(slab: &[i64], dim: usize, rows: usize, cand: &[i64]) -> Option<usize> {
         (0..rows).find(|&r| scaled_leq(&slab[r * dim..r * dim + dim], cand))
     }
+
+    /// Ingest guard; see [`super::scalar::invalid_weight`]. Chunks fold a
+    /// branchless validity mask (`is_finite & >= 0`, order-independent
+    /// booleans); only a failing chunk pays a sequential re-scan to
+    /// locate the first offender, so the clean path stays branch-free.
+    #[inline]
+    #[must_use]
+    pub fn invalid_weight(v: &[f64]) -> Option<f64> {
+        let chunks = v.chunks_exact(LANES);
+        let rem = chunks.remainder();
+        for c in chunks {
+            let mut ok = true;
+            for &w in c {
+                ok &= w.is_finite() & (w >= 0.0);
+            }
+            if !ok {
+                return c.iter().copied().find(|w| !w.is_finite() || *w < 0.0);
+            }
+        }
+        rem.iter().copied().find(|w| !w.is_finite() || *w < 0.0)
+    }
 }
 
 macro_rules! dispatch {
@@ -601,6 +632,13 @@ pub fn dominated_weakly_by_any(
 #[must_use]
 pub fn scaled_leq_any(slab: &[i64], dim: usize, rows: usize, cand: &[i64]) -> Option<usize> {
     dispatch!(scaled_leq_any(slab, dim, rows, cand))
+}
+
+/// Dispatching ingest guard; see [`scalar::invalid_weight`].
+#[inline]
+#[must_use]
+pub fn invalid_weight(v: &[f64]) -> Option<f64> {
+    dispatch!(invalid_weight(v))
 }
 
 #[cfg(test)]
@@ -717,6 +755,34 @@ mod tests {
         // Back to the environment default (vector unless WAVEMIN_KERNELS
         // says otherwise; both answers are semantically identical).
         let _ = active();
+    }
+
+    #[test]
+    fn invalid_weight_families_agree() {
+        // Clean vectors of every chunking shape pass both families.
+        for len in [0usize, 1, 7, 8, 9, 16, 17] {
+            let v: Vec<f64> = (0..len).map(|i| i as f64 * 0.25).collect();
+            assert_eq!(scalar::invalid_weight(&v), None, "scalar len {len}");
+            assert_eq!(vector::invalid_weight(&v), None, "vector len {len}");
+        }
+        // First offender wins, wherever the chunk boundary falls.
+        for (pos, bad) in [
+            (0usize, f64::NAN),
+            (3, -1.0),
+            (8, f64::INFINITY),
+            (12, -0.5),
+        ] {
+            let mut v = vec![1.0; 13];
+            v[pos] = bad;
+            v[12] = if pos == 12 { bad } else { f64::NEG_INFINITY };
+            let s = scalar::invalid_weight(&v);
+            let vv = vector::invalid_weight(&v);
+            assert_eq!(s.map(f64::to_bits), vv.map(f64::to_bits), "pos {pos}");
+            assert_eq!(s.map(f64::to_bits), Some(bad.to_bits()), "pos {pos}");
+        }
+        // -0.0 is a valid (zero) weight in both families.
+        assert_eq!(scalar::invalid_weight(&[-0.0; 9]), None);
+        assert_eq!(vector::invalid_weight(&[-0.0; 9]), None);
     }
 
     #[test]

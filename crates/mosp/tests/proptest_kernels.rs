@@ -126,6 +126,65 @@ proptest! {
     }
 
     #[test]
+    fn ingest_guard_families_agree_and_reject_every_poison(
+        len in 0usize..=257,
+        seed in proptest::collection::vec(0.0f64..1e6, 257),
+        poison_at in 0usize..520,
+        poison_tag in 0u32..4,
+    ) {
+        // Clean non-negative finite vectors pass both families; planting
+        // a single NaN/±inf/negative anywhere (any chunk residue, any
+        // lane) makes both families report the same first offender,
+        // bit-for-bit. A `poison_at` beyond the vector means "no poison",
+        // so roughly half the cases exercise the clean path.
+        let mut v: Vec<f64> = seed[..len].to_vec();
+        let planted = (poison_at < len).then(|| {
+            let i = poison_at;
+            let bad = match poison_tag {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => -1.5,
+            };
+            v[i] = bad;
+            bad
+        });
+        let s = scalar::invalid_weight(&v);
+        let vec_ = vector::invalid_weight(&v);
+        prop_assert_eq!(s.map(f64::to_bits), vec_.map(f64::to_bits));
+        match planted {
+            None => prop_assert!(s.is_none(), "clean vector flagged: {:?}", s),
+            Some(bad) => prop_assert_eq!(s.map(f64::to_bits), Some(bad.to_bits())),
+        }
+    }
+
+    #[test]
+    fn ingest_guard_finds_the_first_of_many_offenders(
+        len in 1usize..=257,
+        offenders in proptest::collection::vec((0usize..257, 0u32..4), 1..6),
+        seed in proptest::collection::vec(0.0f64..1e6, 257),
+    ) {
+        let mut v: Vec<f64> = seed[..len].to_vec();
+        for &(pos, tag) in &offenders {
+            v[pos % len] = match tag {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => -0.25,
+            };
+        }
+        // The reference answer is the first offender in the final vector.
+        let expect = v
+            .iter()
+            .copied()
+            .find(|w| !w.is_finite() || *w < 0.0)
+            .map(f64::to_bits);
+        prop_assert!(expect.is_some(), "at least one offender was planted");
+        prop_assert_eq!(scalar::invalid_weight(&v).map(f64::to_bits), expect);
+        prop_assert_eq!(vector::invalid_weight(&v).map(f64::to_bits), expect);
+    }
+
+    #[test]
     fn slab_scans_agree(
         dim in 1usize..24,
         rows in 0usize..12,
