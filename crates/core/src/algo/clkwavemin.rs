@@ -259,32 +259,31 @@ impl MospLadder {
         self.state().rung
     }
 
-    /// Solves one prepared MOSP instance at the current rung, descending
-    /// the ladder when the budget runs out mid-solve.
-    pub(crate) fn solve(
-        &self,
-        graph: &MospGraph,
-        src: VertexId,
-        dest: VertexId,
-    ) -> Result<ParetoSet, WaveMinError> {
-        self.solve_observed(graph, src, dest, None)
+    /// The index of the last (greedy single-label) rung — the one the
+    /// salvage path always runs on.
+    pub(crate) fn greedy_rung(&self) -> usize {
+        self.rungs.len() - 1
     }
 
-    /// [`MospLadder::solve`] with an optional [`SolveObserver`] receiving
-    /// the solver's layer/batch spans and instants.
+    /// Solves one prepared MOSP instance at the current rung, descending
+    /// the ladder when the budget runs out mid-solve, with an optional
+    /// [`SolveObserver`] receiving the solver's layer/batch spans and
+    /// instants. Also returns the rung index the solve actually ran on,
+    /// so per-zone accounting can report the worst rung a zone used
+    /// rather than inferring it from the (racy) global ladder position.
     pub(crate) fn solve_observed(
         &self,
         graph: &MospGraph,
         src: VertexId,
         dest: VertexId,
         observer: Option<&mut dyn SolveObserver>,
-    ) -> Result<ParetoSet, WaveMinError> {
+    ) -> Result<(ParetoSet, usize), WaveMinError> {
         if self.budget.deadline_expired() {
             self.jump_to_greedy(Exhaustion::DeadlineExpired);
         }
-        let rung = {
+        let (rung, rung_index) = {
             let st = self.state();
-            self.rungs[st.rung]
+            (self.rungs[st.rung], st.rung)
         };
         let set = match rung.solver {
             SolverKind::Warburton { epsilon } => solve::warburton_observed(
@@ -308,7 +307,7 @@ impl MospLadder {
             drop(st);
             self.descend(reason);
         }
-        Ok(set)
+        Ok((set, rung_index))
     }
 
     /// Moves one rung down and records what changed.
@@ -617,8 +616,14 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     let started = ladder.registry.is_enabled().then(std::time::Instant::now);
     let mut handle = ladder.journal.handle();
     let zone_start = handle.now_ns();
-    let set = if salvage {
-        ladder.solve_salvage(&graph, src, dest)?
+    let (set, rung_used) = if salvage {
+        // The salvage retry always runs the greedy rung, injection-free,
+        // without touching the ladder state — the greedy rung must show
+        // up in this zone's row, not in the global ladder position.
+        (
+            ladder.solve_salvage(&graph, src, dest)?,
+            ladder.greedy_rung(),
+        )
     } else if let Some(p) = plan {
         // A fault plan keeps the observed path live even when tracing is
         // off, so layer-site faults fire on untraced runs too.
@@ -632,8 +637,9 @@ pub(crate) fn solve_zone_mosp_generic<C: Clone + Default>(
     } else if handle.is_enabled() {
         ladder.solve_observed(&graph, src, dest, Some(&mut handle))?
     } else {
-        ladder.solve(&graph, src, dest)?
+        ladder.solve_observed(&graph, src, dest, None)?
     };
+    ladder.registry.record_zone_rung(zone_id, rung_used);
     handle.zone_span(zone_start, zone_id, set.stats(), set.exhaustion().is_some());
     drop(handle);
     if let Some(started) = started {

@@ -45,6 +45,7 @@ use crate::sampling::SamplePlan;
 use crate::trace::TraceJournal;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+use wavemin_cells::characterize::ClockEdge;
 use wavemin_cells::units::{MilliAmps, Millivolts, Picoseconds};
 use wavemin_cells::CellKind;
 use wavemin_clocktree::ZoneGrid;
@@ -304,6 +305,54 @@ impl ZoneProblem {
             .collect()
     }
 
+    /// A content hash of everything this zone's solve can depend on
+    /// *except* its predecessors' solutions (those enter through the
+    /// [`crate::checkpoint::ZoneKeyChain`]): the characterized sink
+    /// entries with all candidate waveforms, the sampling plan, and the
+    /// sampled background. Node identities are deliberately excluded —
+    /// choices are (option index, code) pairs, so two designs whose
+    /// characterized zones match bit-for-bit can splice each other's
+    /// solutions even if their node numbering differs. This is what makes
+    /// an ECO re-solve incremental: untouched zones hash identically and
+    /// hit the shared cache.
+    pub(crate) fn content_hash(&self, table: &NoiseTable) -> u64 {
+        use crate::checkpoint::{fnv1a, step};
+        let mut h = fnv1a(b"wavemin-zone-content-v1");
+        h = step(h, self.sinks.len() as u64);
+        for &si in &self.sinks {
+            let e = &table.sinks[si];
+            h = step(h, e.input_arrival.value().to_bits());
+            h = step(h, matches!(e.input_edge, ClockEdge::Fall) as u64);
+            h = step(h, e.load.value().to_bits());
+            h = step(h, e.options.len() as u64);
+            for o in &e.options {
+                h = step(h, fnv1a(o.cell.as_bytes()));
+                h = step(h, o.kind as u64);
+                h = step(h, o.delay.value().to_bits());
+                h = step(h, o.arrival.value().to_bits());
+                h = step(h, o.adjust_range.value().to_bits());
+                h = step(h, u64::from(o.adjust_steps));
+                for (rail, event) in crate::noise_table::EventWaveforms::SLOTS {
+                    for (t, i) in o.waves.get(rail, event).breakpoints() {
+                        h = step(h, t.value().to_bits());
+                        h = step(h, i.value().to_bits());
+                    }
+                    h = step(h, 0x77); // slot separator
+                }
+            }
+        }
+        h = step(h, self.plan.times().len() as u64);
+        for &t in self.plan.times() {
+            h = step(h, t.value().to_bits());
+        }
+        h = step(h, u64::from(self.plan.is_degenerate()));
+        h = step(h, self.background.len() as u64);
+        for &b in &self.background {
+            h = step(h, b.to_bits());
+        }
+        h
+    }
+
     /// The sampled vector of one option, delay-shifted when a nonzero
     /// adjustable code applies.
     pub(crate) fn option_vector(
@@ -379,19 +428,37 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
     run_interval_framework_traced(design, config, solver, registry, &TraceJournal::disabled())
 }
 
-/// [`run_interval_framework`] with an event journal attached: the driving
-/// thread's characterization / zoning / validation stages become journal
-/// spans alongside the registry's aggregates (zone-level and solver-level
-/// events come from the inner solver's own journal wiring).
-pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
+/// Everything the interval framework derives from a design before any
+/// zone is solved: the characterized noise table, the feasible intervals,
+/// the zone partition with solve order, and each zone's content hash.
+/// Holding one of these resident is what makes a serve-mode session
+/// cheap to re-solve — repeated jobs skip straight to the solve phase.
+pub(crate) struct PreparedRun {
+    /// The characterized noise table (mode 0).
+    pub table: NoiseTable,
+    /// The feasible time intervals under the tightened window.
+    pub intervals: IntervalSet,
+    /// Every zone's sampled problem.
+    pub zones: Vec<ZoneProblem>,
+    /// Zone indices largest-first (the solve order inside each interval).
+    pub zone_order: Vec<usize>,
+    /// `zone_hashes[zone]` — content hash for cache keying.
+    pub zone_hashes: Vec<u64>,
+    /// Zones whose sampling plan fell back to a dummy time.
+    pub degenerate_zones: usize,
+}
+
+/// Characterizes a design into a [`PreparedRun`]: noise table, feasible
+/// intervals, zone partition, and per-zone content hashes. This is the
+/// session-resident half of the split entry point; [`solve_prepared`] is
+/// the repeatable half.
+pub(crate) fn characterize_design(
     design: &Design,
     config: &WaveMinConfig,
-    solver: &S,
     registry: &MetricsRegistry,
     journal: &TraceJournal,
-) -> Result<Outcome, WaveMinError> {
+) -> Result<PreparedRun, WaveMinError> {
     let mut thandle = journal.handle();
-    let start = std::time::Instant::now();
     let char_start = thandle.now_ns();
     let table = {
         let _span = registry.span(Stage::Characterization);
@@ -418,20 +485,81 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
     let mut zone_order: Vec<usize> = (0..zones.len()).collect();
     zone_order.sort_by_key(|&z| std::cmp::Reverse(zones[z].sinks.len()));
     let degenerate_zones = zones.iter().filter(|z| z.plan.is_degenerate()).count();
+    let zone_hashes: Vec<u64> = zones.iter().map(|z| z.content_hash(&table)).collect();
+    Ok(PreparedRun {
+        table,
+        intervals,
+        zones,
+        zone_order,
+        zone_hashes,
+        degenerate_zones,
+    })
+}
 
+/// [`run_interval_framework`] with an event journal attached: the driving
+/// thread's characterization / zoning / validation stages become journal
+/// spans alongside the registry's aggregates (zone-level and solver-level
+/// events come from the inner solver's own journal wiring).
+pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
+    design: &Design,
+    config: &WaveMinConfig,
+    solver: &S,
+    registry: &MetricsRegistry,
+    journal: &TraceJournal,
+) -> Result<Outcome, WaveMinError> {
+    let prep = characterize_design(design, config, registry, journal)?;
     // The per-zone checkpoint journal, when the config asks for one. Keys
-    // chain through every predecessor zone's solution, so a hit is
-    // reusable bit-for-bit (see `crate::checkpoint`).
+    // chain through every predecessor zone's content and solution, so a
+    // hit is reusable bit-for-bit (see `crate::checkpoint`).
     let checkpoint = match &config.checkpoint_path {
         Some(path) => {
             let fingerprint = crate::checkpoint::design_fingerprint(design, config)?;
-            Some((
-                crate::checkpoint::CheckpointJournal::open(path, fingerprint, config.resume)?,
+            Some(crate::checkpoint::CheckpointJournal::open(
+                path,
                 fingerprint,
-            ))
+                config.resume,
+            )?)
         }
         None => None,
     };
+    let store = checkpoint
+        .as_ref()
+        .map(|j| j as &dyn crate::checkpoint::ZoneStore);
+    let seed = store
+        .is_some()
+        .then(|| crate::checkpoint::config_fingerprint(config))
+        .transpose()?;
+    solve_prepared(
+        design, config, &prep, solver, registry, journal, store, seed,
+    )
+}
+
+/// Solves a [`PreparedRun`]: fans the feasible intervals over the worker
+/// pool, chains zones through the accumulated background inside each
+/// interval, validates exact skew, and assembles the [`Outcome`]. With a
+/// [`crate::checkpoint::ZoneStore`] attached (checkpoint journal or the
+/// serve-mode [`crate::checkpoint::ZoneCache`]), zones whose chain key
+/// hits are spliced bit-for-bit and counted as `zones_reused`; `seed`
+/// starts every interval's key chain and must capture the solver config
+/// (see [`crate::checkpoint::config_fingerprint`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_prepared<S: ZoneSolver>(
+    design: &Design,
+    config: &WaveMinConfig,
+    prep: &PreparedRun,
+    solver: &S,
+    registry: &MetricsRegistry,
+    journal: &TraceJournal,
+    store: Option<&dyn crate::checkpoint::ZoneStore>,
+    seed: Option<u64>,
+) -> Result<Outcome, WaveMinError> {
+    let mut thandle = journal.handle();
+    let start = std::time::Instant::now();
+    let table = &prep.table;
+    let intervals = &prep.intervals;
+    let zones = &prep.zones;
+    let zone_order = &prep.zone_order;
+    let degenerate_zones = prep.degenerate_zones;
 
     // Zones that faulted and were salvaged, across all intervals.
     let faulted = std::sync::Mutex::new(std::collections::BTreeSet::new());
@@ -448,7 +576,7 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
         use std::panic::{catch_unwind, AssertUnwindSafe};
         let zone = &zones[zi];
         let first = catch_unwind(AssertUnwindSafe(|| {
-            solver.solve_zone(&table, zone, interval, accumulated)
+            solver.solve_zone(table, zone, interval, accumulated)
         }));
         let payload = match first {
             Ok(Ok(sol)) => return Ok(sol),
@@ -462,7 +590,7 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
             g.insert(zi);
         }
         let retry = catch_unwind(AssertUnwindSafe(|| {
-            solver.salvage_zone(&table, zone, interval, accumulated)
+            solver.salvage_zone(table, zone, interval, accumulated)
         }));
         match retry {
             Ok(Ok(sol)) => {
@@ -493,37 +621,46 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
             let mut cost = 0.0_f64;
             let mut assignment = Assignment::new();
             let mut accumulated = crate::noise_table::EventWaveforms::zero();
-            let mut chain = checkpoint.as_ref().map(|&(_, fingerprint)| {
-                crate::checkpoint::ZoneKeyChain::new(fingerprint, interval.t_lo, interval.t_hi)
-            });
-            for &zi in &zone_order {
+            let mut chain =
+                seed.map(|s| crate::checkpoint::ZoneKeyChain::new(s, interval.t_lo, interval.t_hi));
+            for &zi in zone_order {
                 let zone = &zones[zi];
-                let key = chain.as_ref().map(|c| c.key_for(zi));
-                let cached = match (&checkpoint, key) {
-                    (Some((journal, _)), Some(k)) => journal.lookup(k),
+                let key = chain.as_ref().map(|c| c.key_for(prep.zone_hashes[zi]));
+                let acquired = match (store, key) {
+                    (Some(s), Some(k)) => Some(s.acquire(k)),
                     _ => None,
                 };
-                let sol = match cached {
-                    Some(hit) => {
+                let sol = match acquired {
+                    Some(crate::checkpoint::StoreAcquire::Hit(hit)) => {
                         registry.record_zone_reused();
                         ZoneSolution {
                             choices: hit.choices_ps(),
                             cost: hit.cost(),
                         }
                     }
-                    None => match contained_solve(zi, interval, &accumulated) {
-                        Ok(sol) => {
-                            if let (Some((journal, _)), Some(k)) = (&checkpoint, key) {
-                                journal.record(k, sol.cost.to_bits(), &sol.choices)?;
+                    other => {
+                        // Miss (or no store): solve here. The reservation,
+                        // if any, marks the key in flight for concurrent
+                        // jobs; it is released on every exit path, and a
+                        // successful record resolves it to a hit.
+                        let _reservation = match other {
+                            Some(crate::checkpoint::StoreAcquire::Solve(r)) => r,
+                            _ => None,
+                        };
+                        match contained_solve(zi, interval, &accumulated) {
+                            Ok(sol) => {
+                                if let (Some(s), Some(k)) = (store, key) {
+                                    s.record(k, sol.cost.to_bits(), &sol.choices)?;
+                                }
+                                sol
                             }
-                            sol
+                            Err(WaveMinError::NoFeasibleInterval) => return Ok(None),
+                            Err(e) => return Err(e),
                         }
-                        Err(WaveMinError::NoFeasibleInterval) => return Ok(None),
-                        Err(e) => return Err(e),
-                    },
+                    }
                 };
                 if let Some(c) = chain.as_mut() {
-                    c.absorb(zi, sol.cost.to_bits(), &sol.choices);
+                    c.absorb(prep.zone_hashes[zi], sol.cost.to_bits(), &sol.choices);
                 }
                 cost = cost.max(sol.cost);
                 for (local, &(opt, code)) in sol.choices.iter().enumerate() {

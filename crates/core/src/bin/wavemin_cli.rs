@@ -168,6 +168,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
             flags.reject_unknown("liberty", &["o"])?;
             liberty_dump(&flags)
         }
+        "serve" => {
+            flags.reject_unknown("serve", &["socket", "workers", "cache-bytes", "threads"])?;
+            serve_cmd(&flags)
+        }
+        "client" => {
+            flags.reject_unknown("client", &["socket", "json"])?;
+            client_cmd(&flags)
+        }
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -199,6 +207,8 @@ USAGE:
   wavemin evaluate   -i tree.clk [--lib file.lib]
   wavemin svg        -i tree.clk [--lib file.lib] [-o out.svg]
   wavemin liberty    [-o out.lib]
+  wavemin serve      --socket PATH [--workers N] [--cache-bytes N] [--threads N]
+  wavemin client     --socket PATH --json '<request>'
 
 FLAGS:
   --time-budget-ms N  wall-clock cap; the solver degrades gracefully and
@@ -224,6 +234,15 @@ FLAGS:
   --resume            with --checkpoint: reuse journal entries whose keys
                       still match and re-solve only missing/dirty zones
   --top N             explain: contributors to print (default 10)
+  --socket PATH       serve/client: unix socket the daemon binds/dials
+  --workers N         serve: solve-job worker threads (default 2)
+  --cache-bytes N     serve: per-session zone-cache byte budget
+                      (default 256 MiB); re-loading a session keeps its
+                      cache, so ECO re-solves splice unchanged zones
+  --json '<request>'  client: one line-delimited JSON request, e.g.
+                      '{{\"cmd\":\"load\",\"session\":\"a\",\"benchmark\":\"s15850\"}}'
+                      then '{{\"cmd\":\"solve\",\"session\":\"a\"}}'; exits
+                      nonzero when the server answers \"ok\":false
 
 EXIT CODES:
   0 success   1 runtime error   2 usage error
@@ -738,6 +757,77 @@ fn svg(flags: &Flags) -> Result<(), CliError> {
         &wavemin_clocktree::svg::SvgOptions::default(),
     );
     write_out(flags, "(no -o given, dumping SVG to stdout)", &rendered)
+}
+
+#[cfg(unix)]
+fn serve_cmd(flags: &Flags) -> Result<(), CliError> {
+    let socket = flags
+        .get("socket")
+        .ok_or_else(|| CliError::usage("missing --socket <path>"))?;
+    let workers = match flags.numeric("workers")? {
+        None => 2,
+        Some(w) if w >= 1.0 && w.fract() == 0.0 => w as usize,
+        Some(_) => return Err(CliError::usage("--workers expects a positive integer")),
+    };
+    let cache_bytes = match flags.numeric("cache-bytes")? {
+        None => 256 << 20,
+        Some(b) if b >= 0.0 && b.fract() == 0.0 => b as usize,
+        Some(_) => return Err(CliError::usage("--cache-bytes expects a byte count")),
+    };
+    let threads = match flags.numeric("threads")? {
+        None => None,
+        Some(t) if t >= 1.0 && t.fract() == 0.0 => Some(t as usize),
+        Some(_) => return Err(CliError::usage("--threads expects a positive integer")),
+    };
+    eprintln!(
+        "wavemin serve: listening on {socket} ({workers} worker(s), {cache_bytes} cache bytes)"
+    );
+    wavemin::serve::run(wavemin::serve::ServeOptions {
+        socket_path: socket.to_owned(),
+        workers,
+        cache_bytes,
+        threads,
+    })
+    .map_err(|e| CliError::from(format!("serve: {e}")))?;
+    eprintln!("wavemin serve: drained and stopped");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_cmd(_flags: &Flags) -> Result<(), CliError> {
+    Err(CliError::usage("'serve' requires a unix platform"))
+}
+
+#[cfg(unix)]
+fn client_cmd(flags: &Flags) -> Result<(), CliError> {
+    let socket = flags
+        .get("socket")
+        .ok_or_else(|| CliError::usage("missing --socket <path>"))?;
+    let line = flags
+        .get("json")
+        .ok_or_else(|| CliError::usage("missing --json '<request>'"))?;
+    let response = wavemin::serve::client_request(socket, line)
+        .map_err(|e| CliError::from(format!("client: {e}")))?;
+    println!("{response}");
+    let ok = serde_json::from_str(&response)
+        .ok()
+        .and_then(|v| match v {
+            serde::Value::Map(entries) => entries
+                .into_iter()
+                .find_map(|(k, v)| (k == "ok").then_some(matches!(v, serde::Value::Bool(true)))),
+            _ => None,
+        })
+        .unwrap_or(false);
+    if ok {
+        Ok(())
+    } else {
+        Err(CliError::from("server returned an error".to_owned()))
+    }
+}
+
+#[cfg(not(unix))]
+fn client_cmd(_flags: &Flags) -> Result<(), CliError> {
+    Err(CliError::usage("'client' requires a unix platform"))
 }
 
 fn liberty_dump(flags: &Flags) -> Result<(), CliError> {

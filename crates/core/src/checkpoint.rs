@@ -1,31 +1,40 @@
-//! Content-hashed zone-result journal for checkpoint/resume.
+//! Content-hashed zone-result stores: the on-disk checkpoint journal and
+//! the in-memory serve-mode zone cache.
 //!
 //! `optimize --checkpoint PATH` appends each completed zone's solution to
 //! a line-oriented journal as it lands; `--resume` replays the journal
-//! and re-solves only the zones it cannot vouch for. The file is the
-//! deliberate seed of the future serve-mode per-zone solution cache: keys
-//! are *content* hashes, so a stale or foreign entry can never be
-//! mistaken for a hit — it is simply never looked up.
+//! and re-solves only the zones it cannot vouch for. Serve mode promotes
+//! the same keying scheme into [`ZoneCache`], an LRU-bounded in-memory
+//! map shared by concurrent jobs, so a re-submitted design with local
+//! edits splices cached results for clean zones and re-solves only dirty
+//! ones. Keys are *content* hashes, so a stale or foreign entry can never
+//! be mistaken for a hit — it is simply never looked up.
 //!
 //! # Format
 //!
 //! ```text
-//! wavemin-checkpoint v1 fingerprint=<hex16>
+//! wavemin-checkpoint v2 fingerprint=<hex16>
 //! zone <key hex16> <cost-bits hex16> <n> <sink>:<code-bits hex16> ...
 //! ```
 //!
 //! The header fingerprint hashes the characterized design and the solver
 //! configuration; a mismatch invalidates every entry. Each entry's key is
 //! drawn from a per-interval *hash chain* ([`ZoneKeyChain`]): the chain
-//! starts from the fingerprint and the interval bounds and absorbs every
-//! earlier zone's solution in solve order. Zones are solved against the
-//! accumulated background noise of their predecessors, so a zone's key
-//! changes whenever anything it depends on changes — hit means bit-for-bit
-//! reusable. Costs and delay codes are stored as raw `f64` bit patterns,
-//! so a resumed run reproduces the uninterrupted run exactly.
+//! starts from a seed (the solver-config fingerprint) and the interval
+//! bounds, and absorbs every earlier zone's *content hash* and solution
+//! in solve order. Zones are solved against the accumulated background
+//! noise of their predecessors, so a zone's key changes whenever anything
+//! it depends on changes — hit means bit-for-bit reusable. Keying by zone
+//! content rather than zone index is what lets an edited design reuse the
+//! untouched prefix of a solve: the clean zones hash identically and walk
+//! the same chain. Costs and delay codes are stored as raw `f64` bit
+//! patterns, so a resumed run reproduces the uninterrupted run exactly.
 //!
 //! Lines are flushed per zone; a killed process leaves at most one
-//! truncated trailing line, which the loader ignores.
+//! truncated trailing line, which the loader ignores. A malformed line
+//! anywhere *else* in the file is corruption, not truncation, and
+//! surfaces as [`WaveMinError::Checkpoint`] rather than silently
+//! dropping vouched zones.
 
 use crate::config::WaveMinConfig;
 use crate::design::Design;
@@ -33,15 +42,16 @@ use crate::error::WaveMinError;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use wavemin_cells::units::Picoseconds;
 
 /// Journal format version; bumped on any incompatible layout change.
-pub const FORMAT_VERSION: &str = "v1";
+/// `v2`: chain keys absorb zone content hashes instead of zone indices.
+pub const FORMAT_VERSION: &str = "v2";
 
 const HEADER_TAG: &str = "wavemin-checkpoint";
 
-/// FNV-1a 64 over raw bytes — the journal's only hash primitive.
+/// FNV-1a 64 over raw bytes — the store's only byte-hash primitive.
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -68,6 +78,20 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 pub fn design_fingerprint(design: &Design, config: &WaveMinConfig) -> Result<u64, WaveMinError> {
     let d = serde_json::to_string(design)
         .map_err(|e| WaveMinError::Checkpoint(format!("design fingerprint: {e}")))?;
+    Ok(fnv1a(d.as_bytes()) ^ config_fingerprint(config)?.rotate_left(29))
+}
+
+/// Fingerprint of the solver configuration alone, with the same
+/// run-plumbing normalization as [`design_fingerprint`]. This seeds the
+/// per-interval [`ZoneKeyChain`]: the design itself enters the chain
+/// through per-zone content hashes, so two sessions holding *different*
+/// designs still share cache entries for zones whose characterized
+/// content is identical — the incremental-re-solve path.
+///
+/// # Errors
+///
+/// Returns [`WaveMinError::Checkpoint`] if serialization fails.
+pub fn config_fingerprint(config: &WaveMinConfig) -> Result<u64, WaveMinError> {
     let mut canon = config.clone();
     canon.threads = None;
     canon.collect_metrics = false;
@@ -76,12 +100,10 @@ pub fn design_fingerprint(design: &Design, config: &WaveMinConfig) -> Result<u64
     canon.resume = false;
     let c = serde_json::to_string(&canon)
         .map_err(|e| WaveMinError::Checkpoint(format!("config fingerprint: {e}")))?;
-    let mut h = fnv1a(d.as_bytes());
-    h ^= fnv1a(c.as_bytes()).rotate_left(29);
-    Ok(h)
+    Ok(fnv1a(c.as_bytes()))
 }
 
-/// A journalled zone solution: the min–max cost and the per-sink delay
+/// A stored zone solution: the min–max cost and the per-sink delay
 /// codes, both as exact `f64` bit patterns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedZone {
@@ -106,11 +128,17 @@ impl CachedZone {
             .map(|&(s, bits)| (s, Picoseconds::new(f64::from_bits(bits))))
             .collect()
     }
+
+    /// Approximate heap footprint, used for the cache's byte budget.
+    fn weight(&self) -> usize {
+        std::mem::size_of::<Self>() + self.choices.len() * std::mem::size_of::<(usize, u64)>()
+    }
 }
 
-/// The per-interval key chain. Seeded from the design fingerprint and the
-/// interval bounds; absorbs each solved zone in solve order so a zone's
-/// key covers everything its accumulated-background input depends on.
+/// The per-interval key chain. Seeded from the config fingerprint and the
+/// interval bounds; absorbs each solved zone's content hash and solution
+/// in solve order so a zone's key covers everything its
+/// accumulated-background input depends on.
 #[derive(Debug, Clone)]
 pub struct ZoneKeyChain {
     h: u64,
@@ -119,23 +147,24 @@ pub struct ZoneKeyChain {
 impl ZoneKeyChain {
     /// Starts a chain for one feasible interval.
     #[must_use]
-    pub fn new(fingerprint: u64, t_lo: Picoseconds, t_hi: Picoseconds) -> Self {
-        let mut h = fingerprint;
+    pub fn new(seed: u64, t_lo: Picoseconds, t_hi: Picoseconds) -> Self {
+        let mut h = seed;
         h = step(h, t_lo.value().to_bits());
         h = step(h, t_hi.value().to_bits());
         Self { h }
     }
 
-    /// The lookup/record key for `zone` at the chain's current state.
+    /// The lookup/record key for the zone whose characterized content
+    /// hashes to `content` at the chain's current state.
     #[must_use]
-    pub fn key_for(&self, zone: usize) -> u64 {
-        step(self.h, zone as u64 ^ 0x5a5a_5a5a_5a5a_5a5a)
+    pub fn key_for(&self, content: u64) -> u64 {
+        step(self.h, content ^ 0x5a5a_5a5a_5a5a_5a5a)
     }
 
-    /// Absorbs a completed zone's solution, advancing the chain for every
-    /// zone solved after it.
-    pub fn absorb(&mut self, zone: usize, cost_bits: u64, choices: &[(usize, Picoseconds)]) {
-        self.h = step(self.h, zone as u64);
+    /// Absorbs a completed zone's content and solution, advancing the
+    /// chain for every zone solved after it.
+    pub fn absorb(&mut self, content: u64, cost_bits: u64, choices: &[(usize, Picoseconds)]) {
+        self.h = step(self.h, content);
         self.h = step(self.h, cost_bits);
         for &(sink, code) in choices {
             self.h = step(self.h, sink as u64);
@@ -145,12 +174,46 @@ impl ZoneKeyChain {
 }
 
 /// One avalanche step of the chain (splitmix64 finalizer over `h ^ x`).
+/// Shared with the zone content hash in `algo`.
 #[inline]
-fn step(h: u64, x: u64) -> u64 {
+pub(crate) fn step(h: u64, x: u64) -> u64 {
     let mut z = (h ^ x).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// What [`ZoneStore::acquire`] hands back for a key.
+pub enum StoreAcquire<'a> {
+    /// The store vouches for this solution; splice it bit-for-bit.
+    Hit(CachedZone),
+    /// The caller must solve. When the store dedups concurrent work, the
+    /// reservation marks the key in flight; dropping it without a
+    /// [`ZoneStore::record`] releases waiting peers to solve themselves.
+    Solve(Option<ZoneReservation<'a>>),
+}
+
+/// A shared zone-solution store: hit → splice, miss → solve and record.
+///
+/// Implemented by the on-disk [`CheckpointJournal`] (single run,
+/// crash-recovery) and the in-memory [`ZoneCache`] (serve mode, shared
+/// across concurrent jobs and sessions).
+pub trait ZoneStore: Sync {
+    /// Looks up `key`, possibly reserving it for the caller to solve.
+    fn acquire(&self, key: u64) -> StoreAcquire<'_>;
+
+    /// Publishes a solved zone under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveMinError::Checkpoint`] if the store's backing medium
+    /// rejects the write (only the journal can fail).
+    fn record(
+        &self,
+        key: u64,
+        cost_bits: u64,
+        choices: &[(usize, Picoseconds)],
+    ) -> Result<(), WaveMinError>;
 }
 
 struct Inner {
@@ -174,10 +237,11 @@ impl CheckpointJournal {
     ///
     /// # Errors
     ///
-    /// Returns [`WaveMinError::Checkpoint`] on I/O failure.
+    /// Returns [`WaveMinError::Checkpoint`] on I/O failure, or when a
+    /// resumed journal is corrupt anywhere but its final line.
     pub fn open(path: &str, fingerprint: u64, resume: bool) -> Result<Self, WaveMinError> {
         let cache = if resume {
-            load_entries(path, fingerprint)
+            load_entries(path, fingerprint)?
         } else {
             None
         };
@@ -273,26 +337,70 @@ impl CheckpointJournal {
     }
 }
 
-/// Parses an existing journal; `None` means "start fresh" (missing file,
-/// wrong header, or fingerprint mismatch). Unparseable entry lines —
-/// including a truncated trailing line from a killed process — are
-/// skipped, not fatal.
-fn load_entries(path: &str, fingerprint: u64) -> Option<HashMap<u64, CachedZone>> {
-    let file = File::open(path).ok()?;
-    let mut lines = BufReader::new(file).lines();
-    let header = lines.next()?.ok()?;
-    let expect = format!("{HEADER_TAG} {FORMAT_VERSION} fingerprint={fingerprint:016x}");
-    if header != expect {
-        return None;
-    }
-    let mut cache = HashMap::new();
-    for line in lines {
-        let Ok(line) = line else { break };
-        if let Some((key, entry)) = parse_entry(&line) {
-            cache.insert(key, entry);
+impl ZoneStore for CheckpointJournal {
+    fn acquire(&self, key: u64) -> StoreAcquire<'_> {
+        // A single run never races two workers onto the same key (each
+        // interval walks its own chain), so no in-flight reservation.
+        match self.lookup(key) {
+            Some(hit) => StoreAcquire::Hit(hit),
+            None => StoreAcquire::Solve(None),
         }
     }
-    Some(cache)
+
+    fn record(
+        &self,
+        key: u64,
+        cost_bits: u64,
+        choices: &[(usize, Picoseconds)],
+    ) -> Result<(), WaveMinError> {
+        CheckpointJournal::record(self, key, cost_bits, choices)
+    }
+}
+
+/// Parses an existing journal; `Ok(None)` means "start fresh" (missing
+/// file, wrong header, or fingerprint mismatch). Only a truncated
+/// *trailing* line — the signature of a process killed mid-append — is
+/// skipped; a malformed line anywhere earlier is corruption and fails
+/// the resume rather than silently dropping vouched zones.
+fn load_entries(
+    path: &str,
+    fingerprint: u64,
+) -> Result<Option<HashMap<u64, CachedZone>>, WaveMinError> {
+    let Ok(file) = File::open(path) else {
+        return Ok(None);
+    };
+    let mut lines = BufReader::new(file).lines();
+    let header = match lines.next() {
+        Some(Ok(h)) => h,
+        Some(Err(_)) | None => return Ok(None),
+    };
+    let expect = format!("{HEADER_TAG} {FORMAT_VERSION} fingerprint={fingerprint:016x}");
+    if header != expect {
+        return Ok(None);
+    }
+    let body: Vec<String> = lines
+        .collect::<Result<_, _>>()
+        .map_err(|e| WaveMinError::Checkpoint(format!("{path}: unreadable journal body: {e}")))?;
+    let mut cache = HashMap::new();
+    let last = body.len().saturating_sub(1);
+    for (i, line) in body.iter().enumerate() {
+        match parse_entry(line) {
+            Some((key, entry)) => {
+                cache.insert(key, entry);
+            }
+            None if i == last => {
+                // A killed process leaves exactly one dangling half line,
+                // and it can only be the final one.
+            }
+            None => {
+                return Err(WaveMinError::Checkpoint(format!(
+                    "{path}: corrupt journal entry at line {}: {line:?}",
+                    i + 2
+                )));
+            }
+        }
+    }
+    Ok(Some(cache))
 }
 
 fn parse_entry(line: &str) -> Option<(u64, CachedZone)> {
@@ -312,6 +420,190 @@ fn parse_entry(line: &str) -> Option<(u64, CachedZone)> {
         return None;
     }
     Some((key, CachedZone { cost_bits, choices }))
+}
+
+/// Point-in-time counters for a [`ZoneCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Completed entries currently resident.
+    pub entries: usize,
+    /// Approximate bytes held by resident entries.
+    pub bytes: usize,
+    /// Lifetime lookup hits.
+    pub hits: u64,
+    /// Lifetime lookup misses (each miss reserves the key for a solve).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+}
+
+enum Slot {
+    Done(CachedZone),
+    /// A worker holds a [`ZoneReservation`] and is solving; peers that
+    /// acquire the same key block until it publishes or abandons.
+    InFlight,
+}
+
+struct CacheInner {
+    map: HashMap<u64, (Slot, u64)>,
+    bytes: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// The serve-mode in-memory zone store: a content-keyed LRU map shared by
+/// concurrent jobs. A miss reserves the key, so two jobs racing onto the
+/// same zone never duplicate the solve — the loser blocks on the
+/// reservation and splices the winner's result.
+pub struct ZoneCache {
+    max_bytes: usize,
+    inner: Mutex<CacheInner>,
+    ready: Condvar,
+}
+
+impl ZoneCache {
+    /// Creates a cache bounded to roughly `max_bytes` of entry payload.
+    /// A budget of zero disables retention (every lookup misses, every
+    /// record is immediately evicted) but still dedups in-flight solves.
+    #[must_use]
+    pub fn new(max_bytes: usize) -> Self {
+        Self {
+            max_bytes,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let g = self.lock();
+        let mut s = g.stats;
+        s.bytes = g.bytes;
+        s.entries = g
+            .map
+            .values()
+            .filter(|(slot, _)| matches!(slot, Slot::Done(_)))
+            .count();
+        s
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn publish(&self, key: u64, zone: CachedZone) {
+        let weight = zone.weight();
+        let mut g = self.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some((Slot::Done(old), _)) = g.map.insert(key, (Slot::Done(zone), tick)) {
+            g.bytes -= old.weight();
+        }
+        g.bytes += weight;
+        // Evict least-recently-used completed entries until under budget.
+        // The entry just published is fair game too: with a zero budget
+        // it leaves immediately, which still satisfies the contract
+        // (record never fails, waiters were notified of completion).
+        while g.bytes > self.max_bytes {
+            let victim = g
+                .map
+                .iter()
+                .filter(|(_, (slot, _))| matches!(slot, Slot::Done(_)))
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(&k, _)| k);
+            let Some(k) = victim else { break };
+            if let Some((Slot::Done(old), _)) = g.map.remove(&k) {
+                g.bytes -= old.weight();
+                g.stats.evictions += 1;
+            }
+        }
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    fn abandon(&self, key: u64) {
+        let mut g = self.lock();
+        if matches!(g.map.get(&key), Some((Slot::InFlight, _))) {
+            g.map.remove(&key);
+        }
+        drop(g);
+        self.ready.notify_all();
+    }
+}
+
+impl ZoneStore for ZoneCache {
+    fn acquire(&self, key: u64) -> StoreAcquire<'_> {
+        let mut g = self.lock();
+        loop {
+            match g.map.get(&key) {
+                Some((Slot::Done(zone), _)) => {
+                    let hit = zone.clone();
+                    g.tick += 1;
+                    let tick = g.tick;
+                    if let Some((_, t)) = g.map.get_mut(&key) {
+                        *t = tick;
+                    }
+                    g.stats.hits += 1;
+                    return StoreAcquire::Hit(hit);
+                }
+                Some((Slot::InFlight, _)) => {
+                    g = match self.ready.wait(g) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+                None => {
+                    g.tick += 1;
+                    let tick = g.tick;
+                    g.map.insert(key, (Slot::InFlight, tick));
+                    g.stats.misses += 1;
+                    return StoreAcquire::Solve(Some(ZoneReservation { cache: self, key }));
+                }
+            }
+        }
+    }
+
+    fn record(
+        &self,
+        key: u64,
+        cost_bits: u64,
+        choices: &[(usize, Picoseconds)],
+    ) -> Result<(), WaveMinError> {
+        self.publish(
+            key,
+            CachedZone {
+                cost_bits,
+                choices: choices
+                    .iter()
+                    .map(|&(s, c)| (s, c.value().to_bits()))
+                    .collect(),
+            },
+        );
+        Ok(())
+    }
+}
+
+/// Marks a key as being solved by the holder. Dropping it without a
+/// matching [`ZoneStore::record`] (error or panic path) releases the
+/// claim so blocked peers retry and solve for themselves.
+pub struct ZoneReservation<'a> {
+    cache: &'a ZoneCache,
+    key: u64,
+}
+
+impl Drop for ZoneReservation<'_> {
+    fn drop(&mut self) {
+        self.cache.abandon(self.key);
+    }
 }
 
 #[cfg(test)]
@@ -384,11 +676,41 @@ mod tests {
     }
 
     #[test]
+    fn interior_corruption_is_a_typed_error_not_a_silent_skip() {
+        let path = tmp("interior.ckpt");
+        let j = CheckpointJournal::open(&path, 5, false).expect("create");
+        j.record(1, 10, &[(0, ps(1.0))]).expect("record");
+        drop(j);
+        // Corrupt the middle of the file: a mangled line *followed by* a
+        // valid complete entry cannot be mid-append truncation.
+        let mut f = OpenOptions::new().append(true).open(&path).expect("append");
+        writeln!(f, "zone 00000000000000ff 000000").expect("write corrupt");
+        writeln!(f, "zone 0000000000000002 0000000000000014 0").expect("write valid");
+        drop(f);
+        match CheckpointJournal::open(&path, 5, true) {
+            Err(WaveMinError::Checkpoint(msg)) => {
+                assert!(msg.contains("corrupt"), "message names the cause: {msg}");
+                assert!(msg.contains("line 3"), "message locates the line: {msg}");
+            }
+            Ok(_) => panic!("interior corruption must fail the resume"),
+            Err(other) => panic!("wrong error type: {other:?}"),
+        }
+        // A fresh (non-resume) open of the same path still works: it
+        // truncates rather than trusting the corrupt body.
+        let j = CheckpointJournal::open(&path, 5, false).expect("fresh open truncates");
+        assert_eq!(j.loaded(), 0);
+    }
+
+    #[test]
     fn key_chain_is_order_and_content_sensitive() {
         let a0 = ZoneKeyChain::new(9, ps(1.0), ps(2.0));
         let b0 = ZoneKeyChain::new(9, ps(1.0), ps(2.5));
         assert_ne!(a0.key_for(0), b0.key_for(0), "interval bounds feed the key");
-        assert_ne!(a0.key_for(0), a0.key_for(1), "zones get distinct keys");
+        assert_ne!(
+            a0.key_for(0),
+            a0.key_for(1),
+            "distinct content, distinct keys"
+        );
 
         let mut a = a0.clone();
         let mut b = a0.clone();
@@ -443,6 +765,110 @@ mod tests {
             design_fingerprint(&d, &coarser).expect("fingerprint"),
             fp,
             "sampling resolution is semantic"
+        );
+
+        // The config-only fingerprint follows the same normalization.
+        let cfp = config_fingerprint(&base).expect("config fingerprint");
+        assert_eq!(config_fingerprint(&resumed).expect("cfp"), cfp);
+        assert_ne!(config_fingerprint(&coarser).expect("cfp"), cfp);
+    }
+
+    #[test]
+    fn cache_hit_miss_and_reservation_lifecycle() {
+        let cache = ZoneCache::new(1 << 20);
+        // First acquire: miss with a reservation.
+        let res = match cache.acquire(7) {
+            StoreAcquire::Solve(Some(r)) => r,
+            _ => panic!("cold key must miss with a reservation"),
+        };
+        cache
+            .record(7, 2.5_f64.to_bits(), &[(1, ps(4.0))])
+            .expect("record");
+        drop(res);
+        // Second acquire: hit, bit-identical payload.
+        match cache.acquire(7) {
+            StoreAcquire::Hit(z) => {
+                assert_eq!(z.cost().to_bits(), 2.5_f64.to_bits());
+                assert_eq!(z.choices_ps(), vec![(1usize, ps(4.0))]);
+            }
+            StoreAcquire::Solve(_) => panic!("recorded key must hit"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn abandoned_reservation_releases_waiters() {
+        let cache = ZoneCache::new(1 << 20);
+        let res = match cache.acquire(3) {
+            StoreAcquire::Solve(Some(r)) => r,
+            _ => panic!("cold key must miss"),
+        };
+        drop(res); // solve failed; key must be claimable again
+        match cache.acquire(3) {
+            StoreAcquire::Solve(Some(_)) => {}
+            _ => panic!("abandoned key must be reserved anew, not hit or block"),
+        };
+    }
+
+    #[test]
+    fn concurrent_acquires_dedup_the_solve() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ZoneCache::new(1 << 20);
+        let solves = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| match cache.acquire(11) {
+                    StoreAcquire::Hit(z) => {
+                        assert_eq!(z.cost_bits, 9.0_f64.to_bits());
+                    }
+                    StoreAcquire::Solve(reservation) => {
+                        solves.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        cache.record(11, 9.0_f64.to_bits(), &[]).expect("record");
+                        drop(reservation);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            solves.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "exactly one thread wins the reservation; the rest block and hit"
+        );
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget_and_recency() {
+        let entry_weight = CachedZone {
+            cost_bits: 0,
+            choices: vec![],
+        }
+        .weight();
+        // Room for exactly two empty-choice entries.
+        let cache = ZoneCache::new(2 * entry_weight);
+        cache.record(1, 0, &[]).expect("record");
+        cache.record(2, 0, &[]).expect("record");
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(matches!(cache.acquire(1), StoreAcquire::Hit(_)));
+        cache.record(3, 0, &[]).expect("record");
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        assert!(
+            matches!(cache.acquire(1), StoreAcquire::Hit(_)),
+            "recent key kept"
+        );
+        assert!(
+            matches!(cache.acquire(2), StoreAcquire::Solve(_)),
+            "LRU key evicted"
+        );
+        assert!(
+            matches!(cache.acquire(3), StoreAcquire::Hit(_)),
+            "new key kept"
         );
     }
 }

@@ -231,12 +231,15 @@ impl WaveMinConfig {
     }
 
     /// The worker count the solve pipeline will actually use: the
-    /// configured [`Self::threads`], or one per available core.
+    /// configured [`Self::threads`], or one per available core. The core
+    /// count is resolved once per process and then pinned, so a daemon
+    /// whose cgroup limits change between jobs keeps a stable worker
+    /// count (and therefore stable `map_ordered` batching) for every job
+    /// of a session.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
-        self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        })
+        self.threads
+            .unwrap_or_else(crate::parallel::available_threads)
     }
 
     /// A fresh [`Budget`] for one run: the deadline starts counting now.

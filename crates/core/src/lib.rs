@@ -58,6 +58,9 @@ pub mod observe;
 pub(crate) mod parallel;
 pub mod report;
 pub mod sampling;
+#[cfg(unix)]
+pub mod serve;
+pub mod session;
 pub mod trace;
 
 /// Convenient re-exports of the main types.
@@ -69,6 +72,7 @@ pub mod prelude {
         YieldAwareWaveMin, YieldOutcome,
     };
     pub use crate::assignment::Assignment;
+    pub use crate::checkpoint::{CacheStats, ZoneCache};
     pub use crate::config::{SolverKind, WaveMinConfig};
     pub use crate::design::Design;
     pub use crate::error::WaveMinError;
@@ -80,6 +84,7 @@ pub mod prelude {
     pub use crate::noise_table::{EventWaveforms, NoiseTable};
     pub use crate::observe::{Contribution, MetricsRegistry, PeakAttribution, RunReport, Stage};
     pub use crate::sampling::SamplePlan;
+    pub use crate::session::{CharacterizedDesign, SolveOptions};
     pub use crate::trace::{TraceHandle, TraceJournal};
     pub use wavemin_cells::{CellKind, CellLibrary, Characterizer, Polarity};
     pub use wavemin_clocktree::prelude::*;

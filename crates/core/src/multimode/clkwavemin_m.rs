@@ -92,18 +92,26 @@ impl ClkWaveMinM {
         // tightened progressively until the exact skew check passes.
         let wm = self.config.window_margin;
         let margins = [wm, (wm - 0.15).max(0.3), (wm - 0.3).max(0.25)];
+        let threads = self.config.effective_threads();
 
-        // Phase 1: polarity assignment + sizing alone.
+        // Phase 1: polarity assignment + sizing alone. The margin only
+        // tightens the intersection windows, never the characterization,
+        // so the per-mode noise tables and zone problems are built once
+        // and shared across all margin retries — the session philosophy
+        // applied inside one run.
+        let mode_data = self.build_mode_data(design, threads, &ladder.registry)?;
         for &margin in &margins {
-            match self.optimize(design, margin, ladder) {
+            match self.optimize(design, &mode_data, margin, ladder) {
                 Ok(outcome) => return Ok(outcome),
                 Err(WaveMinError::NoFeasibleInterval) => {}
                 Err(e) => return Err(e),
             }
         }
+        drop(mode_data);
         // Phase 2: embed ADBs, then re-optimize with ADB/ADI candidates.
         // Repair to the tightened bound so the matching optimization
-        // window stays feasible.
+        // window stays feasible. Each embedded clone is a different
+        // design, so its mode data is rebuilt.
         let mut last_err = WaveMinError::NoFeasibleInterval;
         for &margin in &margins {
             let mut embedded = design.clone();
@@ -114,7 +122,8 @@ impl ClkWaveMinM {
                     continue;
                 }
             }
-            match self.optimize(&embedded, margin, ladder) {
+            let embedded_data = self.build_mode_data(&embedded, threads, &ladder.registry)?;
+            match self.optimize(&embedded, &embedded_data, margin, ladder) {
                 Ok(outcome) => return Ok(outcome),
                 Err(WaveMinError::NoFeasibleInterval) => {
                     last_err = WaveMinError::NoFeasibleInterval;
@@ -208,20 +217,23 @@ impl ClkWaveMinM {
     }
 
     /// One optimization pass over a (possibly ADB-embedded) design with
-    /// the given window margin.
+    /// the given window margin. `mode_data` must be the output of
+    /// [`Self::build_mode_data`] for this exact design; passing it in lets
+    /// margin retries share one characterization.
     fn optimize(
         &self,
         design: &Design,
+        mode_data: &(Vec<NoiseTable>, Vec<Vec<ZoneProblem>>),
         margin: f64,
         ladder: &MospLadder,
     ) -> Result<Outcome, WaveMinError> {
         let start = std::time::Instant::now();
         let threads = self.config.effective_threads();
-        let (tables, zones) = self.build_mode_data(design, threads, &ladder.registry)?;
+        let (tables, zones) = mode_data;
         // Reserve sibling-load headroom like the single-mode flow.
         let mut tight = self.config.clone();
         tight.skew_bound = self.config.skew_bound * margin;
-        let set = IntersectionSet::generate(design, &tight, &tables, self.beam)?;
+        let set = IntersectionSet::generate(design, &tight, tables, self.beam)?;
         let degenerate_zones = zones
             .iter()
             .flatten()
@@ -235,7 +247,7 @@ impl ClkWaveMinM {
         let solved =
             crate::parallel::map_ordered(set.intersections(), threads, |_, intersection| {
                 let _span = ladder.registry.span(Stage::Intersection);
-                match self.solve_intersection(design, &tables, &zones, intersection, ladder) {
+                match self.solve_intersection(design, tables, zones, intersection, ladder) {
                     Ok(pair) => Ok(Some(pair)),
                     Err(WaveMinError::NoFeasibleInterval) => Ok(None),
                     Err(e) => Err(e),

@@ -120,6 +120,10 @@ struct ZoneCell {
     dominance_checks: AtomicU64,
     dominance_skipped: AtomicU64,
     wall_ns: AtomicU64,
+    /// Worst (highest-index) degradation-ladder rung any solve of this
+    /// zone actually ran on, via `fetch_max`. Distinguishes a salvaged
+    /// zone's forced greedy rung from the global ladder position.
+    worst_rung: AtomicU64,
 }
 
 struct Inner {
@@ -291,6 +295,28 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records the ladder rung one solve of `zone` actually used; the
+    /// zone's row keeps the worst (highest) rung seen. A salvaged zone is
+    /// recorded on the greedy rung even while the global ladder sits on a
+    /// better one — the per-zone row is where that asymmetry is visible.
+    pub fn record_zone_rung(&self, zone: usize, rung: usize) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        {
+            let table = inner.zones.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cell) = table.get(zone) {
+                cell.worst_rung.fetch_max(rung as u64, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.ensure_zones(zone + 1);
+        let table = inner.zones.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cell) = table.get(zone) {
+            cell.worst_rung.fetch_max(rung as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Counts one degradation-ladder rung transition.
     pub fn record_rung_transition(&self) {
         if let Some(inner) = self.inner.as_ref() {
@@ -359,6 +385,7 @@ impl MetricsRegistry {
                     dominance_checks: load(&cell.dominance_checks),
                     dominance_skipped: load(&cell.dominance_skipped),
                     wall_ns: load(&cell.wall_ns),
+                    worst_rung: load(&cell.worst_rung),
                 })
                 .collect()
         };
@@ -542,6 +569,11 @@ pub struct ZoneMetrics {
     pub dominance_skipped: u64,
     /// Total wall time of this zone's solves, nanoseconds.
     pub wall_ns: u64,
+    /// Worst (highest-index) degradation-ladder rung any solve of this
+    /// zone actually used. A salvaged zone shows the greedy rung here
+    /// even when the run-level `ladder_rung` stayed at a better rung.
+    #[serde(default)]
+    pub worst_rung: u64,
 }
 
 /// One node's share of the total rail current at the attributed peak
@@ -996,6 +1028,7 @@ mod decode {
                 "dominance_checks",
                 "dominance_skipped",
                 "wall_ns",
+                "worst_rung",
             ],
             "zone metrics",
         )?;
@@ -1010,6 +1043,7 @@ mod decode {
             dominance_checks: opt_u64_field(entries, "dominance_checks")?,
             dominance_skipped: opt_u64_field(entries, "dominance_skipped")?,
             wall_ns: u64_field(entries, "wall_ns")?,
+            worst_rung: opt_u64_field(entries, "worst_rung")?,
         })
     }
 }

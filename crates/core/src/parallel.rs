@@ -8,6 +8,17 @@
 //! a run is independent of the worker count: the same contiguous-chunk
 //! scheme as [`crate::montecarlo`], built on [`std::thread::scope`].
 
+/// The process-wide default worker count, resolved from
+/// [`std::thread::available_parallelism`] exactly once and cached for the
+/// life of the process. A long-lived serve session must not change its
+/// `map_ordered` batching (and thus its work partitioning) mid-flight
+/// just because the surrounding cgroup was resized between jobs.
+pub(crate) fn available_threads() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
 /// Maps `f` over `items`, returning results in input order.
 ///
 /// With `threads <= 1` (or fewer than two items) the map runs inline on

@@ -1,0 +1,575 @@
+//! Serve mode: a long-lived daemon that keeps characterized designs
+//! resident and answers solve jobs over a unix socket.
+//!
+//! `wavemin serve --socket PATH` binds a [`std::os::unix::net::UnixListener`]
+//! and speaks the line-delimited JSON protocol of [`protocol`]. Each
+//! named session holds a [`CharacterizedDesign`] plus a [`ZoneCache`]
+//! shared across that session's lifetime — *including across re-loads*,
+//! so an ECO edit (`load` with the same session name and a few `edits`)
+//! re-solves only the zones whose content actually changed and splices
+//! the rest from cache (`zones_reused` in the solve response).
+//!
+//! Solve jobs run on a fixed worker pool behind a priority queue (higher
+//! `priority` first, FIFO within a priority); connection handlers stay
+//! cheap and block only on their own job's completion. Two concurrent
+//! jobs on the same session dedup zone solves through the cache's
+//! in-flight reservations rather than solving the same zone twice.
+//!
+//! `SIGTERM`/`SIGINT` (or a `shutdown` command) stop the accept loop,
+//! drain in-flight connections and queued jobs, unlink the socket, and
+//! return cleanly.
+
+pub mod protocol;
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::checkpoint::ZoneCache;
+use crate::config::WaveMinConfig;
+use crate::design::Design;
+use crate::session::{CharacterizedDesign, SolveOptions};
+use protocol::{err_response, ok_response, LoadRequest, Request, SolveRequest};
+use serde::Value;
+use wavemin_cells::Picoseconds;
+use wavemin_clocktree::{Benchmark, NodeId};
+
+/// How the daemon is launched.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix socket path to bind (unlinked on clean shutdown).
+    pub socket_path: String,
+    /// Worker threads executing solve jobs.
+    pub workers: usize,
+    /// Per-session zone-cache byte budget.
+    pub cache_bytes: usize,
+    /// Default per-session solver threads (`None` = auto).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            socket_path: String::new(),
+            workers: 2,
+            cache_bytes: 256 << 20,
+            threads: None,
+        }
+    }
+}
+
+/// Set by the signal handler; polled by the accept loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn install_signal_handlers() {
+    // SAFETY: `request_shutdown` only touches an atomic, which is
+    // async-signal-safe; the previous handler is intentionally replaced.
+    unsafe {
+        signal(SIGINT, request_shutdown as *const () as usize);
+        signal(SIGTERM, request_shutdown as *const () as usize);
+    }
+}
+
+/// One named session: the resident characterized design (swapped on
+/// re-load) and the zone cache that persists across re-loads.
+struct SessionEntry {
+    chr: RwLock<Arc<CharacterizedDesign>>,
+    cache: Arc<ZoneCache>,
+}
+
+/// A queued solve job. Ordered by priority (higher first), then
+/// admission order (earlier first).
+struct Job {
+    priority: i64,
+    seq: u64,
+    request: SolveRequest,
+    reply: mpsc::Sender<String>,
+}
+
+impl PartialEq for Job {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Job {}
+impl PartialOrd for Job {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Job {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: higher priority wins, then lower seq.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct JobQueue {
+    heap: BinaryHeap<Job>,
+    closed: bool,
+}
+
+struct ServerState {
+    opts: ServeOptions,
+    sessions: Mutex<HashMap<String, Arc<SessionEntry>>>,
+    queue: Mutex<JobQueue>,
+    queue_ready: Condvar,
+    next_seq: AtomicU64,
+    connections: AtomicUsize,
+}
+
+impl ServerState {
+    fn sessions(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<SessionEntry>>> {
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn enqueue(&self, job: Job) -> bool {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.closed {
+            return false;
+        }
+        q.heap.push(job);
+        drop(q);
+        self.queue_ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained, which is the workers' exit signal.
+    fn dequeue(&self) -> Option<Job> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = q.heap.pop() {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self
+                .queue_ready
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close_queue(&self) {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.closed = true;
+        drop(q);
+        self.queue_ready.notify_all();
+    }
+}
+
+/// Runs the daemon until a shutdown signal or command, then drains and
+/// unlinks the socket.
+///
+/// # Errors
+///
+/// Socket bind/configuration failures. Per-connection and per-job
+/// failures are reported to the client, never escalated here.
+pub fn run(opts: ServeOptions) -> Result<(), std::io::Error> {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    let socket_path = opts.socket_path.clone();
+    // A stale socket file from an unclean previous exit blocks bind.
+    let _ = std::fs::remove_file(&socket_path);
+    let listener = UnixListener::bind(&socket_path)?;
+    listener.set_nonblocking(true)?;
+    install_signal_handlers();
+
+    let workers = opts.workers.max(1);
+    let state = Arc::new(ServerState {
+        opts,
+        sessions: Mutex::new(HashMap::new()),
+        queue: Mutex::new(JobQueue {
+            heap: BinaryHeap::new(),
+            closed: false,
+        }),
+        queue_ready: Condvar::new(),
+        next_seq: AtomicU64::new(0),
+        connections: AtomicUsize::new(0),
+    });
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let st = Arc::clone(&state);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("wavemin-worker-{i}"))
+                .spawn(move || worker_loop(&st))?,
+        );
+    }
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let st = Arc::clone(&state);
+                st.connections.fetch_add(1, Ordering::SeqCst);
+                let spawned = std::thread::Builder::new()
+                    .name("wavemin-conn".to_string())
+                    .spawn(move || {
+                        serve_connection(&st, stream);
+                        st.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    state.connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+
+    // Drain: let in-flight connections finish their current exchange.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while state.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    state.close_queue();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(&socket_path);
+    Ok(())
+}
+
+fn worker_loop(state: &ServerState) {
+    while let Some(job) = state.dequeue() {
+        let response = execute_solve(state, &job.request);
+        // A dropped receiver just means the client hung up.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn execute_solve(state: &ServerState, req: &SolveRequest) -> String {
+    let entry = match state.sessions().get(&req.session) {
+        Some(e) => Arc::clone(e),
+        None => return err_response(&format!("no session {:?}", req.session)),
+    };
+    let chr = {
+        let g = entry.chr.read().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(&g)
+    };
+    let opts = SolveOptions {
+        time_budget_ms: req.time_budget_ms,
+        threads: None,
+        collect_metrics: true,
+        trace_spans: false,
+    };
+    match chr.solve_cached(&entry.cache, &opts) {
+        Ok(out) => {
+            let (zones_reused, zone_solves, ladder_rung) =
+                out.report.as_ref().map_or((0, 0, 0), |r| {
+                    (
+                        r.counters.zones_reused,
+                        r.counters.zone_solves,
+                        r.ladder_rung as u64,
+                    )
+                });
+            ok_response(vec![
+                ("session".to_string(), Value::Str(req.session.clone())),
+                (
+                    "peak_before_ma".to_string(),
+                    Value::Float(out.peak_before.value()),
+                ),
+                (
+                    "peak_after_ma".to_string(),
+                    Value::Float(out.peak_after.value()),
+                ),
+                (
+                    "peak_after_bits".to_string(),
+                    Value::Str(format!("{:016x}", out.peak_after.value().to_bits())),
+                ),
+                (
+                    "skew_after_ps".to_string(),
+                    Value::Float(out.skew_after.value()),
+                ),
+                ("zones_reused".to_string(), Value::UInt(zones_reused)),
+                ("zone_solves".to_string(), Value::UInt(zone_solves)),
+                ("ladder_rung".to_string(), Value::UInt(ladder_rung)),
+                (
+                    "degraded".to_string(),
+                    Value::Bool(out.degradation.is_some()),
+                ),
+                (
+                    "faulted_zones".to_string(),
+                    Value::UInt(out.faulted_zones.len() as u64),
+                ),
+                (
+                    "runtime_ms".to_string(),
+                    Value::UInt(out.runtime.as_millis() as u64),
+                ),
+            ])
+        }
+        Err(e) => err_response(&format!("solve failed: {e}")),
+    }
+}
+
+fn execute_load(state: &ServerState, req: &LoadRequest) -> String {
+    let Some(bench) = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name == req.benchmark)
+    else {
+        return err_response(&format!("unknown benchmark {:?}", req.benchmark));
+    };
+    let mut design = Design::from_benchmark(&bench, req.seed);
+    for edit in &req.edits {
+        if edit.node >= design.tree.len() {
+            return err_response(&format!(
+                "edit node {} out of range (tree has {} nodes)",
+                edit.node,
+                design.tree.len()
+            ));
+        }
+        design.tree.node_mut(NodeId(edit.node)).delay_trim += Picoseconds::new(edit.delay_trim_ps);
+    }
+    let mut config = WaveMinConfig::default();
+    if let Some(kappa) = req.skew_bound_ps {
+        config.skew_bound = Picoseconds::new(kappa);
+    }
+    if let Some(s) = req.sample_count {
+        config.sample_count = s;
+    }
+    if req.max_intervals.is_some() {
+        config.max_intervals = req.max_intervals;
+    }
+    config.threads = req.threads.or(state.opts.threads);
+    let chr = match CharacterizedDesign::new(design, config) {
+        Ok(c) => Arc::new(c),
+        Err(e) => return err_response(&format!("characterization failed: {e}")),
+    };
+    let eco_hint = chr
+        .eco_probe_sink()
+        .map_or(Value::Null, |n| Value::UInt(n.0 as u64));
+    let (zones, intervals, sinks) = (chr.zone_count(), chr.interval_count(), chr.sink_count());
+    let mut sessions = state.sessions();
+    let reloaded = if let Some(entry) = sessions.get(&req.session) {
+        // Re-load keeps the zone cache: that is what makes the next
+        // solve of an edited design incremental.
+        let mut g = entry.chr.write().unwrap_or_else(PoisonError::into_inner);
+        *g = chr;
+        true
+    } else {
+        sessions.insert(
+            req.session.clone(),
+            Arc::new(SessionEntry {
+                chr: RwLock::new(chr),
+                cache: Arc::new(ZoneCache::new(state.opts.cache_bytes)),
+            }),
+        );
+        false
+    };
+    drop(sessions);
+    ok_response(vec![
+        ("session".to_string(), Value::Str(req.session.clone())),
+        ("reloaded".to_string(), Value::Bool(reloaded)),
+        ("zones".to_string(), Value::UInt(zones as u64)),
+        ("intervals".to_string(), Value::UInt(intervals as u64)),
+        ("sinks".to_string(), Value::UInt(sinks as u64)),
+        ("eco_hint".to_string(), eco_hint),
+    ])
+}
+
+fn execute_stats(state: &ServerState, session: &str) -> String {
+    let entry = match state.sessions().get(session) {
+        Some(e) => Arc::clone(e),
+        None => return err_response(&format!("no session {session:?}")),
+    };
+    let s = entry.cache.stats();
+    ok_response(vec![
+        ("session".to_string(), Value::Str(session.to_string())),
+        ("entries".to_string(), Value::UInt(s.entries as u64)),
+        ("bytes".to_string(), Value::UInt(s.bytes as u64)),
+        ("hits".to_string(), Value::UInt(s.hits)),
+        ("misses".to_string(), Value::UInt(s.misses)),
+        ("evictions".to_string(), Value::UInt(s.evictions)),
+    ])
+}
+
+fn serve_connection(state: &ServerState, stream: UnixStream) {
+    // The listener is nonblocking; accepted streams inherit that and
+    // must be switched back for blocking line reads.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_request(&line) {
+            Err(msg) => err_response(&msg),
+            Ok(Request::Ping) => ok_response(vec![("pong".to_string(), Value::Bool(true))]),
+            Ok(Request::Load(req)) => execute_load(state, &req),
+            Ok(Request::Stats { session }) => execute_stats(state, &session),
+            Ok(Request::Solve(req)) => {
+                let (tx, rx) = mpsc::channel();
+                let job = Job {
+                    priority: req.priority,
+                    seq: state.next_seq.fetch_add(1, Ordering::SeqCst),
+                    request: req,
+                    reply: tx,
+                };
+                if state.enqueue(job) {
+                    rx.recv()
+                        .unwrap_or_else(|_| err_response("server shutting down"))
+                } else {
+                    err_response("server shutting down")
+                }
+            }
+            Ok(Request::Shutdown) => {
+                SHUTDOWN.store(true, Ordering::SeqCst);
+                let bye = ok_response(vec![("shutting_down".to_string(), Value::Bool(true))]);
+                let _ = writeln!(writer, "{bye}");
+                let _ = writer.flush();
+                return;
+            }
+        };
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// One-shot client: connect, send `line`, print the response line.
+///
+/// Returns the raw response. Used by `wavemin client` so shell scripts
+/// (and the CI smoke test) don't need a JSON-speaking socket tool.
+///
+/// # Errors
+///
+/// Connection or I/O failures, or a missing response line.
+pub fn client_request(socket_path: &str, line: &str) -> Result<String, std::io::Error> {
+    let mut stream = UnixStream::connect(socket_path)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    writeln!(stream, "{line}")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    }
+    Ok(response.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_queue_orders_by_priority_then_fifo() {
+        let (tx, _rx) = mpsc::channel();
+        let mk = |priority, seq| Job {
+            priority,
+            seq,
+            request: SolveRequest {
+                session: "s".to_string(),
+                priority,
+                time_budget_ms: None,
+            },
+            reply: tx.clone(),
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(0, 0));
+        heap.push(mk(5, 1));
+        heap.push(mk(5, 2));
+        heap.push(mk(1, 3));
+        let order: Vec<(i64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|j| (j.priority, j.seq))
+            .collect();
+        assert_eq!(order, vec![(5, 1), (5, 2), (1, 3), (0, 0)]);
+    }
+
+    #[test]
+    fn end_to_end_over_a_socket_with_eco_reload() {
+        let dir = std::env::temp_dir();
+        let socket = dir.join(format!("wavemin-serve-test-{}.sock", std::process::id()));
+        let socket_path = socket.to_string_lossy().to_string();
+        SHUTDOWN.store(false, Ordering::SeqCst);
+        let opts = ServeOptions {
+            socket_path: socket_path.clone(),
+            workers: 2,
+            cache_bytes: 64 << 20,
+            threads: Some(1),
+        };
+        let server = std::thread::spawn(move || run(opts));
+
+        // Wait for the socket to appear.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !socket.exists() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let ask = |line: &str| client_request(&socket_path, line).expect("request");
+
+        let pong = ask(r#"{"cmd":"ping"}"#);
+        assert!(pong.contains("\"ok\":true"), "{pong}");
+
+        let loaded = ask(r#"{"cmd":"load","session":"eco","benchmark":"s15850","seed":11}"#);
+        assert!(loaded.contains("\"ok\":true"), "{loaded}");
+        assert!(loaded.contains("\"reloaded\":false"), "{loaded}");
+        let hint = loaded
+            .split("\"eco_hint\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .expect("eco_hint field")
+            .trim()
+            .to_string();
+        assert_ne!(hint, "null", "benchmark must offer an ECO probe sink");
+
+        let cold = ask(r#"{"cmd":"solve","session":"eco"}"#);
+        assert!(cold.contains("\"ok\":true"), "{cold}");
+        assert!(cold.contains("\"zones_reused\":0"), "{cold}");
+
+        // ECO re-load of the SAME session (cache kept), tiny trim on the
+        // probe sink, then an incremental re-solve.
+        let reload = ask(&format!(
+            r#"{{"cmd":"load","session":"eco","benchmark":"s15850","seed":11,"edits":[{{"node":{hint},"delay_trim_ps":2.0}}]}}"#,
+        ));
+        assert!(reload.contains("\"reloaded\":true"), "{reload}");
+        let eco = ask(r#"{"cmd":"solve","session":"eco"}"#);
+        assert!(eco.contains("\"ok\":true"), "{eco}");
+        let reused: u64 = eco
+            .split("\"zones_reused\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("zones_reused field");
+        assert!(reused > 0, "ECO re-solve must splice cached zones: {eco}");
+
+        let stats = ask(r#"{"cmd":"stats","session":"eco"}"#);
+        assert!(stats.contains("\"hits\":"), "{stats}");
+
+        let bye = ask(r#"{"cmd":"shutdown"}"#);
+        assert!(bye.contains("\"shutting_down\":true"), "{bye}");
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+        assert!(!socket.exists(), "socket must be unlinked on shutdown");
+    }
+}

@@ -1,0 +1,318 @@
+//! The serve-mode wire protocol: line-delimited JSON over a unix socket.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line with an `"ok"` boolean. Requests are decoded by
+//! hand from [`serde::Value`] trees (the same pattern as
+//! [`crate::observe::RunReport::from_json`]) with unknown fields
+//! rejected, so protocol drift fails loudly instead of being silently
+//! ignored.
+//!
+//! Commands:
+//!
+//! * `{"cmd":"ping"}` — liveness probe.
+//! * `{"cmd":"load","session":S,"benchmark":B,"seed":N,...}` — create or
+//!   replace session `S` with a characterized benchmark design. Optional
+//!   `skew_bound_ps`, `sample_count`, `max_intervals`, `threads`, and
+//!   `edits` (a list of `{"node":id,"delay_trim_ps":f}` ECO trims applied
+//!   before characterization). Re-loading a session keeps its zone cache,
+//!   which is what makes an ECO re-solve incremental.
+//! * `{"cmd":"solve","session":S,...}` — enqueue a solve job. Optional
+//!   `priority` (higher runs first), `time_budget_ms`.
+//! * `{"cmd":"stats","session":S}` — the session's zone-cache counters.
+//! * `{"cmd":"shutdown"}` — stop accepting and drain.
+
+use serde::Value;
+
+/// An ECO edit: add `delay_trim_ps` to one node's delay trim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcoEdit {
+    /// Tree node id.
+    pub node: usize,
+    /// Picoseconds added to the node's `delay_trim`.
+    pub delay_trim_ps: f64,
+}
+
+/// The `load` command payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRequest {
+    /// Session name (created or replaced).
+    pub session: String,
+    /// Benchmark name (see `wavemin bench` names).
+    pub benchmark: String,
+    /// Tree-synthesis seed.
+    pub seed: u64,
+    /// Skew bound override, picoseconds.
+    pub skew_bound_ps: Option<f64>,
+    /// Sample-count override.
+    pub sample_count: Option<usize>,
+    /// Feasible-interval cap override.
+    pub max_intervals: Option<usize>,
+    /// Per-session worker-thread override.
+    pub threads: Option<usize>,
+    /// ECO trims applied to the design before characterization.
+    pub edits: Vec<EcoEdit>,
+}
+
+/// The `solve` command payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Session to solve.
+    pub session: String,
+    /// Queue priority; higher runs first (FIFO within a priority).
+    pub priority: i64,
+    /// Per-job wall-clock budget, milliseconds.
+    pub time_budget_ms: Option<u64>,
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Create or replace a session.
+    Load(LoadRequest),
+    /// Enqueue a solve job.
+    Solve(SolveRequest),
+    /// Zone-cache counters of a session.
+    Stats {
+        /// Session to report on.
+        session: String,
+    },
+    /// Stop accepting connections and drain in-flight work.
+    Shutdown,
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// A human-readable message naming the malformed or unknown part.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let Value::Map(entries) = &v else {
+        return Err("request must be a JSON object".to_string());
+    };
+    let cmd = str_field(entries, "cmd")?;
+    match cmd.as_str() {
+        "ping" => {
+            expect_fields(entries, &["cmd"])?;
+            Ok(Request::Ping)
+        }
+        "shutdown" => {
+            expect_fields(entries, &["cmd"])?;
+            Ok(Request::Shutdown)
+        }
+        "stats" => {
+            expect_fields(entries, &["cmd", "session"])?;
+            Ok(Request::Stats {
+                session: str_field(entries, "session")?,
+            })
+        }
+        "load" => {
+            expect_fields(
+                entries,
+                &[
+                    "cmd",
+                    "session",
+                    "benchmark",
+                    "seed",
+                    "skew_bound_ps",
+                    "sample_count",
+                    "max_intervals",
+                    "threads",
+                    "edits",
+                ],
+            )?;
+            let edits = match get(entries, "edits") {
+                None => Vec::new(),
+                Some(Value::Seq(items)) => items
+                    .iter()
+                    .map(|item| {
+                        let Value::Map(e) = item else {
+                            return Err("each edit must be an object".to_string());
+                        };
+                        expect_fields(e, &["node", "delay_trim_ps"])?;
+                        Ok(EcoEdit {
+                            node: usize_field(e, "node")?,
+                            delay_trim_ps: f64_field(e, "delay_trim_ps")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+                Some(_) => return Err("edits must be a list".to_string()),
+            };
+            Ok(Request::Load(LoadRequest {
+                session: str_field(entries, "session")?,
+                benchmark: str_field(entries, "benchmark")?,
+                seed: opt_u64_field(entries, "seed")?.unwrap_or(1),
+                skew_bound_ps: opt_f64_field(entries, "skew_bound_ps")?,
+                sample_count: opt_usize_field(entries, "sample_count")?,
+                max_intervals: opt_usize_field(entries, "max_intervals")?,
+                threads: opt_usize_field(entries, "threads")?,
+                edits,
+            }))
+        }
+        "solve" => {
+            expect_fields(entries, &["cmd", "session", "priority", "time_budget_ms"])?;
+            Ok(Request::Solve(SolveRequest {
+                session: str_field(entries, "session")?,
+                priority: opt_i64_field(entries, "priority")?.unwrap_or(0),
+                time_budget_ms: opt_u64_field(entries, "time_budget_ms")?,
+            }))
+        }
+        other => Err(format!("unknown cmd {other:?}")),
+    }
+}
+
+/// Renders a success response with the given extra fields.
+#[must_use]
+pub fn ok_response(fields: Vec<(String, Value)>) -> String {
+    let mut map = vec![("ok".to_string(), Value::Bool(true))];
+    map.extend(fields);
+    render(&Value::Map(map))
+}
+
+/// Renders a failure response carrying `error`.
+#[must_use]
+pub fn err_response(error: &str) -> String {
+    render(&Value::Map(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(error.to_string())),
+    ]))
+}
+
+fn render(v: &Value) -> String {
+    // Value serialization cannot fail (no non-representable types).
+    serde_json::to_string(v).unwrap_or_else(|_| "{\"ok\":false,\"error\":\"render\"}".to_string())
+}
+
+fn get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn expect_fields(entries: &[(String, Value)], allowed: &[&str]) -> Result<(), String> {
+    for (k, _) in entries {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown field {k:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn str_field(entries: &[(String, Value)], key: &str) -> Result<String, String> {
+    match get(entries, key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("{key} must be a string")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn opt_u64_field(entries: &[(String, Value)], key: &str) -> Result<Option<u64>, String> {
+    match get(entries, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::UInt(n)) => Ok(Some(*n)),
+        Some(Value::Int(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(_) => Err(format!("{key} must be a non-negative integer")),
+    }
+}
+
+fn opt_i64_field(entries: &[(String, Value)], key: &str) -> Result<Option<i64>, String> {
+    match get(entries, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(n)) => Ok(Some(*n)),
+        Some(Value::UInt(n)) => i64::try_from(*n)
+            .map(Some)
+            .map_err(|_| format!("{key} out of range")),
+        Some(_) => Err(format!("{key} must be an integer")),
+    }
+}
+
+fn opt_usize_field(entries: &[(String, Value)], key: &str) -> Result<Option<usize>, String> {
+    Ok(opt_u64_field(entries, key)?.map(|n| usize::try_from(n).unwrap_or(usize::MAX)))
+}
+
+fn usize_field(entries: &[(String, Value)], key: &str) -> Result<usize, String> {
+    opt_usize_field(entries, key)?.ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn f64_field(entries: &[(String, Value)], key: &str) -> Result<f64, String> {
+    opt_f64_field(entries, key)?.ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn opt_f64_field(entries: &[(String, Value)], key: &str) -> Result<Option<f64>, String> {
+    match get(entries, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Float(f)) => Ok(Some(*f)),
+        Some(Value::Int(n)) => Ok(Some(*n as f64)),
+        Some(Value::UInt(n)) => Ok(Some(*n as f64)),
+        Some(_) => Err(format!("{key} must be a number")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_command_set() {
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"stats","session":"a"}"#),
+            Ok(Request::Stats {
+                session: "a".to_string()
+            })
+        );
+        let load = parse_request(
+            r#"{"cmd":"load","session":"a","benchmark":"s15850","seed":7,
+                "skew_bound_ps":25.5,"edits":[{"node":12,"delay_trim_ps":2.0}]}"#,
+        )
+        .expect("load");
+        match load {
+            Request::Load(l) => {
+                assert_eq!(l.session, "a");
+                assert_eq!(l.benchmark, "s15850");
+                assert_eq!(l.seed, 7);
+                assert_eq!(l.skew_bound_ps, Some(25.5));
+                assert_eq!(
+                    l.edits,
+                    vec![EcoEdit {
+                        node: 12,
+                        delay_trim_ps: 2.0
+                    }]
+                );
+                assert_eq!(l.sample_count, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let solve = parse_request(r#"{"cmd":"solve","session":"a","priority":3}"#).expect("solve");
+        match solve {
+            Request::Solve(s) => {
+                assert_eq!(s.priority, 3);
+                assert_eq!(s.time_budget_ms, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_commands() {
+        assert!(parse_request(r#"{"cmd":"ping","extra":1}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"fly"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(
+            parse_request(r#"{"cmd":"solve"}"#).is_err(),
+            "session required"
+        );
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_parser_side() {
+        let ok = ok_response(vec![("zones".to_string(), Value::UInt(4))]);
+        assert!(ok.starts_with('{') && ok.contains("\"ok\":true") && ok.contains("\"zones\":4"));
+        let err = err_response("nope");
+        assert!(err.contains("\"ok\":false") && err.contains("nope"));
+    }
+}

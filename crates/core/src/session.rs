@@ -1,0 +1,310 @@
+//! The long-lived session API: characterize once, solve repeatedly.
+//!
+//! Every CLI invocation used to re-characterize the design, regenerate
+//! the feasible intervals, and rebuild every zone problem just to run one
+//! solve. A [`CharacterizedDesign`] holds all of that resident — the
+//! `Design` → `CharacterizedDesign` → repeated [`CharacterizedDesign::solve`]
+//! split that serve mode ([`crate::serve`]) builds its job queue on.
+//!
+//! Incremental re-solves come from [`ZoneCache`]: solves keyed through
+//! the per-zone content-hash chain (see [`crate::checkpoint`]) publish
+//! into the shared cache, and a later session over an edited design
+//! re-solves only the zones whose content (or upstream history) actually
+//! changed, splicing everything else bit-for-bit. The `zones_reused`
+//! counter in the run report surfaces how much was spliced.
+
+use crate::algo::clkwavemin::{worst_mode_attribution, MospZoneSolver};
+use crate::algo::{characterize_design, solve_prepared, Outcome, PreparedRun};
+use crate::checkpoint::{config_fingerprint, ZoneCache, ZoneStore};
+use crate::config::WaveMinConfig;
+use crate::design::Design;
+use crate::error::WaveMinError;
+use crate::observe::{MetricsRegistry, ReportContext};
+use crate::trace::TraceJournal;
+use wavemin_clocktree::NodeId;
+
+/// Per-job knobs a session solve may vary without re-characterizing.
+///
+/// Everything that shapes the characterized data (skew bound, sample
+/// count, cell list, zone pitch...) is fixed at
+/// [`CharacterizedDesign::new`]; a job may only adjust run plumbing and
+/// the resource budget.
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions {
+    /// Per-job wall-clock budget in milliseconds (`None` = the session
+    /// config's budget). A budgeted job uses its own cache key space:
+    /// the budget is semantic (it changes solve results through the
+    /// degradation ladder), so differently-budgeted jobs never share
+    /// cached zones.
+    pub time_budget_ms: Option<u64>,
+    /// Worker-thread override for this job (`None` = the session
+    /// config's threads).
+    pub threads: Option<usize>,
+    /// Collect a [`crate::observe::RunReport`] for this job.
+    pub collect_metrics: bool,
+    /// Record event-journal spans for this job.
+    pub trace_spans: bool,
+}
+
+/// A design characterized once and held resident for repeated solves:
+/// the noise table with every candidate's waveforms, the feasible
+/// intervals, and the zone partition with per-zone content hashes.
+pub struct CharacterizedDesign {
+    design: Design,
+    config: WaveMinConfig,
+    prep: PreparedRun,
+}
+
+impl CharacterizedDesign {
+    /// Validates and characterizes `design` under `config` (mode 0; the
+    /// multi-mode flow manages its own per-mode characterization and is
+    /// not session-cached).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors, characterization failures, or
+    /// [`WaveMinError::NoFeasibleInterval`] when no interval satisfies
+    /// the skew bound — an infeasible design fails at session creation,
+    /// not at the first job.
+    pub fn new(design: Design, config: WaveMinConfig) -> Result<Self, WaveMinError> {
+        config.validate()?;
+        design.validate()?;
+        let prep = characterize_design(
+            &design,
+            &config,
+            &MetricsRegistry::disabled(),
+            &TraceJournal::disabled(),
+        )?;
+        Ok(Self {
+            design,
+            config,
+            prep,
+        })
+    }
+
+    /// The characterized design.
+    #[must_use]
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The session configuration.
+    #[must_use]
+    pub fn config(&self) -> &WaveMinConfig {
+        &self.config
+    }
+
+    /// Number of zones in the partition.
+    #[must_use]
+    pub fn zone_count(&self) -> usize {
+        self.prep.zones.len()
+    }
+
+    /// Number of feasible intervals held resident.
+    #[must_use]
+    pub fn interval_count(&self) -> usize {
+        self.prep.intervals.len()
+    }
+
+    /// Number of characterized sinks.
+    #[must_use]
+    pub fn sink_count(&self) -> usize {
+        self.prep.table.sinks.len()
+    }
+
+    /// A sink in the zone solved *last* (the smallest zone in the
+    /// largest-first order) — the highest-reuse target for an ECO edit
+    /// demo: trimming this sink leaves every earlier zone's content and
+    /// chain history unchanged in intervals anchored on other sinks'
+    /// arrivals, so a cached re-solve reuses them all.
+    #[must_use]
+    pub fn eco_probe_sink(&self) -> Option<NodeId> {
+        self.prep
+            .zone_order
+            .iter()
+            .rev()
+            .find_map(|&z| self.prep.zones[z].sinks.first())
+            .map(|&si| self.prep.table.sinks[si].node)
+    }
+
+    /// Solves the session's resident problem with no shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::prelude::ClkWaveMin::run`].
+    pub fn solve(&self, opts: &SolveOptions) -> Result<Outcome, WaveMinError> {
+        self.solve_inner(None, opts, &TraceJournal::disabled())
+    }
+
+    /// Solves against a shared [`ZoneCache`]: zone solutions already
+    /// published under matching content-hash chain keys are spliced
+    /// bit-for-bit (`zones_reused` in the report counts them), fresh
+    /// solves are published for later jobs, and concurrent jobs racing
+    /// onto the same zone dedup through the cache's in-flight
+    /// reservations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn solve_cached(
+        &self,
+        cache: &ZoneCache,
+        opts: &SolveOptions,
+    ) -> Result<Outcome, WaveMinError> {
+        self.solve_inner(Some(cache), opts, &TraceJournal::disabled())
+    }
+
+    /// [`Self::solve_cached`] with an event journal attached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn solve_cached_traced(
+        &self,
+        cache: &ZoneCache,
+        opts: &SolveOptions,
+        journal: &TraceJournal,
+    ) -> Result<Outcome, WaveMinError> {
+        self.solve_inner(Some(cache), opts, journal)
+    }
+
+    /// The effective per-job config: the session config with the job's
+    /// plumbing/budget overrides applied.
+    fn job_config(&self, opts: &SolveOptions) -> WaveMinConfig {
+        let mut cfg = self.config.clone();
+        if opts.time_budget_ms.is_some() {
+            cfg.time_budget_ms = opts.time_budget_ms;
+        }
+        if opts.threads.is_some() {
+            cfg.threads = opts.threads;
+        }
+        cfg.collect_metrics = cfg.collect_metrics || opts.collect_metrics;
+        cfg.trace_spans = cfg.trace_spans || opts.trace_spans;
+        // The session never journals to disk; the cache is the store.
+        cfg.checkpoint_path = None;
+        cfg.resume = false;
+        cfg
+    }
+
+    fn solve_inner(
+        &self,
+        cache: Option<&ZoneCache>,
+        opts: &SolveOptions,
+        journal: &TraceJournal,
+    ) -> Result<Outcome, WaveMinError> {
+        let config = self.job_config(opts);
+        let registry = MetricsRegistry::from_config(&config);
+        registry.ensure_zones(self.prep.zones.len());
+        let budget = config.budget();
+        let solver = MospZoneSolver::new(&config, budget.clone(), registry.clone())
+            .with_journal(journal.clone());
+        let store = cache.map(|c| c as &dyn ZoneStore);
+        // The chain seed hashes the job's semantic config (plumbing
+        // normalized out), so jobs on different budgets or bounds key
+        // into disjoint regions of the shared cache while identical jobs
+        // share fully. Note the caveat this inherits from the checkpoint
+        // scheme: the degradation ladder's rung at solve time is not a
+        // key input, so a budgeted job that degraded mid-run publishes
+        // rung-dependent results under its budget's keys.
+        let seed = store
+            .is_some()
+            .then(|| config_fingerprint(&config))
+            .transpose()?;
+        let mut out = solve_prepared(
+            &self.design,
+            &config,
+            &self.prep,
+            &solver,
+            &registry,
+            journal,
+            store,
+            seed,
+        )?;
+        out.degradation = solver.ladder.degradation();
+        out.report = registry.report(&ReportContext {
+            threads: config.effective_threads(),
+            degenerate_zones: out.degenerate_zones,
+            ladder_rung: solver.ladder.current_rung(),
+            budget_units: budget.work_done(),
+            kernel: wavemin_mosp::kernels::active().name(),
+        });
+        if out.report.is_some() {
+            let attribution = worst_mode_attribution(&self.design, &out)?;
+            if let Some(report) = out.report.as_mut() {
+                report.attribution = attribution;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::Benchmark;
+
+    fn small_design() -> Design {
+        Design::from_benchmark(&Benchmark::s15850(), 11)
+    }
+
+    #[test]
+    fn session_solve_matches_one_shot_run() {
+        let design = small_design();
+        let config = WaveMinConfig::default();
+        let one_shot = crate::prelude::ClkWaveMin::new(config.clone())
+            .run(&design)
+            .expect("one-shot run");
+        let session = CharacterizedDesign::new(design, config).expect("characterize");
+        let out = session
+            .solve(&SolveOptions::default())
+            .expect("session solve");
+        assert_eq!(
+            out.peak_after.value().to_bits(),
+            one_shot.peak_after.value().to_bits(),
+            "session split must not change results"
+        );
+        assert_eq!(out.assignment, one_shot.assignment);
+    }
+
+    #[test]
+    fn repeated_cached_solves_reuse_every_zone() {
+        let design = small_design();
+        let session =
+            CharacterizedDesign::new(design, WaveMinConfig::default()).expect("characterize");
+        let cache = ZoneCache::new(64 << 20);
+        let opts = SolveOptions {
+            collect_metrics: true,
+            ..SolveOptions::default()
+        };
+        let warm = session.solve_cached(&cache, &opts).expect("warm solve");
+        let warm_report = warm.report.as_ref().expect("report");
+        assert!(warm_report.counters.zone_solves > 0);
+        assert_eq!(warm_report.counters.zones_reused, 0);
+
+        let hot = session.solve_cached(&cache, &opts).expect("hot solve");
+        let hot_report = hot.report.as_ref().expect("report");
+        assert_eq!(
+            hot_report.counters.zone_solves, 0,
+            "a repeat job must not re-solve anything"
+        );
+        assert_eq!(
+            hot_report.counters.zones_reused, warm_report.counters.zone_solves,
+            "every zone solve is served from the cache"
+        );
+        assert_eq!(
+            hot.peak_after.value().to_bits(),
+            warm.peak_after.value().to_bits()
+        );
+        assert_eq!(hot.assignment, warm.assignment);
+    }
+
+    #[test]
+    fn eco_probe_sink_is_a_characterized_leaf() {
+        let design = small_design();
+        let leaves = design.leaves();
+        let session =
+            CharacterizedDesign::new(design, WaveMinConfig::default()).expect("characterize");
+        let probe = session.eco_probe_sink().expect("probe sink");
+        assert!(leaves.contains(&probe));
+    }
+}
