@@ -98,6 +98,9 @@ pub struct Group {
     pub args: Vec<String>,
     /// `attribute : value;` statements, in order.
     pub attributes: Vec<(String, String)>,
+    /// Complex attributes `name ("v1, v2", …);` — Liberty's LUT axes and
+    /// value rows (`index_1`, `index_2`, `values`) take this form.
+    pub complex: Vec<(String, Vec<String>)>,
     /// Nested groups, in order.
     pub groups: Vec<Group>,
 }
@@ -121,6 +124,24 @@ impl Group {
     /// Nested groups with the given keyword.
     pub fn children<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Group> + 'a {
         self.groups.iter().filter(move |g| g.name == name)
+    }
+
+    /// The numbers of the first complex attribute with the given name,
+    /// splitting each quoted argument on commas/whitespace (the Liberty
+    /// LUT convention). `None` when absent or any entry is non-numeric.
+    #[must_use]
+    pub fn complex_numbers(&self, name: &str) -> Option<Vec<f64>> {
+        let (_, args) = self.complex.iter().find(|(k, _)| k == name)?;
+        let mut out = Vec::new();
+        for arg in args {
+            for piece in arg
+                .split(|c: char| c == ',' || c.is_whitespace())
+                .filter(|s| !s.is_empty())
+            {
+                out.push(piece.parse().ok()?);
+            }
+        }
+        Some(out)
     }
 }
 
@@ -218,6 +239,12 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, LibertyError> {
                 chars.next();
                 tokens.push((Token::Comma, line));
             }
+            // Line continuations: real libraries wrap long `values(...)`
+            // rows with a trailing backslash. It carries no meaning of
+            // its own, so skip it wherever it appears between tokens.
+            '\\' => {
+                chars.next();
+            }
             c if c.is_ascii_alphanumeric() || "_.-+".contains(c) => {
                 let mut s = String::new();
                 while let Some(&c2) = chars.peek() {
@@ -284,15 +311,15 @@ impl Parser {
         }
     }
 
-    /// Parses `name (args) { body }` with the keyword already consumed.
-    fn group_body(&mut self, name: String) -> Result<Group, LibertyError> {
+    /// Parses `(arg, arg, …)` with the `(` not yet consumed.
+    fn parse_args(&mut self) -> Result<Vec<String>, LibertyError> {
         self.expect(&Token::LParen, "'('")?;
         let mut args = Vec::new();
         loop {
             match self.peek() {
                 Some(Token::RParen) => {
                     self.next();
-                    break;
+                    return Ok(args);
                 }
                 Some(Token::Comma) => {
                     self.next();
@@ -310,11 +337,24 @@ impl Parser {
                 }
             }
         }
+    }
+
+    /// Parses `name (args) { body }` with the keyword already consumed.
+    fn group_body(&mut self, name: String) -> Result<Group, LibertyError> {
+        let args = self.parse_args()?;
+        self.finish_group(name, args)
+    }
+
+    /// Parses `{ body }` with the keyword and args already consumed. A
+    /// statement `key (args) ;` is a *complex attribute* (Liberty's LUT
+    /// axes/values); `key (args) {` opens a nested group.
+    fn finish_group(&mut self, name: String, args: Vec<String>) -> Result<Group, LibertyError> {
         self.expect(&Token::LBrace, "'{'")?;
         let mut group = Group {
             name,
             args,
             attributes: Vec::new(),
+            complex: Vec::new(),
             groups: Vec::new(),
         };
         loop {
@@ -333,7 +373,24 @@ impl Parser {
                             group.attributes.push((key, value));
                         }
                         Some(Token::LParen) => {
-                            group.groups.push(self.group_body(key)?);
+                            let inner_args = self.parse_args()?;
+                            match self.peek() {
+                                Some(Token::Semi) => {
+                                    self.next();
+                                    group.complex.push((key, inner_args));
+                                }
+                                Some(Token::LBrace) => {
+                                    group.groups.push(self.finish_group(key, inner_args)?);
+                                }
+                                _ => {
+                                    let line = self.line();
+                                    return Err(LibertyError::UnexpectedToken {
+                                        line,
+                                        expected: "';' or '{' after '(args)'",
+                                        found: format!("{:?}", self.peek()),
+                                    });
+                                }
+                            }
                         }
                         _ => {
                             let line = self.line();
@@ -391,9 +448,20 @@ pub fn parse_document(input: &str) -> Result<Group, LibertyError> {
 /// | `wavemin_delay_range` | adjustable range (ps) | 30 for ADB/ADI |
 /// | `wavemin_delay_steps` | adjustable steps | 12 for ADB/ADI |
 ///
+/// Additionally, a standard `cell_rise`/`cell_fall` NLDM lookup table
+/// under the output pin's `timing` group (with `index_1` = input slews
+/// in ps, `index_2` = output loads in pF, `values` = delays in ps)
+/// calibrates the cell when the explicit `wavemin_` attributes are
+/// absent: `r_out` is fitted from the table's delay-vs-load slope and
+/// `t_intrinsic` is shifted so the analytic characterizer reproduces the
+/// table's midpoint delay at the reference supply. Explicit `wavemin_`
+/// attributes always win over the fitted values.
+///
 /// # Errors
 ///
-/// Syntax errors, a non-`library` top group, or inconsistent cells.
+/// Syntax errors, a non-`library` top group, or inconsistent cells
+/// (including malformed lookup tables: non-numeric entries, dimension
+/// mismatches, or fewer than two load points).
 pub fn parse_library(input: &str) -> Result<CellLibrary, LibertyError> {
     let doc = parse_document(input)?;
     if doc.name != "library" {
@@ -437,35 +505,193 @@ fn cell_from_group(cell: &Group) -> Result<CellSpec, LibertyError> {
         .or_else(|| infer_drive(&name))
         .unwrap_or(1);
 
-    let mut builder = CellSpec::builder(name.clone(), kind, drive);
-    if let Some(r) = cell.numeric("wavemin_r_out") {
-        builder = builder.r_out(Ohms::new(r));
-    }
     // Liberty expresses pin capacitance in the library's cap unit; the
     // conventional `1pf`-scaled value maps 0.001 -> 1 fF.
-    if let Some(pin) = cell
+    let pin_cap = cell
         .children("pin")
         .find(|p| p.attribute("direction") == Some("input"))
-    {
-        if let Some(c) = pin.numeric("capacitance") {
-            builder = builder.c_in(Femtofarads::new(c * 1000.0));
-        }
-    }
-    if let Some(c) = cell.numeric("wavemin_c_par") {
-        builder = builder.c_par(Femtofarads::new(c));
-    }
-    if let Some(t) = cell.numeric("wavemin_t_intrinsic") {
-        builder = builder.t_intrinsic(Picoseconds::new(t));
-    }
-    if let Some(x) = cell.numeric("wavemin_crossover") {
-        builder = builder.crossover(x);
-    }
-    if kind.is_adjustable() {
+        .and_then(|pin| pin.numeric("capacitance"))
+        .map(|c| c * 1000.0);
+    let explicit_r_out = cell.numeric("wavemin_r_out");
+    let explicit_t_intrinsic = cell.numeric("wavemin_t_intrinsic");
+    let c_par = cell.numeric("wavemin_c_par");
+    let crossover = cell.numeric("wavemin_crossover");
+    let adjustable = kind.is_adjustable().then(|| {
         let range = cell.numeric("wavemin_delay_range").unwrap_or(30.0);
         let steps = cell.numeric("wavemin_delay_steps").unwrap_or(12.0) as u32;
-        builder = builder.adjustable(Picoseconds::new(range), steps.max(1));
+        (Picoseconds::new(range), steps.max(1))
+    });
+
+    let build = |r_out: Option<f64>, t_intrinsic: Option<f64>| -> CellSpec {
+        let mut builder = CellSpec::builder(name.clone(), kind, drive);
+        if let Some(r) = r_out {
+            builder = builder.r_out(Ohms::new(r));
+        }
+        if let Some(c) = pin_cap {
+            builder = builder.c_in(Femtofarads::new(c));
+        }
+        if let Some(c) = c_par {
+            builder = builder.c_par(Femtofarads::new(c));
+        }
+        if let Some(t) = t_intrinsic {
+            builder = builder.t_intrinsic(Picoseconds::new(t));
+        }
+        if let Some(x) = crossover {
+            builder = builder.crossover(x);
+        }
+        if let Some((range, steps)) = adjustable {
+            builder = builder.adjustable(range, steps);
+        }
+        builder.build()
+    };
+
+    let mut r_out = explicit_r_out;
+    let mut t_intrinsic = explicit_t_intrinsic;
+    if let Some(lut) = delay_lut(cell, &name)? {
+        // Fit the output resistance from the table's delay-vs-load slope
+        // at the middle slew row. delay += 0.69 · R · C · edge_mult with
+        // R·C in Ω·fF = 1e-3 ps, so R = slope[ps/fF] · 1000 / (0.69 · m).
+        let row = lut.mid_slew_row();
+        let dc = lut.caps_ff[lut.caps_ff.len() - 1] - lut.caps_ff[0];
+        let slope = (row[row.len() - 1] - row[0]) / dc;
+        let edge_mult = if lut.rising_output { 1.12 } else { 1.0 };
+        let fitted_r = slope * 1000.0 / (0.69 * edge_mult);
+        if r_out.is_none() && fitted_r.is_finite() && fitted_r > 0.0 {
+            r_out = Some(fitted_r);
+        }
+        // Shift t_intrinsic so the analytic model reproduces the table's
+        // midpoint delay at the reference supply (where the supply delay
+        // factor is exactly 1, so the shift lands 1:1). Note the
+        // characterizer derives its RC stage from its own unit resistance,
+        // not the fitted r_out — the fit above is recorded for spec
+        // completeness (see DESIGN.md's known-gaps list).
+        if t_intrinsic.is_none() {
+            let provisional = build(r_out, None);
+            let chr = crate::characterize::Characterizer::default();
+            let vdd = crate::supply::SupplyModel::default().v_ref();
+            // The table's output edge maps back through the cell's
+            // polarity to the input edge the model must be probed with.
+            let input_edge = match (lut.rising_output, kind.polarity()) {
+                (true, crate::kind::Polarity::Positive)
+                | (false, crate::kind::Polarity::Negative) => crate::characterize::ClockEdge::Rise,
+                _ => crate::characterize::ClockEdge::Fall,
+            };
+            let (model_mid, _) = chr.timing(
+                &provisional,
+                Femtofarads::new(lut.mid_cap()),
+                Picoseconds::new(lut.mid_slew()),
+                vdd,
+                input_edge,
+            );
+            let shifted = provisional.t_intrinsic().value() + (lut.mid_value() - model_mid.value());
+            t_intrinsic = Some(shifted.max(0.0));
+        }
     }
-    Ok(builder.build())
+    Ok(build(r_out, t_intrinsic))
+}
+
+/// A `cell_rise`/`cell_fall` NLDM table recovered from the output pin's
+/// `timing` group: `index_1` slews (ps), `index_2` loads (converted
+/// pF → fF), row-major `values` (ps).
+struct DelayLut {
+    slews_ps: Vec<f64>,
+    caps_ff: Vec<f64>,
+    values_ps: Vec<f64>,
+    rising_output: bool,
+}
+
+impl DelayLut {
+    fn mid_slew_row(&self) -> &[f64] {
+        let mid = self.slews_ps.len() / 2;
+        &self.values_ps[mid * self.caps_ff.len()..(mid + 1) * self.caps_ff.len()]
+    }
+
+    fn mid_slew(&self) -> f64 {
+        self.slews_ps[self.slews_ps.len() / 2]
+    }
+
+    fn mid_cap(&self) -> f64 {
+        self.caps_ff[self.caps_ff.len() / 2]
+    }
+
+    fn mid_value(&self) -> f64 {
+        self.mid_slew_row()[self.caps_ff.len() / 2]
+    }
+}
+
+/// Extracts the first usable delay table from `pin (…) { timing () { … } }`
+/// groups, preferring `cell_rise`. `Ok(None)` when the cell carries no
+/// timing tables at all; a present-but-malformed table is a `BadCell`.
+fn delay_lut(cell: &Group, name: &str) -> Result<Option<DelayLut>, LibertyError> {
+    let bad = |why: String| LibertyError::BadCell {
+        cell: name.to_owned(),
+        why,
+    };
+    let Some(pin) = cell
+        .children("pin")
+        .find(|p| p.attribute("direction") == Some("output"))
+    else {
+        return Ok(None);
+    };
+    let Some(timing) = pin.children("timing").next() else {
+        return Ok(None);
+    };
+    let table = timing
+        .children("cell_rise")
+        .next()
+        .map(|g| (g, true))
+        .or_else(|| timing.children("cell_fall").next().map(|g| (g, false)));
+    let Some((table, rising_output)) = table else {
+        return Err(bad(
+            "timing group has neither a cell_rise nor a cell_fall table".to_owned(),
+        ));
+    };
+    let which = if rising_output {
+        "cell_rise"
+    } else {
+        "cell_fall"
+    };
+    let slews_ps = table
+        .complex_numbers("index_1")
+        .ok_or_else(|| bad(format!("{which}: missing or non-numeric index_1")))?;
+    let caps_ff: Vec<f64> = table
+        .complex_numbers("index_2")
+        .ok_or_else(|| bad(format!("{which}: missing or non-numeric index_2")))?
+        .into_iter()
+        .map(|pf| pf * 1000.0)
+        .collect();
+    let values_ps = table
+        .complex_numbers("values")
+        .ok_or_else(|| bad(format!("{which}: missing or non-numeric values")))?;
+    if slews_ps.is_empty() || caps_ff.len() < 2 {
+        return Err(bad(format!(
+            "{which}: need at least 1 slew and 2 load points, got {}×{}",
+            slews_ps.len(),
+            caps_ff.len()
+        )));
+    }
+    if values_ps.len() != slews_ps.len() * caps_ff.len() {
+        return Err(bad(format!(
+            "{which}: {} values do not fill a {}×{} table",
+            values_ps.len(),
+            slews_ps.len(),
+            caps_ff.len()
+        )));
+    }
+    if slews_ps
+        .iter()
+        .chain(&caps_ff)
+        .chain(&values_ps)
+        .any(|v| !v.is_finite())
+    {
+        return Err(bad(format!("{which}: non-finite table entry")));
+    }
+    Ok(Some(DelayLut {
+        slews_ps,
+        caps_ff,
+        values_ps,
+        rising_output,
+    }))
 }
 
 fn infer_kind(name: &str) -> Option<CellKind> {
@@ -562,6 +788,16 @@ mod tests {
         .unwrap();
         assert_eq!(doc.name, "library");
         assert_eq!(doc.attribute("date"), Some("2011-06-05 12:00"));
+    }
+
+    #[test]
+    fn line_continuations_are_skipped() {
+        let doc = parse_document(
+            "library (demo) {\n  g (t) {\n    values (\"1.0, 2.0\", \\\n            \"3.0, 4.0\");\n  }\n}",
+        )
+        .unwrap();
+        let g = doc.children("g").next().unwrap();
+        assert_eq!(g.complex_numbers("values"), Some(vec![1.0, 2.0, 3.0, 4.0]));
     }
 
     #[test]
@@ -663,6 +899,120 @@ mod tests {
         let err2 =
             parse_library("library (l) { cell (BUF_X1) { wavemin_kind : mux; } }").unwrap_err();
         assert!(err2.to_string().contains("mux"));
+    }
+
+    fn lut_cell(values: &str) -> String {
+        format!(
+            r#"library (l) {{
+              cell (BUF_X8) {{
+                pin (A) {{ direction : input; capacitance : 0.004; }}
+                pin (Z) {{
+                  direction : output;
+                  function : "A";
+                  timing () {{
+                    related_pin : "A";
+                    cell_rise (delay_template) {{
+                      index_1 ("10.0, 20.0, 40.0");
+                      index_2 ("0.004, 0.012, 0.020");
+                      values ({values});
+                    }}
+                  }}
+                }}
+              }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn complex_attributes_parse() {
+        let doc = parse_document(
+            r#"library (l) {
+                capacitive_load_unit (1, pf);
+                g (x) { index_1 ("1.0, 2.0"); values ("3.0, 4.0", "5.0, 6.0"); }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.complex,
+            vec![(
+                "capacitive_load_unit".to_owned(),
+                vec!["1".to_owned(), "pf".to_owned()]
+            )]
+        );
+        let g = doc.children("g").next().unwrap();
+        assert_eq!(g.complex_numbers("index_1"), Some(vec![1.0, 2.0]));
+        assert_eq!(g.complex_numbers("values"), Some(vec![3.0, 4.0, 5.0, 6.0]));
+        assert_eq!(g.complex_numbers("absent"), None);
+    }
+
+    #[test]
+    fn lut_calibrates_r_out_and_t_intrinsic() {
+        let lib = parse_library(&lut_cell(
+            r#""30.0, 35.0, 40.0", "32.0, 37.0, 42.0", "36.0, 41.0, 46.0""#,
+        ))
+        .unwrap();
+        let cell = lib.get("BUF_X8").unwrap();
+        // c_in from the pin: 0.004 pF = 4 fF.
+        assert!((cell.c_in().value() - 4.0).abs() < 1e-9);
+        // Slope at mid slew row: (42-32)/(20-4) fF = 0.625 ps/fF
+        // → r_out = 0.625*1000/(0.69*1.12).
+        let want_r = 0.625 * 1000.0 / (0.69 * 1.12);
+        assert!(
+            (cell.r_out().value() - want_r).abs() < 1e-6,
+            "r_out {} != {want_r}",
+            cell.r_out().value()
+        );
+        // t_intrinsic is calibrated so the model reproduces the table's
+        // midpoint delay (37 ps at slew 20 ps, load 12 fF) at v_ref.
+        let chr = crate::characterize::Characterizer::default();
+        let (d, _) = chr.timing(
+            cell,
+            Femtofarads::new(12.0),
+            Picoseconds::new(20.0),
+            crate::supply::SupplyModel::default().v_ref(),
+            crate::characterize::ClockEdge::Rise,
+        );
+        assert!(
+            (d.value() - 37.0).abs() < 1e-9,
+            "model delay {} != LUT midpoint 37",
+            d.value()
+        );
+    }
+
+    #[test]
+    fn explicit_attributes_beat_the_lut_fit() {
+        let text = lut_cell(r#""30.0, 35.0, 40.0", "32.0, 37.0, 42.0", "36.0, 41.0, 46.0""#)
+            .replace(
+                "pin (A)",
+                "wavemin_r_out : 500.0; wavemin_t_intrinsic : 9.0; pin (A)",
+            );
+        let lib = parse_library(&text).unwrap();
+        let cell = lib.get("BUF_X8").unwrap();
+        assert_eq!(cell.r_out().value(), 500.0);
+        assert_eq!(cell.t_intrinsic().value(), 9.0);
+    }
+
+    #[test]
+    fn malformed_luts_are_bad_cells() {
+        // Wrong value count for the 3×3 table.
+        let err = parse_library(&lut_cell(r#""30.0, 35.0""#)).unwrap_err();
+        assert!(matches!(err, LibertyError::BadCell { .. }), "{err}");
+        assert!(err.to_string().contains("values"), "{err}");
+        // Non-numeric index.
+        let err = parse_library(
+            &lut_cell(r#""30.0, 35.0, 40.0", "32.0, 37.0, 42.0", "36.0, 41.0, 46.0""#)
+                .replace("0.004, 0.012, 0.020", "fast, slow, slower"),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("index_2"), "{err}");
+        // A timing group with no table at all.
+        let err = parse_library(
+            r#"library (l) { cell (BUF_X1) {
+                pin (Z) { direction : output; timing () { related_pin : "A"; } }
+            } }"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cell_rise"), "{err}");
     }
 
     #[test]

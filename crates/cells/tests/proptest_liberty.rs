@@ -36,6 +36,42 @@ proptest! {
     }
 
     #[test]
+    fn lut_library_corruption_never_panics(
+        cut in 0.0..1.0f64,
+        pos in 0.0..1.0f64,
+        byte in 0u8..=255u8,
+    ) {
+        // Same corruption scheme, but against a LUT-bearing library so
+        // the table-calibration path (index parsing, slope fit, probe
+        // characterization) sees near-valid garbage too.
+        let clean = r#"library (lut_corpus) {
+          cell (BUF_X8) {
+            pin (A) { direction : input; capacitance : 0.004; }
+            pin (Z) {
+              direction : output;
+              function : "A";
+              timing () {
+                related_pin : "A";
+                cell_rise (delay_template) {
+                  index_1 ("10.0, 20.0, 40.0");
+                  index_2 ("0.004, 0.012, 0.020");
+                  values ("12.0, 22.0, 32.0", "14.0, 24.0, 34.0", "17.0, 27.0, 37.0");
+                }
+              }
+            }
+          }
+        }"#;
+        let mut bytes = clean.as_bytes().to_vec();
+        bytes.truncate((cut * bytes.len() as f64) as usize);
+        if !bytes.is_empty() {
+            let idx = ((pos * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            bytes[idx] = byte;
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = liberty::parse_library(&text);
+    }
+
+    #[test]
     fn roundtrip_after_corruption_still_roundtrips(
         pos in 0.0..1.0f64,
         byte in 0u8..=255u8,

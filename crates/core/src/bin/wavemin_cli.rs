@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! wavemin synthesize --benchmark s13207 --seed 42 -o tree.clk
+//! wavemin import     --sdf design.sdf --lib cells.lib -o tree.clk
 //! wavemin optimize   -i tree.clk --algorithm wavemin --kappa 20 -o opt.clk
+//! wavemin optimize   --sdf design.sdf --kappa 40 -o opt.clk
 //! wavemin validate   -i tree.clk
 //! wavemin evaluate   -i opt.clk
 //! wavemin svg        -i opt.clk -o opt.svg
@@ -81,7 +83,8 @@ impl From<&WaveMinError> for CliError {
             | WaveMinError::NegativeInput(_)
             | WaveMinError::EmptySinks
             | WaveMinError::DuplicateSinks(_)
-            | WaveMinError::MissingCell(_) => EXIT_INVALID_INPUT,
+            | WaveMinError::MissingCell(_)
+            | WaveMinError::Sdf(_) => EXIT_INVALID_INPUT,
             WaveMinError::NoFeasibleInterval => EXIT_INFEASIBLE,
             _ => EXIT_RUNTIME,
         };
@@ -120,11 +123,16 @@ fn run(args: &[String]) -> Result<(), CliError> {
             flags.reject_unknown("synthesize", &["benchmark", "seed", "o"])?;
             synthesize(&flags)
         }
+        "import" => {
+            flags.reject_unknown("import", &["sdf", "lib", "o"])?;
+            import_cmd(&flags)
+        }
         "optimize" => {
             flags.reject_unknown(
                 "optimize",
                 &[
                     "i",
+                    "sdf",
                     "algorithm",
                     "kappa",
                     "samples",
@@ -145,7 +153,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
             optimize(&flags)
         }
         "explain" => {
-            flags.reject_unknown("explain", &["i", "lib", "power", "top", "svg", "json"])?;
+            flags.reject_unknown(
+                "explain",
+                &["i", "sdf", "lib", "power", "top", "svg", "json"],
+            )?;
             explain(&flags)
         }
         "check-report" => {
@@ -153,15 +164,18 @@ fn run(args: &[String]) -> Result<(), CliError> {
             check_report(&flags)
         }
         "validate" => {
-            flags.reject_unknown("validate", &["i", "lib", "power", "kappa", "samples"])?;
+            flags.reject_unknown(
+                "validate",
+                &["i", "sdf", "lib", "power", "kappa", "samples"],
+            )?;
             validate(&flags)
         }
         "evaluate" => {
-            flags.reject_unknown("evaluate", &["i", "lib"])?;
+            flags.reject_unknown("evaluate", &["i", "sdf", "lib"])?;
             evaluate(&flags)
         }
         "svg" => {
-            flags.reject_unknown("svg", &["i", "lib", "o"])?;
+            flags.reject_unknown("svg", &["i", "sdf", "lib", "o"])?;
             svg(&flags)
         }
         "liberty" => {
@@ -193,24 +207,34 @@ fn print_usage() {
 
 USAGE:
   wavemin synthesize --benchmark <name|all> [--seed N] [-o tree.clk]
-  wavemin optimize   -i tree.clk [--algorithm wavemin|fast|peakmin|nieh|samanta|multimode]
+  wavemin import     --sdf file.sdf [--lib file.lib] [-o tree.clk]
+  wavemin optimize   -i tree.clk | --sdf file.sdf
+                     [--algorithm wavemin|fast|peakmin|nieh|samanta|multimode]
                      [--kappa PS] [--samples N] [--lib file.lib]
                      [--power intent.pw] [--time-budget-ms N] [--threads N]
                      [--strict] [--metrics-out report.json] [--trace]
                      [--trace-out trace.json] [--fault-plan seed:rate]
                      [--checkpoint journal.ckpt [--resume]] [-o out.clk]
-  wavemin validate   -i tree.clk [--lib file.lib] [--power intent.pw]
-                     [--kappa PS] [--samples N]
+  wavemin validate   -i tree.clk | --sdf file.sdf [--lib file.lib]
+                     [--power intent.pw] [--kappa PS] [--samples N]
   wavemin check-report -i report.json
-  wavemin explain    -i tree.clk [--lib file.lib] [--power intent.pw]
-                     [--top N] [--svg waves.svg] [--json attribution.json]
-  wavemin evaluate   -i tree.clk [--lib file.lib]
-  wavemin svg        -i tree.clk [--lib file.lib] [-o out.svg]
+  wavemin explain    -i tree.clk | --sdf file.sdf [--lib file.lib]
+                     [--power intent.pw] [--top N] [--svg waves.svg]
+                     [--json attribution.json]
+  wavemin evaluate   -i tree.clk | --sdf file.sdf [--lib file.lib]
+  wavemin svg        -i tree.clk | --sdf file.sdf [--lib file.lib] [-o out.svg]
   wavemin liberty    [-o out.lib]
   wavemin serve      --socket PATH [--workers N] [--cache-bytes N] [--threads N]
   wavemin client     --socket PATH --json '<request>'
 
 FLAGS:
+  --sdf PATH          read the design from a signoff SDF file instead of
+                      -i: IOPATH/INTERCONNECT delays recover the topology
+                      and per-sink arrivals (uniform 1.1 V supply; not
+                      combinable with --power)
+  --lib PATH          Liberty-subset cell library (default: built-in
+                      nangate45); cell_rise/cell_fall LUTs calibrate the
+                      characterizer when wavemin_ attributes are absent
   --time-budget-ms N  wall-clock cap; the solver degrades gracefully and
                       reports what was relaxed instead of running unbounded
   --threads N         worker threads for independent interval/mode solves
@@ -331,10 +355,34 @@ fn load_library(flags: &Flags) -> Result<CellLibrary, CliError> {
     }
 }
 
+/// Reads and lowers an SDF file with the `--lib` (default nangate45)
+/// library, surfacing parser/topology problems on the invalid-input
+/// exit path.
+fn import_from_flags(flags: &Flags, path: &str) -> Result<wavemin::io::ImportedDesign, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let lib = load_library(flags)?;
+    wavemin::io::import_sdf(&text, lib).map_err(|e| {
+        let mut c = CliError::from(&e);
+        c.message = format!("{path}: {}", c.message);
+        c
+    })
+}
+
 fn load_design(flags: &Flags) -> Result<Design, CliError> {
+    if let Some(path) = flags.get("sdf") {
+        if flags.has("i") {
+            return Err(CliError::usage("-i and --sdf are mutually exclusive"));
+        }
+        if flags.has("power") {
+            return Err(CliError::usage(
+                "--power cannot be combined with --sdf (the SDF lowering fixes a uniform 1.1 V supply)",
+            ));
+        }
+        return Ok(import_from_flags(flags, path)?.design);
+    }
     let input = flags
         .get("i")
-        .ok_or_else(|| CliError::usage("missing -i <tree.clk>"))?;
+        .ok_or_else(|| CliError::usage("missing -i <tree.clk> (or --sdf <file.sdf>)"))?;
     let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
     let tree = tree_io::read_tree(&text).map_err(|e| CliError::invalid(format!("{input}: {e}")))?;
     let lib = load_library(flags)?;
@@ -385,6 +433,26 @@ fn synthesize(flags: &Flags) -> Result<(), CliError> {
         flags,
         "(no -o given, dumping to stdout)",
         &tree_io::write_tree(&design.tree),
+    )
+}
+
+/// `wavemin import --sdf F [--lib F] [-o tree.clk]` — lower a signoff
+/// SDF file into the validated tree format the other subcommands read.
+fn import_cmd(flags: &Flags) -> Result<(), CliError> {
+    let path = flags
+        .get("sdf")
+        .ok_or_else(|| CliError::usage("missing --sdf <file.sdf>"))?;
+    let imported = import_from_flags(flags, path)?;
+    eprintln!(
+        "imported {path}: {} instances, {} sinks, recovered skew {:.3} ps (choose --kappa >= the skew you intend to allow)",
+        imported.instances.len(),
+        imported.sink_arrivals.len(),
+        imported.recovered_skew.value()
+    );
+    write_out(
+        flags,
+        "(no -o given, dumping imported tree to stdout)",
+        &tree_io::write_tree(&imported.design.tree),
     )
 }
 

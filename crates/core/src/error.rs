@@ -49,6 +49,8 @@ pub enum WaveMinError {
     /// The checkpoint journal could not be written, read, or validated;
     /// the message names the file and the reason.
     Checkpoint(String),
+    /// An SDF file could not be parsed or does not describe a clock tree.
+    Sdf(crate::io::sdf::SdfError),
 }
 
 impl fmt::Display for WaveMinError {
@@ -83,6 +85,7 @@ impl fmt::Display for WaveMinError {
             WaveMinError::Checkpoint(what) => {
                 write!(f, "checkpoint journal error: {what}")
             }
+            WaveMinError::Sdf(e) => write!(f, "SDF import error: {e}"),
         }
     }
 }
@@ -93,6 +96,7 @@ impl std::error::Error for WaveMinError {
             WaveMinError::Timing(e) => Some(e),
             WaveMinError::Mosp(e) => Some(e),
             WaveMinError::InvalidTree(e) => Some(e),
+            WaveMinError::Sdf(e) => Some(e),
             _ => None,
         }
     }
@@ -113,6 +117,12 @@ impl From<TimingError> for WaveMinError {
 impl From<MospError> for WaveMinError {
     fn from(e: MospError) -> Self {
         WaveMinError::Mosp(e)
+    }
+}
+
+impl From<crate::io::sdf::SdfError> for WaveMinError {
+    fn from(e: crate::io::sdf::SdfError) -> Self {
+        WaveMinError::Sdf(e)
     }
 }
 

@@ -51,6 +51,7 @@ pub mod error;
 pub mod eval;
 pub mod fault;
 pub mod intervals;
+pub mod io;
 pub mod montecarlo;
 pub mod multimode;
 pub mod noise_table;
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use crate::eval::{NoiseEvaluator, NoiseReport};
     pub use crate::fault::FaultPlan;
     pub use crate::intervals::{FeasibleInterval, IntervalSet};
+    pub use crate::io::{export_sdf, import_sdf, ImportedDesign};
     pub use crate::montecarlo::{MonteCarlo, MonteCarloStats};
     pub use crate::multimode::{AdbPlan, ClkWaveMinM};
     pub use crate::noise_table::{EventWaveforms, NoiseTable};

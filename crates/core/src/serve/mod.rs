@@ -322,14 +322,36 @@ fn execute_solve(state: &ServerState, req: &SolveRequest) -> String {
     }
 }
 
-fn execute_load(state: &ServerState, req: &LoadRequest) -> String {
-    let Some(bench) = Benchmark::all()
-        .into_iter()
-        .find(|b| b.name == req.benchmark)
-    else {
-        return err_response(&format!("unknown benchmark {:?}", req.benchmark));
+/// Builds the session design from the request's source: a synthesized
+/// benchmark, or an imported SDF file (with an optional Liberty library).
+/// The protocol parser guarantees exactly one source is present.
+fn load_request_design(req: &LoadRequest) -> Result<Design, String> {
+    if let Some(path) = &req.sdf {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let lib = match &req.lib {
+            None => wavemin_cells::CellLibrary::nangate45(),
+            Some(lib_path) => {
+                let lib_text = std::fs::read_to_string(lib_path)
+                    .map_err(|e| format!("cannot read {lib_path}: {e}"))?;
+                wavemin_cells::liberty::parse_library(&lib_text)
+                    .map_err(|e| format!("{lib_path}: {e}"))?
+            }
+        };
+        let imported = crate::io::import_sdf(&text, lib).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(imported.design);
+    }
+    let name = req.benchmark.as_deref().unwrap_or_default();
+    let Some(bench) = Benchmark::all().into_iter().find(|b| b.name == name) else {
+        return Err(format!("unknown benchmark {name:?}"));
     };
-    let mut design = Design::from_benchmark(&bench, req.seed);
+    Ok(Design::from_benchmark(&bench, req.seed))
+}
+
+fn execute_load(state: &ServerState, req: &LoadRequest) -> String {
+    let mut design = match load_request_design(req) {
+        Ok(d) => d,
+        Err(e) => return err_response(&e),
+    };
     for edit in &req.edits {
         if edit.node >= design.tree.len() {
             return err_response(&format!(
@@ -503,6 +525,69 @@ mod tests {
             .map(|j| (j.priority, j.seq))
             .collect();
         assert_eq!(order, vec![(5, 1), (5, 2), (1, 3), (0, 0)]);
+    }
+
+    #[test]
+    fn load_from_sdf_over_a_socket() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let socket = dir.join(format!("wavemin-serve-sdf-test-{pid}.sock"));
+        let socket_path = socket.to_string_lossy().to_string();
+        let sdf = dir.join(format!("wavemin-serve-sdf-test-{pid}.sdf"));
+        std::fs::write(
+            &sdf,
+            r#"(DELAYFILE (SDFVERSION "3.0") (DESIGN "tiny") (TIMESCALE 1ps)
+  (CELL (CELLTYPE "BUF_X16") (INSTANCE clk_root)
+    (DELAY (ABSOLUTE (IOPATH A Z (20.0) (21.0)))))
+  (CELL (CELLTYPE "BUF_X8") (INSTANCE u1)
+    (DELAY (ABSOLUTE (IOPATH A Z (15.5) (16.0)))))
+  (CELL (CELLTYPE "INV_X8") (INSTANCE u2)
+    (DELAY (ABSOLUTE (IOPATH A Z (14.0) (13.25)))))
+  (CELL (CELLTYPE "tiny") (INSTANCE)
+    (DELAY (ABSOLUTE
+      (INTERCONNECT clk_root/Z u1/A (5.0))
+      (INTERCONNECT clk_root/Z u2/A (6.5))))))
+"#,
+        )
+        .expect("write sdf");
+        SHUTDOWN.store(false, Ordering::SeqCst);
+        let opts = ServeOptions {
+            socket_path: socket_path.clone(),
+            workers: 1,
+            cache_bytes: 16 << 20,
+            threads: Some(1),
+        };
+        let server = std::thread::spawn(move || run(opts));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !socket.exists() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let ask = |line: &str| client_request(&socket_path, line).expect("request");
+
+        let sdf_json = sdf.to_string_lossy().replace('\\', "\\\\");
+        let loaded = ask(&format!(
+            r#"{{"cmd":"load","session":"sdf","sdf":"{sdf_json}"}}"#
+        ));
+        assert!(loaded.contains("\"ok\":true"), "{loaded}");
+        assert!(loaded.contains("\"sinks\":2"), "{loaded}");
+
+        let solved = ask(r#"{"cmd":"solve","session":"sdf"}"#);
+        assert!(solved.contains("\"ok\":true"), "{solved}");
+
+        // A missing file must come back as a typed error, not a crash.
+        let bad = ask(r#"{"cmd":"load","session":"bad","sdf":"/no/such/file.sdf"}"#);
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+        // Exclusivity is enforced at the protocol layer.
+        let both = ask(r#"{"cmd":"load","session":"x","benchmark":"s15850","sdf":"a.sdf"}"#);
+        assert!(both.contains("mutually exclusive"), "{both}");
+
+        let bye = ask(r#"{"cmd":"shutdown"}"#);
+        assert!(bye.contains("\"shutting_down\":true"), "{bye}");
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+        let _ = std::fs::remove_file(&sdf);
     }
 
     #[test]

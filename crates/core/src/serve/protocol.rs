@@ -11,7 +11,9 @@
 //!
 //! * `{"cmd":"ping"}` — liveness probe.
 //! * `{"cmd":"load","session":S,"benchmark":B,"seed":N,...}` — create or
-//!   replace session `S` with a characterized benchmark design. Optional
+//!   replace session `S` with a characterized benchmark design. Instead
+//!   of `benchmark`, `"sdf":PATH` (optionally with `"lib":PATH`) imports
+//!   a signoff SDF file — exactly one of the two must be given. Optional
 //!   `skew_bound_ps`, `sample_count`, `max_intervals`, `threads`, and
 //!   `edits` (a list of `{"node":id,"delay_trim_ps":f}` ECO trims applied
 //!   before characterization). Re-loading a session keeps its zone cache,
@@ -37,8 +39,15 @@ pub struct EcoEdit {
 pub struct LoadRequest {
     /// Session name (created or replaced).
     pub session: String,
-    /// Benchmark name (see `wavemin bench` names).
-    pub benchmark: String,
+    /// Benchmark name (see `wavemin bench` names). Exactly one of
+    /// `benchmark` and `sdf` must be given.
+    pub benchmark: Option<String>,
+    /// Path to an SDF file to import instead of synthesizing a
+    /// benchmark (see `wavemin import`).
+    pub sdf: Option<String>,
+    /// Liberty-subset library path used with `sdf` (default: the
+    /// built-in nangate45 library).
+    pub lib: Option<String>,
     /// Tree-synthesis seed.
     pub seed: u64,
     /// Skew bound override, picoseconds.
@@ -115,6 +124,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     "cmd",
                     "session",
                     "benchmark",
+                    "sdf",
+                    "lib",
                     "seed",
                     "skew_bound_ps",
                     "sample_count",
@@ -140,16 +151,29 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .collect::<Result<_, String>>()?,
                 Some(_) => return Err("edits must be a list".to_string()),
             };
-            Ok(Request::Load(LoadRequest {
+            let load = LoadRequest {
                 session: str_field(entries, "session")?,
-                benchmark: str_field(entries, "benchmark")?,
+                benchmark: opt_str_field(entries, "benchmark")?,
+                sdf: opt_str_field(entries, "sdf")?,
+                lib: opt_str_field(entries, "lib")?,
                 seed: opt_u64_field(entries, "seed")?.unwrap_or(1),
                 skew_bound_ps: opt_f64_field(entries, "skew_bound_ps")?,
                 sample_count: opt_usize_field(entries, "sample_count")?,
                 max_intervals: opt_usize_field(entries, "max_intervals")?,
                 threads: opt_usize_field(entries, "threads")?,
                 edits,
-            }))
+            };
+            match (&load.benchmark, &load.sdf) {
+                (None, None) => return Err("load needs either benchmark or sdf".to_string()),
+                (Some(_), Some(_)) => {
+                    return Err("benchmark and sdf are mutually exclusive".to_string())
+                }
+                _ => {}
+            }
+            if load.lib.is_some() && load.sdf.is_none() {
+                return Err("lib requires sdf".to_string());
+            }
+            Ok(Request::Load(load))
         }
         "solve" => {
             expect_fields(entries, &["cmd", "session", "priority", "time_budget_ms"])?;
@@ -203,6 +227,14 @@ fn str_field(entries: &[(String, Value)], key: &str) -> Result<String, String> {
         Some(Value::Str(s)) => Ok(s.clone()),
         Some(_) => Err(format!("{key} must be a string")),
         None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn opt_str_field(entries: &[(String, Value)], key: &str) -> Result<Option<String>, String> {
+    match get(entries, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("{key} must be a string")),
     }
 }
 
@@ -273,7 +305,8 @@ mod tests {
         match load {
             Request::Load(l) => {
                 assert_eq!(l.session, "a");
-                assert_eq!(l.benchmark, "s15850");
+                assert_eq!(l.benchmark.as_deref(), Some("s15850"));
+                assert_eq!(l.sdf, None);
                 assert_eq!(l.seed, 7);
                 assert_eq!(l.skew_bound_ps, Some(25.5));
                 assert_eq!(
@@ -295,6 +328,30 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn load_accepts_sdf_and_enforces_exclusivity() {
+        let load =
+            parse_request(r#"{"cmd":"load","session":"a","sdf":"tree.sdf","lib":"cells.lib"}"#)
+                .expect("sdf load");
+        match load {
+            Request::Load(l) => {
+                assert_eq!(l.benchmark, None);
+                assert_eq!(l.sdf.as_deref(), Some("tree.sdf"));
+                assert_eq!(l.lib.as_deref(), Some("cells.lib"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = parse_request(r#"{"cmd":"load","session":"a"}"#).unwrap_err();
+        assert!(err.contains("benchmark or sdf"), "{err}");
+        let err =
+            parse_request(r#"{"cmd":"load","session":"a","benchmark":"s15850","sdf":"x.sdf"}"#)
+                .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_request(r#"{"cmd":"load","session":"a","benchmark":"s15850","lib":"x"}"#)
+            .unwrap_err();
+        assert!(err.contains("lib requires sdf"), "{err}");
     }
 
     #[test]

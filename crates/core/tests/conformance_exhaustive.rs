@@ -20,72 +20,13 @@
 //! pure polarity problem) and a skew bound generous enough that every
 //! assignment is feasible, keeping the exhaustive reference meaningful.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use wavemin::prelude::*;
-use wavemin_cells::units::{Femtofarads, Microns, Picoseconds, Volts};
+use wavemin_testkit::configs::{polarity_hard as hard_config, polarity_strict as strict_config};
+use wavemin_testkit::designs::random_polarity_design;
 
 /// Designs checked per family; the strict equality claim covers 100
 /// random designs as required by the conformance contract.
 const SEEDS: u64 = 100;
-
-/// A randomized tree: `branches` buffers under the root, `sinks` leaves
-/// dealt round-robin below them.
-fn random_design(seed: u64, branches: usize, max_sinks: usize) -> Design {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut tree = ClockTree::new(Point::new(0.0, 0.0), "BUF_X16");
-    let sinks = rng.gen_range(3..=max_sinks);
-    let mut parents = Vec::with_capacity(branches);
-    for b in 0..branches {
-        let y = 20.0 * b as f64 - 10.0 * (branches as f64 - 1.0);
-        parents.push(tree.add_internal(
-            tree.root(),
-            Point::new(rng.gen_range(25.0..40.0), y),
-            "BUF_X8",
-            Microns::new(rng.gen_range(30.0..50.0)),
-        ));
-    }
-    for s in 0..sinks {
-        let parent = parents[s % branches];
-        tree.add_leaf(
-            parent,
-            Point::new(rng.gen_range(55.0..75.0), rng.gen_range(-20.0..20.0)),
-            if rng.gen_range(0..2) == 0 {
-                "BUF_X8"
-            } else {
-                "INV_X8"
-            },
-            Microns::new(rng.gen_range(20.0..45.0)),
-            Femtofarads::new(rng.gen_range(3.0..8.0)),
-        );
-    }
-    Design::new(
-        tree,
-        CellLibrary::nangate45(),
-        PowerDesign::uniform(Volts::new(1.1)),
-    )
-}
-
-/// Shared base: two-cell polarity family, one zone, generous skew bound.
-fn base_config() -> WaveMinConfig {
-    let mut cfg = WaveMinConfig::default().with_skew_bound(Picoseconds::new(150.0));
-    cfg.assignment_cells = vec!["BUF_X8".to_owned(), "INV_X8".to_owned()];
-    cfg.zone_pitch = Microns::new(100_000.0);
-    cfg.max_intervals = None;
-    cfg
-}
-
-/// The strict family's configuration (see the module docs).
-fn strict_config() -> WaveMinConfig {
-    let mut cfg = base_config().with_sample_count(1024);
-    cfg.window_margin = 1.0;
-    cfg
-}
-
-/// The hard family keeps the default sampling density and margin.
-fn hard_config() -> WaveMinConfig {
-    base_config().with_sample_count(128)
-}
 
 /// Runs one solver over all seeds of a family and returns the worst
 /// peak-to-optimum ratio observed (1.0 = always optimal).
@@ -118,11 +59,11 @@ fn worst_ratio(
 }
 
 fn strict_design(seed: u64) -> Design {
-    random_design(seed, 1, 6)
+    random_polarity_design(seed, 1, 6)
 }
 
 fn hard_design(seed: u64) -> Design {
-    random_design(seed, 2, 8)
+    random_polarity_design(seed, 2, 8)
 }
 
 #[test]

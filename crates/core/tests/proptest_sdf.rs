@@ -1,0 +1,133 @@
+//! Adversarial-input property tests for the SDF front-end: whatever the
+//! bytes, `sdf::parse` and `import_sdf` must return `Ok`/`Err` — never
+//! panic — and a `Design` must survive an export → import round trip
+//! bit-for-bit. Mirrors `proptest_liberty.rs` on the cells side.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use wavemin::io::sdf;
+use wavemin::prelude::*;
+use wavemin_testkit::designs;
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255u8, 0..512usize)
+}
+
+/// A clean, well-formed SDF document to corrupt: the export of a small
+/// randomized polarity tree.
+fn clean_sdf(seed: u64) -> String {
+    let design = designs::random_polarity_design(seed, 2, 6);
+    wavemin::io::export_sdf(&design).expect("export")
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in arb_bytes()) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = sdf::parse(&text);
+    }
+
+    #[test]
+    fn importer_never_panics_on_arbitrary_bytes(bytes in arb_bytes()) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = wavemin::io::import_sdf(&text, CellLibrary::nangate45());
+    }
+
+    #[test]
+    fn importer_never_panics_on_corrupted_sdf(
+        seed in 0u64..16,
+        cut in 0.0..1.0f64,
+        pos in 0.0..1.0f64,
+        byte in 0u8..=255u8,
+    ) {
+        // Start from a well-formed export and corrupt it: truncate at an
+        // arbitrary point and overwrite one byte. This keeps the input
+        // close enough to valid SDF to reach the deeper lowering paths.
+        let mut bytes = clean_sdf(seed).into_bytes();
+        bytes.truncate((cut * bytes.len() as f64) as usize);
+        if !bytes.is_empty() {
+            let idx = ((pos * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            bytes[idx] = byte;
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = wavemin::io::import_sdf(&text, CellLibrary::nangate45());
+    }
+
+    #[test]
+    fn every_proper_prefix_is_a_typed_error(
+        seed in 0u64..16,
+        at in 0.0..1.0f64,
+    ) {
+        // SDF is a complete-document format: unlike the checkpoint
+        // journal (which forgives a trailing half-line), an interior OR
+        // trailing truncation must surface as a typed error, never as a
+        // silently shorter design.
+        let clean = clean_sdf(seed);
+        let doc = clean.trim_end();
+        let mut cut = ((at * doc.len() as f64) as usize).clamp(1, doc.len() - 1);
+        while cut > 0 && !doc.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut > 0 {
+            prop_assert!(sdf::parse(&doc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn export_import_round_trips_bit_for_bit(seed in 0u64..32) {
+        // Satellite 2: Design -> SDF -> Design preserves the topology
+        // (by instance name) and every sink arrival exactly.
+        let design = designs::random_polarity_design(seed, 2, 6);
+        let before = design.timing(0).expect("timing");
+        let text = wavemin::io::export_sdf(&design).expect("export");
+        let imp = wavemin::io::import_sdf(&text, CellLibrary::nangate45())
+            .expect("re-import");
+        prop_assert_eq!(imp.design.tree.len(), design.tree.len());
+
+        // Topology: child instance -> parent instance must match. The
+        // exporter names node `id` as `n{id}`; the importer re-indexes.
+        let mut want_edges = BTreeMap::new();
+        for (id, node) in design.tree.iter() {
+            if let Some(parent) = node.parent() {
+                want_edges.insert(format!("n{}", id.0), format!("n{}", parent.0));
+            }
+        }
+        let mut got_edges = BTreeMap::new();
+        for (id, node) in imp.design.tree.iter() {
+            if let Some(parent) = node.parent() {
+                got_edges.insert(
+                    imp.instances[id.0].clone(),
+                    imp.instances[parent.0].clone(),
+                );
+            }
+        }
+        prop_assert_eq!(&got_edges, &want_edges);
+
+        // Sink arrivals: both the SDF delay chain and the re-lowered
+        // design's own timing reproduce the original bit-for-bit.
+        let got: BTreeMap<&str, f64> = imp
+            .sink_arrivals
+            .iter()
+            .map(|(n, a)| (n.as_str(), a.value()))
+            .collect();
+        let re_timing = imp.design.timing(0).expect("re-timing");
+        let mut checked = 0usize;
+        for (id, node) in design.tree.iter() {
+            if !node.is_leaf() {
+                continue;
+            }
+            let name = format!("n{}", id.0);
+            let want = before.output_arrival[id.0].value();
+            prop_assert_eq!(got[name.as_str()], want);
+            let re_id = imp
+                .instances
+                .iter()
+                .position(|n| *n == name)
+                .expect("instance survives");
+            prop_assert_eq!(re_timing.output_arrival[re_id].value(), want);
+            checked += 1;
+        }
+        prop_assert_eq!(checked, design.tree.leaves().len());
+    }
+}

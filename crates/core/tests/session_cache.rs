@@ -8,14 +8,8 @@
 use std::sync::Arc;
 use wavemin::prelude::*;
 use wavemin_cells::units::Picoseconds;
-
-fn base_config() -> WaveMinConfig {
-    let mut cfg = WaveMinConfig::default()
-        .with_sample_count(16)
-        .with_metrics(true);
-    cfg.max_intervals = Some(8);
-    cfg
-}
+use wavemin_testkit::configs::small_session as base_config;
+use wavemin_testkit::designs::s15850;
 
 fn characterize(design: Design) -> CharacterizedDesign {
     CharacterizedDesign::new(design, base_config()).expect("characterize")
@@ -23,7 +17,7 @@ fn characterize(design: Design) -> CharacterizedDesign {
 
 #[test]
 fn concurrent_jobs_share_the_cache_without_duplicate_solves() {
-    let design = Design::from_benchmark(&Benchmark::s15850(), 23);
+    let design = s15850(23);
 
     // Baseline: how many zone solves one cold run performs.
     let baseline = characterize(design.clone())
@@ -91,7 +85,7 @@ fn concurrent_jobs_share_the_cache_without_duplicate_solves() {
 
 #[test]
 fn eco_resolve_splices_clean_zones_and_matches_from_scratch() {
-    let design = Design::from_benchmark(&Benchmark::s15850(), 23);
+    let design = s15850(23);
     let cache = ZoneCache::new(64 << 20);
     let opts = SolveOptions::default();
 
@@ -143,7 +137,7 @@ fn salvaged_zones_report_their_greedy_rung_without_degrading_the_ladder() {
     // which runs on the ladder's last (greedy) rung. The per-zone
     // worst_rung must record that; the *global* ladder rung must stay 0
     // because salvage never descends the shared ladder.
-    let design = Design::from_benchmark(&Benchmark::s15850(), 7);
+    let design = s15850(7);
     let mut cfg = base_config().with_fault_plan(Some(FaultPlan { seed: 1, rate: 1.0 }));
     cfg.max_intervals = Some(4);
     let out = ClkWaveMin::new(cfg).run(&design).expect("salvaged run");

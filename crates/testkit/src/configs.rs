@@ -1,0 +1,46 @@
+//! Shared [`WaveMinConfig`] presets.
+//!
+//! The conformance and session suites used to each carry a private copy
+//! of these; a drift between copies silently weakened whichever suite
+//! fell behind. One definition here keeps the claims aligned.
+
+use wavemin::prelude::WaveMinConfig;
+use wavemin_cells::units::{Microns, Picoseconds};
+
+/// Small quick-solve preset used by the session/zone-cache suites:
+/// 16 samples, metrics collected, at most 8 feasible intervals.
+#[must_use]
+pub fn small_session() -> WaveMinConfig {
+    let mut cfg = WaveMinConfig::default()
+        .with_sample_count(16)
+        .with_metrics(true);
+    cfg.max_intervals = Some(8);
+    cfg
+}
+
+/// Shared base of the exhaustive-conformance families: two-cell polarity
+/// problem (BUF_X8 / INV_X8), one zone, generous 150 ps skew bound.
+#[must_use]
+pub fn polarity_base() -> WaveMinConfig {
+    let mut cfg = WaveMinConfig::default().with_skew_bound(Picoseconds::new(150.0));
+    cfg.assignment_cells = vec!["BUF_X8".to_owned(), "INV_X8".to_owned()];
+    cfg.zone_pitch = Microns::new(100_000.0);
+    cfg.max_intervals = None;
+    cfg
+}
+
+/// The strict conformance family: dense sampling, full window — the
+/// exact solver must reproduce the exhaustive optimum bit-for-bit.
+#[must_use]
+pub fn polarity_strict() -> WaveMinConfig {
+    let mut cfg = polarity_base().with_sample_count(1024);
+    cfg.window_margin = 1.0;
+    cfg
+}
+
+/// The hard conformance family: default margin, coarse sampling — every
+/// solver is held to a worst-case ratio instead of equality.
+#[must_use]
+pub fn polarity_hard() -> WaveMinConfig {
+    polarity_base().with_sample_count(128)
+}

@@ -1,0 +1,65 @@
+//! Deterministic clock-tree design builders shared across test suites.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wavemin::prelude::*;
+use wavemin_cells::units::{Femtofarads, Microns, Volts};
+
+/// A randomized tiny polarity tree: `branches` BUF_X8 buffers under a
+/// BUF_X16 root, 3..=`max_sinks` leaves (random BUF_X8 / INV_X8 mix)
+/// dealt round-robin below them. This is the design family the
+/// exhaustive-conformance suite sweeps; the SDF round-trip property
+/// reuses it as an export corpus.
+///
+/// # Panics
+///
+/// Panics if `branches` is zero (there would be no parent to deal
+/// leaves to).
+#[must_use]
+pub fn random_polarity_design(seed: u64, branches: usize, max_sinks: usize) -> Design {
+    assert!(branches > 0, "need at least one branch buffer");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut tree = ClockTree::new(Point::new(0.0, 0.0), "BUF_X16");
+    let sinks = rng.gen_range(3..=max_sinks.max(3));
+    let mut parents = Vec::with_capacity(branches);
+    for b in 0..branches {
+        let y = 20.0 * b as f64 - 10.0 * (branches as f64 - 1.0);
+        parents.push(tree.add_internal(
+            tree.root(),
+            Point::new(rng.gen_range(25.0..40.0), y),
+            "BUF_X8",
+            Microns::new(rng.gen_range(30.0..50.0)),
+        ));
+    }
+    for s in 0..sinks {
+        let parent = parents[s % branches];
+        tree.add_leaf(
+            parent,
+            Point::new(rng.gen_range(55.0..75.0), rng.gen_range(-20.0..20.0)),
+            if rng.gen_range(0..2) == 0 {
+                "BUF_X8"
+            } else {
+                "INV_X8"
+            },
+            Microns::new(rng.gen_range(20.0..45.0)),
+            Femtofarads::new(rng.gen_range(3.0..8.0)),
+        );
+    }
+    Design::new(
+        tree,
+        CellLibrary::nangate45(),
+        PowerDesign::uniform(Volts::new(1.1)),
+    )
+}
+
+/// The s15850 benchmark design the session/serve suites exercise.
+#[must_use]
+pub fn s15850(seed: u64) -> Design {
+    Design::from_benchmark(&Benchmark::s15850(), seed)
+}
+
+/// The s13207 benchmark design the single-mode integration suite uses.
+#[must_use]
+pub fn s13207(seed: u64) -> Design {
+    Design::from_benchmark(&Benchmark::s13207(), seed)
+}

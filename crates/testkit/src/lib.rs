@@ -1,0 +1,28 @@
+//! Shared test and benchmark fixtures for the WaveMin workspace.
+//!
+//! Before this crate existed the same builders were copy-pasted into
+//! `wavemin_bench::mosp_fixtures`, `conformance_exhaustive.rs`,
+//! `session_cache.rs`, and the top-level integration tests. Everything
+//! fixture-shaped now lives here, in three modules:
+//!
+//! * [`mosp`] — the layered WaveMin-shaped MOSP graph and the median
+//!   wall-clock helper used by criterion benches and the JSON emitter;
+//! * [`designs`] — deterministic clock-tree designs: benchmark-derived
+//!   and randomized polarity trees for conformance sweeps;
+//! * [`configs`] — the small/strict/hard [`WaveMinConfig`] presets the
+//!   conformance and session suites share;
+//! * [`golden`] — the golden-snapshot compare/regenerate helper
+//!   (`GOLDEN_REGEN=1` rewrites, peak lines compared to 1e-9).
+//!
+//! This crate is test support: it is a regular dependency only of
+//! `wavemin-bench` and a dev-dependency everywhere else. Like the
+//! bench bins, it is loud by design — fixture construction panics
+//! rather than propagating errors into every test signature.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+pub mod configs;
+pub mod designs;
+pub mod golden;
+pub mod mosp;
+
+pub use wavemin::prelude::WaveMinConfig;

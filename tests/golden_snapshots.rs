@@ -8,83 +8,21 @@
 //! GOLDEN_REGEN=1 cargo test -p wavemin --test golden_snapshots
 //! ```
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 use wavemin::prelude::*;
+use wavemin_testkit::{designs, golden};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
 }
 
-/// Stable textual form of an outcome: the peak (full precision) and the
-/// complete assignment (BTreeMaps iterate in node order, so the listing
-/// is deterministic by construction).
-fn render(out: &Outcome) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "peak_after_ma = {:.17e}", out.peak_after.value());
-    let _ = writeln!(s, "assignment:");
-    for (node, cell) in &out.assignment.cells {
-        let _ = writeln!(s, "{}={}", node.0, cell);
-    }
-    for (mode, codes) in out.assignment.delay_codes.iter().enumerate() {
-        let _ = writeln!(s, "delay_codes[{mode}]:");
-        for (node, code) in codes {
-            let _ = writeln!(s, "{}={:.17e}", node.0, code.value());
-        }
-    }
-    s
-}
-
-fn peak_of(snapshot: &str) -> f64 {
-    let line = snapshot
-        .lines()
-        .find(|l| l.starts_with("peak_after_ma = "))
-        .expect("snapshot has a peak line");
-    line["peak_after_ma = ".len()..]
-        .trim()
-        .parse()
-        .expect("parsable peak")
-}
-
 fn check(name: &str, out: &Outcome) {
-    let path = golden_dir().join(format!("{name}.txt"));
-    let got = render(out);
-    if std::env::var_os("GOLDEN_REGEN").is_some() {
-        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
-        std::fs::write(&path, &got).expect("write golden snapshot");
-        return;
-    }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {} ({e}); regenerate with GOLDEN_REGEN=1",
-            path.display()
-        )
-    });
-    // Peak compares numerically to 1e-9 mA (robust to a formatting-only
-    // regeneration); everything else — the assignment listing and delay
-    // codes — must match the frozen text exactly.
-    let got_peak = peak_of(&got);
-    let want_peak = peak_of(&want);
-    assert!(
-        (got_peak - want_peak).abs() <= 1e-9,
-        "{name}: peak {got_peak} differs from golden {want_peak}"
-    );
-    let tail = |s: &str| {
-        s.lines()
-            .filter(|l| !l.starts_with("peak_after_ma"))
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
-    assert_eq!(
-        tail(&got),
-        tail(&want),
-        "{name}: assignment diverged from the golden snapshot"
-    );
+    golden::check_snapshot(&golden_dir(), name, &golden::render_outcome(out));
 }
 
 #[test]
 fn clkwavemin_s15850_matches_golden() {
-    let d = Design::from_benchmark(&Benchmark::s15850(), 7);
+    let d = designs::s15850(7);
     let mut cfg = WaveMinConfig::default().with_sample_count(16);
     cfg.max_intervals = Some(6);
     let out = ClkWaveMin::new(cfg).run(&d).expect("optimize");
@@ -93,7 +31,7 @@ fn clkwavemin_s15850_matches_golden() {
 
 #[test]
 fn clkwavemin_s13207_matches_golden() {
-    let d = Design::from_benchmark(&Benchmark::s13207(), 7);
+    let d = designs::s13207(7);
     let mut cfg = WaveMinConfig::default().with_sample_count(16);
     cfg.max_intervals = Some(6);
     let out = ClkWaveMin::new(cfg).run(&d).expect("optimize");
@@ -102,7 +40,7 @@ fn clkwavemin_s13207_matches_golden() {
 
 #[test]
 fn fast_variant_s15850_matches_golden() {
-    let d = Design::from_benchmark(&Benchmark::s15850(), 11);
+    let d = designs::s15850(11);
     let cfg = WaveMinConfig::default().with_sample_count(16);
     let out = ClkWaveMinFast::new(cfg).run(&d).expect("optimize");
     check("fast_s15850", &out);
