@@ -71,6 +71,22 @@ struct MetricsSummary {
     dominance_skipped: u64,
 }
 
+/// One streaming scale run (synthesized `scale*` tree, budgeted).
+#[derive(Serialize)]
+struct ScaleSample {
+    name: String,
+    sinks: usize,
+    /// The `--memory-budget-mb` the run was given.
+    budget_mb: usize,
+    wall_s: f64,
+    /// Sampled process peak RSS over the run, from the run report.
+    peak_rss_bytes: u64,
+    zones: usize,
+    zones_per_sec: f64,
+    zones_spilled: u64,
+    zone_recomputes: u64,
+}
+
 #[derive(Serialize)]
 struct Record {
     seed: u64,
@@ -80,6 +96,8 @@ struct Record {
     multi_zone: Vec<ThreadSample>,
     arena: ArenaStats,
     metrics: MetricsSummary,
+    /// Streaming scale sweep (10k/100k always; 1M with `--scale-full`).
+    scale: Vec<ScaleSample>,
 }
 
 const BATCHES: usize = 5;
@@ -186,6 +204,47 @@ fn multi_zone_measurements(seed: u64) -> Vec<ThreadSample> {
     out
 }
 
+/// One budgeted streaming run per scale tree. The budgets are sized for
+/// this record's reference box (single-core, 128 GB): generous enough to
+/// finish, tight enough that the 100k/1M runs exercise the archive spill
+/// path when the working set grows past them.
+#[allow(clippy::expect_used)]
+fn scale_measurements(seed: u64, full: bool) -> Vec<ScaleSample> {
+    let mut sweeps = vec![("scale10k", 10_000usize, 2048usize), ("scale100k", 100_000, 8192)];
+    if full {
+        sweeps.push(("scale1m", 1_000_000, 24_576));
+    }
+    let mut out = Vec::new();
+    for (name, sinks, budget_mb) in sweeps {
+        let design = Design::from_benchmark(&Benchmark::scale(name, sinks), seed);
+        let cfg = WaveMinConfig::default()
+            .with_sample_count(16)
+            .with_threads(1)
+            .with_metrics(true)
+            .with_memory_budget_mb(budget_mb);
+        let start = std::time::Instant::now();
+        let run = ClkWaveMin::new(cfg)
+            .run(&design)
+            .expect("budgeted scale run completes");
+        let wall_s = start.elapsed().as_secs_f64();
+        let report = run.report.expect("metrics were enabled");
+        report.validate().expect("self-consistent report");
+        let zones = report.zones.len();
+        out.push(ScaleSample {
+            name: name.to_owned(),
+            sinks,
+            budget_mb,
+            wall_s,
+            peak_rss_bytes: report.counters.peak_rss_bytes,
+            zones,
+            zones_per_sec: zones as f64 / wall_s.max(1e-9),
+            zones_spilled: report.counters.zones_spilled,
+            zone_recomputes: report.counters.zone_recomputes,
+        });
+    }
+    out
+}
+
 fn arena_stats() -> ArenaStats {
     let (g, _, _) = layered(8, 4, 156, 4);
     let arcs = (0..g.vertex_count())
@@ -201,6 +260,7 @@ fn arena_stats() -> ArenaStats {
 
 fn main() {
     let args = ExperimentArgs::parse();
+    let full = args.rest.iter().any(|a| a == "--scale-full");
     let record = Record {
         seed: args.seed,
         available_cores: std::thread::available_parallelism()
@@ -209,6 +269,7 @@ fn main() {
         multi_zone: multi_zone_measurements(args.seed),
         arena: arena_stats(),
         metrics: metrics_summary(args.seed),
+        scale: scale_measurements(args.seed, full),
     };
     for m in &record.solver {
         println!(
@@ -241,6 +302,18 @@ fn main() {
         record.metrics.zones,
         record.metrics.intern_hit_rate * 100.0
     );
+    for s in &record.scale {
+        println!(
+            "scale/{:<10} {:>8.1} s  {:>6.0} zones/s  peak RSS {:>6.0} MB / {} MB budget  ({} spilled, {} recomputed)",
+            s.name,
+            s.wall_s,
+            s.zones_per_sec,
+            s.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            s.budget_mb,
+            s.zones_spilled,
+            s.zone_recomputes
+        );
+    }
     // Persist: --json wins, else BENCH_mosp.json in the working directory.
     let mut args = args;
     if args.json.is_none() {

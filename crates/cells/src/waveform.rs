@@ -250,25 +250,17 @@ impl Waveform {
     where
         I: IntoIterator<Item = &'a Waveform>,
     {
-        let wfs: Vec<&Waveform> = waveforms.into_iter().collect();
-        let mut times: Vec<f64> = wfs
-            .iter()
-            .flat_map(|w| w.points.iter().map(|&(t, _)| t))
-            .collect();
-        if times.is_empty() {
+        let mut events: Vec<SumEvent> = Vec::new();
+        for w in waveforms {
+            push_sum_events(&mut events, &w.points);
+        }
+        if events.is_empty() {
             return Self::zero();
         }
-        times.sort_by(f64::total_cmp);
-        times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-        let points = times
-            .into_iter()
-            .map(|t| {
-                let tt = Picoseconds::new(t);
-                let total: f64 = wfs.iter().map(|w| w.sample(tt).value()).sum();
-                (t, total)
-            })
-            .collect();
-        Self { points }
+        events.sort_by(|a, b| a.t.total_cmp(&b.t));
+        Self {
+            points: sweep_sum_events(&events),
+        }
     }
 
     /// Samples the waveform at the given times, producing a dense vector.
@@ -290,6 +282,74 @@ impl Waveform {
             })
             .sum()
     }
+}
+
+/// One breakpoint's contribution to a pooled sum: at `t` the summed
+/// function's slope changes by `dslope`; `jump_before` is a value
+/// discontinuity applied *at* `t` (a component's support starting with a
+/// nonzero sample), `jump_after` one applied just past `t` (a support
+/// ending with a nonzero sample — the component still counts at `t`
+/// itself, matching [`Waveform::sample`]'s closed-support semantics).
+struct SumEvent {
+    t: f64,
+    dslope: f64,
+    jump_before: f64,
+    jump_after: f64,
+}
+
+/// Emits one [`SumEvent`] per breakpoint of a single waveform.
+fn push_sum_events(events: &mut Vec<SumEvent>, points: &[(f64, f64)]) {
+    let n = points.len();
+    let slope = |a: (f64, f64), b: (f64, f64)| -> f64 {
+        if b.0 > a.0 {
+            (b.1 - a.1) / (b.0 - a.0)
+        } else {
+            0.0
+        }
+    };
+    for i in 0..n {
+        let (t, v) = points[i];
+        let s_in = if i > 0 { slope(points[i - 1], points[i]) } else { 0.0 };
+        let s_out = if i + 1 < n {
+            slope(points[i], points[i + 1])
+        } else {
+            0.0
+        };
+        events.push(SumEvent {
+            t,
+            dslope: s_out - s_in,
+            jump_before: if i == 0 { v } else { 0.0 },
+            jump_after: if i + 1 == n { -v } else { 0.0 },
+        });
+    }
+}
+
+/// Linear sweep over time-sorted events: integrates the running slope
+/// between distinct times and emits one pooled breakpoint per group of
+/// events closer than the breakpoint-dedup tolerance. `O(events)` after
+/// the sort, versus the old re-sample-everyone-at-every-time pooling
+/// that was quadratic in the number of overlapping waveforms.
+fn sweep_sum_events(events: &[SumEvent]) -> Vec<(f64, f64)> {
+    let mut points = Vec::new();
+    let mut value = 0.0_f64;
+    let mut slope = 0.0_f64;
+    let mut prev_t = events[0].t;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].t;
+        value += slope * (t - prev_t);
+        let mut jump_after = 0.0_f64;
+        while i < events.len() && (events[i].t - t).abs() < 1e-12 {
+            value += events[i].jump_before;
+            jump_after += events[i].jump_after;
+            slope += events[i].dslope;
+            i += 1;
+        }
+        points.push((t, value));
+        value += jump_after;
+        prev_t = t;
+    }
+    points
 }
 
 #[cfg(test)]

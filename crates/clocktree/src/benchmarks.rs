@@ -93,6 +93,28 @@ impl Benchmark {
         ]
     }
 
+    /// A synthetic scale benchmark: `leaves` sinks at the ISCAS zone
+    /// density (≈4.3 sinks per 50 µm zone), clustering arity 8, and a
+    /// node budget equal to the cluster tree exactly — no repeater
+    /// padding, whose longest-wire scan is O(n) *per repeater* and
+    /// would dominate synthesis at 10⁵+ sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is zero.
+    #[must_use]
+    pub fn scale(name: impl Into<String>, leaves: usize) -> Self {
+        assert!(leaves >= 1, "benchmark needs at least one sink");
+        let arity = 8;
+        Self {
+            name: name.into(),
+            total_nodes: leaves + cluster_internal_count(leaves, arity),
+            leaf_count: leaves,
+            die_side_um: zone_grid_side(leaves, 4.3),
+            arity,
+        }
+    }
+
     /// A custom benchmark with explicit counts.
     ///
     /// # Panics
@@ -331,6 +353,17 @@ mod tests {
     #[should_panic(expected = "must exceed leaf count")]
     fn too_few_totals_rejected() {
         let _ = Benchmark::with_counts("bad", 10, 10, 100);
+    }
+
+    #[test]
+    fn scale_benchmark_needs_no_repeater_padding() {
+        let b = Benchmark::scale("scale4k", 4096);
+        assert_eq!(b.leaf_count, 4096);
+        assert_eq!(b.arity, 8);
+        let tree = b.synthesize(42);
+        assert_eq!(tree.len(), b.total_nodes, "no padding loop at scale");
+        assert_eq!(tree.leaves().len(), 4096);
+        assert_eq!(tree.validate(|_| true), Ok(()));
     }
 
     #[test]

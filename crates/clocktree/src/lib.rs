@@ -42,6 +42,7 @@ pub mod geom;
 pub mod io;
 pub mod modes;
 pub mod power_io;
+pub mod shard;
 pub mod stats;
 pub mod svg;
 pub mod synthesis;
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use crate::benchmarks::Benchmark;
     pub use crate::geom::Point;
     pub use crate::modes::{PowerDesign, PowerDomain, PowerMode};
+    pub use crate::shard::{shard_by_sinks, SubtreeShard};
     pub use crate::synthesis::{SynthesisOptions, Synthesizer};
     pub use crate::timing::{SupplyAssignment, Timing, TimingError};
     pub use crate::tree::{ClockTree, Node, NodeId, NodeKind, TreeError};

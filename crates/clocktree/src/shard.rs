@@ -1,0 +1,331 @@
+//! Subtree sharding: split a clock tree into independently solvable
+//! shards that are **electrically exact** along their trunk.
+//!
+//! At million-sink scale one monolithic zone pipeline is memory-bound
+//! even when streamed, so the driver partitions the tree into subtree
+//! shards of bounded sink count, solves each shard independently, and
+//! merges the per-sink assignments at the root.
+//!
+//! A shard is a real [`ClockTree`]: the trunk chain from the clock
+//! source down to the shard's anchor node, the retained sibling
+//! subtrees under that anchor, and — crucially — a childless *stub*
+//! node for every omitted sibling along the trunk. A stub keeps the
+//! omitted subtree root's cell, wire length, location and delay trim,
+//! so every trunk node drives exactly the load it drives in the full
+//! tree (load is `Σ` over children of wire cap + cell input cap, which
+//! the stub reproduces; what hangs *below* the omitted root never
+//! reaches the trunk). Child order is preserved at every copied node,
+//! so load summation order — and therefore arrival times down the
+//! trunk and into the retained subtrees — is bit-for-bit identical to
+//! analyzing the full tree.
+//!
+//! Stubs are [`NodeKind::Internal`] even when the omitted node was a
+//! leaf: that keeps them out of the shard's sink set (they belong to a
+//! different shard) while preserving their electrical footprint.
+//! [`ClockTree::validate`] accepts childless internals.
+//!
+//! What sharding does *not* preserve is the cross-shard coupling of
+//! the optimizer itself: each shard picks its feasible time interval
+//! independently, so the merged design's global skew must be
+//! re-checked after the merge (the driver in `wavemin-core` does
+//! this). See DESIGN.md, "Streaming and sharding at scale".
+
+use crate::tree::{ClockTree, NodeId, NodeKind};
+
+/// One independently solvable shard of a larger clock tree.
+#[derive(Debug, Clone)]
+pub struct SubtreeShard {
+    /// The shard's own tree (trunk chain + retained subtrees + stubs).
+    pub tree: ClockTree,
+    /// For each shard node (indexed by shard `NodeId`), the node it was
+    /// copied from in the full tree. Use [`SubtreeShard::origin`] to map
+    /// per-sink results back.
+    pub node_map: Vec<NodeId>,
+    /// Number of childless stub internals standing in for omitted
+    /// sibling subtrees.
+    pub stub_count: usize,
+}
+
+impl SubtreeShard {
+    /// Maps a shard-local node id back to the full-tree node it copies.
+    #[must_use]
+    pub fn origin(&self, shard_id: NodeId) -> NodeId {
+        self.node_map[shard_id.0]
+    }
+
+    /// The shard's real sinks as full-tree node ids (stubs excluded —
+    /// they are internals by construction).
+    #[must_use]
+    pub fn sink_origins(&self) -> Vec<NodeId> {
+        self.tree
+            .leaves()
+            .into_iter()
+            .map(|id| self.origin(id))
+            .collect()
+    }
+}
+
+/// Partitions `tree` into shards of at most `max_sinks` sinks each.
+///
+/// Descends from the root, greedily packing consecutive sibling
+/// subtrees (in child order, so the split is deterministic) into
+/// groups whose sink totals fit the bound; a single subtree larger
+/// than the bound is recursed into. Every sink of the full tree
+/// appears in exactly one shard. A tree already within the bound
+/// yields one shard that is a verbatim copy.
+///
+/// `max_sinks` is clamped to at least 1; sinkless sibling groups are
+/// skipped (nothing to solve).
+#[must_use]
+pub fn shard_by_sinks(tree: &ClockTree, max_sinks: usize) -> Vec<SubtreeShard> {
+    let max_sinks = max_sinks.max(1);
+    let sinks_below = sink_counts(tree);
+    if sinks_below[tree.root().0] <= max_sinks {
+        let node_map = tree.ids().collect();
+        return vec![SubtreeShard {
+            tree: tree.clone(),
+            node_map,
+            stub_count: 0,
+        }];
+    }
+    let mut shards = Vec::new();
+    // Breadth-first over anchor candidates keeps shard order stable.
+    let mut anchors = vec![tree.root()];
+    let mut next = 0;
+    while next < anchors.len() {
+        let anchor = anchors[next];
+        next += 1;
+        let mut group: Vec<NodeId> = Vec::new();
+        let mut group_sinks = 0usize;
+        let mut flush = |group: &mut Vec<NodeId>, group_sinks: &mut usize| {
+            if *group_sinks > 0 {
+                shards.push(extract_shard(tree, anchor, group));
+            }
+            group.clear();
+            *group_sinks = 0;
+        };
+        for &child in tree.node(anchor).children() {
+            let count = sinks_below[child.0];
+            if count > max_sinks {
+                flush(&mut group, &mut group_sinks);
+                anchors.push(child);
+                continue;
+            }
+            if group_sinks + count > max_sinks {
+                flush(&mut group, &mut group_sinks);
+            }
+            group.push(child);
+            group_sinks += count;
+        }
+        flush(&mut group, &mut group_sinks);
+    }
+    shards
+}
+
+/// Number of sinks in each node's subtree (indexed by `NodeId`).
+fn sink_counts(tree: &ClockTree) -> Vec<usize> {
+    let mut counts = vec![0usize; tree.len()];
+    // Reverse topological order visits children before parents.
+    for id in tree.topological_order().into_iter().rev() {
+        let node = tree.node(id);
+        let mut c = usize::from(node.is_leaf());
+        for &child in node.children() {
+            c += counts[child.0];
+        }
+        counts[id.0] = c;
+    }
+    counts
+}
+
+/// Builds the shard tree for the sibling subtrees `retained` under
+/// `anchor`: trunk chain from the root to `anchor`, stubs for every
+/// omitted sibling along the way, full copies of the retained
+/// subtrees. Child order matches the full tree at every copied node.
+fn extract_shard(tree: &ClockTree, anchor: NodeId, retained: &[NodeId]) -> SubtreeShard {
+    let mut chain = vec![anchor];
+    let mut cur = anchor;
+    while let Some(p) = tree.node(cur).parent() {
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse(); // [root, ..., anchor]
+
+    let root = tree.node(chain[0]);
+    let mut shard = ClockTree::new(root.location, root.cell.clone());
+    let root_trim = root.delay_trim;
+    let shard_root = shard.root();
+    shard.node_mut(shard_root).delay_trim = root_trim;
+    let mut node_map = vec![chain[0]];
+    let mut stub_count = 0usize;
+
+    let mut shard_parent = shard.root();
+    for step in chain.windows(2) {
+        let (cur_full, next_full) = (step[0], step[1]);
+        let mut next_shard = None;
+        for &child in tree.node(cur_full).children() {
+            if child == next_full {
+                let n = tree.node(child);
+                let id =
+                    shard.add_internal(shard_parent, n.location, n.cell.clone(), n.wire_to_parent);
+                shard.node_mut(id).delay_trim = n.delay_trim;
+                node_map.push(child);
+                next_shard = Some(id);
+            } else {
+                add_stub(tree, child, &mut shard, shard_parent, &mut node_map);
+                stub_count += 1;
+            }
+        }
+        shard_parent = next_shard.unwrap_or(shard_parent);
+    }
+
+    for &child in tree.node(anchor).children() {
+        if retained.contains(&child) {
+            copy_subtree(tree, child, &mut shard, shard_parent, &mut node_map);
+        } else {
+            add_stub(tree, child, &mut shard, shard_parent, &mut node_map);
+            stub_count += 1;
+        }
+    }
+
+    SubtreeShard {
+        tree: shard,
+        node_map,
+        stub_count,
+    }
+}
+
+/// Adds a childless internal standing in for the omitted subtree
+/// rooted at `full_id`: same cell, wire, location and delay trim, so
+/// the shard parent's load and downstream arrivals are unchanged.
+fn add_stub(
+    src: &ClockTree,
+    full_id: NodeId,
+    dst: &mut ClockTree,
+    dst_parent: NodeId,
+    node_map: &mut Vec<NodeId>,
+) {
+    let n = src.node(full_id);
+    let id = dst.add_internal(dst_parent, n.location, n.cell.clone(), n.wire_to_parent);
+    dst.node_mut(id).delay_trim = n.delay_trim;
+    node_map.push(full_id);
+}
+
+/// Deep-copies the subtree rooted at `sub_root` under `attach`,
+/// preserving child order, kinds, sink caps and delay trims.
+fn copy_subtree(
+    src: &ClockTree,
+    sub_root: NodeId,
+    dst: &mut ClockTree,
+    attach: NodeId,
+    node_map: &mut Vec<NodeId>,
+) {
+    let mut stack = vec![(sub_root, attach)];
+    while let Some((full_id, dst_parent)) = stack.pop() {
+        let n = src.node(full_id);
+        let id = match n.kind {
+            NodeKind::Leaf => dst.add_leaf(
+                dst_parent,
+                n.location,
+                n.cell.clone(),
+                n.wire_to_parent,
+                n.sink_cap,
+            ),
+            _ => dst.add_internal(dst_parent, n.location, n.cell.clone(), n.wire_to_parent),
+        };
+        dst.node_mut(id).delay_trim = n.delay_trim;
+        node_map.push(full_id);
+        // Reversed push so pop order — and therefore the order children
+        // are appended to `dst_parent` — matches the source.
+        for &child in n.children().iter().rev() {
+            stack.push((child, id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use crate::timing::{SupplyAssignment, Timing};
+    use crate::wire::WireModel;
+    use std::collections::BTreeSet;
+    use wavemin_cells::units::Volts;
+    use wavemin_cells::{CellLibrary, Characterizer};
+
+    fn fixture() -> ClockTree {
+        Benchmark::scale("shard_fixture", 300).synthesize(7)
+    }
+
+    #[test]
+    fn shards_cover_all_sinks_disjointly() {
+        let tree = fixture();
+        let shards = shard_by_sinks(&tree, 40);
+        assert!(shards.len() > 1);
+        let mut seen = BTreeSet::new();
+        for shard in &shards {
+            let origins = shard.sink_origins();
+            assert!(!origins.is_empty());
+            assert!(origins.len() <= 40, "shard exceeds sink bound");
+            for origin in origins {
+                assert!(seen.insert(origin), "sink appears in two shards");
+                assert!(tree.node(origin).is_leaf());
+            }
+        }
+        let all: BTreeSet<_> = tree.leaves().into_iter().collect();
+        assert_eq!(seen, all, "every full-tree sink is covered");
+    }
+
+    #[test]
+    fn shards_validate_and_map_back_consistently() {
+        let tree = fixture();
+        for shard in shard_by_sinks(&tree, 64) {
+            shard
+                .tree
+                .validate(|_| true)
+                .expect("shard tree is well formed");
+            assert_eq!(shard.node_map.len(), shard.tree.len());
+            for id in shard.tree.ids() {
+                let full = tree.node(shard.origin(id));
+                let own = shard.tree.node(id);
+                assert_eq!(own.cell, full.cell);
+                assert_eq!(own.location, full.location);
+                assert_eq!(own.wire_to_parent, full.wire_to_parent);
+                assert_eq!(own.delay_trim, full.delay_trim);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_within_bound_yields_one_verbatim_shard() {
+        let tree = fixture();
+        let shards = shard_by_sinks(&tree, tree.leaves().len());
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].tree, tree);
+        assert_eq!(shards[0].stub_count, 0);
+    }
+
+    #[test]
+    fn trunk_stubs_keep_shard_arrivals_bit_exact() {
+        let tree = fixture();
+        let lib = CellLibrary::nangate45();
+        let chr = Characterizer::default();
+        let supply = SupplyAssignment::Uniform(Volts::new(1.1));
+        let full = Timing::analyze(&tree, &lib, &chr, WireModel::default(), &supply, None)
+            .expect("full-tree timing");
+        let shards = shard_by_sinks(&tree, 32);
+        assert!(shards.iter().any(|s| s.stub_count > 0));
+        for shard in shards {
+            let local =
+                Timing::analyze(&shard.tree, &lib, &chr, WireModel::default(), &supply, None)
+                    .expect("shard timing");
+            for leaf in shard.tree.leaves() {
+                let origin = shard.origin(leaf);
+                assert_eq!(
+                    local.output_arrival[leaf.0].value().to_bits(),
+                    full.output_arrival[origin.0].value().to_bits(),
+                    "arrival at sink {origin} differs between shard and full tree"
+                );
+            }
+        }
+    }
+}

@@ -461,11 +461,11 @@ impl MospZoneSolver {
         table: &NoiseTable,
         zone: &ZoneProblem,
         interval: &FeasibleInterval,
-        extra: &crate::noise_table::EventWaveforms,
+        extra: &crate::noise_table::BackgroundAccumulator,
         salvage: bool,
     ) -> Result<ZoneSolution, WaveMinError> {
         let mut background = zone.background.clone();
-        zone.plan.accumulate_into(&mut background, extra);
+        zone.plan.accumulate_background_into(&mut background, extra);
         let (choices, cost) = solve_zone_mosp_generic(
             &self.ladder,
             zone.id,
@@ -490,7 +490,7 @@ impl ZoneSolver for MospZoneSolver {
         table: &NoiseTable,
         zone: &ZoneProblem,
         interval: &FeasibleInterval,
-        extra: &crate::noise_table::EventWaveforms,
+        extra: &crate::noise_table::BackgroundAccumulator,
     ) -> Result<ZoneSolution, WaveMinError> {
         self.solve_zone_inner(table, zone, interval, extra, false)
     }
@@ -500,7 +500,7 @@ impl ZoneSolver for MospZoneSolver {
         table: &NoiseTable,
         zone: &ZoneProblem,
         interval: &FeasibleInterval,
-        extra: &crate::noise_table::EventWaveforms,
+        extra: &crate::noise_table::BackgroundAccumulator,
     ) -> Result<ZoneSolution, WaveMinError> {
         self.solve_zone_inner(table, zone, interval, extra, true)
     }

@@ -81,7 +81,7 @@ impl ZoneSolver for GreedyZoneSolver {
         table: &NoiseTable,
         zone: &ZoneProblem,
         interval: &FeasibleInterval,
-        extra: &crate::noise_table::EventWaveforms,
+        extra: &crate::noise_table::BackgroundAccumulator,
     ) -> Result<ZoneSolution, WaveMinError> {
         let started = self.registry.is_enabled().then(std::time::Instant::now);
         let mut work = 0_u64;
@@ -105,7 +105,7 @@ impl ZoneSolver for GreedyZoneSolver {
         }
 
         let mut sum = zone.background.clone();
-        zone.plan.accumulate_into(&mut sum, extra);
+        zone.plan.accumulate_background_into(&mut sum, extra);
         let mut choices = vec![(usize::MAX, Picoseconds::ZERO); rows];
         let mut remaining: Vec<usize> = (0..rows).collect();
         while !remaining.is_empty() {
@@ -165,7 +165,7 @@ fn greedy_vs_mosp_zone_cost(
     interval: &FeasibleInterval,
 ) -> Result<(f64, f64), WaveMinError> {
     use crate::algo::clkwavemin::MospZoneSolver;
-    let zero = crate::noise_table::EventWaveforms::zero();
+    let zero = crate::noise_table::BackgroundAccumulator::zero();
     let greedy = GreedyZoneSolver::new(MetricsRegistry::disabled())
         .solve_zone(table, zone, interval, &zero)?;
     let mosp = MospZoneSolver::new(

@@ -21,6 +21,7 @@ mod nieh;
 mod nonleaf;
 mod peakmin;
 mod samanta;
+pub(crate) mod streaming;
 mod yield_aware;
 
 pub use clkwavemin::ClkWaveMin;
@@ -227,9 +228,12 @@ pub(crate) fn improvement_pct(before: f64, after: f64) -> f64 {
     }
 }
 
-/// A zone's precomputed sampled noise data, shared by all inner solvers.
-#[derive(Debug, Clone)]
-pub(crate) struct ZoneProblem {
+/// A zone's lightweight description: everything the partition derives
+/// for one zone *except* the sampled option vectors. Specs stay resident
+/// for the whole run (a few hundred bytes each) while the heavy vectors
+/// live behind [`streaming::ZoneStorage`]'s residency policy.
+#[derive(Debug)]
+pub(crate) struct ZoneSpec {
     /// The zone's id in the run's partition (the metrics registry keys its
     /// per-zone rows by this).
     pub id: usize,
@@ -239,19 +243,41 @@ pub(crate) struct ZoneProblem {
     pub plan: SamplePlan,
     /// Non-leaf background sampled on the plan.
     pub background: Vec<f64>,
-    /// `vectors[local sink][option]` — sampled noise vectors (unshifted).
-    pub vectors: Vec<Vec<Vec<f64>>>,
 }
 
-impl ZoneProblem {
-    /// Builds every zone's problem for a noise table.
-    pub(crate) fn build_all(
+impl ZoneSpec {
+    /// Partitions a design into zone specs (no vectors sampled yet).
+    pub(crate) fn build_specs(
         design: &Design,
         config: &WaveMinConfig,
         table: &NoiseTable,
-    ) -> Vec<ZoneProblem> {
+    ) -> Vec<ZoneSpec> {
         let grid = ZoneGrid::partition(&design.tree, config.zone_pitch);
         let k = config.samples_per_slot();
+        // O(1) node -> sink lookup; the linear `sink_index` scan per zone
+        // sink made zoning quadratic past ~100k sinks.
+        let sink_of: std::collections::HashMap<wavemin_clocktree::NodeId, usize> = table
+            .sinks
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.node, i))
+            .collect();
+        // Spatial buckets of non-leaf nodes at the zone pitch: a zone's
+        // local-background query (its rect plus a half-pitch margin) only
+        // touches the neighboring buckets instead of every non-leaf node.
+        let pitch = grid.pitch().value();
+        let mut nonleaf_buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+            std::collections::HashMap::new();
+        if matches!(config.background, BackgroundMode::LocalZone) {
+            for (i, (nid, _)) in table.nonleaf_nodes.iter().enumerate() {
+                let loc = design.tree.node(*nid).location;
+                let key = (
+                    (loc.x.value() / pitch).floor() as i64,
+                    (loc.y.value() / pitch).floor() as i64,
+                );
+                nonleaf_buckets.entry(key).or_default().push(i);
+            }
+        }
         grid.zones()
             .iter()
             .enumerate()
@@ -259,7 +285,7 @@ impl ZoneProblem {
                 let sinks: Vec<usize> = zone
                     .sinks
                     .iter()
-                    .filter_map(|&n| table.sink_index(n))
+                    .filter_map(|&n| sink_of.get(&n).copied())
                     .collect();
                 let plan = SamplePlan::for_sinks(table, &sinks, k);
                 let background = match config.background {
@@ -279,30 +305,76 @@ impl ZoneProblem {
                                 rect.max.y.value() + margin,
                             ),
                         );
-                        plan.vector_of(&table.nonleaf_within(&design.tree, &rect))
+                        let bx0 = (rect.min.x.value() / pitch).floor() as i64;
+                        let bx1 = (rect.max.x.value() / pitch).floor() as i64;
+                        let by0 = (rect.min.y.value() / pitch).floor() as i64;
+                        let by1 = (rect.max.y.value() / pitch).floor() as i64;
+                        let mut local: Vec<usize> = Vec::new();
+                        for bx in bx0..=bx1 {
+                            for by in by0..=by1 {
+                                if let Some(ids) = nonleaf_buckets.get(&(bx, by)) {
+                                    local.extend(ids.iter().copied().filter(|&i| {
+                                        let nid = table.nonleaf_nodes[i].0;
+                                        rect.contains(design.tree.node(nid).location)
+                                    }));
+                                }
+                            }
+                        }
+                        // Summing in node order keeps the result
+                        // bit-identical to the full `nonleaf_within` scan.
+                        local.sort_unstable();
+                        plan.vector_of(&crate::noise_table::EventWaveforms::sum(
+                            local.iter().map(|&i| &table.nonleaf_nodes[i].1),
+                        ))
                     }
                     BackgroundMode::Global => plan.vector_of(&table.nonleaf),
                     BackgroundMode::None => vec![0.0; plan.dims()],
                 };
-                let vectors = sinks
-                    .iter()
-                    .map(|&si| {
-                        table.sinks[si]
-                            .options
-                            .iter()
-                            .map(|o| plan.vector_of(&o.waves))
-                            .collect()
-                    })
-                    .collect();
-                ZoneProblem {
+                ZoneSpec {
                     id,
                     sinks,
                     plan,
                     background,
-                    vectors,
                 }
             })
             .collect()
+    }
+
+    /// Samples this zone's option vectors into a full [`ZoneProblem`].
+    /// Deterministic: materializing the same spec twice produces
+    /// bit-identical vectors, which is what lets the streaming archive
+    /// recompute evicted zones without changing results.
+    pub(crate) fn materialize(&self, table: &NoiseTable) -> ZoneProblem {
+        let vectors = self
+            .sinks
+            .iter()
+            .map(|&si| {
+                table.sinks[si]
+                    .options
+                    .iter()
+                    .map(|o| self.plan.vector_of(&o.waves))
+                    .collect()
+            })
+            .collect();
+        ZoneProblem {
+            id: self.id,
+            sinks: self.sinks.clone(),
+            plan: self.plan.clone(),
+            background: self.background.clone(),
+            vectors,
+        }
+    }
+
+    /// Bytes this zone's materialized `vectors` occupy while hot
+    /// (`Σ options × plan dims × 8`); the streaming feasibility check
+    /// sizes the minimal working set from the largest zone's figure.
+    pub(crate) fn hot_bytes(&self, table: &NoiseTable) -> usize {
+        let options: usize = self
+            .sinks
+            .iter()
+            .map(|&si| table.sinks[si].options.len())
+            .sum();
+        options * self.plan.dims() * std::mem::size_of::<f64>()
     }
 
     /// A content hash of everything this zone's solve can depend on
@@ -352,6 +424,38 @@ impl ZoneProblem {
         }
         h
     }
+}
+
+/// A zone's precomputed sampled noise data, shared by all inner solvers.
+#[derive(Debug, Clone)]
+pub(crate) struct ZoneProblem {
+    /// The zone's id in the run's partition (the metrics registry keys its
+    /// per-zone rows by this).
+    pub id: usize,
+    /// Indices into `table.sinks` for this zone's sinks.
+    pub sinks: Vec<usize>,
+    /// The zone's sampling plan.
+    pub plan: SamplePlan,
+    /// Non-leaf background sampled on the plan.
+    pub background: Vec<f64>,
+    /// `vectors[local sink][option]` — sampled noise vectors (unshifted).
+    pub vectors: Vec<Vec<Vec<f64>>>,
+}
+
+impl ZoneProblem {
+    /// Builds every zone's problem for a noise table (the historical
+    /// all-materialized entry point, still used by the comparison
+    /// baselines that keep every zone hot).
+    pub(crate) fn build_all(
+        design: &Design,
+        config: &WaveMinConfig,
+        table: &NoiseTable,
+    ) -> Vec<ZoneProblem> {
+        ZoneSpec::build_specs(design, config, table)
+            .iter()
+            .map(|s| s.materialize(table))
+            .collect()
+    }
 
     /// The sampled vector of one option, delay-shifted when a nonzero
     /// adjustable code applies.
@@ -390,7 +494,7 @@ pub(crate) trait ZoneSolver: Sync {
         table: &NoiseTable,
         zone: &ZoneProblem,
         interval: &FeasibleInterval,
-        extra: &crate::noise_table::EventWaveforms,
+        extra: &crate::noise_table::BackgroundAccumulator,
     ) -> Result<ZoneSolution, WaveMinError>;
 
     /// The containment layer's one retry after [`Self::solve_zone`]
@@ -401,7 +505,7 @@ pub(crate) trait ZoneSolver: Sync {
         table: &NoiseTable,
         zone: &ZoneProblem,
         interval: &FeasibleInterval,
-        extra: &crate::noise_table::EventWaveforms,
+        extra: &crate::noise_table::BackgroundAccumulator,
     ) -> Result<ZoneSolution, WaveMinError> {
         self.solve_zone(table, zone, interval, extra)
     }
@@ -438,8 +542,9 @@ pub(crate) struct PreparedRun {
     pub table: NoiseTable,
     /// The feasible time intervals under the tightened window.
     pub intervals: IntervalSet,
-    /// Every zone's sampled problem.
-    pub zones: Vec<ZoneProblem>,
+    /// Every zone behind the run's residency policy (materialized up
+    /// front, or streamed through a budget-bounded compact archive).
+    pub zones: streaming::ZoneStorage,
     /// Zone indices largest-first (the solve order inside each interval).
     pub zone_order: Vec<usize>,
     /// `zone_hashes[zone]` — content hash for cache keying.
@@ -475,17 +580,25 @@ pub(crate) fn characterize_design(
     if intervals.is_empty() {
         return Err(WaveMinError::NoFeasibleInterval);
     }
-    let zones = ZoneProblem::build_all(design, config, &table);
-    registry.ensure_zones(zones.len());
-    thandle.stage_span(zoning_start, "zoning");
-    drop(zoning_span);
+    let specs = ZoneSpec::build_specs(design, config, &table);
+    registry.ensure_zones(specs.len());
 
     // Zones are processed largest-first so the dominant zones shape the
     // accumulated background the smaller ones then avoid.
-    let mut zone_order: Vec<usize> = (0..zones.len()).collect();
-    zone_order.sort_by_key(|&z| std::cmp::Reverse(zones[z].sinks.len()));
-    let degenerate_zones = zones.iter().filter(|z| z.plan.is_degenerate()).count();
-    let zone_hashes: Vec<u64> = zones.iter().map(|z| z.content_hash(&table)).collect();
+    let mut zone_order: Vec<usize> = (0..specs.len()).collect();
+    zone_order.sort_by_key(|&z| std::cmp::Reverse(specs[z].sinks.len()));
+    let degenerate_zones = specs.iter().filter(|s| s.plan.is_degenerate()).count();
+    let zone_hashes: Vec<u64> = specs.iter().map(|s| s.content_hash(&table)).collect();
+
+    let zones = if config.streaming_enabled() {
+        let limit = streaming_limit_bytes(config, &specs, &table)?;
+        streaming::ZoneStorage::streaming(specs, limit)
+    } else {
+        streaming::ZoneStorage::materialized(specs, &table)
+    };
+    thandle.stage_span(zoning_start, "zoning");
+    drop(zoning_span);
+    registry.sample_rss();
     Ok(PreparedRun {
         table,
         intervals,
@@ -494,6 +607,44 @@ pub(crate) fn characterize_design(
         zone_hashes,
         degenerate_zones,
     })
+}
+
+/// Translates `--memory-budget-mb` into the compact archive's byte
+/// budget, or rejects an infeasible budget with a typed error.
+///
+/// The budget covers the *whole process*: the archive may only use what
+/// remains after the current resident set (characterized table, tree,
+/// intervals) plus the transient working set of one acquire — the hot
+/// widened zone and its compact copy, bounded by twice the largest
+/// zone's hot bytes. A budget below that minimal working set cannot run
+/// at any archive size, so it fails up front with
+/// [`WaveMinError::MemoryBudget`] instead of thrashing or aborting.
+fn streaming_limit_bytes(
+    config: &WaveMinConfig,
+    specs: &[ZoneSpec],
+    table: &NoiseTable,
+) -> Result<usize, WaveMinError> {
+    const MB: usize = 1 << 20;
+    let Some(budget_mb) = config.memory_budget_mb else {
+        return Ok(usize::MAX); // streaming without a cap: archive all
+    };
+    let budget = budget_mb.saturating_mul(MB);
+    let baseline = crate::observe::current_rss_bytes().unwrap_or(0) as usize;
+    let max_hot = specs.iter().map(|s| s.hot_bytes(table)).max().unwrap_or(0);
+    // Slack for resident memory the archive ledger cannot see: zone
+    // widen/solve churn leaves freed chunks retained by the allocator,
+    // and the interval loop holds accumulated backgrounds and per-
+    // interval results. Reserved up front so the end-of-solve RSS stays
+    // under the budget rather than just the archive's own bytes.
+    let slack = 16 * MB + budget / 8;
+    let required = baseline.saturating_add(2 * max_hot).saturating_add(slack);
+    if budget < required.saturating_add(MB) {
+        return Err(WaveMinError::MemoryBudget {
+            budget_mb,
+            required_mb: required / MB + 2,
+        });
+    }
+    Ok(budget - required)
 }
 
 /// [`run_interval_framework`] with an event journal attached: the driving
@@ -560,6 +711,7 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
     let zones = &prep.zones;
     let zone_order = &prep.zone_order;
     let degenerate_zones = prep.degenerate_zones;
+    registry.sample_rss();
 
     // Zones that faulted and were salvaged, across all intervals.
     let faulted = std::sync::Mutex::new(std::collections::BTreeSet::new());
@@ -570,11 +722,11 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
     // interval a fault — handled at ranking like an infeasible one as
     // long as some interval survives.
     let contained_solve = |zi: usize,
+                           zone: &ZoneProblem,
                            interval: &FeasibleInterval,
-                           accumulated: &crate::noise_table::EventWaveforms|
+                           accumulated: &crate::noise_table::BackgroundAccumulator|
      -> Result<ZoneSolution, WaveMinError> {
         use std::panic::{catch_unwind, AssertUnwindSafe};
-        let zone = &zones[zi];
         let first = catch_unwind(AssertUnwindSafe(|| {
             solver.solve_zone(table, zone, interval, accumulated)
         }));
@@ -620,11 +772,10 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
         |interval: &FeasibleInterval| -> Result<Option<(f64, Assignment)>, WaveMinError> {
             let mut cost = 0.0_f64;
             let mut assignment = Assignment::new();
-            let mut accumulated = crate::noise_table::EventWaveforms::zero();
+            let mut accumulated = crate::noise_table::BackgroundAccumulator::zero();
             let mut chain =
                 seed.map(|s| crate::checkpoint::ZoneKeyChain::new(s, interval.t_lo, interval.t_hi));
             for &zi in zone_order {
-                let zone = &zones[zi];
                 let key = chain.as_ref().map(|c| c.key_for(prep.zone_hashes[zi]));
                 let acquired = match (store, key) {
                     (Some(s), Some(k)) => Some(s.acquire(k)),
@@ -632,6 +783,8 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
                 };
                 let sol = match acquired {
                     Some(crate::checkpoint::StoreAcquire::Hit(hit)) => {
+                        // Splicing a checkpointed solution needs only the
+                        // zone's spec: the vectors stay cold.
                         registry.record_zone_reused();
                         ZoneSolution {
                             choices: hit.choices_ps(),
@@ -647,7 +800,11 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
                             Some(crate::checkpoint::StoreAcquire::Solve(r)) => r,
                             _ => None,
                         };
-                        match contained_solve(zi, interval, &accumulated) {
+                        // The hot zone (and the solver's Pareto tables)
+                        // lives only for this solve; it drops at the end
+                        // of the match arm.
+                        let zone = zones.acquire(zi, table, registry);
+                        match contained_solve(zi, &zone, interval, &accumulated) {
                             Ok(sol) => {
                                 if let (Some(s), Some(k)) = (store, key) {
                                     s.record(k, sol.cost.to_bits(), &sol.choices)?;
@@ -663,19 +820,21 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
                     c.absorb(prep.zone_hashes[zi], sol.cost.to_bits(), &sol.choices);
                 }
                 cost = cost.max(sol.cost);
+                let spec = zones.spec(zi);
                 for (local, &(opt, code)) in sol.choices.iter().enumerate() {
-                    let si = zone.sinks[local];
+                    let si = spec.sinks[local];
                     let entry = &table.sinks[si];
                     let option = &entry.options[opt];
                     assignment.set(entry.node, option.cell.clone());
                     if code > Picoseconds::ZERO {
                         assignment.set_delay_code(0, entry.node, code);
-                        accumulated = accumulated.plus(&option.waves.shifted(code));
+                        accumulated.push(&option.waves.shifted(code));
                     } else {
-                        accumulated = accumulated.plus(&option.waves);
+                        accumulated.push(&option.waves);
                     }
                 }
             }
+            registry.sample_rss();
             Ok(Some((cost, assignment)))
         };
     let solved = crate::parallel::map_ordered(
@@ -683,6 +842,7 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
         config.effective_threads(),
         |_, interval| solve_interval(interval),
     );
+    registry.sample_solve_rss();
     let mut ranked: Vec<(f64, Assignment)> = Vec::new();
     let mut fault: Option<WaveMinError> = None;
     for result in solved {
@@ -753,6 +913,7 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
         Err(poisoned) => poisoned.into_inner().iter().copied().collect(),
     };
     thandle.stage_span(validation_start, "validation");
+    registry.sample_rss();
     Ok(out)
 }
 

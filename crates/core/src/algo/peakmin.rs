@@ -81,7 +81,7 @@ impl ZoneSolver for BalanceZoneSolver {
         table: &NoiseTable,
         zone: &ZoneProblem,
         interval: &FeasibleInterval,
-        _extra: &crate::noise_table::EventWaveforms,
+        _extra: &crate::noise_table::BackgroundAccumulator,
     ) -> Result<ZoneSolution, WaveMinError> {
         // PeakMin is deliberately oblivious to other zones and to the
         // non-leaf background — that is the limitation WaveMin fixes.
@@ -242,7 +242,7 @@ mod tests {
                     &table,
                     zone,
                     interval,
-                    &crate::noise_table::EventWaveforms::zero(),
+                    &crate::noise_table::BackgroundAccumulator::zero(),
                 )
                 .unwrap();
             // The zone cost can never exceed assigning everything to one

@@ -1,0 +1,357 @@
+//! Zone storage for the interval framework: materialized or streamed.
+//!
+//! The framework's historical behaviour materializes every
+//! [`ZoneProblem`] — including the big sampled `vectors` slab — before
+//! the first solve. At million-sink scale those slabs dominate memory,
+//! so [`ZoneStorage`] hides the residency policy behind one `acquire`
+//! call:
+//!
+//! * **Materialized** — every zone built up front, handed out as shared
+//!   references. Bit-identical to the historical behaviour.
+//! * **Streaming** — zones are characterized the first time an interval
+//!   needs them and *archived* compactly (one
+//!   [`wavemin_mosp::CompactCosts`] slab per sink, stored at the active
+//!   [`wavemin_mosp::CostPrecision`]). Every acquire — including the
+//!   first — widens the archived slab back to `f64`, so one zone's
+//!   vectors are identical on every interval regardless of precision;
+//!   at the default `F64` precision they are also bit-identical to a
+//!   materialized run. When the archive exceeds its byte budget the
+//!   least-recently-used zone is evicted (`zones_spilled`) and
+//!   re-characterized on next use (`zone_recomputes`) — recomputation
+//!   reproduces the same bits, so eviction never changes results, only
+//!   time.
+//!
+//! The hot [`ZoneProblem`] handed to a solver is transient: the caller
+//! drops it (and the solver's Pareto tables with it) as soon as the
+//! zone's choices are folded into the interval's accumulated waveform.
+
+use super::{ZoneProblem, ZoneSpec};
+use crate::noise_table::NoiseTable;
+use crate::observe::MetricsRegistry;
+use std::sync::{Arc, Mutex, PoisonError};
+use wavemin_mosp::CompactCosts;
+
+/// The interval framework's zone backing store.
+pub(crate) struct ZoneStorage {
+    specs: Vec<ZoneSpec>,
+    backing: Backing,
+}
+
+enum Backing {
+    Materialized(Vec<Arc<ZoneProblem>>),
+    Streaming(StreamingState),
+}
+
+struct StreamingState {
+    /// Byte budget for the archived slabs (allocation capacity, the
+    /// same accounting as [`CompactCosts::approx_bytes`]).
+    limit_bytes: usize,
+    archive: Mutex<Archive>,
+}
+
+struct Archive {
+    slots: Vec<Slot>,
+    /// Logical LRU clock: bumped per acquire, copied into the touched
+    /// slot.
+    clock: u64,
+    /// Total archived bytes across all resident slots.
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Slot {
+    compact: Option<CompactZone>,
+    last_used: u64,
+    bytes: usize,
+    /// Whether this zone was ever characterized — a later rebuild is a
+    /// recompute, not a first build.
+    built: bool,
+}
+
+/// One zone's archived vectors: per local sink, a row-major slab with
+/// one row per candidate option.
+struct CompactZone {
+    slabs: Vec<CompactCosts>,
+}
+
+impl CompactZone {
+    fn from_problem(problem: &ZoneProblem) -> Self {
+        let dims = problem.plan.dims();
+        let slabs = problem
+            .vectors
+            .iter()
+            .map(|per_sink| {
+                let mut slab = CompactCosts::with_active(dims);
+                for row in per_sink {
+                    slab.push_row(row);
+                }
+                slab
+            })
+            .collect();
+        Self { slabs }
+    }
+
+    fn bytes(&self) -> usize {
+        self.slabs
+            .iter()
+            .map(CompactCosts::approx_bytes)
+            .sum::<usize>()
+    }
+
+    fn widen(&self, spec: &ZoneSpec) -> ZoneProblem {
+        let vectors = self
+            .slabs
+            .iter()
+            .map(|slab| {
+                (0..slab.rows())
+                    .map(|row| {
+                        let mut v = Vec::new();
+                        slab.widen_row_into(row, &mut v);
+                        v
+                    })
+                    .collect()
+            })
+            .collect();
+        ZoneProblem {
+            id: spec.id,
+            sinks: spec.sinks.clone(),
+            plan: spec.plan.clone(),
+            background: spec.background.clone(),
+            vectors,
+        }
+    }
+}
+
+impl ZoneStorage {
+    /// Builds every zone up front (the historical behaviour).
+    pub(crate) fn materialized(specs: Vec<ZoneSpec>, table: &NoiseTable) -> Self {
+        let zones = specs
+            .iter()
+            .map(|s| Arc::new(s.materialize(table)))
+            .collect();
+        Self {
+            specs,
+            backing: Backing::Materialized(zones),
+        }
+    }
+
+    /// Streams zones through a compact archive bounded by `limit_bytes`
+    /// (`usize::MAX` = archive everything, never spill).
+    pub(crate) fn streaming(specs: Vec<ZoneSpec>, limit_bytes: usize) -> Self {
+        let slots = (0..specs.len()).map(|_| Slot::default()).collect();
+        Self {
+            specs,
+            backing: Backing::Streaming(StreamingState {
+                limit_bytes,
+                archive: Mutex::new(Archive {
+                    slots,
+                    clock: 0,
+                    bytes: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Number of zones.
+    pub(crate) fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The lightweight spec of zone `zi` (always resident).
+    pub(crate) fn spec(&self, zi: usize) -> &ZoneSpec {
+        &self.specs[zi]
+    }
+
+    /// `true` for a streaming store.
+    #[cfg(test)]
+    pub(crate) fn is_streaming(&self) -> bool {
+        matches!(self.backing, Backing::Streaming(_))
+    }
+
+    /// Produces zone `zi` ready to solve. Materialized: a shared
+    /// reference. Streaming: widened from the archive, characterizing
+    /// (or re-characterizing) the zone first when it is not resident.
+    pub(crate) fn acquire(
+        &self,
+        zi: usize,
+        table: &NoiseTable,
+        registry: &MetricsRegistry,
+    ) -> Arc<ZoneProblem> {
+        match &self.backing {
+            Backing::Materialized(zones) => Arc::clone(&zones[zi]),
+            Backing::Streaming(state) => state.acquire(&self.specs[zi], table, registry),
+        }
+    }
+}
+
+impl StreamingState {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Archive> {
+        self.archive.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn acquire(
+        &self,
+        spec: &ZoneSpec,
+        table: &NoiseTable,
+        registry: &MetricsRegistry,
+    ) -> Arc<ZoneProblem> {
+        {
+            let mut archive = self.lock();
+            archive.clock += 1;
+            let now = archive.clock;
+            let slot = &mut archive.slots[spec.id];
+            if let Some(compact) = &slot.compact {
+                slot.last_used = now;
+                return Arc::new(compact.widen(spec));
+            }
+        }
+        // Miss: characterize outside the lock so other workers keep
+        // hitting the archive. The returned problem ALWAYS takes the
+        // archive round-trip, so an acquire that characterized and one
+        // that widened a resident slab hand out identical vectors at
+        // any storage precision.
+        let fresh = spec.materialize(table);
+        let compact = CompactZone::from_problem(&fresh);
+        drop(fresh);
+        let problem = compact.widen(spec);
+
+        let mut archive = self.lock();
+        archive.clock += 1;
+        let now = archive.clock;
+        if archive.slots[spec.id].built {
+            registry.record_zone_recompute();
+        }
+        if archive.slots[spec.id].compact.is_none() {
+            let bytes = compact.bytes();
+            archive.slots[spec.id] = Slot {
+                compact: Some(compact),
+                last_used: now,
+                bytes,
+                built: true,
+            };
+            archive.bytes += bytes;
+        } else {
+            // A racing worker archived this zone first; keep theirs.
+            archive.slots[spec.id].last_used = now;
+        }
+        // Evict least-recently-used zones (never the one just acquired)
+        // until the archive fits its budget again.
+        while archive.bytes > self.limit_bytes {
+            let victim = archive
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| s.compact.is_some() && *i != spec.id)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i);
+            let Some(v) = victim else {
+                break; // only the hot zone is resident; nothing to spill
+            };
+            archive.bytes -= archive.slots[v].bytes;
+            archive.slots[v].compact = None;
+            archive.slots[v].bytes = 0;
+            registry.record_zone_spill();
+        }
+        Arc::new(problem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WaveMinConfig;
+    use crate::design::Design;
+    use wavemin_clocktree::Benchmark;
+
+    fn fixture() -> (Design, WaveMinConfig, NoiseTable) {
+        let design = Design::from_benchmark(&Benchmark::s15850(), 3);
+        let config = WaveMinConfig::default();
+        let table = NoiseTable::build(&design, &config, 0).expect("characterize");
+        (design, config, table)
+    }
+
+    #[test]
+    fn streaming_acquires_match_materialized_bit_for_bit() {
+        let (design, config, table) = fixture();
+        let specs = ZoneSpec::build_specs(&design, &config, &table);
+        let materialized = ZoneStorage::materialized(specs.clone_specs(), &table);
+        let streaming = ZoneStorage::streaming(specs, usize::MAX);
+        assert!(streaming.is_streaming());
+        assert!(!materialized.is_streaming());
+        assert_eq!(streaming.len(), materialized.len());
+        let registry = MetricsRegistry::disabled();
+        for zi in 0..streaming.len() {
+            let m = materialized.acquire(zi, &table, &registry);
+            let s = streaming.acquire(zi, &table, &registry);
+            assert_eq!(m.vectors.len(), s.vectors.len());
+            for (mv, sv) in m.vectors.iter().zip(&s.vectors) {
+                for (mo, so) in mv.iter().zip(sv) {
+                    let mb: Vec<u64> = mo.iter().map(|x| x.to_bits()).collect();
+                    let sb: Vec<u64> = so.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(mb, sb, "zone {zi} vectors differ");
+                }
+            }
+            assert_eq!(m.background, s.background);
+            assert_eq!(m.sinks, s.sinks);
+        }
+    }
+
+    #[test]
+    fn tiny_archive_spills_and_recomputes_identically() {
+        let (design, config, table) = fixture();
+        let specs = ZoneSpec::build_specs(&design, &config, &table);
+        assert!(specs.len() > 1, "fixture needs several zones");
+        // An archive that holds roughly one zone forces constant
+        // eviction on a round-robin access pattern.
+        let one_zone = specs.iter().map(|s| s.hot_bytes(&table)).max().unwrap_or(0);
+        let streaming = ZoneStorage::streaming(specs.clone_specs(), one_zone.max(1));
+        let registry = MetricsRegistry::enabled(false);
+        let mut first: Vec<Vec<u64>> = Vec::new();
+        for zi in 0..streaming.len() {
+            let z = streaming.acquire(zi, &table, &registry);
+            first.push(
+                z.vectors
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .map(|x| x.to_bits())
+                    .collect(),
+            );
+        }
+        for (zi, expect) in first.iter().enumerate() {
+            let z = streaming.acquire(zi, &table, &registry);
+            let again: Vec<u64> = z
+                .vectors
+                .iter()
+                .flatten()
+                .flatten()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(&again, expect, "recompute changed zone {zi}");
+        }
+        let report = registry
+            .report(&crate::observe::ReportContext::default())
+            .expect("enabled");
+        assert!(report.counters.zones_spilled > 0, "archive never spilled");
+        assert!(report.counters.zone_recomputes > 0, "nothing recomputed");
+    }
+
+    /// Test-only deep clone of a spec list (specs are not `Clone` in
+    /// production code — they are built once per characterization).
+    trait CloneSpecs {
+        fn clone_specs(&self) -> Vec<ZoneSpec>;
+    }
+
+    impl CloneSpecs for Vec<ZoneSpec> {
+        fn clone_specs(&self) -> Vec<ZoneSpec> {
+            self.iter()
+                .map(|s| ZoneSpec {
+                    id: s.id,
+                    sinks: s.sinks.clone(),
+                    plan: s.plan.clone(),
+                    background: s.background.clone(),
+                })
+                .collect()
+        }
+    }
+}

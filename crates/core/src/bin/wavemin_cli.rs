@@ -85,7 +85,7 @@ impl From<&WaveMinError> for CliError {
             | WaveMinError::DuplicateSinks(_)
             | WaveMinError::MissingCell(_)
             | WaveMinError::Sdf(_) => EXIT_INVALID_INPUT,
-            WaveMinError::NoFeasibleInterval => EXIT_INFEASIBLE,
+            WaveMinError::NoFeasibleInterval | WaveMinError::MemoryBudget { .. } => EXIT_INFEASIBLE,
             _ => EXIT_RUNTIME,
         };
         Self {
@@ -147,6 +147,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "fault-plan",
                     "checkpoint",
                     "resume",
+                    "streaming",
+                    "memory-budget-mb",
+                    "shard-sinks",
                     "o",
                 ],
             )?;
@@ -214,7 +217,9 @@ USAGE:
                      [--power intent.pw] [--time-budget-ms N] [--threads N]
                      [--strict] [--metrics-out report.json] [--trace]
                      [--trace-out trace.json] [--fault-plan seed:rate]
-                     [--checkpoint journal.ckpt [--resume]] [-o out.clk]
+                     [--checkpoint journal.ckpt [--resume]]
+                     [--streaming] [--memory-budget-mb N] [--shard-sinks N]
+                     [-o out.clk]
   wavemin validate   -i tree.clk | --sdf file.sdf [--lib file.lib]
                      [--power intent.pw] [--kappa PS] [--samples N]
   wavemin check-report -i report.json
@@ -257,6 +262,16 @@ FLAGS:
                       content-hashed journal as it finishes
   --resume            with --checkpoint: reuse journal entries whose keys
                       still match and re-solve only missing/dirty zones
+  --streaming         characterize zones lazily and archive them compactly
+                      instead of materializing everything up front
+                      (bit-identical results; implied by --memory-budget-mb)
+  --memory-budget-mb N  cap the whole process at about N MB: the zone
+                      archive spills least-recently-used zones and
+                      recomputes them on demand; an infeasible budget
+                      fails up front (exit 4) instead of thrashing
+  --shard-sinks N     wavemin only: split the tree into subtree shards of
+                      at most N sinks, solve each independently, merge at
+                      the root and re-validate the exact global skew
   --top N             explain: contributors to print (default 10)
   --socket PATH       serve/client: unix socket the daemon binds/dials
   --workers N         serve: solve-job worker threads (default 2)
@@ -273,7 +288,9 @@ EXIT CODES:
   3 input failed validation   4 infeasible   5 degraded under --strict
   (salvaged fault-contained runs exit 0 unless --strict)
 
-Benchmarks: s13207 s15850 s35932 s38417 s38584 ispd09f31 ispd09f34"
+Benchmarks: s13207 s15850 s35932 s38417 s38584 ispd09f31 ispd09f34
+            scale<N>[k|m] — synthetic trees of N sinks (scale10k,
+            scale100k, scale1m) for streaming/sharding scale runs"
     );
 }
 
@@ -338,10 +355,26 @@ impl Flags {
 }
 
 fn benchmark_by_name(name: &str) -> Result<Benchmark, CliError> {
+    if let Some(leaves) = parse_scale_name(name) {
+        return Ok(Benchmark::scale(name, leaves));
+    }
     Benchmark::all()
         .into_iter()
         .find(|b| b.name == name)
         .ok_or_else(|| CliError::usage(format!("unknown benchmark '{name}'")))
+}
+
+/// Synthetic scale benchmarks: `scale<N>` with an optional `k`/`m`
+/// multiplier suffix — `scale10k`, `scale100k`, `scale1m`, `scale500`.
+fn parse_scale_name(name: &str) -> Option<usize> {
+    let rest = name.strip_prefix("scale")?;
+    let (digits, mult) = match rest.as_bytes().last()? {
+        b'k' => (&rest[..rest.len() - 1], 1_000),
+        b'm' => (&rest[..rest.len() - 1], 1_000_000),
+        _ => (rest, 1),
+    };
+    let n: usize = digits.parse().ok()?;
+    (n > 0).then(|| n.saturating_mul(mult))
 }
 
 fn load_library(flags: &Flags) -> Result<CellLibrary, CliError> {
@@ -501,8 +534,31 @@ fn build_config(flags: &Flags) -> Result<WaveMinConfig, CliError> {
         }
         config.resume = true;
     }
+    if flags.has("streaming") {
+        config.streaming = true;
+    }
+    if let Some(mb) = flags.numeric("memory-budget-mb")? {
+        if mb < 1.0 || mb.fract() != 0.0 {
+            return Err(CliError::usage(
+                "--memory-budget-mb expects a positive integer MB count",
+            ));
+        }
+        config.memory_budget_mb = Some(mb as usize);
+    }
     config.validate().map_err(|e| CliError::from(&e))?;
     Ok(config)
+}
+
+/// A compact rendering of per-shard sink counts: the full list for a few
+/// shards, a min..max range summary for many.
+fn summarize_shard_sinks(sinks: &[usize]) -> String {
+    if sinks.len() <= 8 {
+        format!("{sinks:?}")
+    } else {
+        let lo = sinks.iter().min().copied().unwrap_or(0);
+        let hi = sinks.iter().max().copied().unwrap_or(0);
+        format!("[{} shards of {lo}..{hi} sinks]", sinks.len())
+    }
 }
 
 /// Injected chaos panics are contained and salvaged by the solver, but
@@ -543,14 +599,45 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
             "note: --checkpoint/--resume: only the 'wavemin' algorithm journals zone results"
         );
     }
-    let outcome = match algorithm {
-        "wavemin" => ClkWaveMin::new(config).run_traced(&design, &journal),
-        "fast" => ClkWaveMinFast::new(config).run(&design),
-        "peakmin" => ClkPeakMin::new(config).run(&design),
-        "nieh" => NiehOppositePhase::new().run(&design),
-        "samanta" => SamantaBalanced::new(Microns::new(50.0)).run(&design),
-        "multimode" => ClkWaveMinM::new(config).run(&design),
-        other => return Err(CliError::usage(format!("unknown algorithm '{other}'"))),
+    let shard_sinks = match flags.numeric("shard-sinks")? {
+        Some(n) if n < 1.0 || n.fract() != 0.0 => {
+            return Err(CliError::usage(
+                "--shard-sinks expects a positive integer sink count",
+            ));
+        }
+        Some(n) => Some(n as usize),
+        None => None,
+    };
+    if shard_sinks.is_some() && algorithm != "wavemin" {
+        return Err(CliError::usage(
+            "--shard-sinks only applies to the 'wavemin' algorithm",
+        ));
+    }
+    let outcome = match (algorithm, shard_sinks) {
+        ("wavemin", Some(max_sinks)) => {
+            wavemin::shardrun::optimize_sharded(&design, &config, max_sinks).map(|sharded| {
+                eprintln!(
+                    "sharded: {} shard(s), sinks per shard {}{}",
+                    sharded.shard_count,
+                    summarize_shard_sinks(&sharded.shard_sinks),
+                    if sharded.merge_fallback {
+                        " — merged assignment violated the global bound; identity fallback"
+                    } else {
+                        ""
+                    }
+                );
+                sharded.outcome
+            })
+        }
+        _ => match algorithm {
+            "wavemin" => ClkWaveMin::new(config).run_traced(&design, &journal),
+            "fast" => ClkWaveMinFast::new(config).run(&design),
+            "peakmin" => ClkPeakMin::new(config).run(&design),
+            "nieh" => NiehOppositePhase::new().run(&design),
+            "samanta" => SamantaBalanced::new(Microns::new(50.0)).run(&design),
+            "multimode" => ClkWaveMinM::new(config).run(&design),
+            other => return Err(CliError::usage(format!("unknown algorithm '{other}'"))),
+        },
     }
     .map_err(|e| CliError::from(&e))?;
 

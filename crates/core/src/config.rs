@@ -112,6 +112,24 @@ pub struct WaveMinConfig {
     /// without a checkpoint path.
     #[serde(default)]
     pub resume: bool,
+    /// Stream zone problems instead of materializing every zone's
+    /// sampled vectors up front: each zone is characterized when an
+    /// interval first needs it, archived compactly (see
+    /// [`wavemin_mosp::CompactCosts`]), and re-widened — or recomputed
+    /// after eviction — on later use. At the default f64 storage
+    /// precision a streaming run is bit-identical to a materialized one.
+    /// Implied by [`Self::memory_budget_mb`].
+    #[serde(default)]
+    pub streaming: bool,
+    /// Total process memory budget in MB for a streaming run. The zone
+    /// archive is sized to what remains after the measured baseline
+    /// (noise table, intervals) and one hot zone; archived zones are
+    /// evicted LRU (`zones_spilled`) and recomputed on next use
+    /// (`zone_recomputes`). A budget the minimal working set cannot fit
+    /// fails with [`WaveMinError::MemoryBudget`] before any zone is
+    /// solved. `None` = unbounded.
+    #[serde(default)]
+    pub memory_budget_mb: Option<usize>,
 }
 
 impl Default for WaveMinConfig {
@@ -142,6 +160,8 @@ impl Default for WaveMinConfig {
             fault_plan: FaultPlan::from_env(),
             checkpoint_path: None,
             resume: false,
+            streaming: false,
+            memory_budget_mb: None,
         }
     }
 }
@@ -228,6 +248,28 @@ impl WaveMinConfig {
     pub fn with_resume(mut self, resume: bool) -> Self {
         self.resume = resume;
         self
+    }
+
+    /// Returns the config with streaming zone solves switched on or off.
+    #[must_use]
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Returns the config with a total-process memory budget in MB
+    /// (implies streaming).
+    #[must_use]
+    pub fn with_memory_budget_mb(mut self, mb: usize) -> Self {
+        self.memory_budget_mb = Some(mb);
+        self
+    }
+
+    /// `true` when zones should be streamed rather than materialized:
+    /// either requested directly or implied by a memory budget.
+    #[must_use]
+    pub fn streaming_enabled(&self) -> bool {
+        self.streaming || self.memory_budget_mb.is_some()
     }
 
     /// The worker count the solve pipeline will actually use: the
@@ -368,6 +410,17 @@ mod tests {
         assert_eq!(c.budget(), Budget::unlimited());
         let b = c.with_time_budget_ms(50).budget();
         assert!(b.remaining().expect("deadline set") <= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn memory_budget_implies_streaming() {
+        let c = WaveMinConfig::default();
+        assert!(!c.streaming_enabled());
+        assert!(c.clone().with_streaming(true).streaming_enabled());
+        let budgeted = c.with_memory_budget_mb(256);
+        assert!(budgeted.streaming_enabled());
+        assert_eq!(budgeted.memory_budget_mb, Some(256));
+        assert_eq!(budgeted.validate(), Ok(()));
     }
 
     #[test]

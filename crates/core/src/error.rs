@@ -49,6 +49,15 @@ pub enum WaveMinError {
     /// The checkpoint journal could not be written, read, or validated;
     /// the message names the file and the reason.
     Checkpoint(String),
+    /// The streaming pipeline's minimal working set (process baseline
+    /// plus one hot zone and its archived copy) does not fit the
+    /// configured memory budget.
+    MemoryBudget {
+        /// The configured `--memory-budget-mb` value.
+        budget_mb: usize,
+        /// The smallest budget (MB) this run could start under.
+        required_mb: usize,
+    },
     /// An SDF file could not be parsed or does not describe a clock tree.
     Sdf(crate::io::sdf::SdfError),
 }
@@ -84,6 +93,16 @@ impl fmt::Display for WaveMinError {
             }
             WaveMinError::Checkpoint(what) => {
                 write!(f, "checkpoint journal error: {what}")
+            }
+            WaveMinError::MemoryBudget {
+                budget_mb,
+                required_mb,
+            } => {
+                write!(
+                    f,
+                    "memory budget {budget_mb} MB is below the minimal working \
+                     set (about {required_mb} MB needed)"
+                )
             }
             WaveMinError::Sdf(e) => write!(f, "SDF import error: {e}"),
         }
@@ -152,6 +171,19 @@ mod tests {
         assert!(e.to_string().contains("index out of bounds"));
         let c = WaveMinError::Checkpoint("fingerprint mismatch".into());
         assert!(c.to_string().contains("fingerprint mismatch"));
+    }
+
+    #[test]
+    fn memory_budget_display_names_both_sides() {
+        use std::error::Error;
+        let e = WaveMinError::MemoryBudget {
+            budget_mb: 4,
+            required_mb: 128,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("4 MB"), "{msg}");
+        assert!(msg.contains("128 MB"), "{msg}");
+        assert!(e.source().is_none());
     }
 
     #[test]

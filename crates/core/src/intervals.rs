@@ -61,6 +61,18 @@ impl IntervalSet {
         endpoints.sort_by(f64::total_cmp);
         endpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
+        // The sweep below is O(endpoints × Σ options). At million-sink
+        // scale that product explodes while the endpoints themselves
+        // cluster densely (equalized trees put most arrivals within a
+        // few ps), so past a fixed work budget the endpoint list is
+        // thinned to an even subsample. Instances below the budget —
+        // every conventional benchmark — see the exact legacy sweep.
+        let per_endpoint: usize = table.sinks.iter().map(|s| s.options.len()).sum();
+        if endpoints.len().saturating_mul(per_endpoint) > SWEEP_WORK_BUDGET {
+            let keep = (SWEEP_WORK_BUDGET / per_endpoint.max(1)).max(MIN_SWEPT_ENDPOINTS);
+            endpoints = subsample_even(endpoints, keep);
+        }
+
         let mut intervals: Vec<FeasibleInterval> = Vec::new();
         'ep: for &t in &endpoints {
             let t_hi = Picoseconds::new(t);
@@ -113,6 +125,23 @@ impl IntervalSet {
     pub fn is_empty(&self) -> bool {
         self.intervals.is_empty()
     }
+}
+
+/// Cap on `endpoints × Σ options` feasibility probes one generate call
+/// may spend (~a second of sweep on one core).
+const SWEEP_WORK_BUDGET: usize = 50_000_000;
+
+/// Never thin the candidate endpoints below this many.
+const MIN_SWEPT_ENDPOINTS: usize = 16;
+
+/// Keeps `keep` elements of `v` at an even stride, always including the
+/// first and last (deterministic; order preserved).
+fn subsample_even(v: Vec<f64>, keep: usize) -> Vec<f64> {
+    if v.len() <= keep || keep < 2 {
+        return v;
+    }
+    let last = v.len() - 1;
+    (0..keep).map(|i| v[i * last / (keep - 1)]).collect()
 }
 
 #[cfg(test)]
@@ -224,6 +253,19 @@ mod tests {
                 "cap keeps the best intervals"
             );
         }
+    }
+
+    #[test]
+    fn endpoint_subsampling_is_even_and_keeps_extremes() {
+        let v: Vec<f64> = (0..1000).map(f64::from).collect();
+        let s = subsample_even(v.clone(), 16);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[15], 999.0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        // Below the target the list passes through untouched.
+        assert_eq!(subsample_even(v.clone(), 1000), v);
+        assert_eq!(subsample_even(vec![1.0, 2.0], 1), vec![1.0, 2.0]);
     }
 
     #[test]

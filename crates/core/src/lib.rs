@@ -62,6 +62,7 @@ pub mod sampling;
 #[cfg(unix)]
 pub mod serve;
 pub mod session;
+pub mod shardrun;
 pub mod trace;
 
 /// Convenient re-exports of the main types.
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::observe::{Contribution, MetricsRegistry, PeakAttribution, RunReport, Stage};
     pub use crate::sampling::SamplePlan;
     pub use crate::session::{CharacterizedDesign, SolveOptions};
+    pub use crate::shardrun::{optimize_sharded, ShardedOutcome};
     pub use crate::trace::{TraceHandle, TraceJournal};
     pub use wavemin_cells::{CellKind, CellLibrary, Characterizer, Polarity};
     pub use wavemin_clocktree::prelude::*;

@@ -317,7 +317,7 @@ impl ClkWaveMinM {
         let mut cost = 0.0_f64;
         // Accumulated noise of already-assigned zones, per mode (the
         // zones-one-by-one accumulation of the single-mode flow).
-        let mut accumulated = vec![crate::noise_table::EventWaveforms::zero(); modes];
+        let mut accumulated = vec![crate::noise_table::BackgroundAccumulator::zero(); modes];
         // Largest zones first.
         let mut zone_ids: Vec<usize> = (0..zone_count).collect();
         zone_ids.sort_by_key(|&z| std::cmp::Reverse(zones[0][z].sinks.len()));
@@ -335,7 +335,7 @@ impl ClkWaveMinM {
             let mut background = Vec::new();
             for m in 0..modes {
                 let mut bg = zones[m][zi].background.clone();
-                zones[m][zi].plan.accumulate_into(&mut bg, &accumulated[m]);
+                zones[m][zi].plan.accumulate_background_into(&mut bg, &accumulated[m]);
                 background.extend_from_slice(&bg);
             }
 
@@ -390,7 +390,7 @@ impl ClkWaveMinM {
                 for m in 0..modes {
                     let o = &tables[m].sinks[zones[m][zi].sinks[local]].options[*opt];
                     let code = codes.get(m).copied().unwrap_or(Picoseconds::ZERO);
-                    accumulated[m] = accumulated[m].plus(&o.waves.shifted(code));
+                    accumulated[m].push(&o.waves.shifted(code));
                 }
                 if option.is_adjustable() {
                     // Always record adjustable codes (zero overwrites any

@@ -172,6 +172,57 @@ impl EventWaveforms {
     }
 }
 
+/// Incrementally accumulated background noise for one interval solve.
+///
+/// Zones inside an interval chain through the noise of the sinks already
+/// assigned. Folding every chosen pulse into one pooled
+/// [`EventWaveforms`] re-pools the entire breakpoint set per addition —
+/// quadratic in sinks, and the dominant cost at 10⁵+-sink scale. This
+/// accumulator keeps the pulses in logarithmic merge levels instead (the
+/// Bentley–Saxe binary-counter scheme): a push merges geometrically
+/// sized pooled waveforms `O(log n)` amortized times, and a sample reads
+/// `O(log n)` pooled waveforms. Both the merge order and the sample
+/// order are fixed by the push sequence, so results stay bit-identical
+/// across residency policies and worker counts.
+#[derive(Debug, Default, Clone)]
+pub struct BackgroundAccumulator {
+    levels: Vec<Option<EventWaveforms>>,
+}
+
+impl BackgroundAccumulator {
+    /// An empty accumulator (no noise yet).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Adds one chosen option's event waveforms.
+    pub fn push(&mut self, waves: &EventWaveforms) {
+        let mut carry = waves.clone();
+        for slot in &mut self.levels {
+            match slot.take() {
+                None => {
+                    *slot = Some(carry);
+                    return;
+                }
+                Some(existing) => carry = EventWaveforms::sum([&existing, &carry]),
+            }
+        }
+        self.levels.push(Some(carry));
+    }
+
+    /// The resident merge levels, smallest first.
+    pub fn levels(&self) -> impl Iterator<Item = &EventWaveforms> {
+        self.levels.iter().flatten()
+    }
+
+    /// `true` when nothing has been accumulated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(Option::is_none)
+    }
+}
+
 /// One candidate cell for one sink.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SinkOption {

@@ -106,6 +106,14 @@ struct Counters {
     zone_faults: AtomicU64,
     zone_salvages: AtomicU64,
     zones_reused: AtomicU64,
+    zones_spilled: AtomicU64,
+    zone_recomputes: AtomicU64,
+    /// Gauge, not a sum: the largest VmRSS sampled at a pipeline
+    /// checkpoint (`fetch_max`).
+    peak_rss_bytes: AtomicU64,
+    /// Gauge: the RSS sampled when the interval solves finished, before
+    /// final validation (the phase the memory budget governs).
+    solve_rss_bytes: AtomicU64,
 }
 
 /// Per-zone counters, same units as the matching [`Counters`] fields.
@@ -349,6 +357,61 @@ impl MetricsRegistry {
         }
     }
 
+    /// Counts one archived zone evicted from the streaming archive to
+    /// stay under the memory budget.
+    pub fn record_zone_spill(&self) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.counters.zones_spilled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one zone re-characterized after its archived copy was
+    /// spilled.
+    pub fn record_zone_recompute(&self) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner
+                .counters
+                .zone_recomputes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples the process RSS and folds it into the peak-RSS gauge
+    /// (`fetch_max`). Called at pipeline checkpoints — characterization,
+    /// each interval's completion, validation. No-op when the registry
+    /// is disabled or `/proc/self/status` is unavailable.
+    pub fn sample_rss(&self) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        if let Some(rss) = current_rss_bytes() {
+            inner
+                .counters
+                .peak_rss_bytes
+                .fetch_max(rss, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples the RSS into the end-of-solve gauge (and the peak). The
+    /// memory budget governs the solve phase — characterization, zone
+    /// residency, interval accumulation; final validation re-evaluates
+    /// the whole design and is measured but not budgeted.
+    pub fn sample_solve_rss(&self) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        if let Some(rss) = current_rss_bytes() {
+            inner
+                .counters
+                .peak_rss_bytes
+                .fetch_max(rss, Ordering::Relaxed);
+            inner
+                .counters
+                .solve_rss_bytes
+                .fetch_max(rss, Ordering::Relaxed);
+        }
+    }
+
     /// Assembles the [`RunReport`], or `None` when the registry is
     /// disabled. The caller supplies run-level context the registry
     /// cannot observe itself.
@@ -409,6 +472,10 @@ impl MetricsRegistry {
                 zone_faults: load(&c.zone_faults),
                 zone_salvages: load(&c.zone_salvages),
                 zones_reused: load(&c.zones_reused),
+                zones_spilled: load(&c.zones_spilled),
+                zone_recomputes: load(&c.zone_recomputes),
+                peak_rss_bytes: load(&c.peak_rss_bytes),
+                solve_rss_bytes: load(&c.solve_rss_bytes),
             },
             stages,
             zones,
@@ -531,6 +598,39 @@ pub struct RunCounters {
     /// re-solved (`--resume`).
     #[serde(default)]
     pub zones_reused: u64,
+    /// Archived zones evicted from the streaming archive to stay under
+    /// the memory budget. Environment-dependent (eviction order follows
+    /// worker interleaving) — zeroed by [`RunReport::normalized`].
+    #[serde(default)]
+    pub zones_spilled: u64,
+    /// Zones re-characterized after their archived copy was spilled.
+    /// Environment-dependent — zeroed by [`RunReport::normalized`].
+    #[serde(default)]
+    pub zone_recomputes: u64,
+    /// Largest process RSS (bytes) sampled at a pipeline checkpoint; 0
+    /// when the platform exposes no `/proc/self/status`.
+    /// Environment-dependent — zeroed by [`RunReport::normalized`].
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
+    /// RSS (bytes) sampled when the interval solves finished, before
+    /// final validation — the phase `--memory-budget-mb` governs.
+    /// Environment-dependent — zeroed by [`RunReport::normalized`].
+    #[serde(default)]
+    pub solve_rss_bytes: u64,
+}
+
+/// The process's current resident set size in bytes (the `VmRSS` row of
+/// `/proc/self/status`), or `None` where that interface is missing.
+#[must_use]
+pub fn current_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
 }
 
 impl RunCounters {
@@ -773,6 +873,14 @@ impl RunReport {
         let mut out = self.clone();
         out.threads = 0;
         out.kernel = String::new();
+        // Streaming-archive traffic and the RSS gauge depend on worker
+        // interleaving and the process environment, not on the problem:
+        // a streaming and a materialized run of the same instance must
+        // compare equal once normalized.
+        out.counters.zones_spilled = 0;
+        out.counters.zone_recomputes = 0;
+        out.counters.peak_rss_bytes = 0;
+        out.counters.solve_rss_bytes = 0;
         for s in &mut out.stages {
             s.total_ns = 0;
         }
@@ -983,6 +1091,10 @@ mod decode {
                 "zone_faults",
                 "zone_salvages",
                 "zones_reused",
+                "zones_spilled",
+                "zone_recomputes",
+                "peak_rss_bytes",
+                "solve_rss_bytes",
             ],
             "counters",
         )?;
@@ -1002,6 +1114,10 @@ mod decode {
             zone_faults: opt_u64_field(entries, "zone_faults")?,
             zone_salvages: opt_u64_field(entries, "zone_salvages")?,
             zones_reused: opt_u64_field(entries, "zones_reused")?,
+            zones_spilled: opt_u64_field(entries, "zones_spilled")?,
+            zone_recomputes: opt_u64_field(entries, "zone_recomputes")?,
+            peak_rss_bytes: opt_u64_field(entries, "peak_rss_bytes")?,
+            solve_rss_bytes: opt_u64_field(entries, "solve_rss_bytes")?,
         })
     }
 
@@ -1212,6 +1328,38 @@ mod tests {
         assert_eq!(back.counters.zone_faults, 0);
         assert_eq!(back.counters.zones_reused, 0);
         back.validate().expect("defaults stay self-consistent");
+    }
+
+    #[test]
+    fn streaming_counters_report_and_normalize_away() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_spill();
+        r.record_zone_spill();
+        r.record_zone_recompute();
+        r.sample_rss();
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        assert_eq!(report.counters.zones_spilled, 2);
+        assert_eq!(report.counters.zone_recomputes, 1);
+        if current_rss_bytes().is_some() {
+            assert!(report.counters.peak_rss_bytes > 0, "gauge took the sample");
+        }
+        let n = report.normalized();
+        assert_eq!(n.counters.zones_spilled, 0);
+        assert_eq!(n.counters.zone_recomputes, 0);
+        assert_eq!(n.counters.peak_rss_bytes, 0);
+        // Round-trip keeps the raw values.
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back = RunReport::from_json(&json).expect("decode");
+        assert_eq!(back.counters.zones_spilled, 2);
+        assert_eq!(back.counters.zone_recomputes, 1);
+    }
+
+    #[test]
+    fn rss_probe_reports_plausible_footprint() {
+        // On Linux the probe must see this very test's resident pages.
+        if let Some(rss) = current_rss_bytes() {
+            assert!(rss > 1 << 20, "a live process holds over a MiB: {rss}");
+        }
     }
 
     fn sample_attribution() -> PeakAttribution {

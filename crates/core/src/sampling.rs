@@ -111,6 +111,22 @@ impl SamplePlan {
         v
     }
 
+    /// Adds an interval's accumulated background (every resident merge
+    /// level, smallest first) into an existing `|S|`-vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` length differs from [`Self::dims`].
+    pub fn accumulate_background_into(
+        &self,
+        acc: &mut [f64],
+        background: &crate::noise_table::BackgroundAccumulator,
+    ) {
+        for level in background.levels() {
+            self.accumulate_into(acc, level);
+        }
+    }
+
     /// Adds `waves` (sampled) into an existing `|S|`-vector.
     ///
     /// # Panics

@@ -123,7 +123,7 @@ impl CharacterizedDesign {
             .zone_order
             .iter()
             .rev()
-            .find_map(|&z| self.prep.zones[z].sinks.first())
+            .find_map(|&z| self.prep.zones.spec(z).sinks.first())
             .map(|&si| self.prep.table.sinks[si].node)
     }
 

@@ -95,6 +95,15 @@ struct FrontierEntry {
 }
 
 impl Frontier {
+    /// Empties the frontier while keeping its slab allocations — the
+    /// recycled state is logically identical to `Frontier::default()`
+    /// (every operation depends only on content, never capacity).
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.costs.clear();
+        self.scaled.clear();
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -268,6 +277,71 @@ fn insert_row<T: Copy + Default>(slab: &mut Vec<T>, dim: usize, row: usize, valu
     slab.resize(old + dim, T::default());
     slab.copy_within(row * dim..old, (row + 1) * dim);
     slab[row * dim..(row + 1) * dim].copy_from_slice(values);
+}
+
+/// Per-thread solve scratch recycled between solves: the per-vertex
+/// frontiers and predecessor stores, which the streaming zone pipeline
+/// otherwise reallocates for every zone. A solve takes the thread's pool,
+/// clears exactly the prefix it will index, and returns the pool (with
+/// its grown capacities) on completion — including early returns and
+/// panics, via [`ScratchGuard`]'s `Drop`. Recycling is bit-neutral: a
+/// cleared [`Frontier`] is logically `Frontier::default()`, and no solver
+/// operation observes capacity.
+#[derive(Default)]
+struct SolveScratch {
+    fronts: Vec<Frontier>,
+    preds: Vec<Vec<Option<(usize, usize)>>>,
+}
+
+impl SolveScratch {
+    /// Prepares the pool for a graph of `n` vertices: oversized pools are
+    /// truncated (a later bigger solve must never see stale rows), the
+    /// surviving prefix is cleared in place, and missing slots are
+    /// default-constructed.
+    fn begin(&mut self, n: usize) {
+        self.fronts.truncate(n);
+        self.preds.truncate(n);
+        for f in &mut self.fronts {
+            f.clear();
+        }
+        for p in &mut self.preds {
+            p.clear();
+        }
+        self.fronts.resize_with(n, Frontier::default);
+        self.preds.resize_with(n, Vec::new);
+    }
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<SolveScratch> =
+        std::cell::RefCell::new(SolveScratch::default());
+}
+
+/// Moves the thread's scratch pool out of thread-local storage (leaving a
+/// fresh empty pool behind, so a nested or racing borrow can never
+/// observe the in-use state) and prepares it for `n` vertices.
+fn acquire_scratch(n: usize) -> ScratchGuard {
+    let mut scratch = SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    scratch.begin(n);
+    ScratchGuard { scratch }
+}
+
+/// Returns the scratch pool to thread-local storage on drop — the unwind
+/// path included, so a panicking solve (fault injection) recycles its
+/// allocations instead of leaking the pool for the thread's lifetime.
+struct ScratchGuard {
+    scratch: SolveScratch,
+}
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        let scratch = std::mem::take(&mut self.scratch);
+        SCRATCH.with(|c| {
+            if let Ok(mut slot) = c.try_borrow_mut() {
+                *slot = scratch;
+            }
+        });
+    }
 }
 
 /// Exact Pareto enumeration over the DAG.
@@ -481,11 +555,14 @@ fn run(
         (a, b) => a.or(b),
     };
 
-    let mut fronts: Vec<Frontier> = vec![Frontier::default(); n];
-    // Append-only per-vertex predecessor store: dominated or cap-evicted
-    // labels leave the frontier but keep their slot here, so predecessor
-    // chains stay valid for reconstruction.
-    let mut preds: Vec<Vec<Option<(usize, usize)>>> = vec![Vec::new(); n];
+    // Per-vertex frontiers and the append-only predecessor store
+    // (dominated or cap-evicted labels leave the frontier but keep their
+    // slot here, so predecessor chains stay valid for reconstruction).
+    // Both come from the thread's recycled scratch pool: at scale the
+    // streaming pipeline runs thousands of zone solves per thread, and
+    // reusing the grown slabs removes the per-zone allocation storm.
+    let mut guard = acquire_scratch(n);
+    let SolveScratch { fronts, preds } = &mut guard.scratch;
     let mut truncated = false;
     let mut exhausted = None;
     let mut stats = SolveStats::default();
@@ -640,7 +717,7 @@ fn run(
         .into_iter()
         .map(|(cost, slot)| ParetoPath {
             cost,
-            vertices: reconstruct(&preds, dest.0, slot),
+            vertices: reconstruct(preds, dest.0, slot),
         })
         .collect();
     let mut set = ParetoSet::new(paths, truncated);

@@ -1,0 +1,211 @@
+//! Compact cost-vector storage for archived (non-hot) slabs.
+//!
+//! The solvers always compute in f64 — precision here governs how cost
+//! vectors are *held* between solves: the streaming zone pipeline keeps
+//! thousands of characterized option vectors resident per zone, and at
+//! scale those slabs, not the solver frontiers, dominate memory.
+//! [`CompactCosts`] is one flat row-major slab whose representation is
+//! chosen at construction from [`CostPrecision`]:
+//!
+//! * [`CostPrecision::F64`] — the stored bits come back exactly; a
+//!   pipeline archiving through an `F64` slab is bit-identical to one
+//!   that never archived at all.
+//! * [`CostPrecision::F32`] — half the bytes; each component is rounded
+//!   to the nearest f32 on write and widened exactly on read, so the
+//!   round-trip perturbs a component by at most half an f32 ulp
+//!   (relative error `2⁻²⁴`, see [`CostPrecision::rel_error_bound`]).
+//!   Rounding is monotonic, so a weak dominance relation (`a <= b`
+//!   componentwise) is never inverted by the round trip — at worst a
+//!   strict inequality with relative gap below `2⁻²³` collapses to a
+//!   tie.
+//!
+//! Reads and writes go through the [`crate::kernels`] widen/narrow
+//! entry points, so they follow the same vector/scalar dispatch (and
+//! bit-identity guarantee) as every other kernel.
+
+use crate::kernels::{self, CostPrecision};
+
+/// A flat row-major slab of cost vectors stored at a chosen precision.
+///
+/// Rows are fixed-stride (`dim` components); the slab only grows.
+#[derive(Debug, Clone)]
+pub struct CompactCosts {
+    repr: Repr,
+    dim: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+}
+
+impl CompactCosts {
+    /// An empty slab of `dim`-component rows at `precision`.
+    #[must_use]
+    pub fn with_precision(precision: CostPrecision, dim: usize) -> Self {
+        let repr = match precision {
+            CostPrecision::F64 => Repr::F64(Vec::new()),
+            CostPrecision::F32 => Repr::F32(Vec::new()),
+        };
+        Self { repr, dim }
+    }
+
+    /// An empty slab at the process-wide
+    /// [`kernels::active_precision`].
+    #[must_use]
+    pub fn with_active(dim: usize) -> Self {
+        Self::with_precision(kernels::active_precision(), dim)
+    }
+
+    /// The precision this slab stores at.
+    #[must_use]
+    pub fn precision(&self) -> CostPrecision {
+        match self.repr {
+            Repr::F64(_) => CostPrecision::F64,
+            Repr::F32(_) => CostPrecision::F32,
+        }
+    }
+
+    /// Components per row.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows stored.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        let stride = self.dim.max(1);
+        match &self.repr {
+            Repr::F64(v) => v.len() / stride,
+            Repr::F32(v) => v.len() / stride,
+        }
+    }
+
+    /// `true` when no rows are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::F64(v) => v.is_empty(),
+            Repr::F32(v) => v.is_empty(),
+        }
+    }
+
+    /// Appends one row, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` length differs from the slab's dimension.
+    pub fn push_row(&mut self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.dim, "slab dimension mismatch");
+        let idx = self.rows();
+        match &mut self.repr {
+            Repr::F64(v) => v.extend_from_slice(row),
+            Repr::F32(v) => {
+                let old = v.len();
+                v.resize(old + row.len(), 0.0);
+                kernels::narrow_into(&mut v[old..], row);
+            }
+        }
+        idx
+    }
+
+    /// Widens row `i` into `out` (resized to the slab's dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn widen_row_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.dim, 0.0);
+        let span = i * self.dim..(i + 1) * self.dim;
+        match &self.repr {
+            Repr::F64(v) => out.copy_from_slice(&v[span]),
+            Repr::F32(v) => kernels::widen_into(out, &v[span]),
+        }
+    }
+
+    /// Widens the whole slab into `out` in row order.
+    pub fn widen_all_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        match &self.repr {
+            Repr::F64(v) => out.extend_from_slice(v),
+            Repr::F32(v) => {
+                out.resize(v.len(), 0.0);
+                kernels::widen_into(out, v);
+            }
+        }
+    }
+
+    /// Approximate resident bytes of the stored components (allocation
+    /// capacity, not logical length — this is what a memory budget
+    /// actually pays).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::F64(v) => v.capacity() * 8,
+            Repr::F32(v) => v.capacity() * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_slab_round_trips_bit_for_bit() {
+        let mut slab = CompactCosts::with_precision(CostPrecision::F64, 3);
+        assert!(slab.is_empty());
+        let rows = [[0.1, 2.5e-7, 1.0e9], [f64::MIN_POSITIVE, 7.0, 0.0]];
+        for r in &rows {
+            slab.push_row(r);
+        }
+        assert_eq!(slab.rows(), 2);
+        let mut out = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            slab.widen_row_into(i, &mut out);
+            assert_eq!(
+                out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                r.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn f32_slab_halves_bytes_within_error_bound() {
+        let dim = 9;
+        let mut wide = CompactCosts::with_precision(CostPrecision::F64, dim);
+        let mut narrow = CompactCosts::with_precision(CostPrecision::F32, dim);
+        let row: Vec<f64> = (0..dim).map(|i| 0.37 * (i as f64 + 1.0)).collect();
+        wide.push_row(&row);
+        narrow.push_row(&row);
+        assert!(narrow.approx_bytes() <= wide.approx_bytes());
+        let mut out = Vec::new();
+        narrow.widen_row_into(0, &mut out);
+        let bound = CostPrecision::F32.rel_error_bound();
+        for (&orig, &rt) in row.iter().zip(&out) {
+            assert!((rt - orig).abs() <= orig.abs() * bound);
+        }
+    }
+
+    #[test]
+    fn widen_all_preserves_row_order() {
+        let mut slab = CompactCosts::with_precision(CostPrecision::F32, 2);
+        slab.push_row(&[1.0, 2.0]);
+        slab.push_row(&[3.0, 4.0]);
+        let mut out = Vec::new();
+        slab.widen_all_into(&mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(slab.precision().name(), "f32");
+        assert_eq!(slab.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_row_rejects_wrong_dimension() {
+        let mut slab = CompactCosts::with_active(3);
+        slab.push_row(&[1.0]);
+    }
+}

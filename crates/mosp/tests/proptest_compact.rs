@@ -1,0 +1,152 @@
+//! Property tests for the compact cost storage ([`CompactCosts`]) and
+//! its interaction with Pareto dominance:
+//!
+//! * an `F64` slab is a bit-for-bit identity — archiving through it can
+//!   never change a solve;
+//! * an `F32` slab perturbs each finite component by at most the
+//!   documented relative error bound (`2⁻²⁴`);
+//! * the `F32` round trip is monotonic, so a weak componentwise
+//!   dominance relation between two vectors is never *inverted* by
+//!   archiving (a strict edge may collapse to a tie, never flip);
+//! * [`ParetoFront`] keeps its core invariants (mutual nondominance,
+//!   no lost candidates) when fed round-tripped vectors.
+
+use proptest::prelude::*;
+use wavemin_mosp::kernels::CostPrecision;
+use wavemin_mosp::pareto::dominates;
+use wavemin_mosp::{CompactCosts, ParetoFront};
+
+/// Arbitrary f64 including the adversarial values (NaN, ±inf, ±0.0) —
+/// valid for the bit-identity property only.
+fn arb_any_f64() -> impl Strategy<Value = f64> {
+    (0u32..10, -1e3..1e3f64).prop_map(|(tag, x)| match tag {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        4 => x * 1e-300,
+        5 => x * 1e300,
+        _ => x,
+    })
+}
+
+/// Finite values within f32's dynamic range — the only values the
+/// relative-error bound is stated for (cost vectors are sampled currents
+/// in µA, far inside this range).
+fn arb_ranged_f64() -> impl Strategy<Value = f64> {
+    // Clamp denormal-ish magnitudes to exact zero so the relative-error
+    // bound is meaningful for every generated component.
+    (-1e30f64..1e30).prop_map(|x| if x.abs() < 1e-30 { 0.0 } else { x })
+}
+
+fn arb_row(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(arb_ranged_f64(), dim)
+}
+
+fn round_trip(precision: CostPrecision, row: &[f64]) -> Vec<f64> {
+    let mut slab = CompactCosts::with_precision(precision, row.len());
+    slab.push_row(row);
+    let mut out = Vec::new();
+    slab.widen_row_into(0, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn f64_round_trip_is_bit_identical(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(arb_any_f64(), 7), 1..12),
+    ) {
+        let mut slab = CompactCosts::with_precision(CostPrecision::F64, 7);
+        for r in &rows {
+            slab.push_row(r);
+        }
+        prop_assert_eq!(slab.rows(), rows.len());
+        let mut out = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            slab.widen_row_into(i, &mut out);
+            let got: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u64> = r.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(got, want, "row {} changed bits", i);
+        }
+    }
+
+    #[test]
+    fn f32_round_trip_stays_within_relative_error_bound(
+        row in arb_row(16),
+    ) {
+        let out = round_trip(CostPrecision::F32, &row);
+        let bound = CostPrecision::F32.rel_error_bound();
+        prop_assert!(bound > 0.0);
+        for (i, (&orig, &rt)) in row.iter().zip(&out).enumerate() {
+            prop_assert!(
+                (rt - orig).abs() <= orig.abs() * bound,
+                "component {}: {} -> {} exceeds rel bound {}",
+                i, orig, rt, bound
+            );
+        }
+    }
+
+    #[test]
+    fn f32_round_trip_never_inverts_weak_dominance(
+        a in arb_row(9),
+        deltas in proptest::collection::vec(0.0f64..1e25, 9),
+    ) {
+        // b dominates-or-ties a componentwise by construction.
+        let b: Vec<f64> = a.iter().zip(&deltas).map(|(x, d)| x + d).collect();
+        let ra = round_trip(CostPrecision::F32, &a);
+        let rb = round_trip(CostPrecision::F32, &b);
+        // Rounding to nearest is monotonic: a <= b must survive the
+        // archive (strict edges may collapse to ties, never reverse).
+        for i in 0..a.len() {
+            prop_assert!(
+                ra[i] <= rb[i],
+                "component {}: {} <= {} inverted to {} > {}",
+                i, a[i], b[i], ra[i], rb[i]
+            );
+        }
+        // Consequently the dominance predicate can never flip direction:
+        // the round-tripped b must not strictly dominate the
+        // round-tripped a (smaller = better, b is the worse vector).
+        prop_assert!(!dominates(&rb, &ra) || rb == ra);
+    }
+
+    #[test]
+    fn pareto_front_invariants_hold_for_archived_vectors(
+        rows in proptest::collection::vec(arb_row(4), 1..40),
+    ) {
+        let archived: Vec<Vec<f64>> =
+            rows.iter().map(|r| round_trip(CostPrecision::F32, r)).collect();
+        let mut front = ParetoFront::new(4);
+        let mut accepted = Vec::new();
+        for (i, r) in archived.iter().enumerate() {
+            if front.insert(r, i) {
+                accepted.push(i);
+            }
+        }
+        prop_assert!(front.len() <= archived.len());
+        prop_assert!(!front.is_empty(), "a nonempty insert stream keeps >= 1");
+        // Mutual nondominance: no member strictly dominates another.
+        let members: Vec<Vec<f64>> =
+            front.iter().map(|(c, _)| c.to_vec()).collect();
+        for x in &members {
+            for y in &members {
+                prop_assert!(
+                    x == y || !dominates(x, y),
+                    "front members {:?} and {:?} are not mutually nondominated",
+                    x, y
+                );
+            }
+        }
+        // No lost candidates: every archived vector is weakly dominated
+        // by some front member.
+        for r in &archived {
+            let covered = members.iter().any(|m| {
+                m.iter().zip(r).all(|(mc, rc)| mc <= rc)
+            });
+            prop_assert!(covered, "vector {:?} escaped the front", r);
+        }
+    }
+}
