@@ -81,18 +81,29 @@ fn bench_multi_zone(c: &mut Criterion) {
 /// registry (a branch per site, no atomics) — this is the default path
 /// every production run takes and it must stay within noise (≤ 2 %) of
 /// pre-instrumentation cost. `enabled` adds the relaxed-atomic counter
-/// updates and per-zone table, bounding what turning metrics on costs.
+/// updates, histograms, and per-zone table, bounding what turning
+/// metrics on costs. `enabled+progress` layers a live progress tracker
+/// with a no-op sink on top, bounding the full telemetry stack —
+/// counters, histograms, and the ticker thread — at the same ≤ 2 %.
 fn bench_metrics_overhead(c: &mut Criterion) {
     let design = Design::from_benchmark(&Benchmark::s13207(), 1);
     let mut group = c.benchmark_group("metrics_overhead");
     group.sample_size(10);
-    for (name, collect) in [("disabled", false), ("enabled", true)] {
+    for (name, collect, progress) in [
+        ("disabled", false, false),
+        ("enabled", true, false),
+        ("enabled+progress", true, true),
+    ] {
         let mut cfg = WaveMinConfig::default()
             .with_sample_count(32)
             .with_threads(1)
             .with_metrics(collect);
         cfg.max_intervals = Some(8);
-        let algo = ClkWaveMin::new(cfg);
+        let mut algo = ClkWaveMin::new(cfg);
+        if progress {
+            let tracker = ProgressTracker::enabled(std::time::Duration::from_millis(50), |_p| {});
+            algo = algo.with_progress(tracker);
+        }
         group.bench_with_input(BenchmarkId::new("metrics", name), &design, |b, design| {
             b.iter(|| algo.run(std::hint::black_box(design)).unwrap());
         });

@@ -210,7 +210,10 @@ fn multi_zone_measurements(seed: u64) -> Vec<ThreadSample> {
 /// path when the working set grows past them.
 #[allow(clippy::expect_used)]
 fn scale_measurements(seed: u64, full: bool) -> Vec<ScaleSample> {
-    let mut sweeps = vec![("scale10k", 10_000usize, 2048usize), ("scale100k", 100_000, 8192)];
+    let mut sweeps = vec![
+        ("scale10k", 10_000usize, 2048usize),
+        ("scale100k", 100_000, 8192),
+    ];
     if full {
         sweeps.push(("scale1m", 1_000_000, 24_576));
     }

@@ -309,7 +309,11 @@ fn push_sum_events(events: &mut Vec<SumEvent>, points: &[(f64, f64)]) {
     };
     for i in 0..n {
         let (t, v) = points[i];
-        let s_in = if i > 0 { slope(points[i - 1], points[i]) } else { 0.0 };
+        let s_in = if i > 0 {
+            slope(points[i - 1], points[i])
+        } else {
+            0.0
+        };
         let s_out = if i + 1 < n {
             slope(points[i], points[i + 1])
         } else {

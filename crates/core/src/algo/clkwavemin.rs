@@ -39,13 +39,27 @@ use wavemin_mosp::{
 #[derive(Debug, Clone)]
 pub struct ClkWaveMin {
     config: WaveMinConfig,
+    progress: crate::observe::ProgressTracker,
 }
 
 impl ClkWaveMin {
     /// Creates the optimizer with the given configuration.
     #[must_use]
     pub fn new(config: WaveMinConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            progress: crate::observe::ProgressTracker::disabled(),
+        }
+    }
+
+    /// Attaches a progress channel: the solve phase emits periodic
+    /// [`crate::observe::Progress`] snapshots through `progress` (and the
+    /// ticker folds RSS samples into the peak gauge). Disabled by
+    /// default; observation-only, so outcomes stay bit-identical.
+    #[must_use]
+    pub fn with_progress(mut self, progress: crate::observe::ProgressTracker) -> Self {
+        self.progress = progress;
+        self
     }
 
     /// The configuration in use.
@@ -87,9 +101,16 @@ impl ClkWaveMin {
         let registry = MetricsRegistry::from_config(&self.config);
         let budget = self.config.budget();
         let solver = MospZoneSolver::new(&self.config, budget.clone(), registry.clone())
-            .with_journal(journal.clone());
-        let mut out =
-            run_interval_framework_traced(design, &self.config, &solver, &registry, journal)?;
+            .with_journal(journal.clone())
+            .with_progress(self.progress.clone());
+        let mut out = run_interval_framework_traced(
+            design,
+            &self.config,
+            &solver,
+            &registry,
+            journal,
+            &self.progress,
+        )?;
         out.degradation = solver.ladder.degradation();
         out.report = registry.report(&ReportContext {
             threads: self.config.effective_threads(),
@@ -162,6 +183,9 @@ pub(crate) struct MospLadder {
     /// Event journal shared with the run's driver; zone/layer/batch spans
     /// and rung/budget instants land here (disabled by default).
     pub(crate) journal: TraceJournal,
+    /// Progress channel shared with the run's driver; rung transitions
+    /// update its rung gauge (disabled by default).
+    pub(crate) progress: crate::observe::ProgressTracker,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -226,6 +250,7 @@ impl MospLadder {
             fault_plan: config.fault_plan,
             registry,
             journal: TraceJournal::disabled(),
+            progress: crate::observe::ProgressTracker::disabled(),
         }
     }
 
@@ -321,6 +346,7 @@ impl MospLadder {
         st.rung += 1;
         self.last_rung.store(st.rung, Ordering::Relaxed);
         self.registry.record_rung_transition();
+        self.progress.set_rung(st.rung);
         if self.journal.is_enabled() {
             self.journal.handle().rung_transition(st.rung);
         }
@@ -360,6 +386,7 @@ impl MospLadder {
             self.last_rung.store(last, Ordering::Relaxed);
             st.steps.push(DegradationStep::GreedyFallback { reason });
             self.registry.record_rung_transition();
+            self.progress.set_rung(last);
             if self.journal.is_enabled() {
                 self.journal.handle().rung_transition(last);
             }
@@ -451,6 +478,13 @@ impl MospZoneSolver {
     /// Attaches an event journal (disabled by default).
     pub(crate) fn with_journal(mut self, journal: TraceJournal) -> Self {
         self.ladder.journal = journal;
+        self
+    }
+
+    /// Attaches a progress channel (disabled by default); the ladder
+    /// feeds its rung gauge.
+    pub(crate) fn with_progress(mut self, progress: crate::observe::ProgressTracker) -> Self {
+        self.ladder.progress = progress;
         self
     }
 }

@@ -529,7 +529,14 @@ pub(crate) fn run_interval_framework<S: ZoneSolver>(
     solver: &S,
     registry: &MetricsRegistry,
 ) -> Result<Outcome, WaveMinError> {
-    run_interval_framework_traced(design, config, solver, registry, &TraceJournal::disabled())
+    run_interval_framework_traced(
+        design,
+        config,
+        solver,
+        registry,
+        &TraceJournal::disabled(),
+        &crate::observe::ProgressTracker::disabled(),
+    )
 }
 
 /// Everything the interval framework derives from a design before any
@@ -657,6 +664,7 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
     solver: &S,
     registry: &MetricsRegistry,
     journal: &TraceJournal,
+    progress: &crate::observe::ProgressTracker,
 ) -> Result<Outcome, WaveMinError> {
     let prep = characterize_design(design, config, registry, journal)?;
     // The per-zone checkpoint journal, when the config asks for one. Keys
@@ -681,7 +689,7 @@ pub(crate) fn run_interval_framework_traced<S: ZoneSolver>(
         .then(|| crate::checkpoint::config_fingerprint(config))
         .transpose()?;
     solve_prepared(
-        design, config, &prep, solver, registry, journal, store, seed,
+        design, config, &prep, solver, registry, journal, store, seed, progress,
     )
 }
 
@@ -703,6 +711,7 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
     journal: &TraceJournal,
     store: Option<&dyn crate::checkpoint::ZoneStore>,
     seed: Option<u64>,
+    progress: &crate::observe::ProgressTracker,
 ) -> Result<Outcome, WaveMinError> {
     let mut thandle = journal.handle();
     let start = std::time::Instant::now();
@@ -712,6 +721,11 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
     let zone_order = &prep.zone_order;
     let degenerate_zones = prep.degenerate_zones;
     registry.sample_rss();
+    // Progress ticker for the whole solve (observation only — it never
+    // feeds back into solver state, keeping enabled ≡ disabled runs
+    // bit-identical). Each tick also folds an RSS sample into the peak
+    // gauge so transient spikes between phase checkpoints are seen.
+    let _progress_guard = progress.begin((intervals.len() * zone_order.len()) as u64, registry);
 
     // Zones that faulted and were salvaged, across all intervals.
     let faulted = std::sync::Mutex::new(std::collections::BTreeSet::new());
@@ -819,6 +833,7 @@ pub(crate) fn solve_prepared<S: ZoneSolver>(
                 if let Some(c) = chain.as_mut() {
                     c.absorb(prep.zone_hashes[zi], sol.cost.to_bits(), &sol.choices);
                 }
+                progress.zone_done();
                 cost = cost.max(sol.cost);
                 let spec = zones.spec(zi);
                 for (local, &(opt, code)) in sol.choices.iter().enumerate() {

@@ -150,10 +150,29 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "streaming",
                     "memory-budget-mb",
                     "shard-sinks",
+                    "progress",
                     "o",
                 ],
             )?;
             optimize(&flags)
+        }
+        "report" => {
+            flags.reject_unknown(
+                "report",
+                &[
+                    "i",
+                    "sdf",
+                    "lib",
+                    "power",
+                    "kappa",
+                    "samples",
+                    "threads",
+                    "time-budget-ms",
+                    "html",
+                    "title",
+                ],
+            )?;
+            report_cmd(&flags)
         }
         "explain" => {
             flags.reject_unknown(
@@ -186,7 +205,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
             liberty_dump(&flags)
         }
         "serve" => {
-            flags.reject_unknown("serve", &["socket", "workers", "cache-bytes", "threads"])?;
+            flags.reject_unknown(
+                "serve",
+                &["socket", "workers", "cache-bytes", "threads", "log-json"],
+            )?;
             serve_cmd(&flags)
         }
         "client" => {
@@ -219,10 +241,14 @@ USAGE:
                      [--trace-out trace.json] [--fault-plan seed:rate]
                      [--checkpoint journal.ckpt [--resume]]
                      [--streaming] [--memory-budget-mb N] [--shard-sinks N]
-                     [-o out.clk]
+                     [--progress] [-o out.clk]
   wavemin validate   -i tree.clk | --sdf file.sdf [--lib file.lib]
                      [--power intent.pw] [--kappa PS] [--samples N]
   wavemin check-report -i report.json
+  wavemin report     -i tree.clk | --sdf file.sdf [--lib file.lib]
+                     [--power intent.pw] [--kappa PS] [--samples N]
+                     [--threads N] [--time-budget-ms N] [--title T]
+                     --html report.html
   wavemin explain    -i tree.clk | --sdf file.sdf [--lib file.lib]
                      [--power intent.pw] [--top N] [--svg waves.svg]
                      [--json attribution.json]
@@ -230,6 +256,7 @@ USAGE:
   wavemin svg        -i tree.clk | --sdf file.sdf [--lib file.lib] [-o out.svg]
   wavemin liberty    [-o out.lib]
   wavemin serve      --socket PATH [--workers N] [--cache-bytes N] [--threads N]
+                     [--log-json]
   wavemin client     --socket PATH --json '<request>'
 
 FLAGS:
@@ -272,6 +299,15 @@ FLAGS:
   --shard-sinks N     wavemin only: split the tree into subtree shards of
                       at most N sinks, solve each independently, merge at
                       the root and re-validate the exact global skew
+  --progress          optimize (wavemin only): print a live stderr ticker
+                      (zones done/total, ladder rung, RSS) while solving;
+                      observation only — results are bit-identical
+  --html PATH         report: write a self-contained interactive HTML run
+                      report (summary, histograms, attribution table,
+                      waveforms, zone timeline; no external references)
+  --title T           report: page title (default: the input name)
+  --log-json          serve: one structured JSON line on stderr per job
+                      lifecycle event (queued/start/done)
   --top N             explain: contributors to print (default 10)
   --socket PATH       serve/client: unix socket the daemon binds/dials
   --workers N         serve: solve-job worker threads (default 2)
@@ -613,6 +649,14 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
             "--shard-sinks only applies to the 'wavemin' algorithm",
         ));
     }
+    let progress = if flags.has("progress") {
+        if algorithm != "wavemin" || shard_sinks.is_some() {
+            eprintln!("note: --progress only ticks for the unsharded 'wavemin' algorithm");
+        }
+        stderr_progress_ticker()
+    } else {
+        ProgressTracker::disabled()
+    };
     let outcome = match (algorithm, shard_sinks) {
         ("wavemin", Some(max_sinks)) => {
             wavemin::shardrun::optimize_sharded(&design, &config, max_sinks).map(|sharded| {
@@ -630,7 +674,9 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
             })
         }
         _ => match algorithm {
-            "wavemin" => ClkWaveMin::new(config).run_traced(&design, &journal),
+            "wavemin" => ClkWaveMin::new(config)
+                .with_progress(progress)
+                .run_traced(&design, &journal),
             "fast" => ClkWaveMinFast::new(config).run(&design),
             "peakmin" => ClkPeakMin::new(config).run(&design),
             "nieh" => NiehOppositePhase::new().run(&design),
@@ -729,6 +775,85 @@ fn optimize(flags: &Flags) -> Result<(), CliError> {
         "(no -o given, dumping optimized tree to stdout)",
         &tree_io::write_tree(&optimized.tree),
     )
+}
+
+/// A [`ProgressTracker`] that prints one stderr line per tick:
+/// zones done/total, ladder rung, resident set size, and elapsed time.
+fn stderr_progress_ticker() -> ProgressTracker {
+    ProgressTracker::enabled(std::time::Duration::from_millis(500), |p: &Progress| {
+        let rss_mb = p.rss_bytes as f64 / (1 << 20) as f64;
+        eprintln!(
+            "progress: {}/{} zone solves · rung {} · rss {:.0} MB · {:.1} s{}",
+            p.zones_done,
+            p.zones_total,
+            p.rung,
+            rss_mb,
+            p.elapsed_ms as f64 / 1e3,
+            if p.done { " · done" } else { "" }
+        );
+    })
+}
+
+/// `wavemin report --html PATH` — run the wavemin flow with metrics and
+/// tracing enabled, then render one self-contained interactive HTML
+/// report: summary cards, latency histograms, the exact peak-attribution
+/// table, overlaid waveforms, the optimized tree, and a zone-solve
+/// timeline from the event journal.
+fn report_cmd(flags: &Flags) -> Result<(), CliError> {
+    use wavemin::reportgen::{render_html, ReportInputs};
+
+    let html_path = flags
+        .get("html")
+        .ok_or_else(|| CliError::usage("missing --html <report.html>"))?;
+    let design = load_design(flags)?;
+    let mut config = build_config(flags)?;
+    config.collect_metrics = true;
+    let journal = TraceJournal::enabled();
+    let outcome = ClkWaveMin::new(config)
+        .run_traced(&design, &journal)
+        .map_err(|e| CliError::from(&e))?;
+    let report = outcome
+        .report
+        .as_ref()
+        .ok_or_else(|| CliError::from("run produced no report".to_owned()))?;
+
+    let mut optimized = design.clone();
+    outcome.assignment.apply_to(&mut optimized);
+    let waveform_svg = report
+        .attribution
+        .as_ref()
+        .map(|attr| attribution_chart(&NoiseEvaluator::new(&optimized), attr))
+        .transpose()?;
+    let tree_svg = wavemin_clocktree::svg::render(
+        &optimized.tree,
+        &optimized.lib,
+        &wavemin_clocktree::svg::SvgOptions::default(),
+    );
+    let trace_json = journal.chrome_trace();
+    let title = flags
+        .get("title")
+        .map(str::to_owned)
+        .or_else(|| flags.get("i").map(str::to_owned))
+        .or_else(|| flags.get("sdf").map(str::to_owned))
+        .unwrap_or_else(|| "wavemin run".to_owned());
+
+    let html = render_html(&ReportInputs {
+        title: &title,
+        report,
+        waveform_svg: waveform_svg.as_deref(),
+        tree_svg: Some(&tree_svg),
+        trace_json: trace_json.as_deref(),
+    });
+    std::fs::write(html_path, &html).map_err(|e| format!("cannot write {html_path}: {e}"))?;
+    eprintln!(
+        "report: peak {:.3} -> {:.3}, {} zone solves; wrote {} ({:.0} KiB, self-contained)",
+        outcome.peak_before,
+        outcome.peak_after,
+        report.counters.zone_solves,
+        html_path,
+        html.len() as f64 / 1024.0
+    );
+    Ok(())
 }
 
 /// Decomposes the worst mode's peak into per-node contributions and
@@ -942,6 +1067,7 @@ fn serve_cmd(flags: &Flags) -> Result<(), CliError> {
         workers,
         cache_bytes,
         threads,
+        log_json: flags.has("log-json"),
     })
     .map_err(|e| CliError::from(format!("serve: {e}")))?;
     eprintln!("wavemin serve: drained and stopped");

@@ -58,6 +58,7 @@ pub mod noise_table;
 pub mod observe;
 pub(crate) mod parallel;
 pub mod report;
+pub mod reportgen;
 pub mod sampling;
 #[cfg(unix)]
 pub mod serve;
@@ -85,7 +86,10 @@ pub mod prelude {
     pub use crate::montecarlo::{MonteCarlo, MonteCarloStats};
     pub use crate::multimode::{AdbPlan, ClkWaveMinM};
     pub use crate::noise_table::{EventWaveforms, NoiseTable};
-    pub use crate::observe::{Contribution, MetricsRegistry, PeakAttribution, RunReport, Stage};
+    pub use crate::observe::{
+        Contribution, MetricsRegistry, PeakAttribution, Progress, ProgressTracker, RunHistogram,
+        RunHistograms, RunReport, Stage,
+    };
     pub use crate::sampling::SamplePlan;
     pub use crate::session::{CharacterizedDesign, SolveOptions};
     pub use crate::shardrun::{optimize_sharded, ShardedOutcome};

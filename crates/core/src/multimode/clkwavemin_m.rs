@@ -335,7 +335,9 @@ impl ClkWaveMinM {
             let mut background = Vec::new();
             for m in 0..modes {
                 let mut bg = zones[m][zi].background.clone();
-                zones[m][zi].plan.accumulate_background_into(&mut bg, &accumulated[m]);
+                zones[m][zi]
+                    .plan
+                    .accumulate_background_into(&mut bg, &accumulated[m]);
                 background.extend_from_slice(&bg);
             }
 

@@ -24,8 +24,8 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 use wavemin_mosp::SolveStats;
 
 /// The instrumented pipeline stages.
@@ -134,10 +134,134 @@ struct ZoneCell {
     worst_rung: AtomicU64,
 }
 
+/// Number of histogram buckets in the fixed log2 layout: bucket 0 holds
+/// exact zeros, bucket `i` (1..=63) holds values of bit length `i`
+/// (the range `[2^(i-1), 2^i - 1]`), bucket 64 holds `2^63` and above.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: its bit length (0 for 0). Exact by
+/// construction — no floating point, so the same value always lands in
+/// the same bucket on every platform.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` can hold (the `le` bound Prometheus
+/// exposition uses). Indices past the table clamp to `u64::MAX`.
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// One live log2-bucket histogram (relaxed atomics, like [`Counters`]).
+/// Bucket increments and the count/sum/min/max are each commutative, so
+/// the aggregate is worker-count independent like every other counter.
+struct HistCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first observation (`fetch_min`).
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistCell {
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds an already-snapshotted histogram in (daemon-level
+    /// aggregation across jobs).
+    fn absorb(&self, h: &RunHistogram) {
+        if h.count == 0 {
+            return;
+        }
+        for b in &h.buckets {
+            let i = (b.index as usize).min(HISTOGRAM_BUCKETS - 1);
+            self.buckets[i].fetch_add(b.count, Ordering::Relaxed);
+        }
+        self.count.fetch_add(h.count, Ordering::Relaxed);
+        self.sum.fetch_add(h.sum, Ordering::Relaxed);
+        self.min.fetch_min(h.min, Ordering::Relaxed);
+        self.max.fetch_max(h.max, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> RunHistogram {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let count = load(&self.count);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = load(b);
+                (c > 0).then_some(HistogramBucket {
+                    index: i as u32,
+                    count: c,
+                })
+            })
+            .collect();
+        let mut h = RunHistogram {
+            count,
+            sum: load(&self.sum),
+            min: if count == 0 { 0 } else { load(&self.min) },
+            max: load(&self.max),
+            buckets,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+        };
+        h.refresh_quantiles();
+        h
+    }
+}
+
+/// The registry's live histograms (one [`HistCell`] per distribution).
+#[derive(Default)]
+struct Hists {
+    zone_solve_ns: HistCell,
+    labels_per_zone: HistCell,
+    front_size: HistCell,
+    job_wall_ns: HistCell,
+}
+
+impl Hists {
+    fn snapshot(&self) -> RunHistograms {
+        RunHistograms {
+            zone_solve_ns: self.zone_solve_ns.snapshot(),
+            labels_per_zone: self.labels_per_zone.snapshot(),
+            front_size: self.front_size.snapshot(),
+            job_wall_ns: self.job_wall_ns.snapshot(),
+        }
+    }
+}
+
 struct Inner {
     trace: bool,
     counters: Counters,
     stages: [StageCell; Stage::COUNT],
+    hists: Hists,
     /// Indexed by [`crate::algo::ZoneProblem`] id. Behind an `RwLock` only
     /// for growth ([`MetricsRegistry::ensure_zones`]); recording takes the
     /// read lock and bumps atomics, so concurrent workers never contend on
@@ -178,6 +302,7 @@ impl MetricsRegistry {
                 trace,
                 counters: Counters::default(),
                 stages: Default::default(),
+                hists: Hists::default(),
                 zones: RwLock::new(Vec::new()),
             })),
         }
@@ -256,6 +381,13 @@ impl MetricsRegistry {
         let stage = &inner.stages[Stage::ZoneSolve.index()];
         stage.count.fetch_add(1, Ordering::Relaxed);
         stage.total_ns.fetch_add(solve.wall_ns, Ordering::Relaxed);
+
+        inner.hists.zone_solve_ns.record(solve.wall_ns);
+        inner
+            .hists
+            .labels_per_zone
+            .record(solve.stats.labels_created);
+        inner.hists.front_size.record(solve.stats.front_size);
 
         {
             let table = inner.zones.read().unwrap_or_else(PoisonError::into_inner);
@@ -412,6 +544,35 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records one finished job's end-to-end wall time into the
+    /// job-wall-clock histogram (the serve daemon calls this once per
+    /// completed solve job).
+    pub fn record_job_wall_ns(&self, wall_ns: u64) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.hists.job_wall_ns.record(wall_ns);
+        }
+    }
+
+    /// Folds an already-reported set of histograms into this registry —
+    /// how the serve daemon aggregates per-job distributions into one
+    /// scrapeable process-lifetime view.
+    pub fn absorb_histograms(&self, hists: &RunHistograms) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        inner.hists.zone_solve_ns.absorb(&hists.zone_solve_ns);
+        inner.hists.labels_per_zone.absorb(&hists.labels_per_zone);
+        inner.hists.front_size.absorb(&hists.front_size);
+        inner.hists.job_wall_ns.absorb(&hists.job_wall_ns);
+    }
+
+    /// Snapshots the current histograms without assembling a full report
+    /// (the Prometheus exposition path).
+    #[must_use]
+    pub fn histograms(&self) -> Option<RunHistograms> {
+        self.inner.as_ref().map(|inner| inner.hists.snapshot())
+    }
+
     /// Assembles the [`RunReport`], or `None` when the registry is
     /// disabled. The caller supplies run-level context the registry
     /// cannot observe itself.
@@ -482,6 +643,7 @@ impl MetricsRegistry {
             degenerate_zones: ctx.degenerate_zones,
             ladder_rung: ctx.ladder_rung,
             attribution: None,
+            histograms: inner.hists.snapshot(),
         })
     }
 }
@@ -507,6 +669,194 @@ impl Drop for SpanGuard {
                 elapsed_ns as f64 / 1e3
             );
         }
+    }
+}
+
+/// One solver progress snapshot, emitted periodically while a solve
+/// runs and once more (with `done = true`) when it finishes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Progress {
+    /// Zone × interval subproblems completed so far.
+    pub zones_done: u64,
+    /// Total subproblems the run will solve.
+    pub zones_total: u64,
+    /// Current (worst seen) degradation-ladder rung.
+    pub rung: u64,
+    /// Process RSS at the snapshot, bytes (0 where `/proc` is missing).
+    pub rss_bytes: u64,
+    /// Wall time since the solve started, milliseconds.
+    pub elapsed_ms: u64,
+    /// `true` only on the final event the guard emits at drop.
+    pub done: bool,
+}
+
+struct ProgressInner {
+    zones_done: AtomicU64,
+    zones_total: AtomicU64,
+    rung: AtomicU64,
+    interval: Duration,
+    sink: Box<dyn Fn(&Progress) + Send + Sync>,
+}
+
+impl ProgressInner {
+    fn emit(&self, started: Instant, done: bool) {
+        let p = Progress {
+            zones_done: self.zones_done.load(Ordering::Relaxed),
+            zones_total: self.zones_total.load(Ordering::Relaxed),
+            rung: self.rung.load(Ordering::Relaxed),
+            rss_bytes: current_rss_bytes().unwrap_or(0),
+            elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            done,
+        };
+        (self.sink)(&p);
+    }
+}
+
+/// The solver's progress channel: a clock (ticker thread) driving a
+/// caller-supplied sink with [`Progress`] snapshots.
+///
+/// Shaped exactly like [`MetricsRegistry`]: an `Option<Arc<_>>`, so a
+/// disabled tracker is a `None` and every hook on the solve path is a
+/// single branch. The tracker is strictly an observer — it reads its own
+/// atomics and the RSS gauge, never solver state — so enabled and
+/// disabled runs produce bit-identical outcomes (the
+/// `progress_differential` test keeps that honest).
+#[derive(Clone, Default)]
+pub struct ProgressTracker {
+    inner: Option<Arc<ProgressInner>>,
+}
+
+impl std::fmt::Debug for ProgressTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressTracker")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl ProgressTracker {
+    /// A tracker that emits nothing (also the `Default`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A tracker calling `sink` every `interval` while a solve runs
+    /// (plus one final `done` event). The sink runs on the ticker
+    /// thread, never on a solver worker.
+    #[must_use]
+    pub fn enabled<F>(interval: Duration, sink: F) -> Self
+    where
+        F: Fn(&Progress) + Send + Sync + 'static,
+    {
+        Self {
+            inner: Some(Arc::new(ProgressInner {
+                zones_done: AtomicU64::new(0),
+                zones_total: AtomicU64::new(0),
+                rung: AtomicU64::new(0),
+                interval,
+                sink: Box::new(sink),
+            })),
+        }
+    }
+
+    /// `true` when this tracker emits events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Counts one completed zone × interval subproblem.
+    pub fn zone_done(&self) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.zones_done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the ladder rung the solve currently runs on (`fetch_max`:
+    /// the ladder only descends).
+    pub fn set_rung(&self, rung: usize) {
+        if let Some(inner) = self.inner.as_ref() {
+            inner.rung.fetch_max(rung as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts the ticker for one solve of `zones_total` subproblems; the
+    /// returned guard stops it (and emits the final `done` event) on
+    /// drop. Each tick also folds a fresh RSS sample into `registry`'s
+    /// peak gauge, so transient mid-solve spikes reach `peak_rss_bytes`
+    /// instead of only the end-of-phase checkpoints. No-op when the
+    /// tracker is disabled.
+    #[must_use]
+    pub fn begin(&self, zones_total: u64, registry: &MetricsRegistry) -> ProgressGuard {
+        let Some(inner) = self.inner.as_ref() else {
+            return ProgressGuard { state: None };
+        };
+        inner.zones_done.store(0, Ordering::Relaxed);
+        inner.rung.store(0, Ordering::Relaxed);
+        inner.zones_total.store(zones_total, Ordering::Relaxed);
+        let started = Instant::now();
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread = {
+            let inner = Arc::clone(inner);
+            let registry = registry.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let (lock, cvar) = &*stop;
+                let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                while !*stopped {
+                    let (guard, timeout) = cvar
+                        .wait_timeout(stopped, inner.interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    stopped = guard;
+                    if !*stopped && timeout.timed_out() {
+                        registry.sample_rss();
+                        inner.emit(started, false);
+                    }
+                }
+            })
+        };
+        ProgressGuard {
+            state: Some(ProgressGuardState {
+                inner: Arc::clone(inner),
+                registry: registry.clone(),
+                started,
+                stop,
+                thread: Some(thread),
+            }),
+        }
+    }
+}
+
+struct ProgressGuardState {
+    inner: Arc<ProgressInner>,
+    registry: MetricsRegistry,
+    started: Instant,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Live guard of one solve's progress ticker; stops the ticker thread
+/// and emits the final `done = true` event on drop.
+pub struct ProgressGuard {
+    state: Option<ProgressGuardState>,
+}
+
+impl Drop for ProgressGuard {
+    fn drop(&mut self) {
+        let Some(mut st) = self.state.take() else {
+            return;
+        };
+        {
+            let (lock, cvar) = &*st.stop;
+            *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            cvar.notify_all();
+        }
+        if let Some(t) = st.thread.take() {
+            let _ = t.join();
+        }
+        st.registry.sample_rss();
+        st.inner.emit(st.started, true);
     }
 }
 
@@ -676,6 +1026,230 @@ pub struct ZoneMetrics {
     pub worst_rung: u64,
 }
 
+/// One occupied histogram bucket (sparse: empty buckets are omitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Bucket index in the fixed log2 layout ([`bucket_index`]).
+    pub index: u32,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// One serialized log2-bucket histogram with quantile summaries.
+///
+/// Quantiles are stored as [`bucket_upper_bound`]s — exact integers, so
+/// the type stays `Eq` and two runs of the same problem produce equal
+/// histograms for the deterministic distributions (labels per zone,
+/// front sizes). `count == Σ buckets[].count` by construction and the
+/// stored quantiles always equal [`RunHistogram::quantile`] recomputed
+/// from the buckets ([`RunReport::validate`] enforces both).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunHistogram {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Occupied buckets, ascending by index.
+    pub buckets: Vec<HistogramBucket>,
+    /// Median upper bound (0 when empty).
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+impl RunHistogram {
+    /// Records one value (the non-atomic mirror of the registry's live
+    /// cell, for merging and tests).
+    pub fn observe(&mut self, value: u64) {
+        let index = bucket_index(value) as u32;
+        match self.buckets.binary_search_by_key(&index, |b| b.index) {
+            Ok(i) => self.buckets[i].count += 1,
+            Err(i) => self.buckets.insert(i, HistogramBucket { index, count: 1 }),
+        }
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
+        self.max = self.max.max(value);
+        self.count += 1;
+        self.sum += value;
+        self.refresh_quantiles();
+    }
+
+    /// Merges another histogram in. Associative and commutative up to
+    /// bucket resolution — `a.merge(b)` equals `b.merge(a)` exactly.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        for b in &other.buckets {
+            match self.buckets.binary_search_by_key(&b.index, |x| x.index) {
+                Ok(i) => self.buckets[i].count += b.count,
+                Err(i) => self.buckets.insert(i, *b),
+            }
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.refresh_quantiles();
+    }
+
+    /// The upper bound of the bucket holding the `q`-quantile
+    /// observation (rank `ceil(q·count)`, clamped to `[1, count]`).
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for b in &self.buckets {
+            cumulative = cumulative.saturating_add(b.count);
+            if cumulative >= rank {
+                return bucket_upper_bound(b.index as usize);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observed value (0 for an empty histogram).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn refresh_quantiles(&mut self) {
+        self.p50 = self.quantile(0.50);
+        self.p90 = self.quantile(0.90);
+        self.p99 = self.quantile(0.99);
+    }
+
+    fn validate(&self, name: &str) -> Result<(), String> {
+        let mut bucket_sum = 0u64;
+        let mut last_index: Option<u32> = None;
+        for b in &self.buckets {
+            if b.index as usize >= HISTOGRAM_BUCKETS {
+                return Err(format!(
+                    "histogram {name}: bucket index {} out of range",
+                    b.index
+                ));
+            }
+            if b.count == 0 {
+                return Err(format!(
+                    "histogram {name}: empty bucket {} stored (sparse form)",
+                    b.index
+                ));
+            }
+            if last_index.is_some_and(|prev| prev >= b.index) {
+                return Err(format!(
+                    "histogram {name}: bucket indices not strictly ascending at {}",
+                    b.index
+                ));
+            }
+            last_index = Some(b.index);
+            bucket_sum = bucket_sum.saturating_add(b.count);
+        }
+        if bucket_sum != self.count {
+            return Err(format!(
+                "histogram {name}: count {} but buckets sum to {bucket_sum}",
+                self.count
+            ));
+        }
+        if self.count == 0 {
+            if self.sum != 0 || self.min != 0 || self.max != 0 {
+                return Err(format!("histogram {name}: empty but carries values"));
+            }
+        } else if self.min > self.max {
+            return Err(format!(
+                "histogram {name}: min {} exceeds max {}",
+                self.min, self.max
+            ));
+        }
+        for (label, stored, q) in [
+            ("p50", self.p50, 0.50),
+            ("p90", self.p90, 0.90),
+            ("p99", self.p99, 0.99),
+        ] {
+            if stored != self.quantile(q) {
+                return Err(format!(
+                    "histogram {name}: stored {label} {stored} disagrees with buckets"
+                ));
+            }
+        }
+        if self.p50 > self.p90 || self.p90 > self.p99 {
+            return Err(format!(
+                "histogram {name}: quantiles not monotone ({} / {} / {})",
+                self.p50, self.p90, self.p99
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The report's histogram set. Additive schema-v1 field — reports
+/// written before it existed decode to the empty default.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunHistograms {
+    /// Wall time of each zone × interval subproblem solve, nanoseconds.
+    /// Environment-dependent — emptied by [`RunReport::normalized`].
+    pub zone_solve_ns: RunHistogram,
+    /// Labels created per zone solve (deterministic).
+    pub labels_per_zone: RunHistogram,
+    /// Pareto front size per zone solve (deterministic).
+    pub front_size: RunHistogram,
+    /// End-to-end wall time per serve-mode job, nanoseconds (empty for
+    /// single-run reports). Environment-dependent — emptied by
+    /// [`RunReport::normalized`].
+    pub job_wall_ns: RunHistogram,
+}
+
+impl RunHistograms {
+    /// Merges another set in, distribution by distribution.
+    pub fn merge(&mut self, other: &Self) {
+        self.zone_solve_ns.merge(&other.zone_solve_ns);
+        self.labels_per_zone.merge(&other.labels_per_zone);
+        self.front_size.merge(&other.front_size);
+        self.job_wall_ns.merge(&other.job_wall_ns);
+    }
+
+    /// `true` when no distribution holds any observation.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.zone_solve_ns.count == 0
+            && self.labels_per_zone.count == 0
+            && self.front_size.count == 0
+            && self.job_wall_ns.count == 0
+    }
+
+    /// The distributions paired with their stable report names.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, &RunHistogram); 4] {
+        [
+            ("zone_solve_ns", &self.zone_solve_ns),
+            ("labels_per_zone", &self.labels_per_zone),
+            ("front_size", &self.front_size),
+            ("job_wall_ns", &self.job_wall_ns),
+        ]
+    }
+}
+
 /// One node's share of the total rail current at the attributed peak
 /// instant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -756,6 +1330,10 @@ pub struct RunReport {
     /// explain pass). Additive schema field — still schema v1.
     #[serde(default)]
     pub attribution: Option<PeakAttribution>,
+    /// Latency/size distributions. Additive schema field — reports
+    /// written before it existed decode to the empty default.
+    #[serde(default)]
+    pub histograms: RunHistograms,
 }
 
 impl RunReport {
@@ -861,6 +1439,46 @@ impl RunReport {
                 ));
             }
         }
+        for (name, h) in self.histograms.named() {
+            h.validate(name)?;
+        }
+        let h = &self.histograms;
+        // Cross-checks against the counters, guarded on count > 0 so a
+        // normalized (emptied) or legacy (absent) histogram still passes.
+        if h.zone_solve_ns.count > 0 && h.zone_solve_ns.count != self.counters.zone_solves {
+            return Err(format!(
+                "zone_solve_ns histogram holds {} samples but zone_solves is {}",
+                h.zone_solve_ns.count, self.counters.zone_solves
+            ));
+        }
+        if h.labels_per_zone.count > 0 {
+            if h.labels_per_zone.count != self.counters.zone_solves {
+                return Err(format!(
+                    "labels_per_zone histogram holds {} samples but zone_solves is {}",
+                    h.labels_per_zone.count, self.counters.zone_solves
+                ));
+            }
+            if h.labels_per_zone.sum != self.counters.labels_created {
+                return Err(format!(
+                    "labels_per_zone histogram sums to {} but labels_created is {}",
+                    h.labels_per_zone.sum, self.counters.labels_created
+                ));
+            }
+        }
+        if h.front_size.count > 0 {
+            if h.front_size.count != self.counters.zone_solves {
+                return Err(format!(
+                    "front_size histogram holds {} samples but zone_solves is {}",
+                    h.front_size.count, self.counters.zone_solves
+                ));
+            }
+            if h.front_size.sum != self.counters.pareto_paths {
+                return Err(format!(
+                    "front_size histogram sums to {} but pareto_paths is {}",
+                    h.front_size.sum, self.counters.pareto_paths
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -887,6 +1505,10 @@ impl RunReport {
         for z in &mut out.zones {
             z.wall_ns = 0;
         }
+        // Wall-clock distributions vary run to run; the label/front-size
+        // distributions are deterministic and stay.
+        out.histograms.zone_solve_ns = RunHistogram::default();
+        out.histograms.job_wall_ns = RunHistogram::default();
         out
     }
 
@@ -906,7 +1528,10 @@ impl RunReport {
 /// Hand-rolled decoding of the report's JSON [`serde::Value`] tree — the
 /// vendored serde stack has no typed deserializer.
 mod decode {
-    use super::{Contribution, PeakAttribution, RunCounters, RunReport, StageTiming, ZoneMetrics};
+    use super::{
+        Contribution, HistogramBucket, PeakAttribution, RunCounters, RunHistogram, RunHistograms,
+        RunReport, StageTiming, ZoneMetrics,
+    };
     use serde::Value;
 
     fn fields<'a>(
@@ -1003,6 +1628,7 @@ mod decode {
                 "degenerate_zones",
                 "ladder_rung",
                 "attribution",
+                "histograms",
             ],
             "report",
         )?;
@@ -1025,6 +1651,62 @@ mod decode {
             degenerate_zones: usize_field(entries, "degenerate_zones")?,
             ladder_rung: usize_field(entries, "ladder_rung")?,
             attribution: attribution(entries)?,
+            histograms: histograms(entries)?,
+        })
+    }
+
+    /// Additive v1 field: absent (legacy reports) decodes to the empty
+    /// default, mirroring [`attribution`].
+    fn histograms(entries: &[(String, Value)]) -> Result<RunHistograms, String> {
+        let Some((_, v)) = entries.iter().find(|(k, _)| k == "histograms") else {
+            return Ok(RunHistograms::default());
+        };
+        let entries = fields(
+            v,
+            &[
+                "zone_solve_ns",
+                "labels_per_zone",
+                "front_size",
+                "job_wall_ns",
+            ],
+            "histograms",
+        )?;
+        Ok(RunHistograms {
+            zone_solve_ns: histogram(get(entries, "zone_solve_ns")?)?,
+            labels_per_zone: histogram(get(entries, "labels_per_zone")?)?,
+            front_size: histogram(get(entries, "front_size")?)?,
+            job_wall_ns: histogram(get(entries, "job_wall_ns")?)?,
+        })
+    }
+
+    fn histogram(v: &Value) -> Result<RunHistogram, String> {
+        let entries = fields(
+            v,
+            &["count", "sum", "min", "max", "buckets", "p50", "p90", "p99"],
+            "histogram",
+        )?;
+        Ok(RunHistogram {
+            count: u64_field(entries, "count")?,
+            sum: u64_field(entries, "sum")?,
+            min: u64_field(entries, "min")?,
+            max: u64_field(entries, "max")?,
+            buckets: seq_field(entries, "buckets")?
+                .iter()
+                .map(histogram_bucket)
+                .collect::<Result<_, _>>()?,
+            p50: u64_field(entries, "p50")?,
+            p90: u64_field(entries, "p90")?,
+            p99: u64_field(entries, "p99")?,
+        })
+    }
+
+    fn histogram_bucket(v: &Value) -> Result<HistogramBucket, String> {
+        let entries = fields(v, &["index", "count"], "histogram bucket")?;
+        let index = u64_field(entries, "index")?;
+        Ok(HistogramBucket {
+            index: u32::try_from(index)
+                .map_err(|_| format!("histogram bucket index {index} does not fit u32"))?,
+            count: u64_field(entries, "count")?,
         })
     }
 
@@ -1446,6 +2128,223 @@ mod tests {
         let mut wrong_version = r.report(&ReportContext::default()).expect("enabled");
         wrong_version.schema_version = 99;
         assert!(wrong_version.validate().is_err());
+    }
+
+    #[test]
+    fn bucket_layout_is_exact_at_the_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..=63usize {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i, "upper bound stays in its bucket");
+            assert_eq!(bucket_index(hi + 1), i + 1, "next value moves up");
+            assert_eq!(hi, (1u64 << i) - 1);
+        }
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histograms_record_merge_and_quantile() {
+        let mut h = RunHistogram::default();
+        for v in [0u64, 1, 1, 7, 100, 100_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 100_109);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100_000);
+        h.validate("test").expect("self-consistent");
+        // Rank 3 of 6 at q=0.5 is the second `1` → bucket 1's bound.
+        assert_eq!(h.p50, 1);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
+        assert_eq!(h.quantile(1.0), bucket_upper_bound(bucket_index(100_000)));
+
+        let mut other = RunHistogram::default();
+        other.observe(3);
+        other.observe(1 << 40);
+        let mut ab = h.clone();
+        ab.merge(&other);
+        let mut ba = other.clone();
+        ba.merge(&h);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count, 8);
+        assert_eq!(ab.max, 1 << 40);
+        ab.validate("merged").expect("merged stays consistent");
+    }
+
+    #[test]
+    fn empty_histogram_merges_as_identity() {
+        let mut h = RunHistogram::default();
+        h.observe(42);
+        let snapshot = h.clone();
+        h.merge(&RunHistogram::default());
+        assert_eq!(h, snapshot);
+        let mut empty = RunHistogram::default();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+        assert_eq!(RunHistogram::default().quantile(0.5), 0);
+        RunHistogram::default().validate("empty").expect("valid");
+    }
+
+    #[test]
+    fn zone_solves_fill_the_report_histograms() {
+        let r = MetricsRegistry::enabled(false);
+        r.ensure_zones(2);
+        r.record_zone_solve(0, &sample_record(5));
+        r.record_zone_solve(1, &sample_record(9));
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        report.validate().expect("cross-checks hold");
+        let h = &report.histograms;
+        assert_eq!(h.zone_solve_ns.count, 2);
+        assert_eq!(h.zone_solve_ns.sum, 2_000);
+        assert_eq!(h.labels_per_zone.count, 2);
+        assert_eq!(h.labels_per_zone.sum, 14);
+        assert_eq!(h.front_size.sum, 4);
+        assert_eq!(h.job_wall_ns.count, 0, "single runs record no jobs");
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn histograms_roundtrip_and_validate_rejects_tampering() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(5));
+        r.record_job_wall_ns(1_234_567);
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back = RunReport::from_json(&json).expect("decode");
+        assert_eq!(back, report);
+        back.validate().expect("valid after roundtrip");
+        assert_eq!(back.histograms.job_wall_ns.count, 1);
+
+        let mut tampered = report.clone();
+        tampered.histograms.labels_per_zone.sum += 1;
+        assert!(tampered.validate().is_err(), "sum cross-check trips");
+        let mut wrong_q = report;
+        wrong_q.histograms.zone_solve_ns.p50 += 1;
+        assert!(wrong_q.validate().is_err(), "quantile check trips");
+    }
+
+    #[test]
+    fn legacy_reports_without_histograms_still_decode() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(4));
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        let json = serde_json::to_string(&report).expect("serialize");
+        let start = json.find(",\"histograms\":").expect("field present");
+        let mut legacy = json[..start].to_owned();
+        legacy.push('}');
+        assert_ne!(legacy, json, "fixture must actually strip the field");
+        let back = RunReport::from_json(&legacy).expect("legacy decodes");
+        assert!(back.histograms.is_empty());
+        back.validate().expect("legacy report stays valid");
+    }
+
+    #[test]
+    fn daemon_absorbs_job_histograms() {
+        let job = {
+            let r = MetricsRegistry::enabled(false);
+            r.record_zone_solve(0, &sample_record(5));
+            r.report(&ReportContext::default()).expect("enabled")
+        };
+        let daemon = MetricsRegistry::enabled(false);
+        daemon.absorb_histograms(&job.histograms);
+        daemon.absorb_histograms(&job.histograms);
+        daemon.record_job_wall_ns(10);
+        let h = daemon.histograms().expect("enabled");
+        assert_eq!(h.zone_solve_ns.count, 2);
+        assert_eq!(h.labels_per_zone.sum, 10);
+        assert_eq!(h.job_wall_ns.count, 1);
+        h.zone_solve_ns.validate("absorbed").expect("consistent");
+    }
+
+    #[test]
+    fn normalization_empties_wall_clock_histograms_only() {
+        let r = MetricsRegistry::enabled(false);
+        r.record_zone_solve(0, &sample_record(5));
+        r.record_job_wall_ns(99);
+        let report = r.report(&ReportContext::default()).expect("enabled");
+        let n = report.normalized();
+        assert_eq!(n.histograms.zone_solve_ns, RunHistogram::default());
+        assert_eq!(n.histograms.job_wall_ns, RunHistogram::default());
+        assert_eq!(
+            n.histograms.labels_per_zone,
+            report.histograms.labels_per_zone
+        );
+        assert_eq!(n.histograms.front_size, report.histograms.front_size);
+        n.validate().expect("normalized report stays valid");
+    }
+
+    #[test]
+    fn progress_ticker_emits_and_finishes() {
+        let events: Arc<Mutex<Vec<Progress>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_events = Arc::clone(&events);
+        let tracker = ProgressTracker::enabled(Duration::from_millis(5), move |p| {
+            sink_events
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(p.clone());
+        });
+        let registry = MetricsRegistry::enabled(false);
+        {
+            let _guard = tracker.begin(4, &registry);
+            tracker.zone_done();
+            tracker.zone_done();
+            tracker.set_rung(2);
+            tracker.set_rung(1);
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let events = events.lock().unwrap_or_else(PoisonError::into_inner);
+        let last = events.last().expect("final event always emitted");
+        assert!(last.done);
+        assert_eq!(last.zones_done, 2);
+        assert_eq!(last.zones_total, 4);
+        assert_eq!(last.rung, 2, "rung keeps the max");
+        assert!(
+            events.iter().filter(|p| !p.done).count() >= 1,
+            "the ticker fired at least once in 25 ms: {events:?}"
+        );
+        if current_rss_bytes().is_some() {
+            let report = registry.report(&ReportContext::default()).expect("enabled");
+            assert!(report.counters.peak_rss_bytes > 0, "ticks sample RSS");
+            assert!(last.rss_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn disabled_progress_tracker_is_inert() {
+        let tracker = ProgressTracker::disabled();
+        assert!(!tracker.is_enabled());
+        let guard = tracker.begin(10, &MetricsRegistry::disabled());
+        tracker.zone_done();
+        tracker.set_rung(3);
+        drop(guard);
+        // Restarting resets the counters for the next solve.
+        let events: Arc<Mutex<Vec<Progress>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_events = Arc::clone(&events);
+        let t = ProgressTracker::enabled(Duration::from_secs(3600), move |p| {
+            sink_events
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(p.clone());
+        });
+        let r = MetricsRegistry::disabled();
+        {
+            let _g = t.begin(2, &r);
+            t.zone_done();
+        }
+        {
+            let _g = t.begin(7, &r);
+        }
+        let events = events.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(events.len(), 2, "one final event per solve");
+        assert_eq!(events[0].zones_done, 1);
+        assert_eq!(events[1].zones_done, 0, "begin resets the counter");
+        assert_eq!(events[1].zones_total, 7);
     }
 
     #[test]

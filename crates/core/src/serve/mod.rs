@@ -15,6 +15,16 @@
 //! jobs on the same session dedup zone solves through the cache's
 //! in-flight reservations rather than solving the same zone twice.
 //!
+//! A `solve` job sent with `"progress":true` streams `{"progress":{...}}`
+//! lines on its connection while it runs (zones done/total, current
+//! ladder rung, RSS) before the final response line. The daemon keeps a
+//! [`MetricsRegistry`] of its own: every finished job's latency
+//! histograms are absorbed into it, and the `metrics` command renders
+//! the lot — job counters, queue depth, per-session cache stats, and
+//! the histograms — as Prometheus text exposition. With
+//! [`ServeOptions::log_json`] each job lifecycle event additionally
+//! emits one structured JSON line on stderr.
+//!
 //! `SIGTERM`/`SIGINT` (or a `shutdown` command) stop the accept loop,
 //! drain in-flight connections and queued jobs, unlink the socket, and
 //! return cleanly.
@@ -31,6 +41,9 @@ use std::time::{Duration, Instant};
 use crate::checkpoint::ZoneCache;
 use crate::config::WaveMinConfig;
 use crate::design::Design;
+use crate::observe::{
+    bucket_upper_bound, MetricsRegistry, Progress, ProgressTracker, RunHistogram,
+};
 use crate::session::{CharacterizedDesign, SolveOptions};
 use protocol::{err_response, ok_response, LoadRequest, Request, SolveRequest};
 use serde::Value;
@@ -48,6 +61,10 @@ pub struct ServeOptions {
     pub cache_bytes: usize,
     /// Default per-session solver threads (`None` = auto).
     pub threads: Option<usize>,
+    /// Emit one structured JSON line on stderr per job lifecycle event
+    /// (`job_queued`, `job_start`, `job_done`, `daemon_start`,
+    /// `daemon_stop`).
+    pub log_json: bool,
 }
 
 impl Default for ServeOptions {
@@ -57,6 +74,7 @@ impl Default for ServeOptions {
             workers: 2,
             cache_bytes: 256 << 20,
             threads: None,
+            log_json: false,
         }
     }
 }
@@ -91,13 +109,22 @@ struct SessionEntry {
     cache: Arc<ZoneCache>,
 }
 
+/// One message from a worker back to the job's connection handler:
+/// zero or more progress lines, then exactly one final response.
+enum JobMsg {
+    /// A `{"progress":{...}}` line to stream before the final response.
+    Progress(String),
+    /// The final response line; the connection stops reading after it.
+    Final(String),
+}
+
 /// A queued solve job. Ordered by priority (higher first), then
 /// admission order (earlier first).
 struct Job {
     priority: i64,
     seq: u64,
     request: SolveRequest,
-    reply: mpsc::Sender<String>,
+    reply: mpsc::Sender<JobMsg>,
 }
 
 impl PartialEq for Job {
@@ -132,6 +159,14 @@ struct ServerState {
     queue_ready: Condvar,
     next_seq: AtomicU64,
     connections: AtomicUsize,
+    /// When the daemon started; uptime in `stats`/`metrics` replies.
+    started: Instant,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    /// Daemon-lifetime registry: finished jobs' histograms are absorbed
+    /// here, so the `metrics` verb sees latency across all jobs.
+    metrics: MetricsRegistry,
 }
 
 impl ServerState {
@@ -144,10 +179,28 @@ impl ServerState {
         if q.closed {
             return false;
         }
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        log_json(
+            self,
+            "job_queued",
+            &[
+                ("session", Value::Str(job.request.session.clone())),
+                ("seq", Value::UInt(job.seq)),
+                ("priority", Value::Int(job.priority)),
+            ],
+        );
         q.heap.push(job);
         drop(q);
         self.queue_ready.notify_one();
         true
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .heap
+            .len()
     }
 
     /// Blocks for the next job; `None` once the queue is closed *and*
@@ -203,7 +256,20 @@ pub fn run(opts: ServeOptions) -> Result<(), std::io::Error> {
         queue_ready: Condvar::new(),
         next_seq: AtomicU64::new(0),
         connections: AtomicUsize::new(0),
+        started: Instant::now(),
+        jobs_submitted: AtomicU64::new(0),
+        jobs_completed: AtomicU64::new(0),
+        jobs_failed: AtomicU64::new(0),
+        metrics: MetricsRegistry::enabled(false),
     });
+    log_json(
+        &state,
+        "daemon_start",
+        &[
+            ("socket", Value::Str(socket_path.clone())),
+            ("workers", Value::UInt(workers as u64)),
+        ],
+    );
 
     let mut worker_handles = Vec::with_capacity(workers);
     for i in 0..workers {
@@ -247,34 +313,118 @@ pub fn run(opts: ServeOptions) -> Result<(), std::io::Error> {
         let _ = handle.join();
     }
     let _ = std::fs::remove_file(&socket_path);
+    log_json(&state, "daemon_stop", &[]);
     Ok(())
+}
+
+/// One structured JSON log line on stderr (no-op unless `--log-json`).
+fn log_json(state: &ServerState, event: &str, fields: &[(&str, Value)]) {
+    if !state.opts.log_json {
+        return;
+    }
+    let mut map = vec![
+        ("event".to_string(), Value::Str(event.to_string())),
+        (
+            "uptime_ms".to_string(),
+            Value::UInt(state.started.elapsed().as_millis() as u64),
+        ),
+    ];
+    map.extend(fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())));
+    if let Ok(line) = serde_json::to_string(&Value::Map(map)) {
+        eprintln!("{line}");
+    }
 }
 
 fn worker_loop(state: &ServerState) {
     while let Some(job) = state.dequeue() {
-        let response = execute_solve(state, &job.request);
+        log_json(
+            state,
+            "job_start",
+            &[
+                ("session", Value::Str(job.request.session.clone())),
+                ("seq", Value::UInt(job.seq)),
+            ],
+        );
+        let started = Instant::now();
+        let (response, ok) = execute_solve(state, &job.request, &job.reply);
+        state
+            .metrics
+            .record_job_wall_ns(started.elapsed().as_nanos() as u64);
+        if ok {
+            state.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        log_json(
+            state,
+            "job_done",
+            &[
+                ("session", Value::Str(job.request.session.clone())),
+                ("seq", Value::UInt(job.seq)),
+                ("ok", Value::Bool(ok)),
+                (
+                    "runtime_ms",
+                    Value::UInt(started.elapsed().as_millis() as u64),
+                ),
+            ],
+        );
         // A dropped receiver just means the client hung up.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(JobMsg::Final(response));
     }
 }
 
-fn execute_solve(state: &ServerState, req: &SolveRequest) -> String {
+/// Serializes one progress tick as a `{"progress":{...}}` line.
+fn progress_line(p: &Progress) -> String {
+    serde_json::to_string(p)
+        .map(|body| format!("{{\"progress\":{body}}}"))
+        .unwrap_or_else(|_| "{\"progress\":{}}".to_string())
+}
+
+/// Runs one solve job; returns the final response line and whether the
+/// solve succeeded. Progress ticks (when requested) stream through
+/// `reply` while the job runs; the job's histograms land in the daemon
+/// registry afterwards.
+fn execute_solve(
+    state: &ServerState,
+    req: &SolveRequest,
+    reply: &mpsc::Sender<JobMsg>,
+) -> (String, bool) {
     let entry = match state.sessions().get(&req.session) {
         Some(e) => Arc::clone(e),
-        None => return err_response(&format!("no session {:?}", req.session)),
+        None => {
+            return (
+                err_response(&format!("no session {:?}", req.session)),
+                false,
+            )
+        }
     };
     let chr = {
         let g = entry.chr.read().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(&g)
+    };
+    let progress = if req.progress {
+        // `mpsc::Sender` is `Send` but not `Sync`; the sink closure must
+        // be `Sync`, so the clone rides behind a mutex.
+        let tx = Mutex::new(reply.clone());
+        ProgressTracker::enabled(Duration::from_millis(250), move |p: &Progress| {
+            let guard = tx.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = guard.send(JobMsg::Progress(progress_line(p)));
+        })
+    } else {
+        ProgressTracker::disabled()
     };
     let opts = SolveOptions {
         time_budget_ms: req.time_budget_ms,
         threads: None,
         collect_metrics: true,
         trace_spans: false,
+        progress,
     };
     match chr.solve_cached(&entry.cache, &opts) {
         Ok(out) => {
+            if let Some(report) = out.report.as_ref() {
+                state.metrics.absorb_histograms(&report.histograms);
+            }
             let (zones_reused, zone_solves, ladder_rung) =
                 out.report.as_ref().map_or((0, 0, 0), |r| {
                     (
@@ -283,7 +433,7 @@ fn execute_solve(state: &ServerState, req: &SolveRequest) -> String {
                         r.ladder_rung as u64,
                     )
                 });
-            ok_response(vec![
+            let response = ok_response(vec![
                 ("session".to_string(), Value::Str(req.session.clone())),
                 (
                     "peak_before_ma".to_string(),
@@ -316,10 +466,107 @@ fn execute_solve(state: &ServerState, req: &SolveRequest) -> String {
                     "runtime_ms".to_string(),
                     Value::UInt(out.runtime.as_millis() as u64),
                 ),
-            ])
+            ]);
+            (response, true)
         }
-        Err(e) => err_response(&format!("solve failed: {e}")),
+        Err(e) => (err_response(&format!("solve failed: {e}")), false),
     }
+}
+
+/// Escapes a Prometheus label value (`\`, `"`, newline).
+fn prom_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Appends one histogram in Prometheus exposition format: cumulative
+/// `_bucket{le=...}` lines over the sparse stored buckets, then `+Inf`,
+/// `_sum`, and `_count`.
+fn prom_histogram(out: &mut String, name: &str, h: &RunHistogram) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# TYPE wavemin_{name} histogram");
+    let mut cumulative = 0u64;
+    for b in &h.buckets {
+        cumulative += b.count;
+        let _ = writeln!(
+            out,
+            "wavemin_{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(b.index as usize)
+        );
+    }
+    let _ = writeln!(out, "wavemin_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "wavemin_{name}_sum {}", h.sum);
+    let _ = writeln!(out, "wavemin_{name}_count {}", h.count);
+}
+
+/// Renders the daemon's counters, gauges, per-session cache stats, and
+/// absorbed job histograms as Prometheus text exposition.
+fn render_prometheus(state: &ServerState) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP wavemin_uptime_seconds Daemon uptime.");
+    let _ = writeln!(out, "# TYPE wavemin_uptime_seconds gauge");
+    let _ = writeln!(
+        out,
+        "wavemin_uptime_seconds {}",
+        state.started.elapsed().as_secs_f64()
+    );
+    for (name, value) in [
+        ("jobs_submitted", &state.jobs_submitted),
+        ("jobs_completed", &state.jobs_completed),
+        ("jobs_failed", &state.jobs_failed),
+    ] {
+        let _ = writeln!(out, "# TYPE wavemin_{name}_total counter");
+        let _ = writeln!(
+            out,
+            "wavemin_{name}_total {}",
+            value.load(Ordering::Relaxed)
+        );
+    }
+    let _ = writeln!(out, "# TYPE wavemin_job_queue_depth gauge");
+    let _ = writeln!(out, "wavemin_job_queue_depth {}", state.queue_depth());
+    let _ = writeln!(out, "# TYPE wavemin_connections gauge");
+    let _ = writeln!(
+        out,
+        "wavemin_connections {}",
+        state.connections.load(Ordering::SeqCst)
+    );
+    let mut sessions: Vec<(String, crate::checkpoint::CacheStats)> = state
+        .sessions()
+        .iter()
+        .map(|(name, entry)| (name.clone(), entry.cache.stats()))
+        .collect();
+    sessions.sort_by(|a, b| a.0.cmp(&b.0));
+    let _ = writeln!(out, "# TYPE wavemin_sessions gauge");
+    let _ = writeln!(out, "wavemin_sessions {}", sessions.len());
+    for (metric, kind, pick) in [
+        (
+            "session_cache_entries",
+            "gauge",
+            (|s| s.entries as u64) as fn(&crate::checkpoint::CacheStats) -> u64,
+        ),
+        ("session_cache_bytes", "gauge", |s| s.bytes as u64),
+        ("session_cache_hits_total", "counter", |s| s.hits),
+        ("session_cache_misses_total", "counter", |s| s.misses),
+        ("session_cache_evictions_total", "counter", |s| s.evictions),
+    ] {
+        let _ = writeln!(out, "# TYPE wavemin_{metric} {kind}");
+        for (name, stats) in &sessions {
+            let _ = writeln!(
+                out,
+                "wavemin_{metric}{{session=\"{}\"}} {}",
+                prom_label(name),
+                pick(stats)
+            );
+        }
+    }
+    if let Some(hists) = state.metrics.histograms() {
+        for (name, hist) in hists.named() {
+            prom_histogram(&mut out, name, hist);
+        }
+    }
+    out
 }
 
 /// Builds the session design from the request's source: a synthesized
@@ -422,6 +669,26 @@ fn execute_stats(state: &ServerState, session: &str) -> String {
         ("hits".to_string(), Value::UInt(s.hits)),
         ("misses".to_string(), Value::UInt(s.misses)),
         ("evictions".to_string(), Value::UInt(s.evictions)),
+        (
+            "uptime_ms".to_string(),
+            Value::UInt(state.started.elapsed().as_millis() as u64),
+        ),
+        (
+            "queue_depth".to_string(),
+            Value::UInt(state.queue_depth() as u64),
+        ),
+        (
+            "jobs_submitted".to_string(),
+            Value::UInt(state.jobs_submitted.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_completed".to_string(),
+            Value::UInt(state.jobs_completed.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_failed".to_string(),
+            Value::UInt(state.jobs_failed.load(Ordering::Relaxed)),
+        ),
     ])
 }
 
@@ -446,6 +713,10 @@ fn serve_connection(state: &ServerState, stream: UnixStream) {
             Ok(Request::Ping) => ok_response(vec![("pong".to_string(), Value::Bool(true))]),
             Ok(Request::Load(req)) => execute_load(state, &req),
             Ok(Request::Stats { session }) => execute_stats(state, &session),
+            Ok(Request::Metrics) => ok_response(vec![
+                ("format".to_string(), Value::Str("prometheus".to_string())),
+                ("body".to_string(), Value::Str(render_prometheus(state))),
+            ]),
             Ok(Request::Solve(req)) => {
                 let (tx, rx) = mpsc::channel();
                 let job = Job {
@@ -455,8 +726,19 @@ fn serve_connection(state: &ServerState, stream: UnixStream) {
                     reply: tx,
                 };
                 if state.enqueue(job) {
-                    rx.recv()
-                        .unwrap_or_else(|_| err_response("server shutting down"))
+                    loop {
+                        match rx.recv() {
+                            Ok(JobMsg::Progress(line)) => {
+                                // A failed write means the client hung
+                                // up; keep draining so the final send
+                                // completes and the loop ends.
+                                let _ = writeln!(writer, "{line}");
+                                let _ = writer.flush();
+                            }
+                            Ok(JobMsg::Final(response)) => break response,
+                            Err(_) => break err_response("server shutting down"),
+                        }
+                    }
                 } else {
                     err_response("server shutting down")
                 }
@@ -477,8 +759,11 @@ fn serve_connection(state: &ServerState, stream: UnixStream) {
 
 /// One-shot client: connect, send `line`, print the response line.
 ///
-/// Returns the raw response. Used by `wavemin client` so shell scripts
-/// (and the CI smoke test) don't need a JSON-speaking socket tool.
+/// Returns the raw final response. Interleaved `{"progress":{...}}`
+/// lines from a `"progress":true` solve are echoed to stderr as they
+/// arrive rather than returned. Used by `wavemin client` so shell
+/// scripts (and the CI smoke test) don't need a JSON-speaking socket
+/// tool.
 ///
 /// # Errors
 ///
@@ -489,14 +774,21 @@ pub fn client_request(socket_path: &str, line: &str) -> Result<String, std::io::
     writeln!(stream, "{line}")?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
-    let mut response = String::new();
-    if reader.read_line(&mut response)? == 0 {
-        return Err(std::io::Error::new(
-            ErrorKind::UnexpectedEof,
-            "server closed the connection without responding",
-        ));
+    loop {
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection without responding",
+            ));
+        }
+        let trimmed = response.trim_end();
+        if trimmed.starts_with("{\"progress\":") {
+            eprintln!("{trimmed}");
+            continue;
+        }
+        return Ok(trimmed.to_string());
     }
-    Ok(response.trim_end().to_string())
 }
 
 #[cfg(test)]
@@ -505,7 +797,7 @@ mod tests {
 
     #[test]
     fn job_queue_orders_by_priority_then_fifo() {
-        let (tx, _rx) = mpsc::channel();
+        let (tx, _rx) = mpsc::channel::<JobMsg>();
         let mk = |priority, seq| Job {
             priority,
             seq,
@@ -513,6 +805,7 @@ mod tests {
                 session: "s".to_string(),
                 priority,
                 time_budget_ms: None,
+                progress: false,
             },
             reply: tx.clone(),
         };
@@ -556,6 +849,7 @@ mod tests {
             workers: 1,
             cache_bytes: 16 << 20,
             threads: Some(1),
+            log_json: false,
         };
         let server = std::thread::spawn(move || run(opts));
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -601,6 +895,7 @@ mod tests {
             workers: 2,
             cache_bytes: 64 << 20,
             threads: Some(1),
+            log_json: true,
         };
         let server = std::thread::spawn(move || run(opts));
 
@@ -646,8 +941,55 @@ mod tests {
             .expect("zones_reused field");
         assert!(reused > 0, "ECO re-solve must splice cached zones: {eco}");
 
+        // A progress solve streams `{"progress":...}` lines before the
+        // final response; the guard's final tick always arrives with
+        // done:true even when the job finishes under one tick interval.
+        let mut raw = UnixStream::connect(&socket_path).expect("connect");
+        writeln!(raw, r#"{{"cmd":"solve","session":"eco","progress":true}}"#).expect("send");
+        raw.flush().expect("flush");
+        let mut raw_reader = BufReader::new(raw);
+        let mut saw_done_tick = false;
+        let streamed_final = loop {
+            let mut l = String::new();
+            assert!(
+                raw_reader.read_line(&mut l).expect("read line") > 0,
+                "connection closed before the final response"
+            );
+            let t = l.trim_end();
+            if t.starts_with("{\"progress\":") {
+                saw_done_tick |= t.contains("\"done\":true");
+                continue;
+            }
+            break t.to_string();
+        };
+        assert!(streamed_final.contains("\"ok\":true"), "{streamed_final}");
+        assert!(saw_done_tick, "the final progress tick must stream");
+
         let stats = ask(r#"{"cmd":"stats","session":"eco"}"#);
         assert!(stats.contains("\"hits\":"), "{stats}");
+        assert!(stats.contains("\"uptime_ms\":"), "{stats}");
+        assert!(stats.contains("\"queue_depth\":0"), "{stats}");
+        assert!(stats.contains("\"jobs_submitted\":3"), "{stats}");
+        assert!(stats.contains("\"jobs_completed\":3"), "{stats}");
+        assert!(stats.contains("\"jobs_failed\":0"), "{stats}");
+
+        // Prometheus exposition reflects the finished jobs and the
+        // histograms absorbed from their reports.
+        let metrics = ask(r#"{"cmd":"metrics"}"#);
+        assert!(metrics.contains("\"format\":\"prometheus\""), "{metrics}");
+        assert!(
+            metrics.contains("wavemin_jobs_completed_total 3"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("wavemin_job_wall_ns_count 3"), "{metrics}");
+        assert!(
+            metrics.contains("wavemin_zone_solve_ns_bucket"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("session=\\\"eco\\\""),
+            "per-session cache stats must be labelled: {metrics}"
+        );
 
         let bye = ask(r#"{"cmd":"shutdown"}"#);
         assert!(bye.contains("\"shutting_down\":true"), "{bye}");

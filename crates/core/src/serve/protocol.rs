@@ -19,8 +19,13 @@
 //!   before characterization). Re-loading a session keeps its zone cache,
 //!   which is what makes an ECO re-solve incremental.
 //! * `{"cmd":"solve","session":S,...}` — enqueue a solve job. Optional
-//!   `priority` (higher runs first), `time_budget_ms`.
-//! * `{"cmd":"stats","session":S}` — the session's zone-cache counters.
+//!   `priority` (higher runs first), `time_budget_ms`, and `progress`
+//!   (stream `{"progress":{...}}` lines on the job connection before
+//!   the final response).
+//! * `{"cmd":"stats","session":S}` — the session's zone-cache counters
+//!   plus daemon-level queue depth, uptime, and job counters.
+//! * `{"cmd":"metrics"}` — Prometheus text exposition of the daemon's
+//!   counters, gauges, and latency histograms.
 //! * `{"cmd":"shutdown"}` — stop accepting and drain.
 
 use serde::Value;
@@ -71,6 +76,8 @@ pub struct SolveRequest {
     pub priority: i64,
     /// Per-job wall-clock budget, milliseconds.
     pub time_budget_ms: Option<u64>,
+    /// Stream progress lines on the job connection while the job runs.
+    pub progress: bool,
 }
 
 /// A decoded request line.
@@ -87,6 +94,8 @@ pub enum Request {
         /// Session to report on.
         session: String,
     },
+    /// Prometheus text exposition of daemon counters and histograms.
+    Metrics,
     /// Stop accepting connections and drain in-flight work.
     Shutdown,
 }
@@ -110,6 +119,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "shutdown" => {
             expect_fields(entries, &["cmd"])?;
             Ok(Request::Shutdown)
+        }
+        "metrics" => {
+            expect_fields(entries, &["cmd"])?;
+            Ok(Request::Metrics)
         }
         "stats" => {
             expect_fields(entries, &["cmd", "session"])?;
@@ -176,11 +189,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Load(load))
         }
         "solve" => {
-            expect_fields(entries, &["cmd", "session", "priority", "time_budget_ms"])?;
+            expect_fields(
+                entries,
+                &["cmd", "session", "priority", "time_budget_ms", "progress"],
+            )?;
             Ok(Request::Solve(SolveRequest {
                 session: str_field(entries, "session")?,
                 priority: opt_i64_field(entries, "priority")?.unwrap_or(0),
                 time_budget_ms: opt_u64_field(entries, "time_budget_ms")?,
+                progress: opt_bool_field(entries, "progress")?.unwrap_or(false),
             }))
         }
         other => Err(format!("unknown cmd {other:?}")),
@@ -235,6 +252,14 @@ fn opt_str_field(entries: &[(String, Value)], key: &str) -> Result<Option<String
         None | Some(Value::Null) => Ok(None),
         Some(Value::Str(s)) => Ok(Some(s.clone())),
         Some(_) => Err(format!("{key} must be a string")),
+    }
+}
+
+fn opt_bool_field(entries: &[(String, Value)], key: &str) -> Result<Option<bool>, String> {
+    match get(entries, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("{key} must be a boolean")),
     }
 }
 
@@ -325,9 +350,17 @@ mod tests {
             Request::Solve(s) => {
                 assert_eq!(s.priority, 3);
                 assert_eq!(s.time_budget_ms, None);
+                assert!(!s.progress, "progress defaults off");
             }
             other => panic!("wrong parse: {other:?}"),
         }
+        let solve = parse_request(r#"{"cmd":"solve","session":"a","progress":true}"#)
+            .expect("solve with progress");
+        match solve {
+            Request::Solve(s) => assert!(s.progress),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(parse_request(r#"{"cmd":"metrics"}"#), Ok(Request::Metrics));
     }
 
     #[test]
@@ -357,6 +390,11 @@ mod tests {
     #[test]
     fn rejects_unknown_fields_and_commands() {
         assert!(parse_request(r#"{"cmd":"ping","extra":1}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"metrics","extra":1}"#).is_err());
+        assert!(
+            parse_request(r#"{"cmd":"solve","session":"a","progress":1}"#).is_err(),
+            "progress must be a boolean"
+        );
         assert!(parse_request(r#"{"cmd":"fly"}"#).is_err());
         assert!(parse_request("not json").is_err());
         assert!(

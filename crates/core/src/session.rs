@@ -44,6 +44,9 @@ pub struct SolveOptions {
     pub collect_metrics: bool,
     /// Record event-journal spans for this job.
     pub trace_spans: bool,
+    /// Progress channel for this job (disabled by default). Observation
+    /// only — an enabled tracker never changes solve results.
+    pub progress: crate::observe::ProgressTracker,
 }
 
 /// A design characterized once and held resident for repeated solves:
@@ -197,7 +200,8 @@ impl CharacterizedDesign {
         registry.ensure_zones(self.prep.zones.len());
         let budget = config.budget();
         let solver = MospZoneSolver::new(&config, budget.clone(), registry.clone())
-            .with_journal(journal.clone());
+            .with_journal(journal.clone())
+            .with_progress(opts.progress.clone());
         let store = cache.map(|c| c as &dyn ZoneStore);
         // The chain seed hashes the job's semantic config (plumbing
         // normalized out), so jobs on different budgets or bounds key
@@ -219,6 +223,7 @@ impl CharacterizedDesign {
             journal,
             store,
             seed,
+            &opts.progress,
         )?;
         out.degradation = solver.ladder.degradation();
         out.report = registry.report(&ReportContext {

@@ -1,0 +1,98 @@
+//! Property-based tests for the run-report histograms: the log2 bucket
+//! layout is exact at its boundaries, merging is associative and
+//! commutative (the guarantee that makes worker-count-independent
+//! aggregation sound), and quantiles are monotone in the query point.
+
+use proptest::prelude::*;
+use wavemin::observe::{bucket_index, bucket_upper_bound, RunHistogram, HISTOGRAM_BUCKETS};
+
+fn hist_of(values: &[u64]) -> RunHistogram {
+    let mut h = RunHistogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn merged(a: &RunHistogram, b: &RunHistogram) -> RunHistogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_boundaries_are_exact(v in 0u64..=u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(i), "value above its bucket's bound");
+        if i > 0 {
+            prop_assert!(
+                v > bucket_upper_bound(i - 1),
+                "value {v} should overflow bucket {}",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..(1u64 << 40), 0..40),
+        b in prop::collection::vec(0u64..(1u64 << 40), 0..40),
+        c in prop::collection::vec(0u64..(1u64 << 40), 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha), "commutativity");
+        prop_assert_eq!(
+            merged(&merged(&ha, &hb), &hc),
+            merged(&ha, &merged(&hb, &hc)),
+            "associativity"
+        );
+        // Merging equals observing the concatenated stream directly.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(merged(&merged(&ha, &hb), &hc), hist_of(&all));
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        values in prop::collection::vec(0u64..(1u64 << 40), 1..100),
+        q1 in 0.0..=1.0f64,
+        q2 in 0.0..=1.0f64,
+    ) {
+        let h = hist_of(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi), "quantile must be monotone");
+        prop_assert!(h.p50 <= h.p90 && h.p90 <= h.p99, "stored quantiles ordered");
+        // Every quantile answer is achievable: between the true min's
+        // bucket bound and the true max's bucket bound.
+        prop_assert!(h.quantile(1.0) == bucket_upper_bound(bucket_index(h.max)));
+        prop_assert!(h.quantile(0.0) >= h.min.min(bucket_upper_bound(bucket_index(h.min))));
+    }
+
+    #[test]
+    fn summary_fields_track_the_observed_stream(
+        values in prop::collection::vec(0u64..u64::from(u32::MAX), 1..100),
+    ) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(h.min, values.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(h.max, values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(h.count, h.buckets.iter().map(|b| b.count).sum::<u64>());
+        // Buckets are strictly ascending with no empty entries.
+        for w in h.buckets.windows(2) {
+            prop_assert!(w[0].index < w[1].index);
+        }
+        prop_assert!(h.buckets.iter().all(|b| b.count > 0));
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity(values in prop::collection::vec(0u64..(1u64 << 40), 0..50)) {
+        let h = hist_of(&values);
+        let empty = RunHistogram::default();
+        prop_assert_eq!(merged(&h, &empty), h.clone());
+        prop_assert_eq!(merged(&empty, &h), h);
+    }
+}
